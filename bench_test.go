@@ -1,0 +1,444 @@
+// Package repro's root benchmarks wrap the measured kernel of every
+// experiment in DESIGN.md (E1–E12) as a testing.B benchmark, one per
+// table/figure. The experiment harness (cmd/experiments) prints the full
+// parameter sweeps; these benchmarks pin one representative configuration
+// each so `go test -bench=.` regenerates a comparable row and allocation
+// profile.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/cind"
+	"semandaq/internal/cqa"
+	"semandaq/internal/datagen"
+	"semandaq/internal/discovery"
+	"semandaq/internal/experiments"
+	"semandaq/internal/matching"
+	"semandaq/internal/noise"
+	"semandaq/internal/relation"
+	"semandaq/internal/repair"
+	"semandaq/internal/semandaq"
+	"semandaq/internal/sqlgen"
+)
+
+// dirtyCust mirrors the workload builder of the experiment harness.
+func dirtyCust(n int, rate float64, seed int64) (*relation.Relation, *noise.Truth) {
+	clean := datagen.Cust(n, seed)
+	schema := clean.Schema()
+	return noise.Dirty(clean, noise.Options{
+		Rate:  rate,
+		Attrs: []int{schema.MustIndex("STR"), schema.MustIndex("CT")},
+		Seed:  seed + 1,
+	})
+}
+
+// BenchmarkE1DetectScaleTuples measures native CFD violation detection
+// (E1: detection time vs #tuples). Sub-benchmarks sweep the size.
+func BenchmarkE1DetectScaleTuples(b *testing.B) {
+	set := datagen.CustConstraints()
+	for _, n := range []int{10_000, 50_000, 100_000} {
+		dirty, _ := dirtyCust(n, 0.05, 11)
+		b.Run(fmt.Sprintf("native/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cfd.NewDetector(set).Detect(dirty); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	dirty, _ := dirtyCust(50_000, 0.05, 11)
+	b.Run("sql/n=50000", func(b *testing.B) {
+		rn := sqlgen.NewRunner()
+		if _, err := rn.Load("cust", dirty); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rn.DetectSet(set, "cust"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE2DetectTableauSize measures SQL detection against tableau
+// size: the merged plan vs the naive per-row plan (E2).
+func BenchmarkE2DetectTableauSize(b *testing.B) {
+	dirty, _ := dirtyCust(20_000, 0.05, 13)
+	for _, rows := range []int{1, 16, 64} {
+		set := datagen.CustTableau(rows)
+		rn := sqlgen.NewRunner()
+		if _, err := rn.Load("cust", dirty); err != nil {
+			b.Fatal(err)
+		}
+		gens, err := rn.InstallCFD(set.CFD(0), "cust")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("merged/rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rn.DetectCFD(gens[0], "cust"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("perrow/rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := rn.DetectCFDPerRow(gens[0], "cust"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE3DetectNoise measures detection across noise rates (E3).
+func BenchmarkE3DetectNoise(b *testing.B) {
+	set := datagen.CustConstraints()
+	for _, rate := range []float64{0, 0.05, 0.10} {
+		dirty, _ := dirtyCust(50_000, rate, 17)
+		b.Run(fmt.Sprintf("rate=%.0f%%", rate*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cfd.NewDetector(set).Detect(dirty); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4RepairQuality measures BatchRepair including its quality
+// scoring (E4). The benchmark reports correctness metrics once.
+func BenchmarkE4RepairQuality(b *testing.B) {
+	set := datagen.CustConstraints()
+	dirty, truth := dirtyCust(5_000, 0.05, 19)
+	var quality noise.Quality
+	b.Run("n=5000/rate=5%", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := repair.Batch(dirty, set, repair.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			quality = noise.Score(res.Changes, truth)
+		}
+	})
+	if quality.Recall < 0.5 {
+		b.Fatalf("repair recall degraded: %+v", quality)
+	}
+}
+
+// BenchmarkE5RepairScale measures BatchRepair across sizes (E5).
+func BenchmarkE5RepairScale(b *testing.B) {
+	set := datagen.CustConstraints()
+	for _, n := range []int{5_000, 20_000} {
+		dirty, _ := dirtyCust(n, 0.05, 23)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := repair.Batch(dirty, set, repair.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6IncRepair compares IncRepair on a small delta against
+// BatchRepair on the combined relation (E6).
+func BenchmarkE6IncRepair(b *testing.B) {
+	set := datagen.CustConstraints()
+	base := datagen.Cust(20_000, 29)
+	schema := base.Schema()
+	deltaClean := datagen.Cust(200, 31)
+	deltaDirty, _ := noise.Dirty(deltaClean, noise.Options{
+		Rate:  0.3,
+		Attrs: []int{schema.MustIndex("STR"), schema.MustIndex("CT")},
+		Seed:  37,
+	})
+	delta := make([]relation.Tuple, deltaDirty.Len())
+	for i := range delta {
+		delta[i] = deltaDirty.Tuple(i).Clone()
+	}
+	b.Run("inc/delta=1%", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.AppendAndRepair(base, delta, set, repair.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	combined := base.Clone()
+	for _, tup := range delta {
+		combined.MustInsert(tup.Clone())
+	}
+	b.Run("batch/delta=1%", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := repair.Batch(combined, set, repair.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE7Discovery measures full CFD discovery (E7).
+func BenchmarkE7Discovery(b *testing.B) {
+	for _, n := range []int{2_000, 10_000} {
+		r := datagen.Cust(n, 41)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := discovery.Discover(r, discovery.Options{MinSupport: 10, MaxLHS: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8MatchQuality measures the derived-RCK matcher (E8) and
+// asserts the quality headline (RCK recall beats exact matching).
+func BenchmarkE8MatchQuality(b *testing.B) {
+	_, y, keys, err := experiments.MatchingSetup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cardS, billingS := datagen.CardSchema(), datagen.BillingSchema()
+	card, billing, truth := datagen.CardBilling(datagen.CardBillingOptions{
+		Persons: 2_000, DupRate: 0.5, Perturb: 0.6, Seed: 47,
+	})
+	m, err := matching.NewMatcher(cardS, billingS, keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rckQ matching.Quality
+	b.Run("rck/persons=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matches, err := m.Run(card, billing)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rckQ = matching.Evaluate(matches, truth)
+		}
+	})
+	exactKey, err := matching.NewRCK("exactY", cardS, billingS, y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exact, err := matching.NewMatcher(cardS, billingS, []*matching.RCK{exactKey})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var exactQ matching.Quality
+	b.Run("exact/persons=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matches, err := exact.Run(card, billing)
+			if err != nil {
+				b.Fatal(err)
+			}
+			exactQ = matching.Evaluate(matches, truth)
+		}
+	})
+	if rckQ.Recall <= exactQ.Recall {
+		b.Fatalf("RCK recall %.3f should beat exact %.3f", rckQ.Recall, exactQ.Recall)
+	}
+}
+
+// BenchmarkE9CINDDetect measures CIND detection, native vs SQL (E9).
+func BenchmarkE9CINDDetect(b *testing.B) {
+	psi := datagen.OrdersCIND()
+	cdRel, bookRel, _ := datagen.Orders(50_000, 25_000, 500, 53)
+	b.Run("native/cd=50000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cind.Detect(cdRel, bookRel, psi); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sql/cd=50000", func(b *testing.B) {
+		rn := sqlgen.NewRunner()
+		if _, err := rn.Load("CD", cdRel); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rn.Load("book", bookRel); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rn.DetectCIND(psi, "CD", "book"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10Reasoning measures satisfiability and implication checks
+// (E10).
+func BenchmarkE10Reasoning(b *testing.B) {
+	for _, rows := range []int{10, 100} {
+		set := datagen.CustTableau(rows)
+		for _, c := range datagen.CustConstraints().All() {
+			set.MustAdd(c)
+		}
+		phi := cfd.MustParse("cust([CC='44', AC='131'] -> [CT='edi'])", set.Schema())
+		b.Run(fmt.Sprintf("satisfiable/rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := cfd.Satisfiable(set); !ok {
+					b.Fatal("must be satisfiable")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("implies/rows=%d", rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, err := cfd.Implies(set, phi)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("must be implied")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11CQA measures certain-answer evaluation against direct
+// evaluation (E11).
+func BenchmarkE11CQA(b *testing.B) {
+	r := datagen.Cust(50_000, 59)
+	schema := r.Schema()
+	dirty := r.Clone()
+	for i := 0; i < 2_500; i++ {
+		t0 := r.Tuple(i % r.Len()).Clone()
+		t0[schema.MustIndex("CT")] = relation.String("conflict-city")
+		dirty.MustInsert(t0)
+	}
+	key := []int{schema.MustIndex("PN")}
+	ccIdx, ctIdx := schema.MustIndex("CC"), schema.MustIndex("CT")
+	q := cqa.Query{
+		Pred:    func(tp relation.Tuple) bool { return tp[ccIdx].Equal(relation.String("44")) },
+		Project: []int{ctIdx},
+	}
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cqa.Direct(dirty, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("certain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cqa.Certain(dirty, key, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE12EndToEnd measures the full Semandaq loop: detect, repair,
+// accept (E12).
+func BenchmarkE12EndToEnd(b *testing.B) {
+	set := datagen.CustConstraints()
+	dirty, _ := dirtyCust(10_000, 0.03, 61)
+	b.Run("n=10000/rate=3%", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := semandaq.NewProject("bench", dirty, set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Detect(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Repair(); err != nil {
+				b.Fatal(err)
+			}
+			if err := p.Accept(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// BenchmarkAblationGroupedVsNaive quantifies the grouped detection
+// algorithm against the textbook quadratic detector on identical data:
+// the reason DetectOne partitions by X instead of comparing tuple pairs.
+func BenchmarkAblationGroupedVsNaive(b *testing.B) {
+	dirty, _ := dirtyCust(2_000, 0.05, 67)
+	c := datagen.CustConstraints().CFD(0) // phi1: ([CC='44', ZIP] -> [STR])
+	b.Run("grouped/n=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cfd.DetectOne(dirty, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive/n=2000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cfd.DetectNaive(dirty, c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRepairValueSelection compares the exact weighted
+// medoid value choice against the cheap weighted-mode approximation for
+// equivalence classes (Options.ExactValueSelection).
+func BenchmarkAblationRepairValueSelection(b *testing.B) {
+	set := datagen.CustConstraints()
+	dirty, truth := dirtyCust(10_000, 0.05, 71)
+	for _, spec := range []struct {
+		name  string
+		exact int
+	}{
+		{"medoid", 1 << 20}, // always exact
+		{"mode", 1},         // always weighted mode
+	} {
+		var q noise.Quality
+		b.Run(spec.name+"/n=10000", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := repair.Batch(dirty, set, repair.Options{ExactValueSelection: spec.exact})
+				if err != nil {
+					b.Fatal(err)
+				}
+				q = noise.Score(res.Changes, truth)
+			}
+		})
+		if q.Recall < 0.5 {
+			b.Fatalf("%s: recall collapsed: %+v", spec.name, q)
+		}
+	}
+}
+
+// BenchmarkAblationExistsDecorrelation measures the EXISTS hash
+// decorrelation in minidb against the per-row fallback, using the CIND
+// detection query (equality correlation, decorrelatable) vs a non-equi
+// variant that forces per-outer-row re-execution.
+func BenchmarkAblationExistsDecorrelation(b *testing.B) {
+	cdRel, bookRel, _ := datagen.Orders(5_000, 2_500, 50, 73)
+	rn := sqlgen.NewRunner()
+	if _, err := rn.Load("CD", cdRel); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rn.Load("book", bookRel); err != nil {
+		b.Fatal(err)
+	}
+	decorrelated := "SELECT t._tid AS tid FROM CD t WHERE t.genre = 'a-book' AND NOT EXISTS (SELECT s.title FROM book s WHERE s.title = t.album AND s.price = t.price AND s.format = 'audio')"
+	// The <= correlation cannot decorrelate: falls back to per-row.
+	fallback := "SELECT t._tid AS tid FROM CD t WHERE t.genre = 'a-book' AND NOT EXISTS (SELECT s.title FROM book s WHERE s.title = t.album AND s.price <= t.price AND s.format = 'audio')"
+	b.Run("hash-decorrelated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rn.DB.Query(decorrelated); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("perrow-fallback", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rn.DB.Query(fallback); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+// Command experiments regenerates every experiment table of DESIGN.md
+// (E1–E12), reproducing the evaluation suites of the systems the
+// tutorial presents. Run all experiments, or a subset:
+//
+//	experiments            # everything at the default (paper-like) sizes
+//	experiments -exp E2,E4 # selected experiments
+//	experiments -quick     # reduced sizes for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"semandaq/internal/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	quick := flag.Bool("quick", false, "reduced sizes for a fast run")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type experiment struct {
+		id string
+		f  func() *experiments.Table
+	}
+	full := []experiment{
+		{"E1", func() *experiments.Table {
+			return experiments.E1DetectScale([]int{10_000, 25_000, 50_000, 100_000, 200_000, 300_000}, 0.05)
+		}},
+		{"E2", func() *experiments.Table {
+			return experiments.E2TableauSize(50_000, []int{1, 2, 4, 8, 16, 32, 64})
+		}},
+		{"E3", func() *experiments.Table {
+			return experiments.E3DetectNoise(100_000, []float64{0, 0.01, 0.02, 0.05, 0.08, 0.10})
+		}},
+		{"E4", func() *experiments.Table {
+			return experiments.E4RepairQuality(10_000, []float64{0.01, 0.02, 0.05, 0.08, 0.10})
+		}},
+		{"E5", func() *experiments.Table {
+			return experiments.E5RepairScale([]int{5_000, 10_000, 20_000, 40_000, 80_000}, 0.05)
+		}},
+		{"E6", func() *experiments.Table {
+			return experiments.E6IncRepair(50_000, []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50})
+		}},
+		{"E7", func() *experiments.Table {
+			return experiments.E7Discovery([]int{2_000, 5_000, 10_000, 20_000, 50_000}, []int{5, 10, 50, 100, 500}, 10_000)
+		}},
+		{"E8", func() *experiments.Table {
+			return experiments.E8MatchQuality(5_000, []float64{0.2, 0.4, 0.6, 0.8})
+		}},
+		{"E9", func() *experiments.Table {
+			return experiments.E9CINDDetect([]int{10_000, 50_000, 100_000, 200_000})
+		}},
+		{"E10", func() *experiments.Table {
+			return experiments.E10Reasoning([]int{10, 50, 100, 200, 500})
+		}},
+		{"E11", func() *experiments.Table {
+			return experiments.E11CQA([]int{10_000, 50_000, 100_000}, 0.05)
+		}},
+		{"E12", func() *experiments.Table {
+			return experiments.E12EndToEnd(20_000, 0.03)
+		}},
+	}
+	reduced := []experiment{
+		{"E1", func() *experiments.Table {
+			return experiments.E1DetectScale([]int{5_000, 10_000, 20_000}, 0.05)
+		}},
+		{"E2", func() *experiments.Table {
+			return experiments.E2TableauSize(10_000, []int{1, 4, 16})
+		}},
+		{"E3", func() *experiments.Table {
+			return experiments.E3DetectNoise(20_000, []float64{0, 0.05, 0.10})
+		}},
+		{"E4", func() *experiments.Table {
+			return experiments.E4RepairQuality(3_000, []float64{0.02, 0.05})
+		}},
+		{"E5", func() *experiments.Table {
+			return experiments.E5RepairScale([]int{2_000, 5_000, 10_000}, 0.05)
+		}},
+		{"E6", func() *experiments.Table {
+			return experiments.E6IncRepair(10_000, []float64{0.01, 0.10, 0.50})
+		}},
+		{"E7", func() *experiments.Table {
+			return experiments.E7Discovery([]int{2_000, 5_000}, []int{10, 100}, 2_000)
+		}},
+		{"E8", func() *experiments.Table {
+			return experiments.E8MatchQuality(1_000, []float64{0.4, 0.8})
+		}},
+		{"E9", func() *experiments.Table {
+			return experiments.E9CINDDetect([]int{10_000, 50_000})
+		}},
+		{"E10", func() *experiments.Table {
+			return experiments.E10Reasoning([]int{10, 100})
+		}},
+		{"E11", func() *experiments.Table {
+			return experiments.E11CQA([]int{10_000, 50_000}, 0.05)
+		}},
+		{"E12", func() *experiments.Table {
+			return experiments.E12EndToEnd(5_000, 0.03)
+		}},
+	}
+
+	suite := full
+	if *quick {
+		suite = reduced
+	}
+	start := time.Now()
+	ran := 0
+	for _, e := range suite {
+		if !run(e.id) {
+			continue
+		}
+		t0 := time.Now()
+		table := e.f()
+		fmt.Println(table)
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -exp; known IDs are E1..E12")
+		os.Exit(2)
+	}
+	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,381 @@
+// Command semandaq is the command-line front end to the Semandaq
+// data-quality system (§5 of the tutorial): generate workloads, detect
+// CFD violations, repair dirty relations, discover constraints and match
+// records, all over CSV files.
+//
+// Usage:
+//
+//	semandaq generate -kind cust -n 10000 -rate 0.05 -out dirty.csv [-truth truth.csv]
+//	semandaq detect   -data dirty.csv -cfds rules.txt [-sql]
+//	semandaq repair   -data dirty.csv -cfds rules.txt -out repaired.csv
+//	semandaq discover -data data.csv -support 10 -maxlhs 2
+//	semandaq match    -persons 2000 -perturb 0.6
+//
+// Constraint files contain one CFD per line in the package syntax, e.g.
+//
+//	cfd phi1: cust([CC='44', ZIP] -> [STR])
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/discovery"
+	"semandaq/internal/matching"
+	"semandaq/internal/noise"
+	"semandaq/internal/relation"
+	"semandaq/internal/semandaq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "detect":
+		err = cmdDetect(os.Args[2:])
+	case "repair":
+		err = cmdRepair(os.Args[2:])
+	case "discover":
+		err = cmdDiscover(os.Args[2:])
+	case "match":
+		err = cmdMatch(os.Args[2:])
+	case "reason":
+		err = cmdReason(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "semandaq:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: semandaq <generate|detect|repair|discover|match|reason> [flags]
+run "semandaq <command> -h" for command flags`)
+}
+
+// schemaFor returns the built-in schema by relation name.
+func schemaFor(kind string) (*relation.Schema, error) {
+	switch kind {
+	case "cust":
+		return datagen.CustSchema(), nil
+	case "hosp":
+		return datagen.HospSchema(), nil
+	default:
+		return nil, fmt.Errorf("unknown schema kind %q (cust, hosp)", kind)
+	}
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "cust", "workload kind: cust or hosp")
+	n := fs.Int("n", 10000, "number of tuples")
+	rate := fs.Float64("rate", 0, "noise rate (0 = clean)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV path (required)")
+	truthOut := fs.String("truth", "", "optional ground-truth CSV (tid,attr,value)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("generate: -out is required")
+	}
+	var r *relation.Relation
+	switch *kind {
+	case "cust":
+		r = datagen.Cust(*n, *seed)
+	case "hosp":
+		r = datagen.Hosp(*n, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	var truth *noise.Truth
+	if *rate > 0 {
+		r, truth = noise.Dirty(r, noise.Options{Rate: *rate, Seed: *seed + 1})
+	}
+	if err := relation.SaveCSVFile(*out, r); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tuples to %s\n", r.Len(), *out)
+	if truth != nil && *truthOut != "" {
+		f, err := os.Create(*truthOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintln(f, "tid,attr,value")
+		for cell, v := range truth.Cells {
+			fmt.Fprintf(f, "%d,%s,%q\n", cell[0], r.Schema().Attr(cell[1]).Name, v.String())
+		}
+		fmt.Printf("wrote %d ground-truth cells to %s\n", truth.Len(), *truthOut)
+	}
+	return nil
+}
+
+// loadProject reads the data CSV and constraint file shared by detect
+// and repair.
+func loadProject(dataPath, cfdPath, kind string) (*semandaq.Project, error) {
+	schema, err := schemaFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	data, err := relation.LoadCSVFile(dataPath, schema)
+	if err != nil {
+		return nil, err
+	}
+	var set *cfd.Set
+	if cfdPath == "" {
+		switch kind {
+		case "cust":
+			set = datagen.CustConstraints()
+		case "hosp":
+			set = datagen.HospConstraints()
+		}
+	} else {
+		src, err := os.ReadFile(cfdPath)
+		if err != nil {
+			return nil, err
+		}
+		set, err = cfd.ParseSet(string(src), schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return semandaq.NewProject(dataPath, data, set)
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV (required)")
+	cfds := fs.String("cfds", "", "constraint file (default: built-in set for -kind)")
+	kind := fs.String("kind", "cust", "schema kind")
+	useSQL := fs.Bool("sql", false, "use the TODS 2008 SQL-based detection path")
+	verbose := fs.Bool("v", false, "print each violation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("detect: -data is required")
+	}
+	p, err := loadProject(*data, *cfds, *kind)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if *useSQL {
+		tids, err := p.DetectSQL()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SQL detection: %d violating tuples in %v\n", len(tids), time.Since(start))
+		if *verbose {
+			fmt.Println("tids:", tids)
+		}
+		return nil
+	}
+	vs, err := p.Detect()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("native detection: %d violations (%d tuples) in %v\n",
+		len(vs), len(cfd.ViolatingTIDs(vs)), time.Since(start))
+	if *verbose {
+		for _, v := range vs {
+			fmt.Println("  " + v.String())
+		}
+	}
+	return nil
+}
+
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV (required)")
+	cfds := fs.String("cfds", "", "constraint file (default: built-in set for -kind)")
+	kind := fs.String("kind", "cust", "schema kind")
+	out := fs.String("out", "", "output CSV for the repaired relation")
+	show := fs.Int("show", 20, "changes to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("repair: -data is required")
+	}
+	p, err := loadProject(*data, *cfds, *kind)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := p.Repair()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repair: %d changes, cost %.3f, %d passes in %v\n",
+		len(res.Changes), res.Cost, res.Passes, time.Since(start))
+	fmt.Print(semandaq.FormatChanges(p.Data(), res.Changes, *show))
+	if err := p.Accept(); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := relation.SaveCSVFile(*out, p.Data()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote repaired relation to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdDiscover(args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	data := fs.String("data", "", "input CSV (required)")
+	kind := fs.String("kind", "cust", "schema kind")
+	support := fs.Int("support", 10, "minimum pattern support")
+	maxLHS := fs.Int("maxlhs", 2, "maximum LHS size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("discover: -data is required")
+	}
+	schema, err := schemaFor(*kind)
+	if err != nil {
+		return err
+	}
+	r, err := relation.LoadCSVFile(*data, schema)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rules, err := discovery.Discover(r, discovery.Options{MinSupport: *support, MaxLHS: *maxLHS})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("discovered %d rules in %v\n", len(rules), time.Since(start))
+	for _, c := range rules {
+		fmt.Println(c)
+	}
+	return nil
+}
+
+func cmdMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	persons := fs.Int("persons", 2000, "number of card holders")
+	perturb := fs.Float64("perturb", 0.6, "duplicate distortion probability")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cardS, billingS := datagen.CardSchema(), datagen.BillingSchema()
+	pair := func(name string, cmp matching.Comparator) matching.AttrPair {
+		return matching.AttrPair{Left: cardS.MustIndex(name), Right: billingS.MustIndex(name), Cmp: cmp}
+	}
+	y := []matching.AttrPair{
+		pair("fn", matching.Eq()), pair("ln", matching.Eq()), pair("addr", matching.Eq()),
+		pair("phn", matching.Eq()), pair("email", matching.Eq()),
+	}
+	mds := make([]*matching.MD, 0, 3)
+	for _, spec := range []struct {
+		name string
+		prem []matching.AttrPair
+		conc []matching.AttrPair
+	}{
+		{"a", []matching.AttrPair{pair("phn", matching.Eq())}, []matching.AttrPair{pair("addr", matching.Eq())}},
+		{"b", []matching.AttrPair{pair("email", matching.Eq())}, []matching.AttrPair{pair("fn", matching.Eq()), pair("ln", matching.Eq())}},
+		{"c", []matching.AttrPair{pair("ln", matching.Eq()), pair("addr", matching.Eq()), pair("fn", matching.MustApprox("jarowinkler", 0.85))}, y},
+	} {
+		md, err := matching.NewMD(spec.name, cardS, billingS, spec.prem, spec.conc)
+		if err != nil {
+			return err
+		}
+		mds = append(mds, md)
+	}
+	keys, err := matching.DeduceRCKs(mds, y, matching.DeduceOptions{MaxPairs: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("derived %d RCKs:\n", len(keys))
+	for _, k := range keys {
+		fmt.Println("  " + k.String())
+	}
+	card, billing, truth := datagen.CardBilling(datagen.CardBillingOptions{
+		Persons: *persons, DupRate: 0.5, Perturb: *perturb, Seed: *seed,
+	})
+	m, err := matching.NewMatcher(cardS, billingS, keys)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	matches, err := m.Run(card, billing)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("matched %d/%d true pairs in %v: %s\n",
+		len(matches), len(truth), time.Since(start), matching.Evaluate(matches, truth))
+	return nil
+}
+
+// cmdReason runs the static analyses over a constraint file: consistency
+// (satisfiability), optional implication of a query CFD, and the minimal
+// cover.
+func cmdReason(args []string) error {
+	fs := flag.NewFlagSet("reason", flag.ExitOnError)
+	cfds := fs.String("cfds", "", "constraint file (required)")
+	kind := fs.String("kind", "cust", "schema kind")
+	implies := fs.String("implies", "", "optional CFD to test for implication")
+	mincover := fs.Bool("mincover", false, "print the minimal cover")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cfds == "" {
+		return fmt.Errorf("reason: -cfds is required")
+	}
+	schema, err := schemaFor(*kind)
+	if err != nil {
+		return err
+	}
+	src, err := os.ReadFile(*cfds)
+	if err != nil {
+		return err
+	}
+	set, err := cfd.ParseSet(string(src), schema)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	ok, witness := cfd.Satisfiable(set)
+	fmt.Printf("satisfiable: %v (%v)\n", ok, time.Since(start))
+	if ok {
+		fmt.Printf("witness tuple: %s\n", witness)
+	}
+	if *implies != "" {
+		phi, err := cfd.Parse(*implies, schema)
+		if err != nil {
+			return err
+		}
+		start = time.Now()
+		implied, err := cfd.Implies(set, phi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("implies %s: %v (%v)\n", phi, implied, time.Since(start))
+	}
+	if *mincover {
+		start = time.Now()
+		mc, err := cfd.MinimalCover(set)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("minimal cover (%d rows, %v):\n%s\n", mc.TotalRows(), time.Since(start), mc)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command discovery profiles a relation for CFDs: it generates customer
+// data governed by planted rules, runs FD discovery, constant-CFD mining
+// and variable-CFD discovery, and prints what comes back — showing that
+// the planted geography (area code → city, zip → street inside the UK)
+// is recoverable from the data alone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"semandaq/internal/datagen"
+	"semandaq/internal/discovery"
+)
+
+func main() {
+	n := flag.Int("n", 3000, "number of tuples")
+	support := flag.Int("support", 10, "minimum pattern support")
+	maxLHS := flag.Int("maxlhs", 2, "maximum LHS attributes")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	r := datagen.Cust(*n, *seed)
+	fmt.Printf("profiling %d customer tuples (support ≥ %d, |LHS| ≤ %d)\n\n",
+		r.Len(), *support, *maxLHS)
+	opts := discovery.Options{MinSupport: *support, MaxLHS: *maxLHS}
+
+	start := time.Now()
+	fds, err := discovery.FDs(r, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("— %d minimal functional dependencies (%v):\n", len(fds), time.Since(start))
+	for _, c := range fds {
+		fmt.Println("  " + c.String())
+	}
+
+	start = time.Now()
+	consts, err := discovery.ConstantCFDs(r, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n— %d constant CFDs (%v), first 12:\n", len(consts), time.Since(start))
+	for i, c := range consts {
+		if i == 12 {
+			fmt.Printf("  ... and %d more\n", len(consts)-12)
+			break
+		}
+		fmt.Println("  " + c.String())
+	}
+
+	start = time.Now()
+	vars, err := discovery.VariableCFDs(r, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n— %d variable CFDs (%v), first 12:\n", len(vars), time.Since(start))
+	for i, c := range vars {
+		if i == 12 {
+			fmt.Printf("  ... and %d more\n", len(vars)-12)
+			break
+		}
+		fmt.Println("  " + c.String())
+	}
+
+	// Sanity: everything discovered must hold on the input.
+	for _, c := range append(append(fds, consts...), vars...) {
+		ok, err := c.Satisfies(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			log.Fatalf("BUG: discovered rule does not hold: %s", c)
+		}
+	}
+	fmt.Println("\nall discovered rules verified to hold on the input ✓")
+}

@@ -1,0 +1,232 @@
+package cfd
+
+import (
+	"fmt"
+	"sort"
+
+	"semandaq/internal/relation"
+)
+
+// ViolationKind distinguishes the two ways a CFD can be violated.
+type ViolationKind int
+
+const (
+	// ConstViolation is a single-tuple violation: the tuple matches a
+	// pattern row's LHS but disagrees with a constant in the row's RHS.
+	ConstViolation ViolationKind = iota
+	// VarViolation is a multi-tuple violation: two or more tuples match a
+	// row's LHS, agree on all X attributes, but disagree on a wildcard Y
+	// attribute (the embedded FD is violated inside the pattern's scope).
+	VarViolation
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	if k == ConstViolation {
+		return "const"
+	}
+	return "var"
+}
+
+// Violation records one detected CFD violation.
+type Violation struct {
+	CFD  *CFD
+	Row  int // index of the violated tableau row
+	Kind ViolationKind
+	Attr int   // schema position of the violated Y attribute
+	TIDs []int // ConstViolation: one TID; VarViolation: the conflicting X-group, sorted
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation of %s (row %d) on %s: tuples %v",
+		v.Kind, v.CFD.name, v.Row, v.CFD.schema.Attr(v.Attr).Name, v.TIDs)
+}
+
+// Detector detects violations of a CFD set against relations. It caches
+// per-CFD X-indexes keyed by the relation, so repeated detection over the
+// same (unmutated) relation is cheap; see also IncDetect for the
+// incremental variant.
+type Detector struct {
+	set *Set
+}
+
+// NewDetector creates a detector for the given CFD set.
+func NewDetector(set *Set) *Detector { return &Detector{set: set} }
+
+// Detect returns all violations of the detector's CFD set in r.
+// Violations are reported per (CFD, tableau row, Y attribute): constant
+// violations once per offending tuple, variable violations once per
+// conflicting X-group.
+func (d *Detector) Detect(r *relation.Relation) ([]Violation, error) {
+	var out []Violation
+	for _, c := range d.set.cfds {
+		vs, err := DetectOne(r, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// DetectOne returns all violations of a single CFD in r.
+//
+// The algorithm follows the grouping view of TODS 2008: partition r by
+// the X attributes once; every tuple in an X-group matches exactly the
+// same tableau rows (LHS patterns only mention X), so row matching is
+// decided per group. Within a matched group, constants in the row's RHS
+// must hold for every tuple (constant violations) and wildcard RHS
+// attributes must take a single value (variable violations).
+func DetectOne(r *relation.Relation, c *CFD) ([]Violation, error) {
+	if !r.Schema().Equal(c.schema) {
+		return nil, fmt.Errorf("cfd: detecting %s over relation %s with schema %s",
+			c.name, r.Schema().Name(), c.schema.Name())
+	}
+	idx := relation.BuildIndex(r, c.lhs)
+	return detectGrouped(r, c, idx, nil), nil
+}
+
+// detectGrouped runs group-wise detection. If only is non-nil, it
+// restricts reporting to groups containing at least one TID in only
+// (used by incremental detection).
+func detectGrouped(r *relation.Relation, c *CFD, idx *relation.HashIndex, only map[int]bool) []Violation {
+	var out []Violation
+	nl := len(c.lhs)
+	idx.Groups(func(_ string, tids []int) bool {
+		if only != nil {
+			hit := false
+			for _, tid := range tids {
+				if only[tid] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return true
+			}
+		}
+		rep := r.Tuple(tids[0])
+		for rowIdx, row := range c.tableau {
+			if !row[:nl].Matches(rep, c.lhs) {
+				continue
+			}
+			for j, attr := range c.rhs {
+				p := row[nl+j]
+				if p.IsConst() {
+					for _, tid := range tids {
+						if !p.Matches(r.Tuple(tid)[attr]) {
+							out = append(out, Violation{
+								CFD: c, Row: rowIdx, Kind: ConstViolation,
+								Attr: attr, TIDs: []int{tid},
+							})
+						}
+					}
+					continue
+				}
+				// Wildcard RHS: the group must agree on attr.
+				if len(tids) < 2 {
+					continue
+				}
+				first := r.Tuple(tids[0])[attr]
+				conflict := false
+				for _, tid := range tids[1:] {
+					if !r.Tuple(tid)[attr].Identical(first) {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					group := append([]int(nil), tids...)
+					sort.Ints(group)
+					out = append(out, Violation{
+						CFD: c, Row: rowIdx, Kind: VarViolation,
+						Attr: attr, TIDs: group,
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// IncDetect returns the violations of c in r that involve at least one of
+// the given TIDs (typically a freshly inserted or edited batch). The
+// caller provides the current X-index over all of r; IncDetect only
+// inspects the X-groups touched by the batch, which is the access pattern
+// of the IncRepair algorithm (Cong et al., VLDB 2007).
+func IncDetect(r *relation.Relation, c *CFD, idx *relation.HashIndex, tids []int) []Violation {
+	only := make(map[int]bool, len(tids))
+	touched := make(map[string][]int)
+	for _, tid := range tids {
+		only[tid] = true
+		key := r.Tuple(tid).Key(idx.Attrs())
+		touched[key] = idx.LookupKey(key)
+	}
+	var out []Violation
+	nl := len(c.lhs)
+	for _, groupTIDs := range touched {
+		if len(groupTIDs) == 0 {
+			continue
+		}
+		rep := r.Tuple(groupTIDs[0])
+		for rowIdx, row := range c.tableau {
+			if !row[:nl].Matches(rep, c.lhs) {
+				continue
+			}
+			for j, attr := range c.rhs {
+				p := row[nl+j]
+				if p.IsConst() {
+					for _, tid := range groupTIDs {
+						if only[tid] && !p.Matches(r.Tuple(tid)[attr]) {
+							out = append(out, Violation{
+								CFD: c, Row: rowIdx, Kind: ConstViolation,
+								Attr: attr, TIDs: []int{tid},
+							})
+						}
+					}
+					continue
+				}
+				if len(groupTIDs) < 2 {
+					continue
+				}
+				first := r.Tuple(groupTIDs[0])[attr]
+				conflict := false
+				for _, tid := range groupTIDs[1:] {
+					if !r.Tuple(tid)[attr].Identical(first) {
+						conflict = true
+						break
+					}
+				}
+				if conflict {
+					group := append([]int(nil), groupTIDs...)
+					sort.Ints(group)
+					out = append(out, Violation{
+						CFD: c, Row: rowIdx, Kind: VarViolation,
+						Attr: attr, TIDs: group,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ViolatingTIDs collapses a violation list to the sorted set of involved
+// tuple IDs — the shape of the answer the detection SQL queries of
+// TODS 2008 return.
+func ViolatingTIDs(vs []Violation) []int {
+	seen := map[int]bool{}
+	for _, v := range vs {
+		for _, tid := range v.TIDs {
+			seen[tid] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for tid := range seen {
+		out = append(out, tid)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,133 @@
+package cfd
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func TestEPatternMatching(t *testing.T) {
+	in := EInP(relation.String("a"), relation.String("b"))
+	if !in.Matches(relation.String("a")) || !in.Matches(relation.String("b")) {
+		t.Error("disjunction should match its members")
+	}
+	if in.Matches(relation.String("c")) || in.Matches(relation.Null()) {
+		t.Error("disjunction should reject non-members and NULL")
+	}
+	not := ENotInP(relation.String("a"))
+	if not.Matches(relation.String("a")) {
+		t.Error("negation should reject its members")
+	}
+	if !not.Matches(relation.String("z")) {
+		t.Error("negation should accept non-members")
+	}
+	if not.Matches(relation.Null()) {
+		t.Error("negation should reject NULL (constants never match NULL)")
+	}
+	if !EAnyP().Matches(relation.Null()) {
+		t.Error("wildcard matches NULL")
+	}
+}
+
+func TestECFDValidation(t *testing.T) {
+	s := custSchema(t)
+	if _, err := NewECFD("e", s, nil, []string{"CT"}, nil); err == nil {
+		t.Error("empty X should fail")
+	}
+	if _, err := NewECFD("e", s, []string{"CC"}, []string{"CT"},
+		[][]EPattern{{EAnyP()}}); err == nil {
+		t.Error("wrong width should fail")
+	}
+	e, err := NewECFD("e", s, []string{"CC"}, []string{"CT"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rows() != 1 {
+		t.Errorf("default tableau rows = %d", e.Rows())
+	}
+}
+
+func TestECFDDetectDisjunction(t *testing.T) {
+	r := custData(t)
+	s := r.Schema()
+	// For UK or US country codes, city must be one of the known cities.
+	e, err := NewECFD("cities", s,
+		[]string{"CC"}, []string{"CT"},
+		[][]EPattern{{
+			EInP(relation.String("44"), relation.String("01")),
+			EInP(relation.String("edi"), relation.String("mh"), relation.String("nyc")),
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := DetectECFD(r, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean data: %v", vs)
+	}
+	r.Set(0, s.MustIndex("CT"), relation.String("atlantis"))
+	vs, _ = DetectECFD(r, e)
+	if len(vs) != 1 || vs[0].Kind != ConstViolation || vs[0].TIDs[0] != 0 {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestECFDDetectNegation(t *testing.T) {
+	r := custData(t)
+	s := r.Schema()
+	// Customers outside the US (CC != 01) must not have city 'mh'.
+	e, err := NewECFD("no-mh-abroad", s,
+		[]string{"CC"}, []string{"CT"},
+		[][]EPattern{{
+			ENotInP(relation.String("01")),
+			ENotInP(relation.String("mh")),
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := DetectECFD(r, e)
+	if len(vs) != 0 {
+		t.Fatalf("clean data: %v", vs)
+	}
+	r.Set(2, s.MustIndex("CT"), relation.String("mh"))
+	vs, _ = DetectECFD(r, e)
+	if len(vs) != 1 || vs[0].TIDs[0] != 2 {
+		t.Errorf("violations = %v", vs)
+	}
+}
+
+func TestECFDVariableViolation(t *testing.T) {
+	r := custData(t)
+	s := r.Schema()
+	// Within CC in {44}: ZIP -> STR (same as CFD, via eCFD disjunction).
+	e, err := NewECFD("e-zip", s,
+		[]string{"CC", "ZIP"}, []string{"STR"},
+		[][]EPattern{{EInP(relation.String("44")), EAnyP(), EAnyP()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Set(1, s.MustIndex("STR"), relation.String("broken"))
+	vs, _ := DetectECFD(r, e)
+	if len(vs) != 1 || vs[0].Kind != VarViolation {
+		t.Fatalf("violations = %v", vs)
+	}
+	// The equivalent CFD agrees.
+	c := MustParse("cust([CC='44', ZIP] -> [STR])", s)
+	cvs, _ := DetectOne(r, c)
+	if len(cvs) != 1 || len(cvs[0].TIDs) != len(vs[0].TIDs) {
+		t.Errorf("eCFD and CFD disagree: %v vs %v", vs, cvs)
+	}
+}
+
+func TestECFDString(t *testing.T) {
+	s := custSchema(t)
+	e, _ := NewECFD("e1", s, []string{"CC"}, []string{"CT"},
+		[][]EPattern{{EInP(relation.String("44")), ENotInP(relation.String("mh"))}})
+	out := e.String()
+	if !strings.Contains(out, "{'44'}") || !strings.Contains(out, "!{'mh'}") {
+		t.Errorf("String() = %s", out)
+	}
+}

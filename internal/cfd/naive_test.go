@@ -1,0 +1,85 @@
+package cfd
+
+import (
+	"math/rand"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+// violationSet canonicalizes violations for set comparison.
+func violationSet(vs []Violation) map[string]bool {
+	out := map[string]bool{}
+	for _, v := range vs {
+		key := v.Kind.String()
+		key += "|" + string(rune('0'+v.Row))
+		key += "|" + string(rune('0'+v.Attr))
+		for _, tid := range v.TIDs {
+			key += "," + string(rune('0'+tid%73)) + string(rune('0'+tid/73))
+		}
+		out[key] = true
+	}
+	return out
+}
+
+func TestNaiveMatchesGrouped(t *testing.T) {
+	s := custSchema(t)
+	set, err := ParseSet(`
+cfd p1: cust([CC='44', ZIP] -> [STR])
+cfd p2: cust([CC, AC] -> [CT]) { ('44', '131' || 'edi'), (_, _ || _) }
+cfd p3: cust([CC='01', AC='908', PN] -> [CT='mh'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	cities := []string{"edi", "mh", "nyc"}
+	for trial := 0; trial < 10; trial++ {
+		r := relation.New(s)
+		for i := 0; i < 30+rng.Intn(40); i++ {
+			cc, ac := "44", "131"
+			if rng.Intn(2) == 0 {
+				cc, ac = "01", "908"
+			}
+			tup := strTuple(cc, ac,
+				"p"+string(rune('0'+rng.Intn(4))), "n",
+				"st "+string(rune('a'+rng.Intn(3))),
+				cities[rng.Intn(3)],
+				"Z"+string(rune('0'+rng.Intn(2))))
+			if rng.Intn(20) == 0 {
+				tup[rng.Intn(len(tup))] = relation.Null()
+			}
+			r.MustInsert(tup)
+		}
+		for _, c := range set.All() {
+			grouped, err := DetectOne(r, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			naive, err := DetectNaive(r, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gs, ns := violationSet(grouped), violationSet(naive)
+			if len(gs) != len(ns) {
+				t.Fatalf("trial %d cfd %s: grouped %d violations vs naive %d",
+					trial, c.Name(), len(gs), len(ns))
+			}
+			for k := range gs {
+				if !ns[k] {
+					t.Fatalf("trial %d cfd %s: grouped violation %q missing from naive", trial, c.Name(), k)
+				}
+			}
+		}
+	}
+}
+
+func TestNaiveSchemaMismatch(t *testing.T) {
+	s := custSchema(t)
+	other, _ := relation.StringSchema("other", "A", "B")
+	r := relation.New(other)
+	c := MustParse("cust([CC] -> [CT])", s)
+	if _, err := DetectNaive(r, c); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}

@@ -1,0 +1,371 @@
+package cfd
+
+import (
+	"fmt"
+	"strings"
+
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// Parse reads a CFD in the textual syntax:
+//
+//	cfd name: rel([A='c1', B] -> [C, D='c2'])
+//	cfd name: rel([A, B] -> [C]) { ('44', _ || _), ('01', '908' || 'mh') }
+//
+// The "cfd name:" prefix is optional. Inline constants in the attribute
+// lists define a single pattern row; an explicit tableau in braces
+// overrides (mixing both is an error). String constants are quoted with
+// single quotes; numeric constants are bare and typed by the attribute's
+// declared kind; "_" is the wildcard.
+func Parse(input string, schema *relation.Schema) (*CFD, error) {
+	p := &parser{src: input}
+	c, err := p.parseCFD(schema)
+	if err != nil {
+		return nil, fmt.Errorf("cfd: parsing %q: %w", input, err)
+	}
+	return c, nil
+}
+
+// MustParse is Parse panicking on error, for statically known constraint
+// literals in tests, examples and generators.
+func MustParse(input string, schema *relation.Schema) *CFD {
+	c, err := Parse(input, schema)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseSet parses a newline- or semicolon-separated list of CFDs into a
+// Set. Blank lines and lines starting with # are ignored.
+func ParseSet(input string, schema *relation.Schema) (*Set, error) {
+	set := NewSet(schema)
+	for _, line := range splitStatements(input) {
+		c, err := Parse(line, schema)
+		if err != nil {
+			return nil, err
+		}
+		if err := set.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	return set, nil
+}
+
+func splitStatements(input string) []string {
+	var out []string
+	for _, chunk := range strings.Split(input, "\n") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" || strings.HasPrefix(chunk, "#") {
+			continue
+		}
+		for _, stmt := range strings.Split(chunk, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt != "" {
+				out = append(out, stmt)
+			}
+		}
+	}
+	return out
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) eat(c byte) bool {
+	p.skipSpace()
+	if p.peek() == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(c byte) error {
+	if !p.eat(c) {
+		return p.errf("expected %q", string(c))
+	}
+	return nil
+}
+
+func (p *parser) eatWord(w string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], w) {
+		end := p.pos + len(w)
+		if end == len(p.src) || !isIdentChar(p.src[end]) {
+			p.pos = end
+			return true
+		}
+	}
+	return false
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '#' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// token reads a pattern token: '_', a 'quoted string', or a bare literal
+// up to a delimiter.
+func (p *parser) patternToken() (string, error) {
+	p.skipSpace()
+	if p.peek() == '\'' {
+		start := p.pos
+		p.pos++
+		for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", p.errf("unterminated string constant")
+		}
+		p.pos++
+		return p.src[start:p.pos], nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) || p.peek() == '-' || p.peek() == '+' {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected pattern value")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// attrSpec is an attribute name with an optional inline constant.
+type attrSpec struct {
+	name string
+	pat  pattern.Value
+	has  bool
+}
+
+func (p *parser) attrList(schema *relation.Schema) ([]attrSpec, error) {
+	if err := p.expect('['); err != nil {
+		return nil, err
+	}
+	var specs []attrSpec
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := schema.Index(name)
+		if !ok {
+			return nil, p.errf("schema %s has no attribute %q", schema.Name(), name)
+		}
+		spec := attrSpec{name: name}
+		if p.eat('=') {
+			tok, err := p.patternToken()
+			if err != nil {
+				return nil, err
+			}
+			pv, err := pattern.ParseValue(tok, schema.Attr(idx).Kind)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			if pv.IsWild() {
+				return nil, p.errf("inline pattern for %s must be a constant", name)
+			}
+			spec.pat, spec.has = pv, true
+		}
+		specs = append(specs, spec)
+		if p.eat(',') {
+			continue
+		}
+		if err := p.expect(']'); err != nil {
+			return nil, err
+		}
+		return specs, nil
+	}
+}
+
+func (p *parser) parseCFD(schema *relation.Schema) (*CFD, error) {
+	name := ""
+	if p.eatWord("cfd") {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		name = n
+	}
+	relName, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if relName != schema.Name() {
+		return nil, p.errf("CFD is over relation %q, schema is %q", relName, schema.Name())
+	}
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	lhsSpecs, err := p.attrList(schema)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], "->") {
+		return nil, p.errf("expected ->")
+	}
+	p.pos += 2
+	rhsSpecs, err := p.attrList(schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+
+	lhsNames := make([]string, len(lhsSpecs))
+	for i, s := range lhsSpecs {
+		lhsNames[i] = s.name
+	}
+	rhsNames := make([]string, len(rhsSpecs))
+	for i, s := range rhsSpecs {
+		rhsNames[i] = s.name
+	}
+
+	var tableau pattern.Tableau
+	hasInline := false
+	for _, s := range append(append([]attrSpec(nil), lhsSpecs...), rhsSpecs...) {
+		if s.has {
+			hasInline = true
+		}
+	}
+
+	p.skipSpace()
+	if p.peek() == '{' {
+		if hasInline {
+			return nil, p.errf("cannot mix inline constants with an explicit tableau")
+		}
+		tableau, err = p.tableau(schema, lhsNames, rhsNames)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		row := make(pattern.Row, len(lhsSpecs)+len(rhsSpecs))
+		for i, s := range lhsSpecs {
+			if s.has {
+				row[i] = s.pat
+			} else {
+				row[i] = pattern.Wild()
+			}
+		}
+		for i, s := range rhsSpecs {
+			if s.has {
+				row[len(lhsSpecs)+i] = s.pat
+			} else {
+				row[len(lhsSpecs)+i] = pattern.Wild()
+			}
+		}
+		tableau = pattern.Tableau{row}
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected trailing input %q", p.src[p.pos:])
+	}
+	return New(name, schema, lhsNames, rhsNames, tableau)
+}
+
+func (p *parser) tableau(schema *relation.Schema, lhsNames, rhsNames []string) (pattern.Tableau, error) {
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	lhsIdx, err := schema.Indexes(lhsNames...)
+	if err != nil {
+		return nil, err
+	}
+	rhsIdx, err := schema.Indexes(rhsNames...)
+	if err != nil {
+		return nil, err
+	}
+	var tb pattern.Tableau
+	for {
+		if err := p.expect('('); err != nil {
+			return nil, err
+		}
+		row := make(pattern.Row, 0, len(lhsIdx)+len(rhsIdx))
+		// LHS patterns
+		for i := range lhsIdx {
+			tok, err := p.patternToken()
+			if err != nil {
+				return nil, err
+			}
+			pv, err := pattern.ParseValue(tok, schema.Attr(lhsIdx[i]).Kind)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			row = append(row, pv)
+			if i < len(lhsIdx)-1 {
+				if err := p.expect(','); err != nil {
+					return nil, err
+				}
+			}
+		}
+		p.skipSpace()
+		if !strings.HasPrefix(p.src[p.pos:], "||") {
+			return nil, p.errf("expected || between LHS and RHS patterns")
+		}
+		p.pos += 2
+		for i := range rhsIdx {
+			tok, err := p.patternToken()
+			if err != nil {
+				return nil, err
+			}
+			pv, err := pattern.ParseValue(tok, schema.Attr(rhsIdx[i]).Kind)
+			if err != nil {
+				return nil, p.errf("%v", err)
+			}
+			row = append(row, pv)
+			if i < len(rhsIdx)-1 {
+				if err := p.expect(','); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		tb = append(tb, row)
+		if p.eat(',') {
+			continue
+		}
+		if err := p.expect('}'); err != nil {
+			return nil, err
+		}
+		return tb, nil
+	}
+}

@@ -1,0 +1,237 @@
+package cfd
+
+import (
+	"fmt"
+
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// This file implements CFD propagation through selection-projection
+// views, following Fan, Geerts and Jia, "Propagating functional
+// dependencies with conditions" (VLDB 2008 — the same proceedings as the
+// tutorial): given constraints that hold on a source relation, compute
+// constraints guaranteed to hold on a view, so that cleaned sources keep
+// their semantics downstream.
+//
+// The supported view class is σ-π: a conjunction of equality selections
+// (attr = constant) followed by a projection. Propagation of a CFD
+// (X → Y, tp) proceeds row by row:
+//
+//   - a row whose constant on a selected attribute CONTRADICTS the
+//     selection never applies to view tuples and is dropped;
+//   - a wildcard on a selected attribute specializes to the selection
+//     constant (every view tuple has it);
+//   - X attributes projected away can be removed from the embedded FD
+//     when their (specialized) pattern is a constant — the attribute is
+//     fixed across the view's scope, so it adds nothing;
+//   - rows needing a projected-away attribute with a wildcard pattern do
+//     not propagate (the view loses the distinguishing information);
+//   - Y attributes must survive the projection.
+
+// View describes a selection-projection view over a source schema.
+type View struct {
+	Name    string
+	Source  *relation.Schema
+	Project []string          // projected attribute names, in view order
+	Select  map[string]string // attr name -> required constant (strings)
+}
+
+// Schema builds the view's output schema.
+func (v View) Schema() (*relation.Schema, error) {
+	idxs, err := v.Source.Indexes(v.Project...)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]relation.Attribute, len(idxs))
+	for i, idx := range idxs {
+		attrs[i] = v.Source.Attr(idx)
+	}
+	name := v.Name
+	if name == "" {
+		name = v.Source.Name() + "_view"
+	}
+	return relation.NewSchema(name, attrs...)
+}
+
+// Materialize evaluates the view over an instance of the source.
+func (v View) Materialize(r *relation.Relation) (*relation.Relation, error) {
+	if !r.Schema().Equal(v.Source) {
+		return nil, fmt.Errorf("cfd: view source is %s, relation is %s", v.Source.Name(), r.Schema().Name())
+	}
+	schema, err := v.Schema()
+	if err != nil {
+		return nil, err
+	}
+	proj, err := v.Source.Indexes(v.Project...)
+	if err != nil {
+		return nil, err
+	}
+	type selCond struct {
+		attr int
+		val  relation.Value
+	}
+	var conds []selCond
+	for name, val := range v.Select {
+		idx, ok := v.Source.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("cfd: view selects on unknown attribute %q", name)
+		}
+		conds = append(conds, selCond{idx, relation.String(val)})
+	}
+	out := relation.New(schema)
+	for _, t := range r.Tuples() {
+		keep := true
+		for _, c := range conds {
+			if !t[c.attr].Identical(c.val) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.MustInsert(t.Project(proj))
+		}
+	}
+	return out, nil
+}
+
+// Propagate computes the CFDs over the view implied by the source set:
+// for every source CFD and row, the specialized/reduced row when it
+// survives selection and projection. The result is sound: any source
+// instance satisfying the input set yields a view satisfying the output
+// set (property-tested). Completeness for general views is beyond the
+// σ-π class (the VLDB 2008 paper handles SPC views with richer
+// machinery).
+func Propagate(set *Set, v View) (*Set, error) {
+	if !set.Schema().Equal(v.Source) {
+		return nil, fmt.Errorf("cfd: propagating constraints over %s through a view of %s",
+			set.Schema().Name(), v.Source.Name())
+	}
+	viewSchema, err := v.Schema()
+	if err != nil {
+		return nil, err
+	}
+	selIdx := map[int]relation.Value{}
+	for name, val := range v.Select {
+		idx, ok := v.Source.Index(name)
+		if !ok {
+			return nil, fmt.Errorf("cfd: view selects on unknown attribute %q", name)
+		}
+		selIdx[idx] = relation.String(val)
+	}
+	projPos := map[int]int{} // source attr -> view position
+	projIdxs, err := v.Source.Indexes(v.Project...)
+	if err != nil {
+		return nil, err
+	}
+	for viewPos, srcIdx := range projIdxs {
+		projPos[srcIdx] = viewPos
+	}
+
+	out := NewSet(viewSchema)
+	for _, c := range set.All() {
+		for _, nc := range c.Normalize() {
+			rhsAttr := nc.rhs[0]
+			rhsView, rhsVisible := projPos[rhsAttr]
+			if !rhsVisible {
+				continue // the dependent attribute is gone
+			}
+			for rowIdx, row := range nc.tableau {
+				// Specialize against the selection.
+				specialized := make(pattern.Row, len(row))
+				applicable := true
+				for i, p := range row {
+					var srcAttr int
+					if i < len(nc.lhs) {
+						srcAttr = nc.lhs[i]
+					} else {
+						srcAttr = rhsAttr
+					}
+					sp := p
+					if selVal, selected := selIdx[srcAttr]; selected {
+						if p.IsConst() && !p.Constant().Identical(selVal) {
+							applicable = false // row never matches view tuples
+							break
+						}
+						sp = pattern.Const(selVal)
+					}
+					specialized[i] = sp
+				}
+				if !applicable {
+					continue
+				}
+				// Build the view-side attribute lists.
+				var lhsNames []string
+				var lhsPats pattern.Row
+				ok := true
+				for i, srcAttr := range nc.lhs {
+					p := specialized[i]
+					if viewPos, visible := projPos[srcAttr]; visible {
+						lhsNames = append(lhsNames, viewSchema.Attr(viewPos).Name)
+						lhsPats = append(lhsPats, p)
+						continue
+					}
+					// Projected away: droppable only when constant (the
+					// scope already pins it); a wildcard means the view
+					// cannot express the dependency.
+					if p.IsWild() {
+						ok = false
+						break
+					}
+					// Constant on an invisible attribute: the row's scope
+					// on the view silently weakens to "all tuples from
+					// sources where attr might differ". That is only
+					// sound when the selection pins the attribute.
+					if _, selected := selIdx[srcAttr]; !selected {
+						ok = false
+						break
+					}
+				}
+				if !ok || len(lhsNames) == 0 {
+					continue
+				}
+				name := nc.name
+				if name != "" {
+					name = fmt.Sprintf("%s@%s.r%d", name, viewSchema.Name(), rowIdx)
+				}
+				tableauRow := append(lhsPats.Clone(), specialized[len(nc.lhs)])
+				pc, err := New(name, viewSchema, lhsNames,
+					[]string{viewSchema.Attr(rhsView).Name}, pattern.Tableau{tableauRow})
+				if err != nil {
+					return nil, err
+				}
+				out.MustAdd(pc)
+			}
+		}
+	}
+	// Selection constants on projected attributes become constant CFDs on
+	// the view: every view tuple carries them.
+	for srcAttr, val := range selIdx {
+		viewPos, visible := projPos[srcAttr]
+		if !visible {
+			continue
+		}
+		// Pick any other projected attribute as a trivial LHS; if the
+		// view has a single attribute the constraint is expressible as
+		// ([A] -> [A]) only, which New rejects — skip that degenerate
+		// case.
+		var lhsName string
+		for _, idx := range projIdxs {
+			if idx != srcAttr {
+				lhsName = v.Source.Attr(idx).Name
+				break
+			}
+		}
+		if lhsName == "" {
+			continue
+		}
+		rowP := pattern.Tableau{{pattern.Wild(), pattern.Const(val)}}
+		pc, err := New(fmt.Sprintf("sel_%s", viewSchema.Attr(viewPos).Name),
+			viewSchema, []string{lhsName}, []string{viewSchema.Attr(viewPos).Name}, rowP)
+		if err != nil {
+			return nil, err
+		}
+		out.MustAdd(pc)
+	}
+	return out, nil
+}

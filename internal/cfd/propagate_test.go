@@ -1,0 +1,236 @@
+package cfd
+
+import (
+	"math/rand"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func ukView(t *testing.T) View {
+	t.Helper()
+	return View{
+		Name:    "ukcust",
+		Source:  custSchema(t),
+		Project: []string{"ZIP", "STR", "CT"},
+		Select:  map[string]string{"CC": "44"},
+	}
+}
+
+func TestViewSchemaAndMaterialize(t *testing.T) {
+	v := ukView(t)
+	schema, err := v.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Arity() != 3 || schema.Attr(0).Name != "ZIP" {
+		t.Fatalf("view schema = %v", schema)
+	}
+	r := custData(t)
+	view, err := v.Materialize(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Len() != 3 { // the three CC=44 tuples
+		t.Fatalf("view rows = %d, want 3", view.Len())
+	}
+}
+
+func TestPropagateConditionalBecomesFD(t *testing.T) {
+	// phi1: ([CC='44', ZIP] -> [STR]) propagates to the UK view as the
+	// plain FD ZIP -> STR — the selection absorbs the condition.
+	s := custSchema(t)
+	set, err := ParseSet("cfd phi1: cust([CC='44', ZIP] -> [STR])", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ukView(t)
+	prop, err := Propagate(set, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range prop.All() {
+		if len(c.LHSNames()) == 1 && c.LHSNames()[0] == "ZIP" && c.RHSNames()[0] == "STR" {
+			found = true
+			if !c.RowLHS(0)[0].IsWild() {
+				t.Errorf("propagated row should be wildcard on ZIP: %s", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ZIP -> STR not propagated; got:\n%s", prop)
+	}
+}
+
+func TestPropagateContradictingRowDropped(t *testing.T) {
+	// A row conditioned on CC='01' can never match UK view tuples.
+	s := custSchema(t)
+	set, err := ParseSet("cust([CC='01', AC='908', PN] -> [CT='mh'])", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ukView(t)
+	prop, err := Propagate(set, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range prop.All() {
+		if c.RHSNames()[0] == "CT" && c.Rows() > 0 && c.RowRHS(0)[0].Matches(relation.String("mh")) {
+			t.Errorf("contradicting row propagated: %s", c)
+		}
+	}
+}
+
+func TestPropagateLosesWildcardOnProjectedAway(t *testing.T) {
+	// ([ZIP, NM] -> [STR]) cannot propagate: NM is projected away with a
+	// wildcard pattern.
+	s := custSchema(t)
+	set, err := ParseSet("cust([ZIP, NM] -> [STR])", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Propagate(set, ukView(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing propagates: the NM wildcard blocks the row, and the
+	// selected attribute CC is not projected (no selection constant).
+	if prop.Len() != 0 {
+		t.Fatalf("expected no propagated dependency, got:\n%s", prop)
+	}
+}
+
+func TestPropagateSelectionConstant(t *testing.T) {
+	// When the selected attribute IS projected, the view carries it as a
+	// constant CFD.
+	s := custSchema(t)
+	v := View{
+		Name:    "ukwide",
+		Source:  s,
+		Project: []string{"CC", "ZIP", "STR"},
+		Select:  map[string]string{"CC": "44"},
+	}
+	set := NewSet(s) // no source constraints at all
+	prop, err := Propagate(set, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range prop.All() {
+		if c.RHSNames()[0] == "CC" && c.RowRHS(0)[0].Matches(relation.String("44")) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("selection constant not propagated:\n%s", prop)
+	}
+}
+
+// TestPropagateSoundnessRandomized is the soundness property: whenever a
+// random source instance satisfies the source CFDs, the materialized
+// view satisfies every propagated CFD.
+func TestPropagateSoundnessRandomized(t *testing.T) {
+	s := custSchema(t)
+	set, err := ParseSet(`
+cfd p1: cust([CC='44', ZIP] -> [STR])
+cfd p2: cust([CC, AC] -> [CT]) { ('44', '131' || 'edi'), (_, _ || _) }
+cfd p3: cust([ZIP] -> [CT])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []View{
+		ukView(t),
+		{Name: "v2", Source: s, Project: []string{"CC", "AC", "CT", "ZIP", "STR"}, Select: map[string]string{}},
+		{Name: "v3", Source: s, Project: []string{"AC", "CT"}, Select: map[string]string{"CC": "44", "ZIP": "Z0"}},
+	}
+	rng := rand.New(rand.NewSource(19))
+	detector := NewDetector(set)
+	for trial := 0; trial < 30; trial++ {
+		// Generate candidate data, then REPAIR it to satisfy the source
+		// set by construction: only satisfying instances matter.
+		r := relation.New(s)
+		for i := 0; i < 20+rng.Intn(30); i++ {
+			r.MustInsert(strTuple(
+				[]string{"44", "01"}[rng.Intn(2)],
+				[]string{"131", "908"}[rng.Intn(2)],
+				"p", "n",
+				"st"+string(rune('a'+rng.Intn(2))),
+				[]string{"edi", "mh"}[rng.Intn(2)],
+				"Z"+string(rune('0'+rng.Intn(2)))))
+		}
+		vs, err := detector.Detect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) > 0 {
+			// Drop violating tuples until consistent (CFD satisfaction is
+			// closed under subsets, so this terminates at a satisfying
+			// sub-instance).
+			bad := map[int]bool{}
+			for _, tid := range ViolatingTIDs(vs) {
+				bad[tid] = true
+			}
+			clean := relation.New(s)
+			for tid, tup := range r.Tuples() {
+				if !bad[tid] {
+					clean.MustInsert(tup)
+				}
+			}
+			r = clean
+			if vs2, _ := detector.Detect(r); len(vs2) > 0 {
+				// Repeat once more; nested groups can re-violate.
+				bad = map[int]bool{}
+				for _, tid := range ViolatingTIDs(vs2) {
+					bad[tid] = true
+				}
+				clean = relation.New(s)
+				for tid, tup := range r.Tuples() {
+					if !bad[tid] {
+						clean.MustInsert(tup)
+					}
+				}
+				r = clean
+			}
+		}
+		if ok, _ := NewDetector(set).Detect(r); len(ok) != 0 {
+			continue // still dirty; skip the trial
+		}
+		for _, v := range views {
+			prop, err := Propagate(set, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			view, err := v.Materialize(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pv, err := NewDetector(prop).Detect(view)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pv) != 0 {
+				t.Fatalf("trial %d view %s: propagated CFDs violated: %v\nsource:\n%s\nprop:\n%s",
+					trial, v.Name, pv, set, prop)
+			}
+		}
+	}
+}
+
+func TestPropagateErrors(t *testing.T) {
+	s := custSchema(t)
+	other, _ := relation.StringSchema("other", "A")
+	set := NewSet(other)
+	if _, err := Propagate(set, ukView(t)); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+	v := View{Source: s, Project: []string{"NOPE"}}
+	if _, err := Propagate(NewSet(s), v); err == nil {
+		t.Error("unknown projection attribute should fail")
+	}
+	v2 := View{Source: s, Project: []string{"ZIP"}, Select: map[string]string{"NOPE": "x"}}
+	if _, err := Propagate(NewSet(s), v2); err == nil {
+		t.Error("unknown selection attribute should fail")
+	}
+}

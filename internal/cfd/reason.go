@@ -1,0 +1,406 @@
+package cfd
+
+import (
+	"fmt"
+
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// This file implements the classical static analyses of CFDs studied in
+// TODS 2008 §3-4: consistency (satisfiability), implication, and minimal
+// cover.
+//
+// Both problems are intractable in general (consistency is NP-complete,
+// implication coNP-complete), and both admit small-model properties that
+// make a search-based decision procedure complete:
+//
+//   - a CFD set Σ is satisfiable iff some SINGLE tuple satisfies it
+//     (CFD violations survive in sub-instances, so any tuple of any
+//     satisfying instance is itself a witness);
+//   - Σ does not imply φ iff some instance with at most TWO tuples
+//     satisfies Σ and violates φ (a violation involves at most two
+//     tuples, and the sub-instance they form still satisfies Σ);
+//   - in any such witness, each attribute can be renamed to one of the
+//     constants Σ∪{φ} mentions for that attribute or to one of two fresh
+//     values, preserving pattern matches and (in)equalities.
+//
+// The procedures below perform DFS over that finite candidate space with
+// pruning after every assignment.
+
+// attrDomain returns the candidate values for one attribute: every
+// constant mentioned for it in the given CFDs, plus `fresh` extra values
+// distinct from all of them.
+func attrDomain(schema *relation.Schema, attr int, sets [][]*CFD, fresh int) []relation.Value {
+	seen := map[relation.Value]bool{}
+	var out []relation.Value
+	for _, cfds := range sets {
+		for _, c := range cfds {
+			for _, row := range c.tableau {
+				for k, p := range row {
+					var pos int
+					if k < len(c.lhs) {
+						pos = c.lhs[k]
+					} else {
+						pos = c.rhs[k-len(c.lhs)]
+					}
+					if pos == attr && p.IsConst() && !seen[p.Constant()] {
+						seen[p.Constant()] = true
+						out = append(out, p.Constant())
+					}
+				}
+			}
+		}
+	}
+	// Fresh values: guaranteed distinct from every constant above.
+	switch schema.Attr(attr).Kind {
+	case relation.KindInt:
+		var hi int64
+		for v := range seen {
+			if v.Kind() == relation.KindInt && v.IntVal() > hi {
+				hi = v.IntVal()
+			}
+		}
+		for i := 1; i <= fresh; i++ {
+			out = append(out, relation.Int(hi+int64(i)))
+		}
+	case relation.KindFloat:
+		var hi float64
+		for v := range seen {
+			if v.FloatVal() > hi {
+				hi = v.FloatVal()
+			}
+		}
+		for i := 1; i <= fresh; i++ {
+			out = append(out, relation.Float(hi+float64(i)))
+		}
+	default:
+		for i := 1; i <= fresh; i++ {
+			candidate := fmt.Sprintf("\x00fresh%d", i)
+			for seen[relation.String(candidate)] {
+				candidate += "'"
+			}
+			out = append(out, relation.String(candidate))
+		}
+	}
+	return out
+}
+
+// Satisfiable decides consistency of the CFD set: whether some non-empty
+// instance of the schema satisfies every CFD. On success it returns a
+// single-tuple witness. The check is exact; worst-case exponential in the
+// schema arity (the problem is NP-complete), with pruning that makes
+// realistic constraint sets fast.
+func Satisfiable(set *Set) (bool, relation.Tuple) {
+	schema := set.schema
+	arity := schema.Arity()
+	domains := make([][]relation.Value, arity)
+	for a := 0; a < arity; a++ {
+		domains[a] = attrDomain(schema, a, [][]*CFD{set.cfds}, 1)
+	}
+	t := make(relation.Tuple, arity)
+	assigned := make([]bool, arity)
+
+	// prune reports whether the partial assignment already violates some
+	// row: the row's LHS is fully assigned and matched while an assigned
+	// RHS constant disagrees.
+	prune := func() bool {
+		for _, c := range set.cfds {
+			nl := len(c.lhs)
+			for _, row := range c.tableau {
+				lhsOK := true
+				for i, attr := range c.lhs {
+					if !assigned[attr] {
+						lhsOK = false
+						break
+					}
+					if !row[i].Matches(t[attr]) {
+						lhsOK = false
+						break
+					}
+				}
+				if !lhsOK {
+					continue
+				}
+				for j, attr := range c.rhs {
+					p := row[nl+j]
+					if p.IsConst() && assigned[attr] && !p.Matches(t[attr]) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	var dfs func(a int) bool
+	dfs = func(a int) bool {
+		if a == arity {
+			return true
+		}
+		for _, v := range domains[a] {
+			t[a] = v
+			assigned[a] = true
+			if !prune() && dfs(a+1) {
+				return true
+			}
+		}
+		assigned[a] = false
+		return false
+	}
+	if dfs(0) {
+		return true, t.Clone()
+	}
+	return false, nil
+}
+
+// twoTuple is the symbolic two-tuple instance searched over by Implies.
+type twoTuple struct {
+	t1, t2 relation.Tuple
+	a1, a2 []bool
+}
+
+// satisfiesAssigned reports whether the (partial) two-tuple instance is
+// still consistent with Σ: no row of any CFD is definitely violated given
+// the attributes assigned so far.
+func (w *twoTuple) satisfiesAssigned(cfds []*CFD) bool {
+	check1 := func(t relation.Tuple, a []bool) bool {
+		for _, c := range cfds {
+			nl := len(c.lhs)
+			for _, row := range c.tableau {
+				matched := true
+				for i, attr := range c.lhs {
+					if !a[attr] || !row[i].Matches(t[attr]) {
+						matched = false
+						break
+					}
+				}
+				if !matched {
+					continue
+				}
+				for j, attr := range c.rhs {
+					p := row[nl+j]
+					if p.IsConst() && a[attr] && !p.Matches(t[attr]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if !check1(w.t1, w.a1) || !check1(w.t2, w.a2) {
+		return false
+	}
+	// Variable rows across the pair: if both tuples fully match a row's
+	// LHS and agree on all X attributes, they must agree on wildcard RHS
+	// attributes that are assigned in both.
+	for _, c := range cfds {
+		nl := len(c.lhs)
+		for _, row := range c.tableau {
+			ok := true
+			for i, attr := range c.lhs {
+				if !w.a1[attr] || !w.a2[attr] ||
+					!row[i].Matches(w.t1[attr]) || !row[i].Matches(w.t2[attr]) ||
+					!w.t1[attr].Identical(w.t2[attr]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for j, attr := range c.rhs {
+				if !w.a1[attr] || !w.a2[attr] {
+					continue
+				}
+				p := row[nl+j]
+				if p.IsWild() && !w.t1[attr].Identical(w.t2[attr]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Implies decides whether Σ (the set) logically implies φ: every instance
+// satisfying Σ also satisfies φ. φ may have multiple RHS attributes and
+// tableau rows; each (row, RHS attribute) is checked independently.
+// The check is exact (the problem is coNP-complete; see the small-model
+// argument at the top of the file).
+func Implies(set *Set, phi *CFD) (bool, error) {
+	if !phi.schema.Equal(set.schema) {
+		return false, fmt.Errorf("cfd: implication across schemas %s and %s", phi.schema.Name(), set.schema.Name())
+	}
+	for _, single := range phi.Normalize() {
+		for rowIdx := range single.tableau {
+			implied, err := impliesRow(set, single, rowIdx)
+			if err != nil {
+				return false, err
+			}
+			if !implied {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// impliesRow checks Σ ⊨ (X→A, {tp}) for one single-RHS row tp.
+func impliesRow(set *Set, phi *CFD, rowIdx int) (bool, error) {
+	schema := set.schema
+	arity := schema.Arity()
+	row := phi.tableau[rowIdx]
+	nl := len(phi.lhs)
+	rhsPat := row[nl]
+	rhsAttr := phi.rhs[0]
+
+	domains := make([][]relation.Value, arity)
+	for a := 0; a < arity; a++ {
+		domains[a] = attrDomain(schema, a, [][]*CFD{set.cfds, {phi}}, 2)
+	}
+
+	if rhsPat.IsConst() {
+		// Counterexample: single tuple t with t ⊨ tp[X], t[A] ≠ const,
+		// {t} ⊨ Σ.
+		t := make(relation.Tuple, arity)
+		assigned := make([]bool, arity)
+		w := &twoTuple{t1: t, t2: t, a1: assigned, a2: assigned}
+		var dfs func(a int) bool
+		dfs = func(a int) bool {
+			if a == arity {
+				return true
+			}
+			for _, v := range domains[a] {
+				// The witness must match tp on X and differ from the RHS
+				// constant on A; enforce during assignment.
+				if idx := lhsPos(phi, a); idx >= 0 && !row[idx].Matches(v) {
+					continue
+				}
+				if a == rhsAttr && rhsPat.Matches(v) {
+					continue
+				}
+				t[a] = v
+				assigned[a] = true
+				if w.satisfiesAssigned(set.cfds) && dfs(a+1) {
+					return true
+				}
+			}
+			assigned[a] = false
+			return false
+		}
+		return !dfs(0), nil
+	}
+
+	// Wildcard RHS: counterexample is a pair t1, t2 matching tp[X],
+	// agreeing on all of φ's X, differing on A, with {t1,t2} ⊨ Σ.
+	w := &twoTuple{
+		t1: make(relation.Tuple, arity), t2: make(relation.Tuple, arity),
+		a1: make([]bool, arity), a2: make([]bool, arity),
+	}
+	var dfs func(a int) bool
+	dfs = func(a int) bool {
+		if a == arity {
+			return true
+		}
+		for _, v1 := range domains[a] {
+			if idx := lhsPos(phi, a); idx >= 0 && !row[idx].Matches(v1) {
+				continue
+			}
+			for _, v2 := range domains[a] {
+				if idx := lhsPos(phi, a); idx >= 0 {
+					// φ's X attributes: both tuples must match the pattern
+					// and agree with each other.
+					if !v1.Identical(v2) {
+						continue
+					}
+				}
+				if a == rhsAttr && v1.Identical(v2) {
+					continue // must differ on A
+				}
+				w.t1[a], w.t2[a] = v1, v2
+				w.a1[a], w.a2[a] = true, true
+				if w.satisfiesAssigned(set.cfds) && dfs(a+1) {
+					return true
+				}
+			}
+		}
+		w.a1[a], w.a2[a] = false, false
+		return false
+	}
+	return !dfs(0), nil
+}
+
+// lhsPos returns the index of schema attribute a within φ's X list, or -1.
+func lhsPos(phi *CFD, a int) int {
+	for i, attr := range phi.lhs {
+		if attr == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// MinimalCover computes a minimal cover of the set: an equivalent set in
+// normal form (single RHS attribute per CFD, subsumption-reduced
+// tableaux) from which no pattern row can be dropped without losing
+// semantics. Follows the MINCOVER analysis of TODS 2008.
+func MinimalCover(set *Set) (*Set, error) {
+	// Normal form + tableau reduction.
+	var work []*CFD
+	for _, c := range set.cfds {
+		for _, n := range c.Normalize() {
+			work = append(work, n.Reduce())
+		}
+	}
+	// Greedily drop implied rows. Each row is its own candidate; rebuild
+	// CFDs from surviving rows at the end.
+	type rowRef struct {
+		c   *CFD
+		row int
+	}
+	var rows []rowRef
+	for _, c := range work {
+		for i := range c.tableau {
+			rows = append(rows, rowRef{c, i})
+		}
+	}
+	alive := make([]bool, len(rows))
+	for i := range alive {
+		alive[i] = true
+	}
+	buildSet := func(skip int) *Set {
+		s := NewSet(set.schema)
+		for i, rr := range rows {
+			if !alive[i] || i == skip {
+				continue
+			}
+			single, err := New(rr.c.name, set.schema, rr.c.LHSNames(), rr.c.RHSNames(),
+				pattern.Tableau{rr.c.tableau[rr.row]})
+			if err != nil {
+				panic(fmt.Sprintf("cfd: mincover rebuild invariant: %v", err))
+			}
+			s.MustAdd(single)
+		}
+		return s
+	}
+	for i, rr := range rows {
+		candidate, err := New(rr.c.name, set.schema, rr.c.LHSNames(), rr.c.RHSNames(),
+			pattern.Tableau{rr.c.tableau[rr.row]})
+		if err != nil {
+			return nil, err
+		}
+		rest := buildSet(i)
+		if rest.Len() == 0 {
+			continue
+		}
+		implied, err := Implies(rest, candidate)
+		if err != nil {
+			return nil, err
+		}
+		if implied {
+			alive[i] = false
+		}
+	}
+	return buildSet(-1), nil
+}

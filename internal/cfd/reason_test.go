@@ -1,0 +1,288 @@
+package cfd
+
+import (
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func TestSatisfiableBasic(t *testing.T) {
+	s := custSchema(t)
+	set, err := ParseSet(`
+cfd phi1: cust([CC='44', ZIP] -> [STR])
+cfd phi2: cust([CC='01', AC='908', PN] -> [CT='mh'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, witness := Satisfiable(set)
+	if !ok {
+		t.Fatal("tutorial constraints should be satisfiable")
+	}
+	// The witness must satisfy the set.
+	r := relation.New(s)
+	r.MustInsert(witness)
+	vs, err := NewDetector(set).Detect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("witness %v violates the set: %v", witness, vs)
+	}
+}
+
+func TestUnsatisfiableConflictingConstants(t *testing.T) {
+	s := custSchema(t)
+	// Two all-wildcard-LHS rows forcing different constants on CT: every
+	// tuple must have CT = 'a' and CT = 'b'.
+	set, err := ParseSet(`
+cust([CC] -> [CT='a'])
+cust([CC] -> [CT='b'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Note: these rows only apply when CC matches the wildcard, which is
+	// always. But a tuple dodges nothing: wildcards match all CC values.
+	ok, w := Satisfiable(set)
+	if ok {
+		t.Fatalf("conflicting forced constants should be unsatisfiable, witness %v", w)
+	}
+}
+
+func TestSatisfiableEscapeViaCondition(t *testing.T) {
+	s := custSchema(t)
+	// Conflict only inside CC='44': tuples with CC ≠ '44' escape.
+	set, err := ParseSet(`
+cust([CC='44'] -> [CT='a'])
+cust([CC='44'] -> [CT='b'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, witness := Satisfiable(set)
+	if !ok {
+		t.Fatal("should be satisfiable by avoiding CC='44'")
+	}
+	cc := s.MustIndex("CC")
+	if witness[cc].Identical(relation.String("44")) {
+		t.Errorf("witness should avoid CC='44': %v", witness)
+	}
+}
+
+func TestUnsatisfiableChain(t *testing.T) {
+	s := custSchema(t)
+	// Forcing chain: any value of CC triggers CT='x'; CT='x' forces
+	// ZIP='1'; ZIP='1' forces CT='y'. Contradiction for every tuple.
+	set, err := ParseSet(`
+cust([CC] -> [CT='x'])
+cust([CT='x'] -> [ZIP='1'])
+cust([ZIP='1'] -> [STR='s'])
+cust([STR='s'] -> [AC='9'])
+cust([AC='9'] -> [CT='y'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, w := Satisfiable(set); ok {
+		t.Fatalf("chained contradiction should be unsatisfiable, witness %v", w)
+	}
+}
+
+func TestImpliesReflexive(t *testing.T) {
+	s := custSchema(t)
+	phi := MustParse("cust([CC='44', ZIP] -> [STR])", s)
+	set := NewSet(s)
+	set.MustAdd(phi)
+	ok, err := Implies(set, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Σ must imply its own members")
+	}
+}
+
+func TestImpliesSpecialization(t *testing.T) {
+	s := custSchema(t)
+	// The FD ZIP→STR implies its conditional specialization to CC='44'.
+	set := NewSet(s)
+	set.MustAdd(MustParse("cust([ZIP] -> [STR])", s))
+	phi := MustParse("cust([CC='44', ZIP] -> [STR])", s)
+	ok, err := Implies(set, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("FD should imply its conditional specialization")
+	}
+	// The converse fails: the conditional CFD does not imply the FD.
+	set2 := NewSet(s)
+	set2.MustAdd(phi)
+	fd := MustParse("cust([ZIP] -> [STR])", s)
+	ok, err = Implies(set2, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("conditional CFD must not imply the unconditional FD")
+	}
+}
+
+func TestImpliesTransitivityOfFDs(t *testing.T) {
+	s := custSchema(t)
+	// Armstrong transitivity embedded in CFDs: ZIP→CT, CT→AC ⊨ ZIP→AC.
+	set, err := ParseSet(`
+cust([ZIP] -> [CT])
+cust([CT] -> [AC])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := MustParse("cust([ZIP] -> [AC])", s)
+	ok, err := Implies(set, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("transitivity should be derived")
+	}
+	// Sanity: the reverse direction is not implied.
+	rev := MustParse("cust([AC] -> [ZIP])", s)
+	ok, _ = Implies(set, rev)
+	if ok {
+		t.Error("AC → ZIP should not be implied")
+	}
+}
+
+func TestImpliesConstantPropagation(t *testing.T) {
+	s := custSchema(t)
+	// CC='44' forces CT='edi'; CT='edi' forces AC='131'. Therefore
+	// CC='44' forces AC='131'.
+	set, err := ParseSet(`
+cust([CC='44'] -> [CT='edi'])
+cust([CT='edi'] -> [AC='131'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := MustParse("cust([CC='44'] -> [AC='131'])", s)
+	ok, err := Implies(set, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("constant chain should be implied")
+	}
+	wrong := MustParse("cust([CC='44'] -> [AC='999'])", s)
+	ok, _ = Implies(set, wrong)
+	if ok {
+		t.Error("wrong constant should not be implied")
+	}
+}
+
+func TestImpliesAugmentedLHS(t *testing.T) {
+	s := custSchema(t)
+	set := NewSet(s)
+	set.MustAdd(MustParse("cust([ZIP] -> [STR])", s))
+	// Augmentation: ZIP,CC → STR follows from ZIP → STR.
+	phi := MustParse("cust([ZIP, CC] -> [STR])", s)
+	ok, err := Implies(set, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("augmentation should be implied")
+	}
+}
+
+func TestImpliesUnrelated(t *testing.T) {
+	s := custSchema(t)
+	set := NewSet(s)
+	set.MustAdd(MustParse("cust([ZIP] -> [STR])", s))
+	phi := MustParse("cust([NM] -> [CT])", s)
+	ok, err := Implies(set, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("unrelated CFD should not be implied")
+	}
+}
+
+func TestMinimalCoverDropsImplied(t *testing.T) {
+	s := custSchema(t)
+	set, err := ParseSet(`
+cust([ZIP] -> [STR])
+cust([CC='44', ZIP] -> [STR])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MinimalCover(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Len() != 1 {
+		t.Fatalf("minimal cover kept %d CFDs:\n%s", mc.Len(), mc)
+	}
+	// The survivor must be the general FD (it implies the dropped one).
+	if !mc.CFD(0).IsFD() {
+		t.Errorf("survivor should be the plain FD, got %s", mc.CFD(0))
+	}
+}
+
+func TestMinimalCoverNormalizes(t *testing.T) {
+	s := custSchema(t)
+	set, err := ParseSet(`cust([CC='01', AC='908', PN] -> [STR, CT='mh', ZIP])`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MinimalCover(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range mc.All() {
+		if len(c.RHS()) != 1 {
+			t.Errorf("cover not in normal form: %s", c)
+		}
+	}
+	if mc.Len() != 3 {
+		t.Errorf("cover len = %d, want 3 single-attribute CFDs", mc.Len())
+	}
+}
+
+func TestMinimalCoverPreservesSemantics(t *testing.T) {
+	s := custSchema(t)
+	set, err := ParseSet(`
+cust([ZIP] -> [STR])
+cust([CC='44', ZIP] -> [STR])
+cust([CC, AC] -> [CT])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MinimalCover(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every original CFD must be implied by the cover and vice versa.
+	for _, c := range set.All() {
+		ok, err := Implies(mc, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("cover does not imply original %s", c)
+		}
+	}
+	for _, c := range mc.All() {
+		ok, err := Implies(set, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("original does not imply cover member %s", c)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package cind implements conditional inclusion dependencies (CINDs),
+// the second constraint extension presented in §3 of the tutorial,
+// introduced by Bravo, Fan and Ma ("Extending dependencies with
+// conditions", VLDB 2007).
+//
+// A CIND ψ = (R1[A1..Ak; Xp] ⊆ R2[B1..Bk; Yp], tp) states: for every R1
+// tuple t1 whose pattern attributes Xp match the pattern tp, there must
+// be an R2 tuple t2 with t2[Bi] = t1[Ai] for all correlated pairs, whose
+// pattern attributes Yp match tp's RHS patterns. The tutorial's example:
+//
+//	(CD(album, price, genre='a-book') ⊆ book(title, price, format='audio'))
+//
+// audio-book CDs must appear in the book relation as AUDIO-format titles.
+//
+// Unlike CFDs, any set of CINDs is always satisfiable (VLDB 2007,
+// Theorem 3.1 — the empty-pattern chase never produces a contradiction,
+// and witnesses can always be added to the right-hand relation), so the
+// package provides no consistency check. Implication for CINDs is
+// EXPTIME-complete; the package implements the sound syntactic
+// containment test used for minimal covers, documented as incomplete.
+package cind
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// CIND is a conditional inclusion dependency.
+type CIND struct {
+	name  string
+	left  *relation.Schema
+	right *relation.Schema
+
+	lhsCorr []int // A1..Ak in left (correlated attributes)
+	rhsCorr []int // B1..Bk in right, pairwise with lhsCorr
+
+	lhsPatAttrs []int       // condition attributes of left
+	lhsPats     pattern.Row // patterns over lhsPatAttrs (constants or _)
+	rhsPatAttrs []int       // condition attributes of right
+	rhsPats     pattern.Row // patterns the witness must satisfy
+}
+
+// New constructs a CIND. The correlated lists must be non-empty and of
+// equal length; pattern attribute lists may be empty (giving a classical
+// IND when both are).
+func New(name string, left, right *relation.Schema,
+	lhsCorrNames, rhsCorrNames []string,
+	lhsPatNames []string, lhsPats pattern.Row,
+	rhsPatNames []string, rhsPats pattern.Row) (*CIND, error) {
+
+	if len(lhsCorrNames) == 0 || len(lhsCorrNames) != len(rhsCorrNames) {
+		return nil, fmt.Errorf("cind %s: correlated attribute lists must be non-empty and equal length", name)
+	}
+	lhsCorr, err := left.Indexes(lhsCorrNames...)
+	if err != nil {
+		return nil, fmt.Errorf("cind %s: %w", name, err)
+	}
+	rhsCorr, err := right.Indexes(rhsCorrNames...)
+	if err != nil {
+		return nil, fmt.Errorf("cind %s: %w", name, err)
+	}
+	if len(lhsPatNames) != len(lhsPats) {
+		return nil, fmt.Errorf("cind %s: LHS pattern list width mismatch", name)
+	}
+	if len(rhsPatNames) != len(rhsPats) {
+		return nil, fmt.Errorf("cind %s: RHS pattern list width mismatch", name)
+	}
+	lhsPatAttrs, err := left.Indexes(lhsPatNames...)
+	if err != nil {
+		return nil, fmt.Errorf("cind %s: %w", name, err)
+	}
+	rhsPatAttrs, err := right.Indexes(rhsPatNames...)
+	if err != nil {
+		return nil, fmt.Errorf("cind %s: %w", name, err)
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int(nil), lhsCorr...), lhsPatAttrs...) {
+		if seen[i] {
+			return nil, fmt.Errorf("cind %s: attribute %s used twice on the left", name, left.Attr(i).Name)
+		}
+		seen[i] = true
+	}
+	seen = map[int]bool{}
+	for _, i := range append(append([]int(nil), rhsCorr...), rhsPatAttrs...) {
+		if seen[i] {
+			return nil, fmt.Errorf("cind %s: attribute %s used twice on the right", name, right.Attr(i).Name)
+		}
+		seen[i] = true
+	}
+	return &CIND{
+		name: name, left: left, right: right,
+		lhsCorr: lhsCorr, rhsCorr: rhsCorr,
+		lhsPatAttrs: lhsPatAttrs, lhsPats: lhsPats.Clone(),
+		rhsPatAttrs: rhsPatAttrs, rhsPats: rhsPats.Clone(),
+	}, nil
+}
+
+// Name returns the CIND's identifier.
+func (c *CIND) Name() string { return c.name }
+
+// Left returns the left (included) schema.
+func (c *CIND) Left() *relation.Schema { return c.left }
+
+// Right returns the right (including) schema.
+func (c *CIND) Right() *relation.Schema { return c.right }
+
+// LHSCorr returns the positions of the correlated attributes on the left.
+func (c *CIND) LHSCorr() []int { return append([]int(nil), c.lhsCorr...) }
+
+// RHSCorr returns the positions of the correlated attributes on the right.
+func (c *CIND) RHSCorr() []int { return append([]int(nil), c.rhsCorr...) }
+
+// LHSPattern returns the left condition (attribute positions and patterns).
+func (c *CIND) LHSPattern() ([]int, pattern.Row) {
+	return append([]int(nil), c.lhsPatAttrs...), c.lhsPats.Clone()
+}
+
+// RHSPattern returns the witness condition on the right.
+func (c *CIND) RHSPattern() ([]int, pattern.Row) {
+	return append([]int(nil), c.rhsPatAttrs...), c.rhsPats.Clone()
+}
+
+// IsIND reports whether the CIND degenerates to a classical inclusion
+// dependency (no condition patterns).
+func (c *CIND) IsIND() bool {
+	return c.lhsPats.AllWild() && c.rhsPats.AllWild()
+}
+
+// String renders the CIND in the package's textual syntax.
+func (c *CIND) String() string {
+	var b strings.Builder
+	if c.name != "" {
+		b.WriteString("cind ")
+		b.WriteString(c.name)
+		b.WriteString(": ")
+	}
+	writeSide := func(schema *relation.Schema, corr []int, patAttrs []int, pats pattern.Row) {
+		b.WriteString(schema.Name())
+		b.WriteByte('(')
+		for i, a := range corr {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(schema.Attr(a).Name)
+		}
+		for i, a := range patAttrs {
+			if i == 0 {
+				b.WriteString(" | ")
+			} else {
+				b.WriteString(", ")
+			}
+			b.WriteString(schema.Attr(a).Name)
+			b.WriteByte('=')
+			b.WriteString(pats[i].String())
+		}
+		b.WriteByte(')')
+	}
+	writeSide(c.left, c.lhsCorr, c.lhsPatAttrs, c.lhsPats)
+	b.WriteString(" <= ")
+	writeSide(c.right, c.rhsCorr, c.rhsPatAttrs, c.rhsPats)
+	return b.String()
+}
+
+// Violation records one CIND violation: a left tuple in the pattern's
+// scope with no witness on the right.
+type Violation struct {
+	CIND *CIND
+	TID  int // left-relation tuple id
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("cind violation of %s: left tuple %d has no witness", v.CIND.name, v.TID)
+}
+
+// Detect returns all violations of the CIND for instances (left, right).
+//
+// The algorithm is the hash anti-join the generated SQL also performs:
+// index the right relation on the correlated attributes, keeping only
+// tuples matching the RHS pattern; scan the left relation's in-scope
+// tuples and report those whose correlated values miss the index.
+func Detect(left, right *relation.Relation, c *CIND) ([]Violation, error) {
+	if !left.Schema().Equal(c.left) {
+		return nil, fmt.Errorf("cind %s: left relation is %s, want %s", c.name, left.Schema().Name(), c.left.Name())
+	}
+	if !right.Schema().Equal(c.right) {
+		return nil, fmt.Errorf("cind %s: right relation is %s, want %s", c.name, right.Schema().Name(), c.right.Name())
+	}
+	// Build the witness key set.
+	witnesses := make(map[string]bool, right.Len())
+	for _, t := range right.Tuples() {
+		if !c.rhsPats.Matches(t, c.rhsPatAttrs) {
+			continue
+		}
+		witnesses[t.Key(c.rhsCorr)] = true
+	}
+	var out []Violation
+	for tid, t := range left.Tuples() {
+		if !c.lhsPats.Matches(t, c.lhsPatAttrs) {
+			continue
+		}
+		// NULL in a correlated attribute can never equal a witness value.
+		hasNull := false
+		for _, a := range c.lhsCorr {
+			if t[a].IsNull() {
+				hasNull = true
+				break
+			}
+		}
+		if hasNull || !witnesses[t.Key(c.lhsCorr)] {
+			out = append(out, Violation{CIND: c, TID: tid})
+		}
+	}
+	return out, nil
+}
+
+// Satisfies reports whether (left, right) satisfies the CIND.
+func Satisfies(left, right *relation.Relation, c *CIND) (bool, error) {
+	vs, err := Detect(left, right, c)
+	if err != nil {
+		return false, err
+	}
+	return len(vs) == 0, nil
+}
+
+// ViolatingTIDs collapses violations to sorted left-relation TIDs.
+func ViolatingTIDs(vs []Violation) []int {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		out = append(out, v.TID)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ImpliesSyntactic is a sound but incomplete implication test: it reports
+// true when ψ2 is a weakening of ψ1 over the same schemas and correlated
+// lists — ψ2's LHS pattern is at most as general and its RHS requirement
+// at most as strict. (Complete implication for CINDs is EXPTIME-complete,
+// VLDB 2007; the syntactic test is what the minimal-cover pass needs.)
+func ImpliesSyntactic(psi1, psi2 *CIND) bool {
+	if !psi1.left.Equal(psi2.left) || !psi1.right.Equal(psi2.right) {
+		return false
+	}
+	if len(psi1.lhsCorr) != len(psi2.lhsCorr) {
+		return false
+	}
+	for i := range psi1.lhsCorr {
+		if psi1.lhsCorr[i] != psi2.lhsCorr[i] || psi1.rhsCorr[i] != psi2.rhsCorr[i] {
+			return false
+		}
+	}
+	// ψ2's scope must be contained in ψ1's scope: every ψ1 LHS pattern
+	// attribute must appear in ψ2 with an equal-or-more-specific pattern.
+	for i, a := range psi1.lhsPatAttrs {
+		if psi1.lhsPats[i].IsWild() {
+			continue
+		}
+		found := false
+		for j, b := range psi2.lhsPatAttrs {
+			if a == b && psi1.lhsPats[i].Subsumes(psi2.lhsPats[j]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	// ψ1's witness requirement must cover ψ2's: every RHS pattern of ψ2
+	// must be implied by (subsume) some RHS pattern of ψ1.
+	for j, b := range psi2.rhsPatAttrs {
+		if psi2.rhsPats[j].IsWild() {
+			continue
+		}
+		found := false
+		for i, a := range psi1.rhsPatAttrs {
+			if a == b && psi2.rhsPats[j].Subsumes(psi1.rhsPats[i]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

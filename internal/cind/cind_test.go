@@ -1,0 +1,238 @@
+package cind
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// The tutorial §3 running example: customer orders of books and CDs.
+func orderSchemas(t *testing.T) (cd, book *relation.Schema) {
+	t.Helper()
+	cd, err := relation.StringSchema("CD", "album", "price", "genre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	book, err = relation.StringSchema("book", "title", "price", "format")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cd, book
+}
+
+func strTuple(vals ...string) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = relation.String(v)
+	}
+	return t
+}
+
+// tutorialCIND is (CD(album, price, genre='a-book') ⊆ book(title, price,
+// format='audio')).
+func tutorialCIND(t *testing.T) (*CIND, *relation.Schema, *relation.Schema) {
+	t.Helper()
+	cdS, bookS := orderSchemas(t)
+	c, err := Parse("cind psi: CD(album, price | genre='a-book') <= book(title, price | format='audio')", cdS, bookS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cdS, bookS
+}
+
+func TestParseTutorialExample(t *testing.T) {
+	c, cdS, bookS := tutorialCIND(t)
+	if c.Name() != "psi" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if got := c.LHSCorr(); len(got) != 2 || got[0] != cdS.MustIndex("album") || got[1] != cdS.MustIndex("price") {
+		t.Errorf("LHSCorr = %v", got)
+	}
+	if got := c.RHSCorr(); len(got) != 2 || got[0] != bookS.MustIndex("title") {
+		t.Errorf("RHSCorr = %v", got)
+	}
+	attrs, pats := c.LHSPattern()
+	if len(attrs) != 1 || attrs[0] != cdS.MustIndex("genre") || !pats[0].Matches(relation.String("a-book")) {
+		t.Errorf("LHS pattern = %v %v", attrs, pats)
+	}
+	if c.IsIND() {
+		t.Error("conditioned CIND must not report IsIND")
+	}
+}
+
+func TestParsePlainIND(t *testing.T) {
+	cdS, bookS := orderSchemas(t)
+	c, err := Parse("CD(album) <= book(title)", cdS, bookS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsIND() {
+		t.Error("pattern-free CIND should be a plain IND")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cdS, bookS := orderSchemas(t)
+	bad := []string{
+		"",
+		"CD(album) book(title)",
+		"CD(album) <= nope(title)",
+		"CD(nope) <= book(title)",
+		"CD(album | bad) <= book(title)",
+		"CD(album | nope='x') <= book(title)",
+		"cind broken CD(album) <= book(title)",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in, cdS, bookS); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+	if _, err := New("x", cdS, bookS, nil, nil, nil, nil, nil, nil); err == nil {
+		t.Error("empty correlated lists should fail")
+	}
+	if _, err := New("x", cdS, bookS, []string{"album"}, []string{"title", "price"}, nil, nil, nil, nil); err == nil {
+		t.Error("unequal correlated lists should fail")
+	}
+	if _, err := New("x", cdS, bookS, []string{"album", "album"}, []string{"title", "price"}, nil, nil, nil, nil); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+}
+
+func TestDetectSatisfied(t *testing.T) {
+	c, cdS, bookS := tutorialCIND(t)
+	cd := relation.New(cdS)
+	book := relation.New(bookS)
+	cd.MustInsert(strTuple("dune", "20", "a-book"))
+	cd.MustInsert(strTuple("pop hits", "10", "music")) // out of scope
+	book.MustInsert(strTuple("dune", "20", "audio"))
+	vs, err := Detect(cd, book, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("satisfied instance has violations: %v", vs)
+	}
+}
+
+func TestDetectMissingWitness(t *testing.T) {
+	c, cdS, bookS := tutorialCIND(t)
+	cd := relation.New(cdS)
+	book := relation.New(bookS)
+	cd.MustInsert(strTuple("dune", "20", "a-book"))
+	// Witness has wrong price: correlated attributes must all agree.
+	book.MustInsert(strTuple("dune", "25", "audio"))
+	vs, _ := Detect(cd, book, c)
+	if len(vs) != 1 || vs[0].TID != 0 {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestDetectWrongWitnessPattern(t *testing.T) {
+	c, cdS, bookS := tutorialCIND(t)
+	cd := relation.New(cdS)
+	book := relation.New(bookS)
+	cd.MustInsert(strTuple("dune", "20", "a-book"))
+	// Title and price agree, but format is not 'audio' — the witness
+	// condition fails, so this does not count.
+	book.MustInsert(strTuple("dune", "20", "hardcover"))
+	vs, _ := Detect(cd, book, c)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1 (witness fails RHS pattern)", vs)
+	}
+}
+
+func TestDetectOutOfScopeIgnored(t *testing.T) {
+	c, cdS, bookS := tutorialCIND(t)
+	cd := relation.New(cdS)
+	book := relation.New(bookS)
+	// Music CDs are out of the pattern's scope: no witness needed.
+	cd.MustInsert(strTuple("pop hits", "10", "music"))
+	vs, _ := Detect(cd, book, c)
+	if len(vs) != 0 {
+		t.Errorf("out-of-scope tuple flagged: %v", vs)
+	}
+}
+
+func TestDetectNullCorrelated(t *testing.T) {
+	c, cdS, bookS := tutorialCIND(t)
+	cd := relation.New(cdS)
+	book := relation.New(bookS)
+	cd.MustInsert(relation.Tuple{relation.Null(), relation.String("20"), relation.String("a-book")})
+	book.MustInsert(strTuple("dune", "20", "audio"))
+	vs, _ := Detect(cd, book, c)
+	// NULL album can never equal a witness title.
+	if len(vs) != 1 {
+		t.Errorf("NULL correlated attr should violate: %v", vs)
+	}
+}
+
+func TestSatisfiesAndTIDs(t *testing.T) {
+	c, cdS, bookS := tutorialCIND(t)
+	cd := relation.New(cdS)
+	book := relation.New(bookS)
+	cd.MustInsert(strTuple("a", "1", "a-book"))
+	cd.MustInsert(strTuple("b", "2", "a-book"))
+	ok, err := Satisfies(cd, book, c)
+	if err != nil || ok {
+		t.Fatalf("Satisfies = %v, %v", ok, err)
+	}
+	vs, _ := Detect(cd, book, c)
+	tids := ViolatingTIDs(vs)
+	if len(tids) != 2 || tids[0] != 0 || tids[1] != 1 {
+		t.Errorf("tids = %v", tids)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	c, cdS, bookS := tutorialCIND(t)
+	out := c.String()
+	if !strings.Contains(out, "<=") || !strings.Contains(out, "genre='a-book'") {
+		t.Errorf("String() = %s", out)
+	}
+	back, err := Parse(out, cdS, bookS)
+	if err != nil {
+		t.Fatalf("round trip parse of %q: %v", out, err)
+	}
+	if back.String() != out {
+		t.Errorf("round trip unstable: %q vs %q", back.String(), out)
+	}
+}
+
+func TestImpliesSyntactic(t *testing.T) {
+	cdS, bookS := orderSchemas(t)
+	base := MustParse("CD(album, price) <= book(title, price)", cdS, bookS)
+	conditioned := MustParse("CD(album, price | genre='a-book') <= book(title, price)", cdS, bookS)
+	stricter := MustParse("CD(album, price | genre='a-book') <= book(title, price | format='audio')", cdS, bookS)
+
+	if !ImpliesSyntactic(base, conditioned) {
+		t.Error("unconditional IND should imply its conditional weakening")
+	}
+	if ImpliesSyntactic(conditioned, base) {
+		t.Error("conditional CIND must not imply the unconditional IND")
+	}
+	if ImpliesSyntactic(conditioned, stricter) {
+		t.Error("weaker witness requirement must not imply stricter one")
+	}
+	if !ImpliesSyntactic(stricter, conditioned) {
+		t.Error("stricter witness requirement should imply weaker one")
+	}
+	if !ImpliesSyntactic(base, base) {
+		t.Error("implication should be reflexive")
+	}
+	// Semantic sanity: when ImpliesSyntactic(a, b), any instance
+	// satisfying a satisfies b.
+	cd := relation.New(cdS)
+	book := relation.New(bookS)
+	cd.MustInsert(strTuple("dune", "20", "a-book"))
+	book.MustInsert(strTuple("dune", "20", "audio"))
+	for _, pair := range [][2]*CIND{{base, conditioned}, {stricter, conditioned}} {
+		okA, _ := Satisfies(cd, book, pair[0])
+		okB, _ := Satisfies(cd, book, pair[1])
+		if okA && !okB {
+			t.Errorf("semantic soundness broken for %s => %s", pair[0], pair[1])
+		}
+	}
+	_ = pattern.Wild() // keep pattern import for helpers above
+}

@@ -1,0 +1,130 @@
+package cind
+
+import (
+	"fmt"
+	"strings"
+
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// Parse reads a CIND in the textual syntax:
+//
+//	cind name: CD(album, price | genre='a-book') <= book(title, price | format='audio')
+//
+// The part before "|" lists the correlated attributes (positionally
+// paired across the two sides); the part after it gives the condition
+// patterns. Either side's condition may be omitted. "cind name:" is
+// optional.
+func Parse(input string, left, right *relation.Schema) (*CIND, error) {
+	c, err := parseCIND(input, left, right)
+	if err != nil {
+		return nil, fmt.Errorf("cind: parsing %q: %w", input, err)
+	}
+	return c, nil
+}
+
+// MustParse is Parse panicking on error, for statically known literals.
+func MustParse(input string, left, right *relation.Schema) *CIND {
+	c, err := Parse(input, left, right)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func parseCIND(input string, left, right *relation.Schema) (*CIND, error) {
+	src := strings.TrimSpace(input)
+	name := ""
+	if strings.HasPrefix(src, "cind ") {
+		rest := strings.TrimSpace(src[len("cind "):])
+		colon := strings.Index(rest, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("expected ':' after cind name")
+		}
+		name = strings.TrimSpace(rest[:colon])
+		src = strings.TrimSpace(rest[colon+1:])
+	}
+	parts := strings.Split(src, "<=")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("expected exactly one '<=' separator")
+	}
+	lCorr, lPatNames, lPats, err := parseSide(strings.TrimSpace(parts[0]), left)
+	if err != nil {
+		return nil, err
+	}
+	rCorr, rPatNames, rPats, err := parseSide(strings.TrimSpace(parts[1]), right)
+	if err != nil {
+		return nil, err
+	}
+	return New(name, left, right, lCorr, rCorr, lPatNames, lPats, rPatNames, rPats)
+}
+
+// parseSide parses rel(a, b | c='x', d='y').
+func parseSide(src string, schema *relation.Schema) (corr []string, patNames []string, pats pattern.Row, err error) {
+	open := strings.Index(src, "(")
+	if open < 0 || !strings.HasSuffix(src, ")") {
+		return nil, nil, nil, fmt.Errorf("expected rel(...), got %q", src)
+	}
+	relName := strings.TrimSpace(src[:open])
+	if relName != schema.Name() {
+		return nil, nil, nil, fmt.Errorf("relation %q does not match schema %q", relName, schema.Name())
+	}
+	body := src[open+1 : len(src)-1]
+	corrPart, patPart := body, ""
+	if bar := strings.Index(body, "|"); bar >= 0 {
+		corrPart, patPart = body[:bar], body[bar+1:]
+	}
+	for _, f := range splitTop(corrPart) {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if _, ok := schema.Index(f); !ok {
+			return nil, nil, nil, fmt.Errorf("schema %s has no attribute %q", schema.Name(), f)
+		}
+		corr = append(corr, f)
+	}
+	for _, f := range splitTop(patPart) {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		eq := strings.Index(f, "=")
+		if eq < 0 {
+			return nil, nil, nil, fmt.Errorf("condition %q must be attr=value", f)
+		}
+		attr := strings.TrimSpace(f[:eq])
+		idx, ok := schema.Index(attr)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("schema %s has no attribute %q", schema.Name(), attr)
+		}
+		pv, perr := pattern.ParseValue(strings.TrimSpace(f[eq+1:]), schema.Attr(idx).Kind)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		patNames = append(patNames, attr)
+		pats = append(pats, pv)
+	}
+	return corr, patNames, pats, nil
+}
+
+// splitTop splits on commas not inside single quotes.
+func splitTop(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\'':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

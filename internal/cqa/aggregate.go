@@ -1,0 +1,239 @@
+package cqa
+
+import (
+	"fmt"
+	"math"
+
+	"semandaq/internal/relation"
+)
+
+// This file implements range-consistent answers for aggregation queries
+// under key repairs (Arenas, Bertossi, Chomicki: "Scalar aggregation in
+// inconsistent databases", extending the CQA framework §2 of the
+// tutorial surveys). A scalar aggregate has no single consistent answer
+// on inconsistent data; the consistent answer is the tightest interval
+// [glb, lub] containing the aggregate's value in every repair.
+
+// AggKind selects the aggregate for Range.
+type AggKind int
+
+// Supported aggregates.
+const (
+	AggCount AggKind = iota // COUNT of tuples satisfying the predicate
+	AggSum                  // SUM of an attribute over satisfying tuples
+	AggMin                  // MIN of an attribute over satisfying tuples
+	AggMax                  // MAX of an attribute over satisfying tuples
+)
+
+// Interval is a closed numeric interval. For MIN/MAX aggregates, Defined
+// reports whether EVERY repair yields at least one qualifying tuple; if
+// false the aggregate is undefined in some repair and the bounds cover
+// only the repairs where it is defined.
+type Interval struct {
+	Lo, Hi  float64
+	Defined bool
+}
+
+// String renders the interval.
+func (iv Interval) String() string {
+	if !iv.Defined {
+		return fmt.Sprintf("[%g, %g] (undefined in some repair)", iv.Lo, iv.Hi)
+	}
+	return fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi)
+}
+
+// Range computes the range-consistent answer of the aggregate over the
+// key-repairs of r. pred selects tuples (nil = all); attr is the
+// aggregated attribute (ignored for AggCount; must be numeric or its
+// FloatVal is used).
+func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred func(relation.Tuple) bool) (Interval, error) {
+	if agg != AggCount {
+		if attr < 0 || attr >= r.Schema().Arity() {
+			return Interval{}, fmt.Errorf("cqa: aggregate attribute %d out of range", attr)
+		}
+	}
+	sel := func(t relation.Tuple) bool {
+		if pred == nil {
+			return true
+		}
+		return pred(t)
+	}
+	idx := relation.BuildIndex(r, keyAttrs)
+
+	switch agg {
+	case AggCount:
+		// Each key group contributes 1 iff its chosen tuple qualifies:
+		// glb counts groups where EVERY member qualifies, lub counts
+		// groups where SOME member qualifies.
+		lo, hi := 0, 0
+		idx.Groups(func(_ string, tids []int) bool {
+			all, some := true, false
+			for _, tid := range tids {
+				if sel(r.Tuple(tid)) {
+					some = true
+				} else {
+					all = false
+				}
+			}
+			if all {
+				lo++
+			}
+			if some {
+				hi++
+			}
+			return true
+		})
+		return Interval{Lo: float64(lo), Hi: float64(hi), Defined: true}, nil
+
+	case AggSum:
+		// Each group's contribution is the chosen tuple's value if it
+		// qualifies, else 0; independent minimization/maximization per
+		// group. NULL values contribute 0 (SQL SUM skips NULLs).
+		lo, hi := 0.0, 0.0
+		idx.Groups(func(_ string, tids []int) bool {
+			gLo, gHi := math.Inf(1), math.Inf(-1)
+			for _, tid := range tids {
+				t := r.Tuple(tid)
+				contrib := 0.0
+				if sel(t) && !t[attr].IsNull() {
+					contrib = t[attr].FloatVal()
+				}
+				if contrib < gLo {
+					gLo = contrib
+				}
+				if contrib > gHi {
+					gHi = contrib
+				}
+			}
+			lo += gLo
+			hi += gHi
+			return true
+		})
+		return Interval{Lo: lo, Hi: hi, Defined: true}, nil
+
+	case AggMin, AggMax:
+		return rangeMinMax(r, idx, agg, attr, sel)
+
+	default:
+		return Interval{}, fmt.Errorf("cqa: unknown aggregate kind %d", agg)
+	}
+}
+
+// rangeMinMax computes the interval for MIN/MAX. For MIN:
+//   - glb: the smallest qualifying value overall (some repair keeps it);
+//   - lub: maximize the minimum — per group either skip (possible iff
+//     some member does not qualify) or take the group's largest
+//     qualifying value; the answer is the min over non-skipped groups.
+//
+// MAX is symmetric. Defined is false when some repair can end with no
+// qualifying tuple at all (every group skippable).
+func rangeMinMax(r *relation.Relation, idx *relation.HashIndex, agg AggKind, attr int, sel func(relation.Tuple) bool) (Interval, error) {
+	type groupInfo struct {
+		bestVal  float64 // max qualifying value for MIN, min for MAX
+		hasQual  bool
+		skipable bool // some member fails sel (or has NULL attr)
+	}
+	var groups []groupInfo
+	extremeAll := math.Inf(1) // overall min qualifying value (for MIN)
+	if agg == AggMax {
+		extremeAll = math.Inf(-1)
+	}
+	anyQual := false
+	idx.Groups(func(_ string, tids []int) bool {
+		g := groupInfo{}
+		if agg == AggMin {
+			g.bestVal = math.Inf(-1)
+		} else {
+			g.bestVal = math.Inf(1)
+		}
+		for _, tid := range tids {
+			t := r.Tuple(tid)
+			if !sel(t) || t[attr].IsNull() {
+				g.skipable = true
+				continue
+			}
+			v := t[attr].FloatVal()
+			anyQual = true
+			if agg == AggMin {
+				if v < extremeAll {
+					extremeAll = v
+				}
+				if v > g.bestVal {
+					g.bestVal = v
+				}
+			} else {
+				if v > extremeAll {
+					extremeAll = v
+				}
+				if v < g.bestVal {
+					g.bestVal = v
+				}
+			}
+			g.hasQual = true
+		}
+		groups = append(groups, g)
+		return true
+	})
+	if !anyQual {
+		return Interval{Defined: false}, nil
+	}
+	// The "avoidance" bound: per group, skip when possible; otherwise the
+	// group forces its best value into the aggregate.
+	forced := []float64{}
+	allSkippable := true
+	for _, g := range groups {
+		if !g.hasQual {
+			continue // never contributes
+		}
+		if g.skipable {
+			continue // a repair can silence this group
+		}
+		allSkippable = false
+		forced = append(forced, g.bestVal)
+	}
+	var avoidBound float64
+	if allSkippable {
+		// Some repair has no qualifying tuples: undefined there. The
+		// attainable extreme among defined repairs is the best single
+		// group value.
+		best := math.Inf(-1)
+		if agg == AggMax {
+			best = math.Inf(1)
+		}
+		for _, g := range groups {
+			if !g.hasQual {
+				continue
+			}
+			if agg == AggMin {
+				if g.bestVal > best {
+					best = g.bestVal
+				}
+			} else {
+				if g.bestVal < best {
+					best = g.bestVal
+				}
+			}
+		}
+		avoidBound = best
+	} else {
+		if agg == AggMin {
+			avoidBound = math.Inf(1)
+			for _, v := range forced {
+				if v < avoidBound {
+					avoidBound = v
+				}
+			}
+		} else {
+			avoidBound = math.Inf(-1)
+			for _, v := range forced {
+				if v > avoidBound {
+					avoidBound = v
+				}
+			}
+		}
+	}
+	if agg == AggMin {
+		return Interval{Lo: extremeAll, Hi: avoidBound, Defined: !allSkippable}, nil
+	}
+	return Interval{Lo: avoidBound, Hi: extremeAll, Defined: !allSkippable}, nil
+}

@@ -1,0 +1,188 @@
+package cqa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func numSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema("sales",
+		relation.Attribute{Name: "id", Kind: relation.KindString},
+		relation.Attribute{Name: "region", Kind: relation.KindString},
+		relation.Attribute{Name: "amount", Kind: relation.KindInt},
+	)
+}
+
+func numTuple(id, region string, amount int64) relation.Tuple {
+	return relation.Tuple{relation.String(id), relation.String(region), relation.Int(amount)}
+}
+
+func TestRangeCount(t *testing.T) {
+	r := relation.New(numSchema(t))
+	r.MustInsert(numTuple("1", "east", 10))
+	r.MustInsert(numTuple("2", "east", 20))
+	r.MustInsert(numTuple("2", "west", 30)) // conflicts with previous
+	key := []int{0}
+	region := 1
+	pred := func(tp relation.Tuple) bool { return tp[region].Equal(relation.String("east")) }
+	iv, err := Range(r, key, AggCount, -1, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id=1 always east (count 1 guaranteed); id=2 east in one repair.
+	if iv.Lo != 1 || iv.Hi != 2 {
+		t.Fatalf("count interval = %v, want [1, 2]", iv)
+	}
+}
+
+func TestRangeSum(t *testing.T) {
+	r := relation.New(numSchema(t))
+	r.MustInsert(numTuple("1", "east", 10))
+	r.MustInsert(numTuple("2", "east", 20))
+	r.MustInsert(numTuple("2", "east", 50))
+	key := []int{0}
+	iv, err := Range(r, key, AggSum, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 30 || iv.Hi != 60 {
+		t.Fatalf("sum interval = %v, want [30, 60]", iv)
+	}
+}
+
+func TestRangeMinMax(t *testing.T) {
+	r := relation.New(numSchema(t))
+	r.MustInsert(numTuple("1", "east", 10))
+	r.MustInsert(numTuple("2", "east", 5))
+	r.MustInsert(numTuple("2", "east", 50))
+	key := []int{0}
+	iv, err := Range(r, key, AggMin, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repairs: {10, 5} → min 5; {10, 50} → min 10.
+	if iv.Lo != 5 || iv.Hi != 10 || !iv.Defined {
+		t.Fatalf("min interval = %v, want [5, 10]", iv)
+	}
+	iv, err = Range(r, key, AggMax, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repairs: max 10 or max 50.
+	if iv.Lo != 10 || iv.Hi != 50 {
+		t.Fatalf("max interval = %v, want [10, 50]", iv)
+	}
+}
+
+func TestRangeMinUndefinedRepair(t *testing.T) {
+	r := relation.New(numSchema(t))
+	r.MustInsert(numTuple("1", "east", 10))
+	r.MustInsert(numTuple("1", "west", 99)) // conflicting; west fails pred
+	key := []int{0}
+	pred := func(tp relation.Tuple) bool { return tp[1].Equal(relation.String("east")) }
+	iv, err := Range(r, key, AggMin, 2, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Defined {
+		t.Fatalf("interval should be undefined in some repair: %v", iv)
+	}
+}
+
+// TestRangeMatchesEnumeration is the semantics property: on random small
+// inputs the computed interval equals the true min/max over every
+// enumerated repair, for all four aggregates.
+func TestRangeMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	s := numSchema(t)
+	for trial := 0; trial < 40; trial++ {
+		r := relation.New(s)
+		n := 3 + rng.Intn(7)
+		for i := 0; i < n; i++ {
+			r.MustInsert(numTuple(
+				string(rune('1'+rng.Intn(3))),
+				[]string{"east", "west"}[rng.Intn(2)],
+				int64(rng.Intn(20))))
+		}
+		key := []int{0}
+		pred := func(tp relation.Tuple) bool { return tp[1].Equal(relation.String("east")) }
+
+		for _, agg := range []AggKind{AggCount, AggSum, AggMin, AggMax} {
+			iv, err := Range(r, key, agg, 2, pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Enumerate repairs, computing the aggregate in each.
+			lo, hi := math.Inf(1), math.Inf(-1)
+			definedEverywhere := true
+			err = EnumerateRepairs(r, key, 1<<20, func(tids []int) bool {
+				var vals []float64
+				for _, tid := range tids {
+					tp := r.Tuple(tid)
+					if pred(tp) {
+						vals = append(vals, tp[2].FloatVal())
+					}
+				}
+				var v float64
+				switch agg {
+				case AggCount:
+					v = float64(len(vals))
+				case AggSum:
+					v = 0
+					for _, x := range vals {
+						v += x
+					}
+				case AggMin, AggMax:
+					if len(vals) == 0 {
+						definedEverywhere = false
+						return true
+					}
+					v = vals[0]
+					for _, x := range vals[1:] {
+						if (agg == AggMin && x < v) || (agg == AggMax && x > v) {
+							v = x
+						}
+					}
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if agg == AggMin || agg == AggMax {
+				if iv.Defined != definedEverywhere {
+					t.Fatalf("trial %d agg %d: Defined=%v, enumeration says %v",
+						trial, agg, iv.Defined, definedEverywhere)
+				}
+				if math.IsInf(lo, 1) {
+					continue // no repair had a defined value; bounds unchecked
+				}
+			}
+			if iv.Lo != lo || iv.Hi != hi {
+				t.Fatalf("trial %d agg %d: interval [%g, %g], enumeration [%g, %g]",
+					trial, agg, iv.Lo, iv.Hi, lo, hi)
+			}
+		}
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	r := relation.New(numSchema(t))
+	r.MustInsert(numTuple("1", "east", 1))
+	if _, err := Range(r, []int{0}, AggSum, 99, nil); err == nil {
+		t.Error("out-of-range attribute should fail")
+	}
+	if _, err := Range(r, []int{0}, AggKind(42), 2, nil); err == nil {
+		t.Error("unknown aggregate should fail")
+	}
+}

@@ -1,0 +1,222 @@
+// Package cqa implements consistent query answering over inconsistent
+// data, the second foundational topic the tutorial surveys in §2
+// (introduced by Arenas, Bertossi and Chomicki, PODS 1999): "consistent
+// query answering is to find an answer to a given query in every repair
+// of the original database, without editing the data".
+//
+// The package covers the classical, decidable core: a single relation
+// with a key constraint, repairs obtained by tuple deletion (pick one
+// tuple from every key group), and selection-projection queries. A value
+// is a certain answer when every repair produces it, and a possible
+// answer when some repair does. For key constraints these have a direct
+// characterization on the conflict groups, so no repair enumeration is
+// needed:
+//
+//   - a key group all of whose members agree on the projection and all
+//     satisfy the selection yields a certain answer;
+//   - any single member satisfying the selection yields a possible
+//     answer.
+package cqa
+
+import (
+	"fmt"
+	"math"
+
+	"semandaq/internal/relation"
+)
+
+// Query is a selection-projection query over one relation.
+type Query struct {
+	// Pred is the selection; nil selects everything.
+	Pred func(relation.Tuple) bool
+	// Project lists the output attribute positions (must be non-empty).
+	Project []int
+}
+
+// validate checks the query against a schema.
+func (q Query) validate(schema *relation.Schema) error {
+	if len(q.Project) == 0 {
+		return fmt.Errorf("cqa: query must project at least one attribute")
+	}
+	for _, p := range q.Project {
+		if p < 0 || p >= schema.Arity() {
+			return fmt.Errorf("cqa: projection attribute %d out of range", p)
+		}
+	}
+	return nil
+}
+
+func (q Query) pred(t relation.Tuple) bool {
+	if q.Pred == nil {
+		return true
+	}
+	return q.Pred(t)
+}
+
+// resultSchema builds the output schema for a query.
+func (q Query) resultSchema(schema *relation.Schema, name string) (*relation.Schema, error) {
+	attrs := make([]relation.Attribute, len(q.Project))
+	for i, p := range q.Project {
+		attrs[i] = schema.Attr(p)
+	}
+	return relation.NewSchema(name, attrs...)
+}
+
+// Direct evaluates the query on the (possibly inconsistent) relation
+// as-is, with duplicate elimination — the baseline that ignores
+// inconsistency.
+func Direct(r *relation.Relation, q Query) (*relation.Relation, error) {
+	if err := q.validate(r.Schema()); err != nil {
+		return nil, err
+	}
+	schema, err := q.resultSchema(r.Schema(), "direct")
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(schema)
+	seen := map[string]bool{}
+	for _, t := range r.Tuples() {
+		if !q.pred(t) {
+			continue
+		}
+		pt := t.Project(q.Project)
+		k := pt.FullKey()
+		if !seen[k] {
+			seen[k] = true
+			out.MustInsert(pt)
+		}
+	}
+	return out, nil
+}
+
+// Certain returns the certain answers of the query under the key
+// constraint: the projected values produced by EVERY repair (repairs
+// keep exactly one tuple from each key group).
+func Certain(r *relation.Relation, keyAttrs []int, q Query) (*relation.Relation, error) {
+	if err := q.validate(r.Schema()); err != nil {
+		return nil, err
+	}
+	schema, err := q.resultSchema(r.Schema(), "certain")
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(schema)
+	seen := map[string]bool{}
+	idx := relation.BuildIndex(r, keyAttrs)
+	var groupErr error
+	idx.Groups(func(_ string, tids []int) bool {
+		// Every member must satisfy the selection and project to the same
+		// value; otherwise some repair omits the value (picks a member
+		// that fails the predicate or projects differently).
+		first := r.Tuple(tids[0])
+		if !q.pred(first) {
+			return true
+		}
+		pt := first.Project(q.Project)
+		for _, tid := range tids[1:] {
+			t := r.Tuple(tid)
+			if !q.pred(t) || !t.Project(q.Project).Equal(pt) {
+				return true
+			}
+		}
+		k := pt.FullKey()
+		if !seen[k] {
+			seen[k] = true
+			out.MustInsert(pt)
+		}
+		return true
+	})
+	return out, groupErr
+}
+
+// Possible returns the possible answers: the projected values produced
+// by SOME repair. For key repairs that is simply every selected tuple's
+// projection (each tuple survives in at least one repair).
+func Possible(r *relation.Relation, keyAttrs []int, q Query) (*relation.Relation, error) {
+	// For tuple-deletion repairs of key constraints every tuple occurs in
+	// some repair, so possible answers coincide with direct evaluation.
+	_ = keyAttrs
+	res, err := Direct(r, q)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := q.resultSchema(r.Schema(), "possible")
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(schema)
+	for _, t := range res.Tuples() {
+		out.MustInsert(t)
+	}
+	return out, nil
+}
+
+// Conflicts returns the key groups with more than one member — the
+// conflict hypergraph's edges for key constraints.
+func Conflicts(r *relation.Relation, keyAttrs []int) [][]int {
+	idx := relation.BuildIndex(r, keyAttrs)
+	var out [][]int
+	idx.Groups(func(_ string, tids []int) bool {
+		if len(tids) > 1 {
+			group := append([]int(nil), tids...)
+			out = append(out, group)
+		}
+		return true
+	})
+	return out
+}
+
+// CountRepairs returns the number of tuple-deletion repairs (the product
+// of key-group sizes), saturating at math.MaxUint64.
+func CountRepairs(r *relation.Relation, keyAttrs []int) uint64 {
+	idx := relation.BuildIndex(r, keyAttrs)
+	count := uint64(1)
+	idx.Groups(func(_ string, tids []int) bool {
+		n := uint64(len(tids))
+		if count > math.MaxUint64/n {
+			count = math.MaxUint64
+			return false
+		}
+		count *= n
+		return true
+	})
+	return count
+}
+
+// EnumerateRepairs calls f with each repair (as a slice of surviving
+// TIDs) while f returns true. Exponential in the number of conflicting
+// groups; intended for tests and small interactive demos. Returns an
+// error when the repair count exceeds limit.
+func EnumerateRepairs(r *relation.Relation, keyAttrs []int, limit uint64, f func(tids []int) bool) error {
+	if c := CountRepairs(r, keyAttrs); c > limit {
+		return fmt.Errorf("cqa: %d repairs exceed limit %d", c, limit)
+	}
+	idx := relation.BuildIndex(r, keyAttrs)
+	var groups [][]int
+	idx.Groups(func(_ string, tids []int) bool {
+		groups = append(groups, tids)
+		return true
+	})
+	choice := make([]int, len(groups))
+	for {
+		var tids []int
+		for g, c := range choice {
+			tids = append(tids, groups[g][c])
+		}
+		if !f(tids) {
+			return nil
+		}
+		// Advance the mixed-radix counter.
+		g := 0
+		for ; g < len(groups); g++ {
+			choice[g]++
+			if choice[g] < len(groups[g]) {
+				break
+			}
+			choice[g] = 0
+		}
+		if g == len(groups) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package cqa
+
+import (
+	"math/rand"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func schema(t *testing.T) *relation.Schema {
+	t.Helper()
+	s, err := relation.StringSchema("emp", "id", "name", "dept", "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func st(vals ...string) relation.Tuple {
+	tp := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		tp[i] = relation.String(v)
+	}
+	return tp
+}
+
+// conflicted builds a relation where id is the key and id=2 has two
+// conflicting tuples (different dept).
+func conflicted(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.New(schema(t))
+	r.MustInsert(st("1", "ann", "sales", "edi"))
+	r.MustInsert(st("2", "bob", "it", "gla"))
+	r.MustInsert(st("2", "bob", "hr", "gla"))
+	r.MustInsert(st("3", "cat", "it", "edi"))
+	return r
+}
+
+func TestCertainAgreeingAttributesSurvive(t *testing.T) {
+	r := conflicted(t)
+	key := []int{0}
+	// Project name: both id=2 tuples agree on bob, so bob is certain.
+	q := Query{Project: []int{1}}
+	res, err := Certain(r, key, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := values(res, 0)
+	if !names["ann"] || !names["bob"] || !names["cat"] || len(names) != 3 {
+		t.Errorf("certain names = %v", names)
+	}
+}
+
+func TestCertainConflictingAttributeDropped(t *testing.T) {
+	r := conflicted(t)
+	key := []int{0}
+	// Project dept: id=2's dept conflicts, so neither it-from-2 nor hr
+	// is certain; but it is still certain via id=3.
+	q := Query{Project: []int{2}}
+	res, err := Certain(r, key, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	depts := values(res, 0)
+	if !depts["sales"] || !depts["it"] || len(depts) != 2 {
+		t.Errorf("certain depts = %v (hr must be excluded)", depts)
+	}
+	// hr is a possible answer.
+	pos, err := Possible(r, key, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !values(pos, 0)["hr"] {
+		t.Error("hr should be possible")
+	}
+}
+
+func TestCertainWithSelection(t *testing.T) {
+	r := conflicted(t)
+	key := []int{0}
+	dept := r.Schema().MustIndex("dept")
+	q := Query{
+		Pred:    func(tp relation.Tuple) bool { return tp[dept].Equal(relation.String("it")) },
+		Project: []int{1},
+	}
+	res, err := Certain(r, key, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only cat is certainly in it: bob's membership depends on the repair.
+	names := values(res, 0)
+	if len(names) != 1 || !names["cat"] {
+		t.Errorf("certain it-members = %v", names)
+	}
+}
+
+func TestCertainEqualsDirectOnConsistentData(t *testing.T) {
+	r := relation.New(schema(t))
+	r.MustInsert(st("1", "ann", "sales", "edi"))
+	r.MustInsert(st("2", "bob", "it", "gla"))
+	key := []int{0}
+	q := Query{Project: []int{1, 2}}
+	cert, err := Certain(r, key, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := Direct(r, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Len() != dir.Len() {
+		t.Errorf("consistent data: certain %d != direct %d", cert.Len(), dir.Len())
+	}
+}
+
+func TestConflictsAndCountRepairs(t *testing.T) {
+	r := conflicted(t)
+	key := []int{0}
+	cs := Conflicts(r, key)
+	if len(cs) != 1 || len(cs[0]) != 2 {
+		t.Errorf("conflicts = %v", cs)
+	}
+	if n := CountRepairs(r, key); n != 2 {
+		t.Errorf("repairs = %d, want 2", n)
+	}
+}
+
+func TestEnumerateRepairsLimit(t *testing.T) {
+	r := conflicted(t)
+	if err := EnumerateRepairs(r, []int{0}, 1, func([]int) bool { return true }); err == nil {
+		t.Error("limit 1 with 2 repairs should fail")
+	}
+	count := 0
+	if err := EnumerateRepairs(r, []int{0}, 10, func(tids []int) bool {
+		count++
+		if len(tids) != 3 {
+			t.Errorf("repair size = %d, want 3", len(tids))
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("enumerated %d repairs, want 2", count)
+	}
+}
+
+// TestCertainMatchesBruteForce is the semantics property: the direct
+// characterization agrees with literally intersecting the query answers
+// over every enumerated repair.
+func TestCertainMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := schema(t)
+	for trial := 0; trial < 20; trial++ {
+		r := relation.New(s)
+		n := 4 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			r.MustInsert(st(
+				string(rune('1'+rng.Intn(4))), // id: few values → conflicts
+				[]string{"ann", "bob", "cat"}[rng.Intn(3)],
+				[]string{"it", "hr"}[rng.Intn(2)],
+				[]string{"edi", "gla"}[rng.Intn(2)]))
+		}
+		key := []int{0}
+		dept := s.MustIndex("dept")
+		q := Query{
+			Pred:    func(tp relation.Tuple) bool { return tp[dept].Equal(relation.String("it")) },
+			Project: []int{1, 3},
+		}
+		cert, err := Certain(r, key, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute force: intersect answers across all repairs.
+		var intersection map[string]relation.Tuple
+		err = EnumerateRepairs(r, key, 1<<20, func(tids []int) bool {
+			answers := map[string]relation.Tuple{}
+			for _, tid := range tids {
+				tp := r.Tuple(tid)
+				if q.pred(tp) {
+					pt := tp.Project(q.Project)
+					answers[pt.FullKey()] = pt
+				}
+			}
+			if intersection == nil {
+				intersection = answers
+			} else {
+				for k := range intersection {
+					if _, ok := answers[k]; !ok {
+						delete(intersection, k)
+					}
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(intersection) != cert.Len() {
+			t.Fatalf("trial %d: brute %d answers vs certain %d", trial, len(intersection), cert.Len())
+		}
+		for _, tp := range cert.Tuples() {
+			if _, ok := intersection[tp.FullKey()]; !ok {
+				t.Fatalf("trial %d: certain answer %v not in brute-force intersection", trial, tp)
+			}
+		}
+
+		// Certain ⊆ direct always.
+		dir, err := Direct(r, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirKeys := map[string]bool{}
+		for _, tp := range dir.Tuples() {
+			dirKeys[tp.FullKey()] = true
+		}
+		for _, tp := range cert.Tuples() {
+			if !dirKeys[tp.FullKey()] {
+				t.Fatalf("trial %d: certain answer %v not a direct answer", trial, tp)
+			}
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	r := conflicted(t)
+	if _, err := Certain(r, []int{0}, Query{}); err == nil {
+		t.Error("empty projection should fail")
+	}
+	if _, err := Direct(r, Query{Project: []int{99}}); err == nil {
+		t.Error("out-of-range projection should fail")
+	}
+}
+
+func values(r *relation.Relation, col int) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range r.Tuples() {
+		out[t[col].Str()] = true
+	}
+	return out
+}

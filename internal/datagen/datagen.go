@@ -1,0 +1,283 @@
+// Package datagen provides seeded synthetic data generators for every
+// workload in the experiment suite. The constituent papers evaluate on
+// real-life data that is proprietary or no longer available; these
+// generators substitute relations with the same schemas the papers print
+// and with value distributions that make the planted constraints hold on
+// clean data (see DESIGN.md, "Substitutions"). All generators are
+// deterministic in their seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/cind"
+	"semandaq/internal/relation"
+)
+
+// CustSchema returns the cust(CC, AC, PN, NM, STR, CT, ZIP) schema of
+// the tutorial and TODS 2008.
+func CustSchema() *relation.Schema {
+	s, err := relation.StringSchema("cust", "CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// region ties together the correlated attribute values of a customer:
+// country code, area code, city, and the zip→street mapping inside it.
+type region struct {
+	cc, ac, ct string
+	zips       []string
+	streets    []string // streets[i] is the street of zips[i]
+}
+
+// custRegions is the fixed geography: within a region, (CC, AC)
+// determines CT, and (CC, ZIP) determines STR for UK rows — exactly the
+// planted constraint set returned by CustConstraints.
+func custRegions() []region {
+	mk := func(cc, ac, ct, prefix string, n int) region {
+		r := region{cc: cc, ac: ac, ct: ct}
+		for i := 0; i < n; i++ {
+			r.zips = append(r.zips, fmt.Sprintf("%s%d %dXX", prefix, i/10, i%10))
+			r.streets = append(r.streets, fmt.Sprintf("%s street %d", ct, i))
+		}
+		return r
+	}
+	return []region{
+		mk("44", "131", "edi", "EH", 40),
+		mk("44", "141", "gla", "G", 40),
+		mk("44", "20", "ldn", "SW", 60),
+		mk("01", "908", "mh", "079", 30),
+		mk("01", "212", "nyc", "100", 50),
+		mk("01", "650", "mtv", "940", 30),
+	}
+}
+
+var firstNames = []string{
+	"mike", "rick", "anna", "joe", "ben", "kim", "eve", "sam", "pat", "lou",
+	"max", "ida", "ned", "ola", "raj", "sue", "tom", "una", "vic", "wes",
+}
+
+// Cust generates n CFD-consistent customer tuples. Region and zip
+// choices are Zipf-distributed so that X-groups have the skewed sizes
+// real data shows. The result satisfies CustConstraints() exactly.
+func Cust(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	regions := custRegions()
+	regionZipf := rand.NewZipf(rng, 1.3, 1, uint64(len(regions)-1))
+	r := relation.New(CustSchema())
+	for i := 0; i < n; i++ {
+		reg := regions[regionZipf.Uint64()]
+		zi := rng.Intn(len(reg.zips))
+		t := relation.Tuple{
+			relation.String(reg.cc),
+			relation.String(reg.ac),
+			relation.String(fmt.Sprintf("%s-%07d", reg.ac, rng.Intn(10_000_000))),
+			relation.String(firstNames[rng.Intn(len(firstNames))]),
+			relation.String(reg.streets[zi]),
+			relation.String(reg.ct),
+			relation.String(reg.zips[zi]),
+		}
+		r.MustInsert(t)
+	}
+	return r
+}
+
+// CustConstraints returns the planted CFD set the Cust generator
+// guarantees: the tutorial's UK zip rule, the US 908 rule, and the
+// region table as a multi-row (CC, AC) → CT tableau.
+func CustConstraints() *cfd.Set {
+	schema := CustSchema()
+	set, err := cfd.ParseSet(`
+cfd phi1: cust([CC='44', ZIP] -> [STR])
+cfd phi2: cust([CC='01', AC='908', PN] -> [CT='mh'])
+cfd phi3: cust([CC, AC] -> [CT]) { ('44', '131' || 'edi'), ('44', '141' || 'gla'), ('44', '20' || 'ldn'), ('01', '908' || 'mh'), ('01', '212' || 'nyc'), ('01', '650' || 'mtv') }
+cfd phi4: cust([ZIP, CC] -> [CT])
+`, schema)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// CustTableau builds a (CC, AC) → CT CFD whose tableau has exactly rows
+// pattern rows, cycling through the region table and then appending
+// synthetic regions — the workload knob for the tableau-size experiment
+// (E2).
+func CustTableau(rows int) *cfd.Set {
+	schema := CustSchema()
+	regions := custRegions()
+	src := "cfd e2: cust([CC, AC] -> [CT]) { "
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			src += ", "
+		}
+		if i < len(regions) {
+			src += fmt.Sprintf("('%s', '%s' || '%s')", regions[i].cc, regions[i].ac, regions[i].ct)
+		} else {
+			// Synthetic rows match no data (fresh area codes): they grow
+			// the tableau without changing the violation set.
+			src += fmt.Sprintf("('%d', '%d' || 'city%d')", 50+i, 1000+i, i)
+		}
+	}
+	src += " }"
+	set, err := cfd.ParseSet(src, schema)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// HospSchema returns a hospital-provider style schema, the second
+// dataset family used by the repair experiments.
+func HospSchema() *relation.Schema {
+	s, err := relation.StringSchema("hosp", "PID", "NAME", "CITY", "STATE", "ZIP", "PHONE", "COUNTY")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Hosp generates n hospital tuples satisfying HospConstraints: ZIP
+// determines (CITY, STATE, COUNTY), and PID determines PHONE.
+func Hosp(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	type zipInfo struct{ zip, city, state, county string }
+	states := []string{"AL", "AK", "AZ", "CA", "CO", "CT", "DE", "FL", "GA", "HI"}
+	var zips []zipInfo
+	for i := 0; i < 120; i++ {
+		st := states[i%len(states)]
+		zips = append(zips, zipInfo{
+			zip:    fmt.Sprintf("%05d", 10000+i*37),
+			city:   fmt.Sprintf("%s city %d", st, i/len(states)),
+			state:  st,
+			county: fmt.Sprintf("%s county %d", st, i%7),
+		})
+	}
+	zipZipf := rand.NewZipf(rng, 1.2, 1, uint64(len(zips)-1))
+	r := relation.New(HospSchema())
+	nProviders := n/4 + 1
+	phones := make([]string, nProviders)
+	for i := range phones {
+		phones[i] = fmt.Sprintf("555-%04d", rng.Intn(10000))
+	}
+	for i := 0; i < n; i++ {
+		z := zips[zipZipf.Uint64()]
+		pid := rng.Intn(nProviders)
+		r.MustInsert(relation.Tuple{
+			relation.String(fmt.Sprintf("P%05d", pid)),
+			relation.String(fmt.Sprintf("provider %d", pid)),
+			relation.String(z.city),
+			relation.String(z.state),
+			relation.String(z.zip),
+			relation.String(phones[pid]),
+			relation.String(z.county),
+		})
+	}
+	return r
+}
+
+// HospConstraints returns the planted FD-style CFDs of the Hosp
+// generator.
+func HospConstraints() *cfd.Set {
+	schema := HospSchema()
+	set, err := cfd.ParseSet(`
+cfd h1: hosp([ZIP] -> [CITY, STATE, COUNTY])
+cfd h2: hosp([PID] -> [PHONE, NAME])
+`, schema)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// OrderSchemas returns the tutorial's CD and book schemas.
+func OrderSchemas() (cd, book *relation.Schema) {
+	var err error
+	cd, err = relation.StringSchema("CD", "album", "price", "genre")
+	if err != nil {
+		panic(err)
+	}
+	book, err = relation.StringSchema("book", "title", "price", "format")
+	if err != nil {
+		panic(err)
+	}
+	return cd, book
+}
+
+// Orders generates CD and book relations of the given sizes where the
+// tutorial CIND holds except for violations audio-book CDs lacking a
+// book-side witness. It returns the relations and the TIDs of the
+// planted violations.
+func Orders(nCD, nBook int, violations int, seed int64) (cdRel, bookRel *relation.Relation, planted []int) {
+	rng := rand.New(rand.NewSource(seed))
+	cdS, bookS := OrderSchemas()
+	cdRel, bookRel = relation.New(cdS), relation.New(bookS)
+	titles := make([]string, 200)
+	for i := range titles {
+		titles[i] = fmt.Sprintf("title %03d", i)
+	}
+	prices := []string{"5.99", "9.99", "14.99", "19.99"}
+
+	for i := 0; i < nBook; i++ {
+		format := "audio"
+		if rng.Intn(3) > 0 {
+			format = []string{"paper", "hardcover"}[rng.Intn(2)]
+		}
+		bookRel.MustInsert(relation.Tuple{
+			relation.String(titles[rng.Intn(len(titles))]),
+			relation.String(prices[rng.Intn(len(prices))]),
+			relation.String(format),
+		})
+	}
+	// Index the audio books so generated a-book CDs can copy a witness.
+	type key struct{ t, p string }
+	var audio []key
+	for _, t := range bookRel.Tuples() {
+		if t[2].Str() == "audio" {
+			audio = append(audio, key{t[0].Str(), t[1].Str()})
+		}
+	}
+	if len(audio) == 0 {
+		bookRel.MustInsert(relation.Tuple{
+			relation.String(titles[0]), relation.String(prices[0]), relation.String("audio"),
+		})
+		audio = append(audio, key{titles[0], prices[0]})
+	}
+	for i := 0; i < nCD; i++ {
+		if rng.Intn(2) == 0 {
+			// Music CD: out of the CIND's scope.
+			cdRel.MustInsert(relation.Tuple{
+				relation.String(titles[rng.Intn(len(titles))]),
+				relation.String(prices[rng.Intn(len(prices))]),
+				relation.String("music"),
+			})
+			continue
+		}
+		w := audio[rng.Intn(len(audio))]
+		cdRel.MustInsert(relation.Tuple{
+			relation.String(w.t), relation.String(w.p), relation.String("a-book"),
+		})
+	}
+	// Plant violations: a-book CDs with titles absent from book.
+	for i := 0; i < violations; i++ {
+		tid := cdRel.MustInsert(relation.Tuple{
+			relation.String(fmt.Sprintf("missing album %d", i)),
+			relation.String(prices[rng.Intn(len(prices))]),
+			relation.String("a-book"),
+		})
+		planted = append(planted, tid)
+	}
+	return cdRel, bookRel, planted
+}
+
+// OrdersCIND returns the tutorial's CIND over the Orders schemas.
+func OrdersCIND() *cind.CIND {
+	cdS, bookS := OrderSchemas()
+	return cind.MustParse(
+		"cind psi: CD(album, price | genre='a-book') <= book(title, price | format='audio')",
+		cdS, bookS)
+}

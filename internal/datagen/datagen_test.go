@@ -1,0 +1,131 @@
+package datagen
+
+import (
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/cind"
+)
+
+func TestCustSatisfiesPlantedConstraints(t *testing.T) {
+	r := Cust(2000, 1)
+	if r.Len() != 2000 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	set := CustConstraints()
+	vs, err := cfd.NewDetector(set).Detect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean cust data violates planted constraints: %d violations, first %v", len(vs), vs[0])
+	}
+}
+
+func TestCustDeterministic(t *testing.T) {
+	a, b := Cust(100, 7), Cust(100, 7)
+	for i := 0; i < a.Len(); i++ {
+		if !a.Tuple(i).Equal(b.Tuple(i)) {
+			t.Fatalf("tuple %d differs across same-seed runs", i)
+		}
+	}
+	c := Cust(100, 8)
+	same := true
+	for i := 0; i < a.Len(); i++ {
+		if !a.Tuple(i).Equal(c.Tuple(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestCustSkewedGroups(t *testing.T) {
+	// Zipf region choice must produce skew: the largest (CC, AC) group
+	// should be several times the smallest non-empty one.
+	r := Cust(5000, 3)
+	counts := map[string]int{}
+	for _, tup := range r.Tuples() {
+		counts[tup[0].Str()+"|"+tup[1].Str()]++
+	}
+	mx, mn := 0, 1<<30
+	for _, c := range counts {
+		if c > mx {
+			mx = c
+		}
+		if c < mn {
+			mn = c
+		}
+	}
+	if mx < 3*mn {
+		t.Errorf("expected skewed groups, got max %d vs min %d", mx, mn)
+	}
+}
+
+func TestCustTableauSize(t *testing.T) {
+	for _, rows := range []int{1, 6, 32} {
+		set := CustTableau(rows)
+		if set.TotalRows() != rows {
+			t.Errorf("CustTableau(%d) has %d rows", rows, set.TotalRows())
+		}
+		// The synthetic rows must not introduce violations on clean data.
+		r := Cust(500, 11)
+		vs, err := cfd.NewDetector(set).Detect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 0 {
+			t.Errorf("CustTableau(%d) fires on clean data: %v", rows, vs)
+		}
+	}
+}
+
+func TestHospSatisfiesPlantedConstraints(t *testing.T) {
+	r := Hosp(1500, 2)
+	set := HospConstraints()
+	vs, err := cfd.NewDetector(set).Detect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean hosp data violates planted constraints: %v", vs[:min(3, len(vs))])
+	}
+}
+
+func TestOrdersPlantedViolations(t *testing.T) {
+	cdRel, bookRel, planted := Orders(500, 300, 7, 5)
+	psi := OrdersCIND()
+	vs, err := cind.Detect(cdRel, bookRel, psi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cind.ViolatingTIDs(vs)
+	if len(got) != len(planted) {
+		t.Fatalf("violations = %v, planted %v", got, planted)
+	}
+	plantedSet := map[int]bool{}
+	for _, tid := range planted {
+		plantedSet[tid] = true
+	}
+	for _, tid := range got {
+		if !plantedSet[tid] {
+			t.Errorf("unplanted violation at tid %d", tid)
+		}
+	}
+}
+
+func TestOrdersZeroViolations(t *testing.T) {
+	cdRel, bookRel, planted := Orders(300, 200, 0, 9)
+	if len(planted) != 0 {
+		t.Fatal("no violations requested")
+	}
+	ok, err := cind.Satisfies(cdRel, bookRel, OrdersCIND())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("violation-free Orders data should satisfy the CIND")
+	}
+}

@@ -1,0 +1,182 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"semandaq/internal/relation"
+)
+
+// CardSchema returns the card(c#, ssn, fn, ln, addr, phn, email, type)
+// schema of the tutorial's §4 fraud-detection example.
+func CardSchema() *relation.Schema {
+	s, err := relation.StringSchema("card", "cno", "ssn", "fn", "ln", "addr", "phn", "email", "type")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BillingSchema returns billing(c#, fn, ln, addr, phn, email, item, price).
+func BillingSchema() *relation.Schema {
+	s, err := relation.StringSchema("billing", "cno", "fn", "ln", "addr", "phn", "email", "item", "price")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+var lastNames = []string{
+	"smith", "jones", "taylor", "brown", "wilson", "evans", "thomas",
+	"johnson", "roberts", "walker", "wright", "robinson", "khan", "lewis",
+}
+
+var streetsPool = []string{
+	"oak st", "king rd", "elm ave", "pine ln", "main st", "mayfield rd",
+	"crichton st", "high st", "broadway", "park ave",
+}
+
+var items = []string{"book", "cd", "dvd", "game", "pen"}
+
+// person is the ground-truth entity behind card/billing rows.
+type person struct {
+	fn, ln, addr, phn, email string
+}
+
+// CardBillingOptions configures the record-matching workload.
+type CardBillingOptions struct {
+	// Persons is the number of distinct card holders.
+	Persons int
+	// DupRate is the fraction of billing rows that belong to a card
+	// holder (true matches); the rest are unrelated records.
+	DupRate float64
+	// Perturb is the probability that each of a true duplicate's fuzzy
+	// fields (fn, addr) is distorted (typos in fn, address rewritten in a
+	// different convention) — the distortions the RCK matcher must see
+	// through.
+	Perturb float64
+	Seed    int64
+}
+
+// CardBilling generates a card relation (one row per person) and a
+// billing relation containing distorted duplicates plus unrelated rows.
+// It returns both relations and the ground-truth match pairs
+// (card TID, billing TID).
+func CardBilling(opts CardBillingOptions) (card, billing *relation.Relation, truth map[[2]int]bool) {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	if opts.Persons <= 0 {
+		opts.Persons = 100
+	}
+	if opts.DupRate == 0 {
+		opts.DupRate = 0.5
+	}
+	if opts.Perturb == 0 {
+		opts.Perturb = 0.5
+	}
+
+	persons := make([]person, opts.Persons)
+	for i := range persons {
+		persons[i] = person{
+			fn:    firstNames[rng.Intn(len(firstNames))],
+			ln:    lastNames[rng.Intn(len(lastNames))],
+			addr:  fmt.Sprintf("%d %s", 1+rng.Intn(99), streetsPool[rng.Intn(len(streetsPool))]),
+			phn:   fmt.Sprintf("555-%04d", rng.Intn(10000)),
+			email: fmt.Sprintf("u%d@example.com", i),
+		}
+	}
+
+	card = relation.New(CardSchema())
+	for i, p := range persons {
+		card.MustInsert(relation.Tuple{
+			relation.String(fmt.Sprintf("C%06d", i)),
+			relation.String(fmt.Sprintf("%09d", rng.Intn(1_000_000_000))),
+			relation.String(p.fn), relation.String(p.ln),
+			relation.String(p.addr), relation.String(p.phn),
+			relation.String(p.email),
+			relation.String([]string{"visa", "amex"}[rng.Intn(2)]),
+		})
+	}
+
+	billing = relation.New(BillingSchema())
+	truth = map[[2]int]bool{}
+	nBilling := opts.Persons // same size by default
+	for i := 0; i < nBilling; i++ {
+		if rng.Float64() < opts.DupRate {
+			pi := rng.Intn(len(persons))
+			p := persons[pi]
+			fn, addr := p.fn, p.addr
+			if rng.Float64() < opts.Perturb {
+				fn = typoString(fn, rng)
+			}
+			if rng.Float64() < opts.Perturb {
+				addr = rewriteAddr(addr, rng)
+			}
+			tid := billing.MustInsert(relation.Tuple{
+				relation.String(fmt.Sprintf("B%06d", i)),
+				relation.String(fn), relation.String(p.ln),
+				relation.String(addr), relation.String(p.phn),
+				relation.String(p.email),
+				relation.String(items[rng.Intn(len(items))]),
+				relation.String(fmt.Sprintf("%d.99", 1+rng.Intn(40))),
+			})
+			truth[[2]int{pi, tid}] = true
+			continue
+		}
+		// Unrelated record.
+		billing.MustInsert(relation.Tuple{
+			relation.String(fmt.Sprintf("B%06d", i)),
+			relation.String(firstNames[rng.Intn(len(firstNames))]),
+			relation.String(lastNames[rng.Intn(len(lastNames))]),
+			relation.String(fmt.Sprintf("%d %s", 1+rng.Intn(99), streetsPool[rng.Intn(len(streetsPool))])),
+			relation.String(fmt.Sprintf("555-%04d", rng.Intn(10000))),
+			relation.String(fmt.Sprintf("x%d@other.org", i)),
+			relation.String(items[rng.Intn(len(items))]),
+			relation.String(fmt.Sprintf("%d.99", 1+rng.Intn(40))),
+		})
+	}
+	return card, billing, truth
+}
+
+// typoString applies one character edit, preserving the first rune so
+// prefix-sensitive measures still see the resemblance.
+func typoString(s string, rng *rand.Rand) string {
+	runes := []rune(s)
+	if len(runes) < 3 {
+		return s + "e"
+	}
+	i := 1 + rng.Intn(len(runes)-1)
+	switch rng.Intn(3) {
+	case 0:
+		runes[i] = rune('a' + rng.Intn(26))
+	case 1:
+		runes = append(runes[:i], runes[i+1:]...)
+	default:
+		if i+1 < len(runes) {
+			runes[i], runes[i+1] = runes[i+1], runes[i]
+		} else {
+			runes = append(runes, 'a')
+		}
+	}
+	return string(runes)
+}
+
+// rewriteAddr renders an address in a different convention ("10 oak st"
+// → "oak street 10"), the tutorial's example of addresses that are
+// "radically different" yet refer to the same place.
+func rewriteAddr(addr string, rng *rand.Rand) string {
+	parts := strings.Fields(addr)
+	if len(parts) < 3 {
+		return addr + " apt 1"
+	}
+	num, rest := parts[0], parts[1:]
+	street := strings.Join(rest, " ")
+	street = strings.ReplaceAll(street, " st", " street")
+	street = strings.ReplaceAll(street, " rd", " road")
+	street = strings.ReplaceAll(street, " ave", " avenue")
+	street = strings.ReplaceAll(street, " ln", " lane")
+	if rng.Intn(2) == 0 {
+		return street + " " + num
+	}
+	return strings.ToUpper(street[:1]) + street[1:] + " " + num
+}

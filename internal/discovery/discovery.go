@@ -1,0 +1,441 @@
+// Package discovery implements CFD discovery (profiling), the "deducing
+// and discovering rules for cleaning the data" capability the tutorial
+// lists under research on data quality (§2). The algorithms follow the
+// two families evaluated in the literature the tutorial spawned (Fan,
+// Geerts, Li, Xiong, "Discovering conditional functional dependencies",
+// ICDE 2009/TKDE 2011):
+//
+//   - constant CFD mining in the style of CFDMiner: minimal constant
+//     patterns (X = x̄ → A = a) derived from free/closed itemset pairs
+//     with a support threshold;
+//   - variable CFD discovery in the style of CTANE: level-wise TANE-like
+//     search over attribute-set lattices, extended with single-attribute
+//     conditions that make a failing FD hold on a pattern's scope.
+//
+// Every discovered CFD is guaranteed to (a) hold on the input relation
+// and (b) meet the support threshold; tests enforce both as properties.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// Options configures discovery.
+type Options struct {
+	// MinSupport is the minimum number of tuples a pattern's scope must
+	// contain (default 2).
+	MinSupport int
+	// MaxLHS bounds the number of LHS attributes explored (default 3).
+	MaxLHS int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport == 0 {
+		o.MinSupport = 2
+	}
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 3
+	}
+	return o
+}
+
+// FDs discovers the minimal plain functional dependencies X → A with
+// |X| ≤ MaxLHS that hold on r, using TANE-style level-wise partition
+// refinement: X → A holds iff the partition of r by X has as many groups
+// as the partition by X∪{A}.
+func FDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
+	opts = opts.withDefaults()
+	arity := r.Schema().Arity()
+	if r.Len() == 0 {
+		return nil, nil
+	}
+
+	groupsOf := newPartitionCache(r)
+
+	// minimal[A] holds the discovered minimal LHS sets for RHS attribute A.
+	minimal := make(map[int][][]int)
+	hasSubsetFD := func(x []int, a int) bool {
+		for _, m := range minimal[a] {
+			if isSubset(m, x) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []*cfd.CFD
+	for _, x := range subsetsUpTo(arity, opts.MaxLHS) {
+		gx := groupsOf(x)
+		for a := 0; a < arity; a++ {
+			if contains(x, a) || hasSubsetFD(x, a) {
+				continue
+			}
+			xa := append(append([]int(nil), x...), a)
+			sort.Ints(xa)
+			if gx == groupsOf(xa) {
+				minimal[a] = append(minimal[a], append([]int(nil), x...))
+				c, err := buildFD(r.Schema(), x, a)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+// buildFD constructs the plain FD X → A as a CFD with one all-wild row.
+func buildFD(schema *relation.Schema, x []int, a int) (*cfd.CFD, error) {
+	lhs := make([]string, len(x))
+	for i, idx := range x {
+		lhs[i] = schema.Attr(idx).Name
+	}
+	name := fmt.Sprintf("fd_%s_%s", joinNames(lhs), schema.Attr(a).Name)
+	return cfd.New(name, schema, lhs, []string{schema.Attr(a).Name}, nil)
+}
+
+// ConstantCFDs mines minimal constant CFDs (X = x̄ → A = 'a') holding on
+// r with scope at least MinSupport, in the spirit of CFDMiner: the LHS
+// pattern must be "free" — no generalization (dropping one attribute)
+// already determines the same constant.
+func ConstantCFDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
+	opts = opts.withDefaults()
+	arity := r.Schema().Arity()
+	if r.Len() == 0 {
+		return nil, nil
+	}
+
+	// discovered[g] for generalization pruning: key is
+	// (sorted X, encoded x̄ values, A, encoded a).
+	type ruleKey struct {
+		attrs string
+		vals  string
+		rhs   int
+		rhsV  string
+	}
+	emitted := map[ruleKey]bool{}
+	generalizes := func(x []int, vals relation.Tuple, a int, av relation.Value) bool {
+		// Does some emitted rule with X' ⊂ X, consistent values, same RHS
+		// exist? We only need to check direct generalizations because
+		// emission is level-wise (smaller X first).
+		for drop := range x {
+			sub := make([]int, 0, len(x)-1)
+			var subVals relation.Tuple
+			for i, idx := range x {
+				if i == drop {
+					continue
+				}
+				sub = append(sub, idx)
+				subVals = append(subVals, vals[i])
+			}
+			k := ruleKey{encodeInts(sub), subVals.FullKey(), a, string(av.Encode(nil))}
+			if emitted[k] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []*cfd.CFD
+	for _, x := range subsetsUpTo(arity, opts.MaxLHS) {
+		if len(x) == 0 {
+			continue
+		}
+		idx := relation.BuildIndex(r, x)
+		type group struct {
+			vals relation.Tuple
+			tids []int
+		}
+		var groups []group
+		idx.Groups(func(_ string, tids []int) bool {
+			if len(tids) >= opts.MinSupport {
+				groups = append(groups, group{r.Tuple(tids[0]).Project(x), tids})
+			}
+			return true
+		})
+		// Deterministic order for reproducible output.
+		sort.Slice(groups, func(i, j int) bool {
+			return groups[i].vals.FullKey() < groups[j].vals.FullKey()
+		})
+		for _, g := range groups {
+			hasNull := false
+			for _, v := range g.vals {
+				if v.IsNull() {
+					hasNull = true
+					break
+				}
+			}
+			if hasNull {
+				continue // constant patterns cannot express NULL
+			}
+			for a := 0; a < arity; a++ {
+				if contains(x, a) {
+					continue
+				}
+				av := r.Tuple(g.tids[0])[a]
+				if av.IsNull() {
+					continue
+				}
+				uniform := true
+				for _, tid := range g.tids[1:] {
+					if !r.Tuple(tid)[a].Identical(av) {
+						uniform = false
+						break
+					}
+				}
+				if !uniform || generalizes(x, g.vals, a, av) {
+					continue
+				}
+				k := ruleKey{encodeInts(x), g.vals.FullKey(), a, string(av.Encode(nil))}
+				emitted[k] = true
+				c, err := buildConstantCFD(r.Schema(), x, g.vals, a, av)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+func buildConstantCFD(schema *relation.Schema, x []int, vals relation.Tuple, a int, av relation.Value) (*cfd.CFD, error) {
+	lhs := make([]string, len(x))
+	row := make(pattern.Row, 0, len(x)+1)
+	for i, idx := range x {
+		lhs[i] = schema.Attr(idx).Name
+		row = append(row, pattern.Const(vals[i]))
+	}
+	row = append(row, pattern.Const(av))
+	name := fmt.Sprintf("ccfd_%s_%s", joinNames(lhs), schema.Attr(a).Name)
+	return cfd.New(name, schema, lhs, []string{schema.Attr(a).Name}, pattern.Tableau{row})
+}
+
+// VariableCFDs discovers conditional (variable) CFDs in the CTANE style:
+// for embedded FDs X → A that fail on the whole relation, it searches
+// single-attribute conditions B = b (B ∈ X) under which the FD holds
+// with support ≥ MinSupport. Plain FDs that hold globally are reported
+// by FDs and skipped here.
+func VariableCFDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
+	opts = opts.withDefaults()
+	arity := r.Schema().Arity()
+	if r.Len() == 0 {
+		return nil, nil
+	}
+	groupsOf := newPartitionCache(r)
+
+	var out []*cfd.CFD
+	for _, x := range subsetsUpTo(arity, opts.MaxLHS) {
+		if len(x) < 2 {
+			continue // a condition needs one attr, the FD another
+		}
+		for a := 0; a < arity; a++ {
+			if contains(x, a) {
+				continue
+			}
+			xa := append(append([]int(nil), x...), a)
+			sort.Ints(xa)
+			if groupsOf(x) == groupsOf(xa) {
+				continue // holds globally: a plain FD, not a conditional one
+			}
+			// Try conditioning on each attribute of X.
+			for _, b := range x {
+				rows, err := conditionalRows(r, x, a, b, opts.MinSupport)
+				if err != nil {
+					return nil, err
+				}
+				if len(rows) == 0 {
+					continue
+				}
+				c, err := buildVariableCFD(r.Schema(), x, a, rows)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	return out, nil
+}
+
+// conditionalRows finds the values b of attribute cond such that X → A
+// holds on σ_{cond=b}(r) with at least minSupport tuples, returning the
+// pattern rows (constant on cond, wildcards elsewhere).
+func conditionalRows(r *relation.Relation, x []int, a, cond, minSupport int) ([]pattern.Row, error) {
+	// Partition by cond, then test the FD within each part.
+	byCond := relation.BuildIndex(r, []int{cond})
+	type candidate struct {
+		val  relation.Value
+		key  string
+		tids []int
+	}
+	var cands []candidate
+	byCond.Groups(func(key string, tids []int) bool {
+		if len(tids) >= minSupport {
+			v := r.Tuple(tids[0])[cond]
+			if !v.IsNull() {
+				cands = append(cands, candidate{v, key, tids})
+			}
+		}
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+
+	var rows []pattern.Row
+	for _, cand := range cands {
+		// Check X → A within the scope.
+		seen := map[string]relation.Value{}
+		holds := true
+		for _, tid := range cand.tids {
+			t := r.Tuple(tid)
+			k := t.Key(x)
+			if prev, ok := seen[k]; ok {
+				if !prev.Identical(t[a]) {
+					holds = false
+					break
+				}
+			} else {
+				seen[k] = t[a]
+			}
+		}
+		if !holds {
+			continue
+		}
+		// Reject trivial scopes: if every X-group in scope is a
+		// singleton the FD holds vacuously; require at least one group
+		// with 2+ members so the rule is supported by evidence.
+		supported := false
+		counts := map[string]int{}
+		for _, tid := range cand.tids {
+			k := r.Tuple(tid).Key(x)
+			counts[k]++
+			if counts[k] >= 2 {
+				supported = true
+				break
+			}
+		}
+		if !supported {
+			continue
+		}
+		row := make(pattern.Row, 0, len(x)+1)
+		for _, idx := range x {
+			if idx == cond {
+				row = append(row, pattern.Const(cand.val))
+			} else {
+				row = append(row, pattern.Wild())
+			}
+		}
+		row = append(row, pattern.Wild())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func buildVariableCFD(schema *relation.Schema, x []int, a int, rows []pattern.Row) (*cfd.CFD, error) {
+	lhs := make([]string, len(x))
+	for i, idx := range x {
+		lhs[i] = schema.Attr(idx).Name
+	}
+	name := fmt.Sprintf("vcfd_%s_%s", joinNames(lhs), schema.Attr(a).Name)
+	return cfd.New(name, schema, lhs, []string{schema.Attr(a).Name}, pattern.Tableau(rows))
+}
+
+// Discover runs all three discovery passes and returns the union.
+func Discover(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
+	fds, err := FDs(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	consts, err := ConstantCFDs(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	vars, err := VariableCFDs(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := append(fds, consts...)
+	return append(out, vars...), nil
+}
+
+// newPartitionCache returns a memoized group-count function over
+// attribute sets.
+func newPartitionCache(r *relation.Relation) func([]int) int {
+	cache := map[string]int{}
+	return func(attrs []int) int {
+		key := encodeInts(attrs)
+		if n, ok := cache[key]; ok {
+			return n
+		}
+		seen := make(map[string]struct{}, r.Len())
+		for _, t := range r.Tuples() {
+			seen[t.Key(attrs)] = struct{}{}
+		}
+		cache[key] = len(seen)
+		return len(seen)
+	}
+}
+
+// subsetsUpTo enumerates the non-empty subsets of {0..n-1} with size ≤ k,
+// ordered by size then lexicographically (level-wise order).
+func subsetsUpTo(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) > 0 {
+			out = append(out, append([]int(nil), cur...))
+		}
+		if len(cur) == k {
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func isSubset(sub, super []int) bool {
+	for _, s := range sub {
+		if !contains(super, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func encodeInts(xs []int) string {
+	b := make([]byte, 0, len(xs)*3)
+	for _, x := range xs {
+		b = append(b, byte(x), ',')
+	}
+	return string(b)
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "_"
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package discovery
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relation"
+)
+
+func schema(t *testing.T, names ...string) *relation.Schema {
+	t.Helper()
+	s, err := relation.StringSchema("r", names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func strTuple(vals ...string) relation.Tuple {
+	tp := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		tp[i] = relation.String(v)
+	}
+	return tp
+}
+
+func TestFDsSimple(t *testing.T) {
+	s := schema(t, "A", "B", "C")
+	r := relation.New(s)
+	// A determines B (a1->b1, a2->b2); C is free.
+	r.MustInsert(strTuple("a1", "b1", "c1"))
+	r.MustInsert(strTuple("a1", "b1", "c2"))
+	r.MustInsert(strTuple("a2", "b2", "c1"))
+	r.MustInsert(strTuple("a2", "b2", "c3"))
+	fds, err := FDs(r, Options{MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsFD(fds, []string{"A"}, "B") {
+		t.Errorf("A -> B not found in %v", names(fds))
+	}
+	if containsFD(fds, []string{"A"}, "C") {
+		t.Errorf("A -> C should not hold")
+	}
+	// Minimality: A->B found, so {A,C}->B must not be reported.
+	if containsFD(fds, []string{"A", "C"}, "B") {
+		t.Errorf("non-minimal FD {A,C} -> B reported")
+	}
+}
+
+func TestFDsHoldOnInput(t *testing.T) {
+	// Property: every discovered FD has zero violations on the input.
+	rng := rand.New(rand.NewSource(5))
+	s := schema(t, "A", "B", "C", "D")
+	for trial := 0; trial < 10; trial++ {
+		r := relation.New(s)
+		for i := 0; i < 50; i++ {
+			r.MustInsert(strTuple(
+				pick(rng, "x", "y"),
+				pick(rng, "p", "q", "r"),
+				pick(rng, "1", "2"),
+				pick(rng, "m", "n", "o", "z")))
+		}
+		fds, err := FDs(r, Options{MaxLHS: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range fds {
+			ok, err := c.Satisfies(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: discovered FD %s does not hold", trial, c)
+			}
+		}
+	}
+}
+
+func TestConstantCFDs(t *testing.T) {
+	s := schema(t, "CC", "AC", "CT")
+	r := relation.New(s)
+	// All 44/131 tuples live in edi (3 supporting tuples).
+	r.MustInsert(strTuple("44", "131", "edi"))
+	r.MustInsert(strTuple("44", "131", "edi"))
+	r.MustInsert(strTuple("44", "131", "edi"))
+	// 01 tuples are split between cities, so CC=01 determines nothing.
+	r.MustInsert(strTuple("01", "908", "mh"))
+	r.MustInsert(strTuple("01", "212", "nyc"))
+	cs, err := ConstantCFDs(r, Options{MinSupport: 2, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range cs {
+		str := c.String()
+		if strings.Contains(str, "CC") && strings.Contains(str, "'44'") &&
+			strings.Contains(str, "CT") && strings.Contains(str, "'edi'") &&
+			len(c.LHS()) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CC='44' -> CT='edi' not mined; got:\n%s", dump(cs))
+	}
+	// Free-set minimality: since CC='44' alone determines CT='edi', the
+	// refinement (CC='44', AC='131') -> CT='edi' must be pruned.
+	for _, c := range cs {
+		if len(c.LHS()) == 2 && strings.Contains(c.String(), "'edi'") {
+			t.Errorf("non-minimal constant CFD mined: %s", c)
+		}
+	}
+}
+
+func TestConstantCFDsSupportThreshold(t *testing.T) {
+	s := schema(t, "A", "B")
+	r := relation.New(s)
+	r.MustInsert(strTuple("a1", "b1")) // support 1: below threshold
+	r.MustInsert(strTuple("a2", "b2"))
+	r.MustInsert(strTuple("a2", "b2"))
+	cs, err := ConstantCFDs(r, Options{MinSupport: 2, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if strings.Contains(c.String(), "'a1'") {
+			t.Errorf("below-threshold rule mined: %s", c)
+		}
+	}
+	found := false
+	for _, c := range cs {
+		if strings.Contains(c.String(), "'a2'") && strings.Contains(c.String(), "'b2'") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("supported rule a2->b2 missing:\n%s", dump(cs))
+	}
+}
+
+func TestConstantCFDsHoldOnInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := schema(t, "A", "B", "C")
+	for trial := 0; trial < 10; trial++ {
+		r := relation.New(s)
+		for i := 0; i < 60; i++ {
+			r.MustInsert(strTuple(pick(rng, "x", "y", "z"), pick(rng, "p", "q"), pick(rng, "1", "2", "3")))
+		}
+		cs, err := ConstantCFDs(r, Options{MinSupport: 3, MaxLHS: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cs {
+			ok, err := c.Satisfies(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: mined constant CFD %s does not hold", trial, c)
+			}
+		}
+	}
+}
+
+func TestVariableCFDs(t *testing.T) {
+	s := schema(t, "CC", "ZIP", "STR")
+	r := relation.New(s)
+	// Inside CC=44, ZIP determines STR; inside CC=01 it does not.
+	r.MustInsert(strTuple("44", "Z1", "mayfield"))
+	r.MustInsert(strTuple("44", "Z1", "mayfield"))
+	r.MustInsert(strTuple("44", "Z2", "crichton"))
+	r.MustInsert(strTuple("01", "Z1", "mtn ave"))
+	r.MustInsert(strTuple("01", "Z1", "high st"))
+	r.MustInsert(strTuple("01", "Z3", "oak"))
+	cs, err := VariableCFDs(r, Options{MinSupport: 2, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect a CFD over [CC, ZIP] -> STR conditioned on CC='44'.
+	found := false
+	for _, c := range cs {
+		str := c.String()
+		if strings.Contains(str, "'44'") && strings.Contains(str, "STR") {
+			found = true
+			// And it must hold on the input.
+			ok, err := c.Satisfies(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("discovered variable CFD does not hold: %s", c)
+			}
+		}
+		// No rule conditioned on CC='01' for STR (fails inside scope).
+		if strings.Contains(str, "'01'") && strings.Contains(str, "STR") && strings.Contains(str, "ZIP") {
+			t.Errorf("invalid conditional rule mined: %s", c)
+		}
+	}
+	if !found {
+		t.Errorf("conditional rule on CC='44' missing:\n%s", dump(cs))
+	}
+}
+
+func TestVariableCFDsSkipGlobalFDs(t *testing.T) {
+	s := schema(t, "A", "B", "C")
+	r := relation.New(s)
+	// A,B -> C holds globally: not a variable CFD.
+	r.MustInsert(strTuple("a", "b", "c"))
+	r.MustInsert(strTuple("a", "b2", "c2"))
+	r.MustInsert(strTuple("a2", "b", "c3"))
+	cs, err := VariableCFDs(r, Options{MinSupport: 1, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if len(c.RHS()) == 1 && c.RHSNames()[0] == "C" && len(c.LHSNames()) == 2 {
+			t.Errorf("globally-holding FD rediscovered as conditional: %s", c)
+		}
+	}
+}
+
+func TestDiscoverUnionAndPlantedRecovery(t *testing.T) {
+	// Plant a CFD-governed dataset and check the planted rules come back.
+	s := schema(t, "CC", "AC", "CT", "PN")
+	r := relation.New(s)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		cc := pick(rng, "44", "01")
+		var ac, ct string
+		if cc == "44" {
+			ac, ct = "131", "edi" // planted: CC=44 -> AC=131, CT=edi
+		} else {
+			ac = pick(rng, "908", "212")
+			if ac == "908" {
+				ct = "mh" // planted: AC=908 -> CT=mh
+			} else {
+				ct = "nyc"
+			}
+		}
+		r.MustInsert(strTuple(cc, ac, ct, pick(rng, "1", "2", "3", "4", "5", "6")))
+	}
+	all, err := Discover(r, Options{MinSupport: 5, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSubstr := [][]string{
+		{"CC", "'44'", "AC", "'131'"},
+		{"CC", "'44'", "CT", "'edi'"},
+		{"AC", "'908'", "CT", "'mh'"},
+	}
+	for _, want := range wantSubstr {
+		found := false
+		for _, c := range all {
+			str := c.String()
+			ok := true
+			for _, sub := range want {
+				if !strings.Contains(str, sub) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("planted rule %v not recovered; discovered:\n%s", want, dump(all))
+		}
+	}
+	// Everything discovered holds.
+	for _, c := range all {
+		ok, err := c.Satisfies(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("discovered rule does not hold: %s", c)
+		}
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	s := schema(t, "A", "B")
+	r := relation.New(s)
+	all, err := Discover(r, Options{})
+	if err != nil || len(all) != 0 {
+		t.Errorf("empty relation: %v, %v", all, err)
+	}
+}
+
+func TestSubsetsUpTo(t *testing.T) {
+	got := subsetsUpTo(3, 2)
+	// 3 singletons + 3 pairs.
+	if len(got) != 6 {
+		t.Fatalf("subsets = %v", got)
+	}
+	// Level-wise order: all singletons first.
+	for i := 0; i < 3; i++ {
+		if len(got[i]) != 1 {
+			t.Errorf("subset %d = %v, want singleton first", i, got[i])
+		}
+	}
+}
+
+func containsFD(cs []*cfd.CFD, lhs []string, rhs string) bool {
+	for _, c := range cs {
+		if !c.IsFD() || len(c.RHSNames()) != 1 || c.RHSNames()[0] != rhs {
+			continue
+		}
+		got := c.LHSNames()
+		if len(got) != len(lhs) {
+			continue
+		}
+		match := true
+		for i := range lhs {
+			if got[i] != lhs[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func names(cs []*cfd.CFD) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+func dump(cs []*cfd.CFD) string {
+	return strings.Join(names(cs), "\n")
+}
+
+func pick(rng *rand.Rand, vals ...string) string {
+	return vals[rng.Intn(len(vals))]
+}

@@ -1,0 +1,140 @@
+package discovery
+
+import (
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relation"
+)
+
+// mixedFD builds data where ZIP → STR holds exactly inside CC='44' but
+// fails inside CC='01' (shared zips, different streets).
+func mixedFD(t *testing.T) *relation.Relation {
+	t.Helper()
+	s := schema(t, "CC", "ZIP", "STR")
+	r := relation.New(s)
+	for i := 0; i < 20; i++ {
+		z := []string{"Z1", "Z2"}[i%2]
+		street := "uk-street-" + z
+		r.MustInsert(strTuple("44", z, street))
+	}
+	for i := 0; i < 20; i++ {
+		z := []string{"Z1", "Z2"}[i%2]
+		street := []string{"us-a", "us-b", "us-c"}[i%3]
+		r.MustInsert(strTuple("01", z, street))
+	}
+	return r
+}
+
+func TestGenerateTableauPicksCondition(t *testing.T) {
+	r := mixedFD(t)
+	c, stats, err := GenerateTableau(r, []string{"CC", "ZIP"}, "STR", TableauOptions{
+		MinSupport:    0.1,
+		MinConfidence: 1.0,
+		MaxRows:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The all-wild row fails confidence (US part violates), so the
+	// generator must pick the CC='44' condition (or finer rows inside
+	// it). The first pick covers the UK half.
+	if len(stats) == 0 {
+		t.Fatal("no rows generated")
+	}
+	first := stats[0]
+	if first.Confidence < 1.0 {
+		t.Errorf("first row confidence = %f", first.Confidence)
+	}
+	if !first.Row[0].Matches(relation.String("44")) {
+		t.Errorf("first row should condition on CC='44': %v", first.Row)
+	}
+	// The generated CFD must hold on its scope: detect violations.
+	vs, err := cfd.DetectOne(r, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Errorf("generated tableau fires on its own data: %v", vs)
+	}
+}
+
+func TestGenerateTableauGlobalFDGivesWildRow(t *testing.T) {
+	// If the FD holds globally, the single all-wildcard row covers
+	// everything and should be the only pick.
+	s := schema(t, "A", "B")
+	r := relation.New(s)
+	for i := 0; i < 30; i++ {
+		v := []string{"x", "y", "z"}[i%3]
+		r.MustInsert(strTuple(v, "val-"+v))
+	}
+	c, stats, err := GenerateTableau(r, []string{"A"}, "B", TableauOptions{MinSupport: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("rows = %d, want 1", len(stats))
+	}
+	if !stats[0].Row[0].IsWild() {
+		t.Errorf("expected all-wild row, got %v", stats[0].Row)
+	}
+	if stats[0].Support != 1.0 || stats[0].Confidence != 1.0 {
+		t.Errorf("stats = %+v", stats[0])
+	}
+	if c.Rows() != 1 {
+		t.Errorf("tableau rows = %d", c.Rows())
+	}
+}
+
+func TestGenerateTableauConfidenceRelaxed(t *testing.T) {
+	// With confidence < 1 the noisy global row becomes admissible.
+	s := schema(t, "A", "B")
+	r := relation.New(s)
+	for i := 0; i < 95; i++ {
+		r.MustInsert(strTuple("a", "good"))
+	}
+	for i := 0; i < 5; i++ {
+		r.MustInsert(strTuple("a", "bad"))
+	}
+	if _, _, err := GenerateTableau(r, []string{"A"}, "B", TableauOptions{
+		MinSupport: 0.5, MinConfidence: 1.0,
+	}); err == nil {
+		t.Error("exact confidence should find no row (the lone group is 95/100 pure)")
+	}
+	_, stats, err := GenerateTableau(r, []string{"A"}, "B", TableauOptions{
+		MinSupport: 0.5, MinConfidence: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Confidence < 0.9 || stats[0].Confidence >= 1.0 {
+		t.Errorf("confidence = %f, want in [0.9, 1)", stats[0].Confidence)
+	}
+}
+
+func TestGenerateTableauSupportThreshold(t *testing.T) {
+	r := mixedFD(t)
+	// Support 0.8 excludes every conditional row (each CC covers 0.5):
+	// only the all-wild row qualifies on support, but it fails
+	// confidence → error.
+	if _, _, err := GenerateTableau(r, []string{"CC", "ZIP"}, "STR", TableauOptions{
+		MinSupport: 0.8, MinConfidence: 1.0,
+	}); err == nil {
+		t.Error("no row should satisfy support 0.8 at confidence 1.0")
+	}
+}
+
+func TestGenerateTableauErrors(t *testing.T) {
+	s := schema(t, "A", "B")
+	r := relation.New(s)
+	if _, _, err := GenerateTableau(r, []string{"A"}, "B", TableauOptions{}); err == nil {
+		t.Error("empty relation should fail")
+	}
+	r.MustInsert(strTuple("a", "b"))
+	if _, _, err := GenerateTableau(r, []string{"NOPE"}, "B", TableauOptions{}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if _, _, err := GenerateTableau(r, []string{"A"}, "NOPE", TableauOptions{}); err == nil {
+		t.Error("unknown RHS should fail")
+	}
+}

@@ -1,0 +1,274 @@
+package editrules
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// Schemas for the canonical master-data scenario: an input tuple with a
+// verified zip gets its city and state corrected from the master
+// address registry.
+func schemas(t *testing.T) (input, master *relation.Schema) {
+	t.Helper()
+	input, _ = relation.StringSchema("person", "name", "zip", "city", "state", "phone")
+	master, _ = relation.StringSchema("addr", "mzip", "mcity", "mstate")
+	return input, master
+}
+
+func masterData(t *testing.T, master *relation.Schema) *relation.Relation {
+	t.Helper()
+	m := relation.New(master)
+	st := func(vals ...string) relation.Tuple {
+		tp := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			tp[i] = relation.String(v)
+		}
+		return tp
+	}
+	m.MustInsert(st("07974", "murray hill", "nj"))
+	m.MustInsert(st("10012", "new york", "ny"))
+	m.MustInsert(st("EH4", "edinburgh", "sct"))
+	return m
+}
+
+func zipRule(t *testing.T, input, master *relation.Schema) *Rule {
+	t.Helper()
+	r, err := NewRule("zip2city", input, master,
+		[]string{"zip"}, []string{"mzip"},
+		nil, nil,
+		[]string{"city", "state"}, []string{"mcity", "mstate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCertainFixBasic(t *testing.T) {
+	input, master := schemas(t)
+	m := masterData(t, master)
+	f, err := NewFixer(m, []*Rule{zipRule(t, input, master)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := relation.Tuple{
+		relation.String("joe"), relation.String("07974"),
+		relation.String("WRONG CITY"), relation.String("zz"), relation.String("555"),
+	}
+	zip := input.MustIndex("zip")
+	fixed, fixes, err := f.CertainFix(tup, []int{zip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed[input.MustIndex("city")].Str() != "murray hill" {
+		t.Errorf("city = %v", fixed[input.MustIndex("city")])
+	}
+	if fixed[input.MustIndex("state")].Str() != "nj" {
+		t.Errorf("state = %v", fixed[input.MustIndex("state")])
+	}
+	if len(fixes) != 2 {
+		t.Errorf("fixes = %v", fixes)
+	}
+	// Input untouched.
+	if tup[input.MustIndex("city")].Str() != "WRONG CITY" {
+		t.Error("CertainFix modified its input")
+	}
+}
+
+func TestCertainFixRequiresValidatedEvidence(t *testing.T) {
+	input, master := schemas(t)
+	m := masterData(t, master)
+	f, _ := NewFixer(m, []*Rule{zipRule(t, input, master)})
+	tup := relation.Tuple{
+		relation.String("joe"), relation.String("07974"),
+		relation.String("WRONG"), relation.String("zz"), relation.String("555"),
+	}
+	// zip not validated: the rule must not fire (the zip itself might be
+	// the error).
+	fixed, fixes, err := f.CertainFix(tup, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixes) != 0 || fixed[input.MustIndex("city")].Str() != "WRONG" {
+		t.Errorf("rule fired without validated evidence: %v", fixes)
+	}
+}
+
+func TestCertainFixChaining(t *testing.T) {
+	// Rule 2 uses the city fixed by rule 1 as evidence: validation must
+	// propagate through fixes.
+	input, _ := relation.StringSchema("person", "name", "zip", "city", "region")
+	master1, _ := relation.StringSchema("addr", "mzip", "mcity")
+	master2, _ := relation.StringSchema("geo", "gcity", "gregion")
+
+	m1 := relation.New(master1)
+	m1.MustInsert(relation.Tuple{relation.String("07974"), relation.String("murray hill")})
+	m2 := relation.New(master2)
+	m2.MustInsert(relation.Tuple{relation.String("murray hill"), relation.String("northeast")})
+
+	// The two rules have different master schemas, so use two fixers in
+	// sequence — chaining validated outputs across fixers.
+	r1, err := NewRule("zip2city", input, master1,
+		[]string{"zip"}, []string{"mzip"}, nil, nil,
+		[]string{"city"}, []string{"mcity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRule("city2region", input, master2,
+		[]string{"city"}, []string{"gcity"}, nil, nil,
+		[]string{"region"}, []string{"gregion"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := NewFixer(m1, []*Rule{r1})
+	f2, _ := NewFixer(m2, []*Rule{r2})
+
+	tup := relation.Tuple{
+		relation.String("joe"), relation.String("07974"),
+		relation.String("???"), relation.String("???"),
+	}
+	zip := input.MustIndex("zip")
+	city := input.MustIndex("city")
+	fixed, fixes1, err := f1.CertainFix(tup, []int{zip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixes1) != 1 {
+		t.Fatalf("fixes1 = %v", fixes1)
+	}
+	fixed2, fixes2, err := f2.CertainFix(fixed, []int{zip, city})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixes2) != 1 || fixed2[input.MustIndex("region")].Str() != "northeast" {
+		t.Fatalf("chained fix failed: %v, %v", fixes2, fixed2)
+	}
+}
+
+func TestCertainFixConflictingMasters(t *testing.T) {
+	input, master := schemas(t)
+	m := masterData(t, master)
+	// Second master tuple with the same zip but a different city: the
+	// fix is no longer certain.
+	m.MustInsert(relation.Tuple{
+		relation.String("07974"), relation.String("berkeley heights"), relation.String("nj"),
+	})
+	f, _ := NewFixer(m, []*Rule{zipRule(t, input, master)})
+	tup := relation.Tuple{
+		relation.String("joe"), relation.String("07974"),
+		relation.String("x"), relation.String("y"), relation.String("z"),
+	}
+	_, _, err := f.CertainFix(tup, []int{input.MustIndex("zip")})
+	if err == nil || !strings.Contains(err.Error(), "no certain fix") {
+		t.Fatalf("conflicting masters should abort: %v", err)
+	}
+}
+
+func TestCertainFixContradictsValidated(t *testing.T) {
+	input, master := schemas(t)
+	m := masterData(t, master)
+	f, _ := NewFixer(m, []*Rule{zipRule(t, input, master)})
+	tup := relation.Tuple{
+		relation.String("joe"), relation.String("07974"),
+		relation.String("somewhere else"), relation.String("nj"), relation.String("555"),
+	}
+	// The user validated the (wrong per master) city: contradiction.
+	_, _, err := f.CertainFix(tup, []int{input.MustIndex("zip"), input.MustIndex("city")})
+	if err == nil || !strings.Contains(err.Error(), "validated") {
+		t.Fatalf("contradiction with validated region should abort: %v", err)
+	}
+}
+
+func TestCertainFixWithPattern(t *testing.T) {
+	input, master := schemas(t)
+	m := masterData(t, master)
+	// Rule restricted to UK-style zips via a pattern on zip itself.
+	r, err := NewRule("uk-only", input, master,
+		[]string{"zip"}, []string{"mzip"},
+		[]string{"zip"}, pattern.Row{pattern.ConstStr("EH4")},
+		[]string{"city"}, []string{"mcity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := NewFixer(m, []*Rule{r})
+	zip := input.MustIndex("zip")
+	us := relation.Tuple{
+		relation.String("joe"), relation.String("07974"),
+		relation.String("wrong"), relation.String("nj"), relation.String("5"),
+	}
+	_, fixes, err := f.CertainFix(us, []int{zip})
+	if err != nil || len(fixes) != 0 {
+		t.Fatalf("US tuple should be out of scope: %v %v", fixes, err)
+	}
+	uk := relation.Tuple{
+		relation.String("amy"), relation.String("EH4"),
+		relation.String("wrong"), relation.String("sct"), relation.String("5"),
+	}
+	fixed, fixes, err := f.CertainFix(uk, []int{zip})
+	if err != nil || len(fixes) != 1 {
+		t.Fatalf("UK tuple should be fixed: %v %v", fixes, err)
+	}
+	if fixed[input.MustIndex("city")].Str() != "edinburgh" {
+		t.Errorf("city = %v", fixed[input.MustIndex("city")])
+	}
+}
+
+func TestFixRelation(t *testing.T) {
+	input, master := schemas(t)
+	m := masterData(t, master)
+	// Add a conflicting master zip so one tuple becomes uncertain.
+	m.MustInsert(relation.Tuple{
+		relation.String("10012"), relation.String("manhattan"), relation.String("ny"),
+	})
+	f, _ := NewFixer(m, []*Rule{zipRule(t, input, master)})
+	rel := relation.New(input)
+	mk := func(name, zip, city string) relation.Tuple {
+		return relation.Tuple{
+			relation.String(name), relation.String(zip),
+			relation.String(city), relation.String("?"), relation.String("5"),
+		}
+	}
+	rel.MustInsert(mk("a", "07974", "bad city"))
+	rel.MustInsert(mk("b", "10012", "whatever")) // conflicting master: uncertain
+	rel.MustInsert(mk("c", "absent", "keep"))    // no master match: untouched
+	fixed, fixes, uncertain, err := f.FixRelation(rel, []int{input.MustIndex("zip")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixes[0]) == 0 {
+		t.Error("tuple 0 should be fixed")
+	}
+	if fixed.Get(0, input.MustIndex("city")).Str() != "murray hill" {
+		t.Errorf("tuple 0 city = %v", fixed.Get(0, input.MustIndex("city")))
+	}
+	if len(uncertain) != 1 || uncertain[0] != 1 {
+		t.Errorf("uncertain = %v, want [1]", uncertain)
+	}
+	if fixed.Get(2, input.MustIndex("city")).Str() != "keep" {
+		t.Error("tuple 2 should be untouched")
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	input, master := schemas(t)
+	if _, err := NewRule("x", input, master, nil, nil, nil, nil, []string{"city"}, []string{"mcity"}); err == nil {
+		t.Error("empty match should fail")
+	}
+	if _, err := NewRule("x", input, master, []string{"zip"}, []string{"mzip"}, nil, nil, nil, nil); err == nil {
+		t.Error("empty fix should fail")
+	}
+	if _, err := NewRule("x", input, master, []string{"zip"}, []string{"mzip"}, nil, nil,
+		[]string{"zip"}, []string{"mzip"}); err == nil {
+		t.Error("fix overlapping match should fail")
+	}
+	if _, err := NewRule("x", input, master, []string{"nope"}, []string{"mzip"}, nil, nil,
+		[]string{"city"}, []string{"mcity"}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	m := masterData(t, master)
+	if _, err := NewFixer(m, nil); err == nil {
+		t.Error("no rules should fail")
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment functions contain internal cross-checks that panic on
+// inconsistency (e.g. SQL vs native disagreement); running them at small
+// sizes therefore tests the harness end to end.
+
+func rowsOf(t *testing.T, tb *Table, wantCols int) [][]string {
+	t.Helper()
+	if len(tb.Columns) != wantCols {
+		t.Fatalf("%s: %d columns, want %d", tb.ID, len(tb.Columns), wantCols)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatalf("%s: empty table", tb.ID)
+	}
+	for _, row := range tb.Rows {
+		if len(row) != wantCols {
+			t.Fatalf("%s: ragged row %v", tb.ID, row)
+		}
+	}
+	return tb.Rows
+}
+
+func TestE1Shape(t *testing.T) {
+	tb := E1DetectScale([]int{1000, 2000}, 0.05)
+	rows := rowsOf(t, tb, 4)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Violating tuples present at 5% noise.
+	if v, _ := strconv.Atoi(rows[0][3]); v == 0 {
+		t.Error("expected violations at 5% noise")
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tb := E2TableauSize(1500, []int{1, 4})
+	rowsOf(t, tb, 4)
+}
+
+func TestE3Shape(t *testing.T) {
+	tb := E3DetectNoise(1500, []float64{0, 0.05})
+	rows := rowsOf(t, tb, 4)
+	if rows[0][2] != "0" {
+		t.Errorf("zero noise should give zero violations, got %s", rows[0][2])
+	}
+	if rows[1][2] == "0" {
+		t.Error("5% noise should give violations")
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tb := E4RepairQuality(1000, []float64{0.05})
+	rows := rowsOf(t, tb, 8)
+	prec, err := strconv.ParseFloat(rows[0][1], 64)
+	if err != nil || prec < 0.5 {
+		t.Errorf("precision = %s", rows[0][1])
+	}
+}
+
+func TestE5E6Shape(t *testing.T) {
+	rowsOf(t, E5RepairScale([]int{1000}, 0.05), 4)
+	tb := E6IncRepair(2000, []float64{0.05})
+	rows := rowsOf(t, tb, 5)
+	if !strings.HasSuffix(rows[0][4], "x") {
+		t.Errorf("speedup cell = %q", rows[0][4])
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tb := E7Discovery([]int{1000}, []int{10, 100}, 1000)
+	rows := rowsOf(t, tb, 4)
+	// Rule count at support 10 must be >= count at support 100.
+	n10, _ := strconv.Atoi(rows[1][2])
+	n100, _ := strconv.Atoi(rows[2][2])
+	if n10 < n100 {
+		t.Errorf("rule count should fall with support: %d < %d", n10, n100)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tb := E8MatchQuality(300, []float64{0.5})
+	rows := rowsOf(t, tb, 7)
+	rckF1, _ := strconv.ParseFloat(rows[0][3], 64)
+	exactF1, _ := strconv.ParseFloat(rows[0][4], 64)
+	if rckF1 <= exactF1 {
+		t.Errorf("RCK F1 %.3f should beat exact %.3f", rckF1, exactF1)
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tb := E9CINDDetect([]int{2000})
+	rows := rowsOf(t, tb, 5)
+	if rows[0][4] != "20" { // 1% of 2000
+		t.Errorf("planted violations = %s, want 20", rows[0][4])
+	}
+}
+
+func TestE10E11E12Shape(t *testing.T) {
+	rowsOf(t, E10Reasoning([]int{10}), 3)
+	rowsOf(t, E11CQA([]int{2000}, 0.05), 6)
+	tb := E12EndToEnd(1500, 0.03)
+	rows := rowsOf(t, tb, 3)
+	last := rows[len(rows)-1]
+	if !strings.Contains(last[2], "0 violations") {
+		t.Errorf("end-to-end should finish clean: %v", last)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		ID: "X", Title: "demo",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]string{{"1", "2"}},
+	}
+	out := tb.String()
+	if !strings.Contains(out, "== X: demo ==") || !strings.Contains(out, "long_column") {
+		t.Errorf("render = %q", out)
+	}
+}

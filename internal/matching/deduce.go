@@ -1,0 +1,236 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the deduction of relative candidate keys from
+// matching rules (tutorial §4: "from these one can deduce the following,
+// referred to as relative candidate keys"), following the reasoning
+// machinery of Fan, Jia, Ma, "Reasoning about record matching rules"
+// (VLDB 2009, cited as [10] in its unpublished form).
+//
+// Deduction works over match facts (L, R, strength): attribute pair
+// (L, R) is known to match with strength eq (identified / equal) or sim
+// (similar). The closure of a fact set under the MDs adds each rule's
+// conclusions (with strength eq — identification acts as equality) once
+// its premises are entailed:
+//
+//   - a premise requiring = is entailed only by an eq fact;
+//   - a premise requiring ≈ is entailed by an eq or sim fact (equal
+//     values are similar at any threshold).
+//
+// A candidate key (a set of compared pairs) is an RCK for the target Y
+// when its closure entails an eq fact for every Y pair.
+
+// strength of a match fact.
+type strength uint8
+
+const (
+	strengthSim strength = iota + 1
+	strengthEq
+)
+
+type factKey struct{ left, right int }
+
+type factSet map[factKey]strength
+
+func (fs factSet) add(k factKey, s strength) bool {
+	if cur, ok := fs[k]; ok && cur >= s {
+		return false
+	}
+	fs[k] = s
+	return true
+}
+
+// entails reports whether the set entails a premise pair.
+func (fs factSet) entails(p AttrPair) bool {
+	s, ok := fs[factKey{p.Left, p.Right}]
+	if !ok {
+		return false
+	}
+	if p.Cmp.IsEq() {
+		return s == strengthEq
+	}
+	return true // eq or sim entails ≈
+}
+
+// Closure computes the closure of the given assumed pairs under the
+// rules: assumed equality pairs enter as eq facts, similarity pairs as
+// sim facts; rule conclusions enter as eq facts.
+func Closure(assumed []AttrPair, rules []*MD) factSet {
+	facts := factSet{}
+	for _, p := range assumed {
+		s := strengthEq
+		if !p.Cmp.IsEq() {
+			s = strengthSim
+		}
+		facts.add(factKey{p.Left, p.Right}, s)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, md := range rules {
+			fire := true
+			for _, p := range md.premise {
+				if !facts.entails(p) {
+					fire = false
+					break
+				}
+			}
+			if !fire {
+				continue
+			}
+			for _, c := range md.conclusion {
+				if facts.add(factKey{c.Left, c.Right}, strengthEq) {
+					changed = true
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// Entails reports whether assuming the given pairs lets the rules
+// conclude an identification (eq fact) for every target pair.
+func Entails(assumed []AttrPair, rules []*MD, target []AttrPair) bool {
+	facts := Closure(assumed, rules)
+	for _, p := range target {
+		s, ok := facts[factKey{p.Left, p.Right}]
+		if !ok || s != strengthEq {
+			return false
+		}
+	}
+	return true
+}
+
+// DeduceOptions configures RCK deduction.
+type DeduceOptions struct {
+	// MaxPairs bounds the size of derived keys (default 4).
+	MaxPairs int
+}
+
+// DeduceRCKs derives the minimal relative candidate keys for the target
+// pair list from the matching rules: the minimal subsets (up to MaxPairs
+// pairs) of the atoms appearing in rule premises whose closure
+// identifies every target pair. Minimality is with respect to both the
+// pair set and comparator strength: a key is dropped when some other key
+// uses a subset of its pairs with comparators at most as strict.
+func DeduceRCKs(rules []*MD, target []AttrPair, opts DeduceOptions) ([]*RCK, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("matching: no rules to deduce from")
+	}
+	if opts.MaxPairs == 0 {
+		opts.MaxPairs = 4
+	}
+	left, right := rules[0].left, rules[0].right
+	for _, m := range rules[1:] {
+		if !m.left.Equal(left) || !m.right.Equal(right) {
+			return nil, fmt.Errorf("matching: rules span different schema pairs")
+		}
+	}
+
+	// Atom universe: distinct premise pairs across all rules. When the
+	// same (L, R) pair appears with both = and ≈, keep both atoms: the
+	// weaker one may yield a more widely applicable key.
+	type atomKey struct {
+		left, right int
+		eq          bool
+		measure     string
+		threshold   float64
+	}
+	seen := map[atomKey]bool{}
+	var atoms []AttrPair
+	for _, m := range rules {
+		for _, p := range m.premise {
+			k := atomKey{p.Left, p.Right, p.Cmp.IsEq(), "", 0}
+			if !p.Cmp.IsEq() {
+				k.measure = p.Cmp.Measure.Name()
+				k.threshold = p.Cmp.Threshold
+			}
+			if !seen[k] {
+				seen[k] = true
+				atoms = append(atoms, p)
+			}
+		}
+	}
+	sort.Slice(atoms, func(i, j int) bool {
+		if atoms[i].Left != atoms[j].Left {
+			return atoms[i].Left < atoms[j].Left
+		}
+		if atoms[i].Right != atoms[j].Right {
+			return atoms[i].Right < atoms[j].Right
+		}
+		return atoms[i].Cmp.IsEq() && !atoms[j].Cmp.IsEq()
+	})
+
+	// Level-wise subset search; record minimal hitting sets.
+	var found [][]AttrPair
+	dominated := func(cand []AttrPair) bool {
+		for _, f := range found {
+			if pairsSubsume(f, cand) {
+				return true
+			}
+		}
+		return false
+	}
+	var rec func(start int, cur []AttrPair)
+	// Enumerate by size: collect per level to guarantee minimality.
+	for size := 1; size <= opts.MaxPairs; size++ {
+		rec = func(start int, cur []AttrPair) {
+			if len(cur) == size {
+				if dominated(cur) {
+					return
+				}
+				if Entails(cur, rules, target) {
+					found = append(found, append([]AttrPair(nil), cur...))
+				}
+				return
+			}
+			for i := start; i < len(atoms); i++ {
+				rec(i+1, append(cur, atoms[i]))
+			}
+		}
+		rec(0, nil)
+	}
+
+	out := make([]*RCK, 0, len(found))
+	for i, pairs := range found {
+		k, err := NewRCK(fmt.Sprintf("rck%d", i+1), left, right, pairs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// pairsSubsume reports whether key a subsumes key b: every pair of a
+// appears in b with a comparator at least as strict, so b is redundant
+// whenever a is already a key. (Equality is stricter than similarity;
+// among similarities a higher threshold is stricter.)
+func pairsSubsume(a, b []AttrPair) bool {
+	for _, pa := range a {
+		ok := false
+		for _, pb := range b {
+			if pa.Left != pb.Left || pa.Right != pb.Right {
+				continue
+			}
+			switch {
+			case pa.Cmp.IsEq() && pb.Cmp.IsEq():
+				ok = true
+			case !pa.Cmp.IsEq() && pb.Cmp.IsEq():
+				ok = true // b demands equality, a only similarity
+			case !pa.Cmp.IsEq() && !pb.Cmp.IsEq():
+				ok = pa.Cmp.Measure.Name() == pb.Cmp.Measure.Name() && pb.Cmp.Threshold >= pa.Cmp.Threshold
+			}
+			if ok {
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

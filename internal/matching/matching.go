@@ -1,0 +1,223 @@
+// Package matching implements constraint-based object identification as
+// presented in §4 of the tutorial: matching rules (matching
+// dependencies, MDs), relative candidate keys (RCKs), the deduction of
+// RCKs from matching rules, and an RCK-driven record matcher.
+//
+// The running example is the tutorial's fraud-detection scenario over
+// card(c#, ssn, fn, ln, addr, phn, email, type) and billing(c#, fn, ln,
+// addr, phn, email, item, price): if t[c#] = t'[c#] then t[Y] and t'[Y]
+// must refer to the same holder, Y = [fn, ln, addr, phn, email]. Rules
+// such as "if phn matches then addr matches" and "if ln, addr are
+// identical and fn is similar then Y matches" let the system DEDUCE
+// relative candidate keys like
+//
+//	rck2: ([ln, phn, fn], [ln, phn, fn] ‖ [=, =, ≈])
+//
+// that identify true matches even when individual attributes disagree.
+//
+// In contrast to traditional candidate keys, RCKs are defined with both
+// equality and similarity, across two relations rather than on one.
+package matching
+
+import (
+	"fmt"
+	"strings"
+
+	"semandaq/internal/relation"
+	"semandaq/internal/similarity"
+)
+
+// Comparator states how two attribute values are compared: strict
+// equality (Measure == nil) or a similarity measure with a threshold.
+type Comparator struct {
+	Measure   similarity.Measure // nil means equality (=)
+	Threshold float64            // minimum similarity for ≈ comparators
+}
+
+// Eq is the equality comparator (=).
+func Eq() Comparator { return Comparator{} }
+
+// Approx builds a similarity comparator (≈) from a registered measure
+// name and threshold.
+func Approx(measure string, threshold float64) (Comparator, error) {
+	m, ok := similarity.Lookup(measure)
+	if !ok {
+		return Comparator{}, fmt.Errorf("matching: unknown similarity measure %q", measure)
+	}
+	if threshold <= 0 || threshold > 1 {
+		return Comparator{}, fmt.Errorf("matching: threshold %f out of (0, 1]", threshold)
+	}
+	return Comparator{Measure: m, Threshold: threshold}, nil
+}
+
+// MustApprox is Approx panicking on error.
+func MustApprox(measure string, threshold float64) Comparator {
+	c, err := Approx(measure, threshold)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IsEq reports whether the comparator is strict equality.
+func (c Comparator) IsEq() bool { return c.Measure == nil }
+
+// Compare applies the comparator to two values. NULL matches nothing.
+func (c Comparator) Compare(a, b relation.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	if c.Measure == nil {
+		return a.Equal(b)
+	}
+	// Similarity applies to the string rendering; non-string values
+	// compare by equality underneath the measure.
+	return c.Measure.Sim(a.String(), b.String()) >= c.Threshold
+}
+
+// String renders the comparator as "=" or "≈measure(θ)".
+func (c Comparator) String() string {
+	if c.Measure == nil {
+		return "="
+	}
+	return fmt.Sprintf("≈%s(%.2f)", c.Measure.Name(), c.Threshold)
+}
+
+// AttrPair is a compared attribute pair across the two relations.
+type AttrPair struct {
+	Left  int // position in the left schema
+	Right int // position in the right schema
+	Cmp   Comparator
+}
+
+// MD is a matching dependency (matching rule): when every premise pair
+// matches, the conclusion pairs are identified (refer to the same
+// real-world value).
+type MD struct {
+	name       string
+	left       *relation.Schema
+	right      *relation.Schema
+	premise    []AttrPair
+	conclusion []AttrPair
+}
+
+// NewMD constructs a matching rule. Premise and conclusion must be
+// non-empty; conclusion comparators are ignored (identification acts as
+// equality in deduction).
+func NewMD(name string, left, right *relation.Schema, premise, conclusion []AttrPair) (*MD, error) {
+	if len(premise) == 0 || len(conclusion) == 0 {
+		return nil, fmt.Errorf("matching: MD %s needs non-empty premise and conclusion", name)
+	}
+	for _, p := range append(append([]AttrPair(nil), premise...), conclusion...) {
+		if p.Left < 0 || p.Left >= left.Arity() || p.Right < 0 || p.Right >= right.Arity() {
+			return nil, fmt.Errorf("matching: MD %s references attribute out of range", name)
+		}
+	}
+	return &MD{name: name, left: left, right: right,
+		premise: append([]AttrPair(nil), premise...), conclusion: append([]AttrPair(nil), conclusion...)}, nil
+}
+
+// Name returns the rule's identifier.
+func (m *MD) Name() string { return m.name }
+
+// Premise returns the rule's premise pairs.
+func (m *MD) Premise() []AttrPair { return append([]AttrPair(nil), m.premise...) }
+
+// Conclusion returns the rule's conclusion pairs.
+func (m *MD) Conclusion() []AttrPair { return append([]AttrPair(nil), m.conclusion...) }
+
+// String renders the MD.
+func (m *MD) String() string {
+	var b strings.Builder
+	if m.name != "" {
+		b.WriteString("md ")
+		b.WriteString(m.name)
+		b.WriteString(": ")
+	}
+	writePairs(&b, m.left, m.right, m.premise)
+	b.WriteString(" -> ")
+	writePairs(&b, m.left, m.right, m.conclusion)
+	return b.String()
+}
+
+func writePairs(b *strings.Builder, left, right *relation.Schema, pairs []AttrPair) {
+	b.WriteByte('[')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s%s%s", left.Attr(p.Left).Name, p.Cmp.String(), right.Attr(p.Right).Name)
+	}
+	b.WriteByte(']')
+}
+
+// RCK is a relative candidate key: a list of compared attribute pairs
+// sufficient to conclude that the target attribute lists match.
+type RCK struct {
+	name  string
+	left  *relation.Schema
+	right *relation.Schema
+	pairs []AttrPair
+}
+
+// NewRCK constructs an RCK.
+func NewRCK(name string, left, right *relation.Schema, pairs []AttrPair) (*RCK, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("matching: RCK %s needs at least one pair", name)
+	}
+	for _, p := range pairs {
+		if p.Left < 0 || p.Left >= left.Arity() || p.Right < 0 || p.Right >= right.Arity() {
+			return nil, fmt.Errorf("matching: RCK %s references attribute out of range", name)
+		}
+	}
+	return &RCK{name: name, left: left, right: right, pairs: append([]AttrPair(nil), pairs...)}, nil
+}
+
+// Name returns the key's identifier.
+func (k *RCK) Name() string { return k.name }
+
+// Pairs returns the compared attribute pairs.
+func (k *RCK) Pairs() []AttrPair { return append([]AttrPair(nil), k.pairs...) }
+
+// Matches reports whether two tuples match under the RCK.
+func (k *RCK) Matches(l, r relation.Tuple) bool {
+	for _, p := range k.pairs {
+		if !p.Cmp.Compare(l[p.Left], r[p.Right]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the RCK in the tutorial's notation, e.g.
+// ([ln, phn, fn], [ln, phn, fn] ‖ [=, =, ≈levenshtein(0.80)]).
+func (k *RCK) String() string {
+	var b strings.Builder
+	if k.name != "" {
+		b.WriteString(k.name)
+		b.WriteString(": ")
+	}
+	writeSide := func(schema *relation.Schema, side func(AttrPair) int) {
+		b.WriteByte('[')
+		for i, p := range k.pairs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(schema.Attr(side(p)).Name)
+		}
+		b.WriteByte(']')
+	}
+	b.WriteByte('(')
+	writeSide(k.left, func(p AttrPair) int { return p.Left })
+	b.WriteString(", ")
+	writeSide(k.right, func(p AttrPair) int { return p.Right })
+	b.WriteString(" ‖ [")
+	for i, p := range k.pairs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Cmp.String())
+	}
+	b.WriteString("])")
+	return b.String()
+}

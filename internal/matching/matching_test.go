@@ -1,0 +1,355 @@
+package matching
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+// cardBilling reproduces the schemas of the tutorial's §4 fraud-detection
+// example.
+func cardBilling(t *testing.T) (card, billing *relation.Schema) {
+	t.Helper()
+	card, err := relation.StringSchema("card", "cno", "ssn", "fn", "ln", "addr", "phn", "email", "type")
+	if err != nil {
+		t.Fatal(err)
+	}
+	billing, err = relation.StringSchema("billing", "cno", "fn", "ln", "addr", "phn", "email", "item", "price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return card, billing
+}
+
+// pair builds an AttrPair by attribute names.
+func pair(t *testing.T, l, r *relation.Schema, ln, rn string, cmp Comparator) AttrPair {
+	t.Helper()
+	li, ok := l.Index(ln)
+	if !ok {
+		t.Fatalf("no attr %s", ln)
+	}
+	ri, ok := r.Index(rn)
+	if !ok {
+		t.Fatalf("no attr %s", rn)
+	}
+	return AttrPair{Left: li, Right: ri, Cmp: cmp}
+}
+
+// tutorialRules builds the three matching rules of §4:
+//
+//	(a) phn = phn'            -> addr ⇌ addr'
+//	(b) email = email'        -> fn ⇌ fn', ln ⇌ ln'
+//	(c) ln = ln', addr = addr', fn ≈ fn' -> Y ⇌ Y'
+func tutorialRules(t *testing.T, card, billing *relation.Schema) ([]*MD, []AttrPair) {
+	t.Helper()
+	y := []AttrPair{
+		pair(t, card, billing, "fn", "fn", Eq()),
+		pair(t, card, billing, "ln", "ln", Eq()),
+		pair(t, card, billing, "addr", "addr", Eq()),
+		pair(t, card, billing, "phn", "phn", Eq()),
+		pair(t, card, billing, "email", "email", Eq()),
+	}
+	a, err := NewMD("a", card, billing,
+		[]AttrPair{pair(t, card, billing, "phn", "phn", Eq())},
+		[]AttrPair{pair(t, card, billing, "addr", "addr", Eq())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMD("b", card, billing,
+		[]AttrPair{pair(t, card, billing, "email", "email", Eq())},
+		[]AttrPair{
+			pair(t, card, billing, "fn", "fn", Eq()),
+			pair(t, card, billing, "ln", "ln", Eq()),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewMD("c", card, billing,
+		[]AttrPair{
+			pair(t, card, billing, "ln", "ln", Eq()),
+			pair(t, card, billing, "addr", "addr", Eq()),
+			pair(t, card, billing, "fn", "fn", MustApprox("jarowinkler", 0.85)),
+		},
+		y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*MD{a, b, c}, y
+}
+
+func TestClosureAndEntails(t *testing.T) {
+	card, billing := cardBilling(t)
+	rules, y := tutorialRules(t, card, billing)
+
+	// email= and addr= should entail the full Y identification (rck1).
+	assumed := []AttrPair{
+		pair(t, card, billing, "email", "email", Eq()),
+		pair(t, card, billing, "addr", "addr", Eq()),
+	}
+	if !Entails(assumed, rules, y) {
+		t.Error("rck1 premise {email=, addr=} should entail Y")
+	}
+
+	// ln=, phn=, fn≈ entails Y (rck2).
+	assumed2 := []AttrPair{
+		pair(t, card, billing, "ln", "ln", Eq()),
+		pair(t, card, billing, "phn", "phn", Eq()),
+		pair(t, card, billing, "fn", "fn", MustApprox("jarowinkler", 0.85)),
+	}
+	if !Entails(assumed2, rules, y) {
+		t.Error("rck2 premise {ln=, phn=, fn≈} should entail Y")
+	}
+
+	// fn similar alone entails nothing.
+	if Entails([]AttrPair{pair(t, card, billing, "fn", "fn", MustApprox("jarowinkler", 0.85))}, rules, y) {
+		t.Error("fn≈ alone must not entail Y")
+	}
+
+	// A ≈ premise is satisfied by an eq fact but an = premise is NOT
+	// satisfied by a sim fact.
+	simOnly := []AttrPair{
+		pair(t, card, billing, "ln", "ln", MustApprox("jarowinkler", 0.85)),
+		pair(t, card, billing, "addr", "addr", Eq()),
+		pair(t, card, billing, "fn", "fn", MustApprox("jarowinkler", 0.85)),
+	}
+	if Entails(simOnly, rules, y) {
+		t.Error("ln≈ must not satisfy rule (c)'s ln= premise")
+	}
+}
+
+func TestDeduceRCKsFindsTutorialKeys(t *testing.T) {
+	card, billing := cardBilling(t)
+	rules, y := tutorialRules(t, card, billing)
+	keys, err := DeduceRCKs(rules, y, DeduceOptions{MaxPairs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered []string
+	for _, k := range keys {
+		rendered = append(rendered, k.String())
+	}
+	all := strings.Join(rendered, "\n")
+
+	// rck1: ([email, addr] ‖ [=, =]).
+	if !hasKeyWith(keys, map[string]bool{"email": true, "addr": true}, 2) {
+		t.Errorf("rck1 {email, addr} not derived:\n%s", all)
+	}
+	// rck2: ([ln, phn, fn] ‖ [=, =, ≈]).
+	if !hasKeyWith(keys, map[string]bool{"ln": true, "phn": true, "fn": true}, 3) {
+		t.Errorf("rck2 {ln, phn, fn} not derived:\n%s", all)
+	}
+	// Rule (c) itself is a key: {ln, addr, fn}.
+	if !hasKeyWith(keys, map[string]bool{"ln": true, "addr": true, "fn": true}, 3) {
+		t.Errorf("direct key {ln, addr, fn} not derived:\n%s", all)
+	}
+	// Minimality: no derived key may strictly contain another derived
+	// key's pair set.
+	for i, a := range keys {
+		for j, b := range keys {
+			if i == j {
+				continue
+			}
+			if len(a.Pairs()) < len(b.Pairs()) && pairsSubsume(a.Pairs(), b.Pairs()) {
+				t.Errorf("key %s is subsumed by %s but both derived", b, a)
+			}
+		}
+	}
+}
+
+func hasKeyWith(keys []*RCK, attrs map[string]bool, size int) bool {
+	for _, k := range keys {
+		if len(k.Pairs()) != size {
+			continue
+		}
+		match := true
+		for _, p := range k.Pairs() {
+			if !attrs[k.left.Attr(p.Left).Name] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestComparators(t *testing.T) {
+	eq := Eq()
+	if !eq.Compare(relation.String("x"), relation.String("x")) {
+		t.Error("eq should match identical")
+	}
+	if eq.Compare(relation.Null(), relation.Null()) {
+		t.Error("NULL matches nothing")
+	}
+	ap := MustApprox("levenshtein", 0.8)
+	if !ap.Compare(relation.String("michael"), relation.String("michaol")) {
+		t.Error("one-typo names should be similar at 0.8")
+	}
+	if ap.Compare(relation.String("michael"), relation.String("zzz")) {
+		t.Error("unrelated strings should not be similar")
+	}
+	if _, err := Approx("nope", 0.5); err == nil {
+		t.Error("unknown measure should fail")
+	}
+	if _, err := Approx("levenshtein", 1.5); err == nil {
+		t.Error("threshold out of range should fail")
+	}
+}
+
+func TestMatcherTutorialScenario(t *testing.T) {
+	cardS, billingS := cardBilling(t)
+	rules, y := tutorialRules(t, cardS, billingS)
+	keys, err := DeduceRCKs(rules, y, DeduceOptions{MaxPairs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMatcher(cardS, billingS, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	card := relation.New(cardS)
+	billing := relation.New(billingS)
+	st := func(vals ...string) relation.Tuple {
+		tp := make(relation.Tuple, len(vals))
+		for i, v := range vals {
+			tp[i] = relation.String(v)
+		}
+		return tp
+	}
+	// Card 0 and billing 0 are the same person: addresses radically
+	// differ ("10 Oak St" vs "Oak Street 10"), but ln+phn agree and fn
+	// has a typo — exactly the case rck2 is built for.
+	card.MustInsert(st("c1", "s1", "michael", "smith", "10 oak st", "555-0100", "m@x.com", "visa"))
+	billing.MustInsert(st("c9", "michaol", "smith", "oak street 10", "555-0100", "other@y.com", "book", "9.99"))
+	// Card 1 and billing 1 share email and addr (rck1).
+	card.MustInsert(st("c2", "s2", "jane", "doe", "5 king rd", "555-0200", "jane@z.org", "amex"))
+	billing.MustInsert(st("c8", "janet", "dough", "5 king rd", "999-9999", "jane@z.org", "cd", "4.99"))
+	// Card 2 matches nothing.
+	card.MustInsert(st("c3", "s3", "bob", "jones", "1 elm ave", "555-0300", "bob@w.net", "visa"))
+	billing.MustInsert(st("c7", "alice", "green", "2 pine ln", "555-0400", "al@g.com", "dvd", "19.99"))
+
+	matches, err := m.Run(card, billing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[[2]int]bool{{0, 0}: true, {1, 1}: true}
+	q := Evaluate(matches, truth)
+	if q.TruePos != 2 || q.FalsePos != 0 || q.FalseNeg != 0 {
+		t.Fatalf("quality = %s; matches = %v", q, matches)
+	}
+	if q.F1 != 1 {
+		t.Errorf("F1 = %f", q.F1)
+	}
+
+	// A key-equality-only matcher (exact equality on every Y attribute)
+	// misses both true matches — the tutorial's motivation for RCKs.
+	exactKey, err := NewRCK("exact", cardS, billingS, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewMatcher(cardS, billingS, []*RCK{exactKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactMatches, err := exact.Run(card, billing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qe := Evaluate(exactMatches, truth)
+	if qe.Recall >= q.Recall {
+		t.Errorf("exact matcher should have lower recall: exact %s vs rck %s", qe, q)
+	}
+}
+
+func TestMatcherBlockingEqualsFullScan(t *testing.T) {
+	// Property: a key evaluated with hash blocking produces exactly the
+	// same matches as brute force.
+	cardS, billingS := cardBilling(t)
+	key, err := NewRCK("k", cardS, billingS, []AttrPair{
+		pair(t, cardS, billingS, "ln", "ln", Eq()),
+		pair(t, cardS, billingS, "fn", "fn", MustApprox("levenshtein", 0.7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := relation.New(cardS)
+	billing := relation.New(billingS)
+	names := []struct{ fn, ln string }{
+		{"anna", "lee"}, {"anne", "lee"}, {"bob", "lee"}, {"anna", "ray"}, {"hana", "ray"},
+	}
+	for _, n := range names {
+		tp := make(relation.Tuple, cardS.Arity())
+		for i := range tp {
+			tp[i] = relation.String("x")
+		}
+		tp[cardS.MustIndex("fn")] = relation.String(n.fn)
+		tp[cardS.MustIndex("ln")] = relation.String(n.ln)
+		card.MustInsert(tp)
+		bp := make(relation.Tuple, billingS.Arity())
+		for i := range bp {
+			bp[i] = relation.String("y")
+		}
+		bp[billingS.MustIndex("fn")] = relation.String(n.fn)
+		bp[billingS.MustIndex("ln")] = relation.String(n.ln)
+		billing.MustInsert(bp)
+	}
+	m, err := NewMatcher(cardS, billingS, []*RCK{key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, err := m.Run(card, billing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force.
+	var brute [][2]int
+	for lt := 0; lt < card.Len(); lt++ {
+		for rt := 0; rt < billing.Len(); rt++ {
+			if key.Matches(card.Tuple(lt), billing.Tuple(rt)) {
+				brute = append(brute, [2]int{lt, rt})
+			}
+		}
+	}
+	if len(matches) != len(brute) {
+		t.Fatalf("blocking %d matches vs brute %d", len(matches), len(brute))
+	}
+	for i, b := range brute {
+		if matches[i].LeftTID != b[0] || matches[i].RightTID != b[1] {
+			t.Fatalf("match %d: %v vs %v", i, matches[i], b)
+		}
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	q := Evaluate(nil, map[[2]int]bool{})
+	if q.Precision != 0 || q.Recall != 0 || q.F1 != 0 {
+		t.Errorf("empty eval = %s", q)
+	}
+	q = Evaluate([]Match{{LeftTID: 0, RightTID: 0}}, map[[2]int]bool{{0, 0}: true})
+	if q.F1 != 1 {
+		t.Errorf("perfect eval = %s", q)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cardS, billingS := cardBilling(t)
+	if _, err := NewMD("x", cardS, billingS, nil, nil); err == nil {
+		t.Error("empty MD should fail")
+	}
+	if _, err := NewRCK("x", cardS, billingS, nil); err == nil {
+		t.Error("empty RCK should fail")
+	}
+	if _, err := NewRCK("x", cardS, billingS, []AttrPair{{Left: 99, Right: 0}}); err == nil {
+		t.Error("out-of-range attr should fail")
+	}
+	if _, err := NewMatcher(cardS, billingS, nil); err == nil {
+		t.Error("matcher without keys should fail")
+	}
+	if _, err := DeduceRCKs(nil, nil, DeduceOptions{}); err == nil {
+		t.Error("deduction without rules should fail")
+	}
+}

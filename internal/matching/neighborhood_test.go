@@ -1,0 +1,131 @@
+package matching
+
+import (
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func snFixture(t *testing.T) (l, r *relation.Schema, key *RCK) {
+	t.Helper()
+	l, r = parseSchemas(t)
+	var err error
+	key, err = ParseRCK("rck k: [ln=ln, fn ~jarowinkler(0.85) fn]", l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, r, key
+}
+
+func snTuple(s *relation.Schema, fn, ln string) relation.Tuple {
+	tp := make(relation.Tuple, s.Arity())
+	for i := range tp {
+		tp[i] = relation.String("x")
+	}
+	tp[s.MustIndex("fn")] = relation.String(fn)
+	tp[s.MustIndex("ln")] = relation.String(ln)
+	return tp
+}
+
+func TestSortedNeighborhoodFindsAdjacent(t *testing.T) {
+	lS, rS, key := snFixture(t)
+	sn, err := NewSortedNeighborhood(lS, rS, []string{"ln", "fn"}, []string{"ln", "fn"}, 4, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := relation.New(lS)
+	r := relation.New(rS)
+	l.MustInsert(snTuple(lS, "anna", "lee"))
+	l.MustInsert(snTuple(lS, "bob", "zimmer"))
+	r.MustInsert(snTuple(rS, "annä", "lee")) // similar fn, same ln → adjacent in sort
+	r.MustInsert(snTuple(rS, "carl", "moss"))
+	matches, err := sn.Run(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 1 || matches[0].LeftTID != 0 || matches[0].RightTID != 0 {
+		t.Fatalf("matches = %v", matches)
+	}
+}
+
+func TestSortedNeighborhoodMissesDistantPairs(t *testing.T) {
+	// The window limitation: a true match whose sort keys diverge (typo
+	// in the FIRST sort attribute) is missed — exactly the weakness the
+	// tutorial's RCK matcher avoids with attribute-level blocking.
+	lS, rS, key := snFixture(t)
+	sn, err := NewSortedNeighborhood(lS, rS, []string{"ln"}, []string{"ln"}, 2, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := relation.New(lS)
+	r := relation.New(rS)
+	l.MustInsert(snTuple(lS, "anna", "aaaa"))
+	// Many intervening records push the pair out of any width-2 window.
+	for i := 0; i < 10; i++ {
+		r.MustInsert(snTuple(rS, "pad", "m"+string(rune('a'+i))))
+	}
+	r.MustInsert(snTuple(rS, "anna", "aaaa"))
+	matchesNarrow, err := sn.Run(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the pair adjacent in sort order (same ln), even window 2 finds
+	// it — so this asserts the mechanics rather than a miss; now make the
+	// left ln sort far away:
+	l2 := relation.New(lS)
+	l2.MustInsert(snTuple(lS, "anna", "zzzz")) // ln differs → RCK can't match anyway
+	_ = matchesNarrow
+
+	// Construct a real miss: same ln (RCK would match) but sort key on fn
+	// puts them far apart.
+	snFn, err := NewSortedNeighborhood(lS, rS, []string{"fn"}, []string{"fn"}, 2, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3 := relation.New(lS)
+	r3 := relation.New(rS)
+	l3.MustInsert(snTuple(lS, "aaron", "smith"))
+	for i := 0; i < 8; i++ {
+		r3.MustInsert(snTuple(rS, "b-pad-"+string(rune('a'+i)), "other"))
+	}
+	r3.MustInsert(snTuple(rS, "aaton", "smith")) // ≈ aaron but sorts after the pads? No: "aaton" > "aaron" but < "b-pad".
+	// window 2 over merged order: "aaron"(L), "aaton"(R) are adjacent →
+	// found; enlarge the gap by padding BETWEEN them.
+	r3 = relation.New(rS)
+	for i := 0; i < 8; i++ {
+		r3.MustInsert(snTuple(rS, "aasolid"+string(rune('a'+i)), "other"))
+	}
+	r3.MustInsert(snTuple(rS, "aaton", "smith"))
+	got, err := snFn.Run(l3, r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("window 2 should miss the separated pair, got %v", got)
+	}
+	// A full-attribute RCK matcher (blocking on ln) finds it.
+	m, err := NewMatcher(lS, rS, []*RCK{key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := m.Run(l3, r3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 1 {
+		t.Fatalf("RCK matcher should find the pair, got %v", full)
+	}
+}
+
+func TestSortedNeighborhoodValidation(t *testing.T) {
+	lS, rS, key := snFixture(t)
+	if _, err := NewSortedNeighborhood(lS, rS, []string{"ln"}, []string{"ln"}, 1, key); err == nil {
+		t.Error("window < 2 should fail")
+	}
+	if _, err := NewSortedNeighborhood(lS, rS, nil, nil, 3, key); err == nil {
+		t.Error("empty key lists should fail")
+	}
+	if _, err := NewSortedNeighborhood(lS, rS, []string{"nope"}, []string{"ln"}, 3, key); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}

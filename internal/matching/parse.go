@@ -1,0 +1,155 @@
+package matching
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"semandaq/internal/relation"
+)
+
+// ParseMD reads a matching rule in the textual syntax
+//
+//	md c: [ln=ln, addr=addr, fn ~jarowinkler(0.85) fn] -> [fn=fn, ln=ln]
+//
+// Each atom pairs a left-schema attribute with a right-schema attribute
+// under "=" (equality) or "~measure(threshold)" (similarity). The
+// "md name:" prefix is optional.
+func ParseMD(input string, left, right *relation.Schema) (*MD, error) {
+	name, rest, err := stripPrefix(input, "md")
+	if err != nil {
+		return nil, fmt.Errorf("matching: parsing %q: %w", input, err)
+	}
+	parts := strings.Split(rest, "->")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("matching: parsing %q: expected exactly one ->", input)
+	}
+	premise, err := parseAtoms(parts[0], left, right)
+	if err != nil {
+		return nil, fmt.Errorf("matching: parsing %q: %w", input, err)
+	}
+	conclusion, err := parseAtoms(parts[1], left, right)
+	if err != nil {
+		return nil, fmt.Errorf("matching: parsing %q: %w", input, err)
+	}
+	return NewMD(name, left, right, premise, conclusion)
+}
+
+// ParseRCK reads a relative candidate key:
+//
+//	rck rck2: [ln=ln, phn=phn, fn ~jarowinkler(0.85) fn]
+func ParseRCK(input string, left, right *relation.Schema) (*RCK, error) {
+	name, rest, err := stripPrefix(input, "rck")
+	if err != nil {
+		return nil, fmt.Errorf("matching: parsing %q: %w", input, err)
+	}
+	pairs, err := parseAtoms(rest, left, right)
+	if err != nil {
+		return nil, fmt.Errorf("matching: parsing %q: %w", input, err)
+	}
+	return NewRCK(name, left, right, pairs)
+}
+
+// ParseMDSet parses newline/semicolon-separated rules; lines starting
+// with # are comments.
+func ParseMDSet(input string, left, right *relation.Schema) ([]*MD, error) {
+	var out []*MD
+	for _, line := range strings.Split(input, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			md, err := ParseMD(stmt, left, right)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, md)
+		}
+	}
+	return out, nil
+}
+
+func stripPrefix(input, keyword string) (name, rest string, err error) {
+	s := strings.TrimSpace(input)
+	if strings.HasPrefix(s, keyword+" ") {
+		s = strings.TrimSpace(s[len(keyword)+1:])
+		colon := strings.Index(s, ":")
+		if colon < 0 {
+			return "", "", fmt.Errorf("expected ':' after %s name", keyword)
+		}
+		name = strings.TrimSpace(s[:colon])
+		s = strings.TrimSpace(s[colon+1:])
+	}
+	return name, s, nil
+}
+
+// parseAtoms parses "[atom, atom, ...]".
+func parseAtoms(src string, left, right *relation.Schema) ([]AttrPair, error) {
+	s := strings.TrimSpace(src)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("expected [atoms], got %q", src)
+	}
+	body := s[1 : len(s)-1]
+	var out []AttrPair
+	for _, atom := range strings.Split(body, ",") {
+		atom = strings.TrimSpace(atom)
+		if atom == "" {
+			continue
+		}
+		pair, err := parseAtom(atom, left, right)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pair)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty atom list in %q", src)
+	}
+	return out, nil
+}
+
+// parseAtom parses "lattr=rattr" or "lattr ~measure(th) rattr".
+func parseAtom(atom string, left, right *relation.Schema) (AttrPair, error) {
+	if tilde := strings.Index(atom, "~"); tilde >= 0 {
+		lname := strings.TrimSpace(atom[:tilde])
+		rest := strings.TrimSpace(atom[tilde+1:])
+		open := strings.Index(rest, "(")
+		closeIdx := strings.Index(rest, ")")
+		if open < 0 || closeIdx < open {
+			return AttrPair{}, fmt.Errorf("similarity atom %q must be attr ~measure(threshold) attr", atom)
+		}
+		measure := strings.TrimSpace(rest[:open])
+		th, err := strconv.ParseFloat(strings.TrimSpace(rest[open+1:closeIdx]), 64)
+		if err != nil {
+			return AttrPair{}, fmt.Errorf("bad threshold in %q: %w", atom, err)
+		}
+		rname := strings.TrimSpace(rest[closeIdx+1:])
+		cmp, err := Approx(measure, th)
+		if err != nil {
+			return AttrPair{}, err
+		}
+		return buildPair(lname, rname, cmp, left, right)
+	}
+	eq := strings.Index(atom, "=")
+	if eq < 0 {
+		return AttrPair{}, fmt.Errorf("atom %q must use = or ~measure(th)", atom)
+	}
+	return buildPair(strings.TrimSpace(atom[:eq]), strings.TrimSpace(atom[eq+1:]), Eq(), left, right)
+}
+
+func buildPair(lname, rname string, cmp Comparator, left, right *relation.Schema) (AttrPair, error) {
+	li, ok := left.Index(lname)
+	if !ok {
+		return AttrPair{}, fmt.Errorf("left schema %s has no attribute %q", left.Name(), lname)
+	}
+	ri, ok := right.Index(rname)
+	if !ok {
+		return AttrPair{}, fmt.Errorf("right schema %s has no attribute %q", right.Name(), rname)
+	}
+	return AttrPair{Left: li, Right: ri, Cmp: cmp}, nil
+}

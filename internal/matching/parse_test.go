@@ -1,0 +1,117 @@
+package matching
+
+import (
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func parseSchemas(t *testing.T) (l, r *relation.Schema) {
+	t.Helper()
+	l, _ = relation.StringSchema("card", "fn", "ln", "addr", "phn", "email")
+	r, _ = relation.StringSchema("billing", "fn", "ln", "addr", "phn", "email")
+	return l, r
+}
+
+func TestParseMD(t *testing.T) {
+	l, r := parseSchemas(t)
+	md, err := ParseMD("md a: [phn=phn] -> [addr=addr]", l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.Name() != "a" || len(md.Premise()) != 1 || len(md.Conclusion()) != 1 {
+		t.Fatalf("md = %s", md)
+	}
+	if !md.Premise()[0].Cmp.IsEq() {
+		t.Error("premise should be equality")
+	}
+}
+
+func TestParseMDSimilarity(t *testing.T) {
+	l, r := parseSchemas(t)
+	md, err := ParseMD("md c: [ln=ln, addr=addr, fn ~jarowinkler(0.85) fn] -> [fn=fn, ln=ln, addr=addr, phn=phn, email=email]", l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prem := md.Premise()
+	if len(prem) != 3 || len(md.Conclusion()) != 5 {
+		t.Fatalf("shape: %d -> %d", len(prem), len(md.Conclusion()))
+	}
+	simAtom := prem[2]
+	if simAtom.Cmp.IsEq() || simAtom.Cmp.Measure.Name() != "jarowinkler" || simAtom.Cmp.Threshold != 0.85 {
+		t.Errorf("similarity atom = %v", simAtom.Cmp)
+	}
+	// It must behave identically to the programmatic comparator.
+	if !simAtom.Cmp.Compare(relation.String("michael"), relation.String("michaol")) {
+		t.Error("parsed comparator should accept a one-typo name")
+	}
+}
+
+func TestParseRCK(t *testing.T) {
+	l, r := parseSchemas(t)
+	k, err := ParseRCK("rck rck2: [ln=ln, phn=phn, fn ~jarowinkler(0.85) fn]", l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name() != "rck2" || len(k.Pairs()) != 3 {
+		t.Fatalf("rck = %s", k)
+	}
+	// Anonymous form.
+	k2, err := ParseRCK("[email=email, addr=addr]", l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.Name() != "" || len(k2.Pairs()) != 2 {
+		t.Fatalf("rck2 = %s", k2)
+	}
+}
+
+func TestParseMDSet(t *testing.T) {
+	l, r := parseSchemas(t)
+	src := `
+# the three rules of tutorial §4
+md a: [phn=phn] -> [addr=addr]
+md b: [email=email] -> [fn=fn, ln=ln]
+md c: [ln=ln, addr=addr, fn ~jarowinkler(0.85) fn] -> [fn=fn, ln=ln, addr=addr, phn=phn, email=email]
+`
+	rules, err := ParseMDSet(src, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	// The parsed rules must drive deduction exactly like the programmatic
+	// ones: {email=, addr=} entails Y.
+	y := rules[2].Conclusion()
+	assumed, err := parseAtoms("[email=email, addr=addr]", l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Entails(assumed, rules, y) {
+		t.Error("parsed rules should entail Y from {email=, addr=}")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	l, r := parseSchemas(t)
+	bad := []string{
+		"",
+		"md x [a=a] -> [b=b]",             // missing colon
+		"[phn=phn]",                       // MD without ->
+		"md x: [phn=phn] -> []",           // empty conclusion
+		"md x: [nope=phn] -> [addr=addr]", // unknown attr
+		"md x: [phn~phn] -> [addr=addr]",  // malformed similarity
+		"md x: [fn ~nosuch(0.5) fn] -> [addr=addr]",
+		"md x: [fn ~jaro(abc) fn] -> [addr=addr]",
+		"md x: [phn phn] -> [addr=addr]",
+	}
+	for _, in := range bad {
+		if _, err := ParseMD(in, l, r); err == nil {
+			t.Errorf("ParseMD(%q) should fail", in)
+		}
+	}
+	if _, err := ParseRCK("rck x: []", l, r); err == nil {
+		t.Error("empty RCK should fail")
+	}
+}

@@ -1,0 +1,134 @@
+package minidb
+
+import "semandaq/internal/relation"
+
+// Statement is a parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (col kind, ...).
+type CreateTable struct {
+	Name    string
+	Columns []relation.Attribute
+}
+
+// Insert is INSERT INTO name VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Expr // literal expressions only
+}
+
+// Update is UPDATE name SET col = lit [, ...] [WHERE expr].
+type Update struct {
+	Table string
+	Cols  []string
+	Vals  []Expr // literals
+	Where Expr   // nil if absent
+}
+
+// Delete is DELETE FROM name [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr // nil if absent
+}
+
+// Select is a SELECT query.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	Star     bool
+	From     []TableRef
+	Where    Expr // nil if absent
+	GroupBy  []*ColumnRef
+	Having   Expr // nil if absent
+	OrderBy  []OrderItem
+	Limit    int // -1 if absent
+}
+
+func (*CreateTable) stmt() {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+
+// SelectItem is one output expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is a FROM item: a named table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  *ColumnRef
+	Desc bool
+}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val relation.Value }
+
+// ColumnRef is a possibly-qualified column reference.
+type ColumnRef struct {
+	Table string // empty if unqualified
+	Name  string
+}
+
+// BinaryOp is a comparison or arithmetic-free binary operation.
+// Op is one of = <> < <= > >=.
+type BinaryOp struct {
+	Op   string
+	L, R Expr
+}
+
+// LogicalOp is AND / OR over boolean operands.
+type LogicalOp struct {
+	Op   string // AND, OR
+	L, R Expr
+}
+
+// NotOp is boolean negation.
+type NotOp struct{ E Expr }
+
+// IsNull is `expr IS [NOT] NULL`.
+type IsNull struct {
+	E   Expr
+	Neg bool
+}
+
+// InList is `expr [NOT] IN (lit, lit, ...)` — the SQL form of the eCFD
+// disjunction and negation patterns (Bravo et al., ICDE 2008).
+type InList struct {
+	E    Expr
+	Vals []Expr // literals
+	Neg  bool
+}
+
+// ExistsOp is `[NOT] EXISTS (subquery)`.
+type ExistsOp struct {
+	Neg bool
+	Sub *Select
+}
+
+// Aggregate is COUNT/SUM/AVG/MIN/MAX. Arg is nil for COUNT(*).
+type Aggregate struct {
+	Fn       string // COUNT, SUM, AVG, MIN, MAX
+	Arg      Expr   // nil for COUNT(*)
+	Distinct bool
+}
+
+func (*Literal) expr()   {}
+func (*ColumnRef) expr() {}
+func (*BinaryOp) expr()  {}
+func (*LogicalOp) expr() {}
+func (*NotOp) expr()     {}
+func (*IsNull) expr()    {}
+func (*InList) expr()    {}
+func (*ExistsOp) expr()  {}
+func (*Aggregate) expr() {}

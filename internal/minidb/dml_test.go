@@ -1,0 +1,137 @@
+package minidb
+
+import (
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func TestInList(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT name FROM cust WHERE city IN ('edi', 'mh')")
+	if r.Len() != 3 {
+		t.Fatalf("IN rows = %d, want 3", r.Len())
+	}
+	r = mustQuery(t, db, "SELECT name FROM cust WHERE city NOT IN ('edi', 'mh')")
+	if r.Len() != 1 || r.Tuple(0)[0].Str() != "kim" {
+		t.Fatalf("NOT IN rows = %v", r.Tuples())
+	}
+	r = mustQuery(t, db, "SELECT name FROM cust WHERE age IN (30, 25)")
+	if r.Len() != 2 {
+		t.Fatalf("numeric IN rows = %d", r.Len())
+	}
+	// NULL semantics: NULL IN (...) is unknown → filtered; NOT IN too.
+	db2 := New()
+	if _, err := db2.Exec("CREATE TABLE t (a STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Exec("INSERT INTO t VALUES ('x'), (NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	r = mustQuery(t, db2, "SELECT a FROM t WHERE a IN ('x', 'y')")
+	if r.Len() != 1 {
+		t.Fatalf("NULL IN rows = %d", r.Len())
+	}
+	r = mustQuery(t, db2, "SELECT a FROM t WHERE a NOT IN ('z')")
+	if r.Len() != 1 {
+		t.Fatalf("NULL NOT IN rows = %d, want 1 (NULL is unknown)", r.Len())
+	}
+}
+
+func TestInListParseErrors(t *testing.T) {
+	db := testDB(t)
+	for _, sql := range []string{
+		"SELECT name FROM cust WHERE city IN ()",
+		"SELECT name FROM cust WHERE city IN ('a'",
+		"SELECT name FROM cust WHERE city IN (name)", // non-literal
+	} {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("Query(%q) should fail", sql)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec("UPDATE cust SET city = 'gla' WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	r := mustQuery(t, db, "SELECT city FROM cust WHERE id = 1")
+	if r.Tuple(0)[0].Str() != "gla" {
+		t.Fatalf("update did not apply: %v", r.Tuple(0))
+	}
+	// Multi-column update without WHERE hits everything.
+	if _, err := db.Exec("UPDATE cust SET city = 'zzz', age = 1"); err != nil {
+		t.Fatal(err)
+	}
+	r = mustQuery(t, db, "SELECT COUNT(*) AS n FROM cust WHERE city = 'zzz' AND age = 1")
+	if r.Tuple(0)[0].IntVal() != 4 {
+		t.Fatalf("bulk update rows = %v", r.Tuple(0))
+	}
+	if _, err := db.Exec("UPDATE cust SET nosuch = 1"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := db.Exec("UPDATE nosuch SET a = 1"); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec("DELETE FROM cust WHERE city = 'edi'"); err != nil {
+		t.Fatal(err)
+	}
+	r := mustQuery(t, db, "SELECT COUNT(*) AS n FROM cust")
+	if r.Tuple(0)[0].IntVal() != 2 {
+		t.Fatalf("after delete, count = %v", r.Tuple(0))
+	}
+	if _, err := db.Exec("DELETE FROM cust"); err != nil {
+		t.Fatal(err)
+	}
+	r = mustQuery(t, db, "SELECT COUNT(*) AS n FROM cust")
+	if r.Tuple(0)[0].IntVal() != 0 {
+		t.Fatalf("after full delete, count = %v", r.Tuple(0))
+	}
+	if _, err := db.Exec("DELETE FROM nosuch"); err == nil {
+		t.Error("unknown table should fail")
+	}
+}
+
+func TestUpdateThenQueryConsistency(t *testing.T) {
+	// The repair workflow shape: write back repaired values via UPDATE
+	// and re-run a detection-style aggregate.
+	db := New()
+	if _, err := db.Exec("CREATE TABLE r (zip STRING, str STRING)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO r VALUES ('Z1', 'a'), ('Z1', 'b'), ('Z2', 'c')"); err != nil {
+		t.Fatal(err)
+	}
+	conflict := "SELECT zip FROM r GROUP BY zip HAVING COUNT(DISTINCT str) > 1"
+	if got := mustQuery(t, db, conflict); got.Len() != 1 {
+		t.Fatalf("expected 1 conflicting group, got %d", got.Len())
+	}
+	if _, err := db.Exec("UPDATE r SET str = 'a' WHERE zip = 'Z1'"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustQuery(t, db, conflict); got.Len() != 0 {
+		t.Fatalf("conflict should be repaired, got %v", got.Tuples())
+	}
+}
+
+func TestDeleteRebuildsTIDs(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DELETE FROM t WHERE a = 2"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("t")
+	if tbl.Len() != 2 || !tbl.Tuple(1)[0].Equal(relation.Int(3)) {
+		t.Fatalf("after delete: %v", tbl.Tuples())
+	}
+}

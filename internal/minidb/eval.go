@@ -1,0 +1,324 @@
+package minidb
+
+import (
+	"fmt"
+
+	"semandaq/internal/relation"
+)
+
+// Expressions compile to closures over an environment chain. Boolean
+// results use SQL three-valued logic encoded in relation.Value:
+// Int(1) = true, Int(0) = false, Null() = unknown.
+
+type env struct {
+	row   relation.Tuple
+	outer *env
+}
+
+type compiledExpr struct {
+	eval func(*env) relation.Value
+	kind relation.Kind // static result kind (best effort; NULL runs free)
+}
+
+// scopeInfo describes the columns visible at some query nesting level.
+type scopeInfo struct {
+	cols   []scopeCol
+	parent *scopeInfo
+}
+
+type scopeCol struct {
+	table string // alias
+	name  string
+	kind  relation.Kind
+}
+
+// resolve finds a column by (optional) table alias and name, walking out
+// through parent scopes. Depth 0 is the current scope.
+func (s *scopeInfo) resolve(table, name string) (depth, pos int, kind relation.Kind, err error) {
+	for sc, d := s, 0; sc != nil; sc, d = sc.parent, d+1 {
+		found := -1
+		for i, c := range sc.cols {
+			if c.name != name {
+				continue
+			}
+			if table != "" && c.table != table {
+				continue
+			}
+			if found >= 0 {
+				return 0, 0, 0, fmt.Errorf("minidb: ambiguous column %q", name)
+			}
+			found = i
+		}
+		if found >= 0 {
+			return d, found, sc.cols[found].kind, nil
+		}
+	}
+	if table != "" {
+		return 0, 0, 0, fmt.Errorf("minidb: unknown column %s.%s", table, name)
+	}
+	return 0, 0, 0, fmt.Errorf("minidb: unknown column %s", name)
+}
+
+func (e *env) at(depth int) *env {
+	for ; depth > 0; depth-- {
+		e = e.outer
+	}
+	return e
+}
+
+var (
+	triTrue  = relation.Int(1)
+	triFalse = relation.Int(0)
+)
+
+func boolVal(b bool) relation.Value {
+	if b {
+		return triTrue
+	}
+	return triFalse
+}
+
+func truthy(v relation.Value) bool {
+	return !v.IsNull() && v.IntVal() != 0
+}
+
+// compiler compiles expressions in a fixed scope. existsFn is provided by
+// the executor to compile subqueries (avoids an import cycle between
+// compile and execute).
+type compiler struct {
+	scope  *scopeInfo
+	exists func(*ExistsOp, *scopeInfo) (func(*env) relation.Value, error)
+	// Aggregate interception for the grouped projection path: when
+	// aggIndex is set, Aggregate nodes compile to reads of the
+	// per-group slice pointed to by curAggs.
+	aggIndex map[*Aggregate]int
+	curAggs  *[]relation.Value
+}
+
+func (c *compiler) compile(ex Expr) (compiledExpr, error) {
+	switch n := ex.(type) {
+	case *Literal:
+		v := n.Val
+		return compiledExpr{func(*env) relation.Value { return v }, v.Kind()}, nil
+
+	case *ColumnRef:
+		depth, pos, kind, err := c.scope.resolve(n.Table, n.Name)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		return compiledExpr{func(e *env) relation.Value { return e.at(depth).row[pos] }, kind}, nil
+
+	case *BinaryOp:
+		l, err := c.compile(n.L)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		op := n.Op
+		return compiledExpr{func(e *env) relation.Value {
+			lv, rv := l.eval(e), r.eval(e)
+			if lv.IsNull() || rv.IsNull() {
+				return relation.Null()
+			}
+			switch op {
+			case "=":
+				return boolVal(lv.Equal(rv))
+			case "<>":
+				return boolVal(!lv.Equal(rv))
+			case "<":
+				return boolVal(lv.Compare(rv) < 0)
+			case "<=":
+				return boolVal(lv.Compare(rv) <= 0)
+			case ">":
+				return boolVal(lv.Compare(rv) > 0)
+			default: // ">="
+				return boolVal(lv.Compare(rv) >= 0)
+			}
+		}, relation.KindInt}, nil
+
+	case *LogicalOp:
+		l, err := c.compile(n.L)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		r, err := c.compile(n.R)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		if n.Op == "AND" {
+			return compiledExpr{func(e *env) relation.Value {
+				lv := l.eval(e)
+				if !lv.IsNull() && lv.IntVal() == 0 {
+					return triFalse
+				}
+				rv := r.eval(e)
+				if !rv.IsNull() && rv.IntVal() == 0 {
+					return triFalse
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return relation.Null()
+				}
+				return triTrue
+			}, relation.KindInt}, nil
+		}
+		return compiledExpr{func(e *env) relation.Value {
+			lv := l.eval(e)
+			if truthy(lv) {
+				return triTrue
+			}
+			rv := r.eval(e)
+			if truthy(rv) {
+				return triTrue
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return relation.Null()
+			}
+			return triFalse
+		}, relation.KindInt}, nil
+
+	case *NotOp:
+		inner, err := c.compile(n.E)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		return compiledExpr{func(e *env) relation.Value {
+			v := inner.eval(e)
+			if v.IsNull() {
+				return relation.Null()
+			}
+			return boolVal(v.IntVal() == 0)
+		}, relation.KindInt}, nil
+
+	case *IsNull:
+		inner, err := c.compile(n.E)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		neg := n.Neg
+		return compiledExpr{func(e *env) relation.Value {
+			isNull := inner.eval(e).IsNull()
+			return boolVal(isNull != neg)
+		}, relation.KindInt}, nil
+
+	case *InList:
+		inner, err := c.compile(n.E)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		vals := make([]relation.Value, len(n.Vals))
+		for i, v := range n.Vals {
+			lit, ok := v.(*Literal)
+			if !ok {
+				return compiledExpr{}, fmt.Errorf("minidb: IN list elements must be literals")
+			}
+			vals[i] = lit.Val
+		}
+		neg := n.Neg
+		return compiledExpr{func(e *env) relation.Value {
+			v := inner.eval(e)
+			if v.IsNull() {
+				return relation.Null()
+			}
+			for _, c := range vals {
+				if v.Equal(c) {
+					return boolVal(!neg)
+				}
+			}
+			return boolVal(neg)
+		}, relation.KindInt}, nil
+
+	case *ExistsOp:
+		if c.exists == nil {
+			return compiledExpr{}, fmt.Errorf("minidb: EXISTS not allowed in this context")
+		}
+		fn, err := c.exists(n, c.scope)
+		if err != nil {
+			return compiledExpr{}, err
+		}
+		return compiledExpr{fn, relation.KindInt}, nil
+
+	case *Aggregate:
+		if c.aggIndex != nil {
+			idx, ok := c.aggIndex[n]
+			if !ok {
+				return compiledExpr{}, fmt.Errorf("minidb: internal: aggregate node not indexed")
+			}
+			slot := c.curAggs
+			kind := relation.KindFloat
+			if n.Fn == "COUNT" {
+				kind = relation.KindInt
+			} else if n.Fn == "MIN" || n.Fn == "MAX" {
+				if cr, ok := n.Arg.(*ColumnRef); ok {
+					if _, _, k, err := c.scope.resolve(cr.Table, cr.Name); err == nil {
+						kind = k
+					}
+				}
+			}
+			return compiledExpr{func(*env) relation.Value { return (*slot)[idx] }, kind}, nil
+		}
+		return compiledExpr{}, fmt.Errorf("minidb: aggregate %s outside of SELECT/HAVING over groups", n.Fn)
+
+	default:
+		return compiledExpr{}, fmt.Errorf("minidb: unsupported expression %T", ex)
+	}
+}
+
+// conjuncts flattens a WHERE expression into its top-level AND operands.
+func conjuncts(ex Expr) []Expr {
+	if ex == nil {
+		return nil
+	}
+	if lo, ok := ex.(*LogicalOp); ok && lo.Op == "AND" {
+		return append(conjuncts(lo.L), conjuncts(lo.R)...)
+	}
+	return []Expr{ex}
+}
+
+// columnsOf collects the column references in an expression, excluding
+// those inside EXISTS subqueries (which resolve in their own scope).
+func columnsOf(ex Expr, out *[]*ColumnRef) {
+	switch n := ex.(type) {
+	case *ColumnRef:
+		*out = append(*out, n)
+	case *BinaryOp:
+		columnsOf(n.L, out)
+		columnsOf(n.R, out)
+	case *LogicalOp:
+		columnsOf(n.L, out)
+		columnsOf(n.R, out)
+	case *NotOp:
+		columnsOf(n.E, out)
+	case *IsNull:
+		columnsOf(n.E, out)
+	case *InList:
+		columnsOf(n.E, out)
+	case *Aggregate:
+		if n.Arg != nil {
+			columnsOf(n.Arg, out)
+		}
+	}
+}
+
+// aggregatesOf collects aggregate nodes in an expression (not descending
+// into EXISTS).
+func aggregatesOf(ex Expr, out *[]*Aggregate) {
+	switch n := ex.(type) {
+	case *Aggregate:
+		*out = append(*out, n)
+	case *BinaryOp:
+		aggregatesOf(n.L, out)
+		aggregatesOf(n.R, out)
+	case *LogicalOp:
+		aggregatesOf(n.L, out)
+		aggregatesOf(n.R, out)
+	case *NotOp:
+		aggregatesOf(n.E, out)
+	case *IsNull:
+		aggregatesOf(n.E, out)
+	case *InList:
+		aggregatesOf(n.E, out)
+	}
+}

@@ -1,0 +1,548 @@
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"semandaq/internal/relation"
+)
+
+// ParseStatement parses one SQL statement.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &sqlParser{toks: toks, src: src}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, fmt.Errorf("minidb: parsing %q: %w", truncate(src, 80), err)
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("minidb: parsing %q: trailing input at %q", truncate(src, 80), p.cur().text)
+	}
+	return stmt, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+type sqlParser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *sqlParser) cur() token { return p.toks[p.i] }
+
+func (p *sqlParser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *sqlParser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, fmt.Errorf("at offset %d: expected %s, found %q", t.pos, want, t.text)
+	}
+	p.i++
+	return t, nil
+}
+
+func (p *sqlParser) statement() (Statement, error) {
+	switch {
+	case p.at(tokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.accept(tokKeyword, "CREATE"):
+		return p.createTable()
+	case p.accept(tokKeyword, "INSERT"):
+		return p.insert()
+	case p.accept(tokKeyword, "UPDATE"):
+		return p.update()
+	case p.accept(tokKeyword, "DELETE"):
+		return p.delete()
+	default:
+		return nil, fmt.Errorf("at offset %d: expected SELECT, CREATE, INSERT, UPDATE or DELETE", p.cur().pos)
+	}
+}
+
+func (p *sqlParser) createTable() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	var cols []relation.Attribute
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		kindTok := p.cur()
+		if kindTok.kind != tokKeyword || (kindTok.text != "STRING" && kindTok.text != "INT" && kindTok.text != "FLOAT") {
+			return nil, fmt.Errorf("at offset %d: expected column kind, found %q", kindTok.pos, kindTok.text)
+		}
+		p.i++
+		kind, err := relation.ParseKind(kindTok.text)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, relation.Attribute{Name: col.text, Kind: kind})
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &CreateTable{Name: name.text, Columns: cols}, nil
+	}
+}
+
+func (p *sqlParser) insert() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name.text}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := e.(*Literal); !ok {
+				return nil, fmt.Errorf("INSERT values must be literals")
+			}
+			row = append(row, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		return ins, nil
+	}
+}
+
+func (p *sqlParser) update() (Statement, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	up := &Update{Table: name.text}
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := val.(*Literal); !ok {
+			return nil, fmt.Errorf("UPDATE values must be literals")
+		}
+		up.Cols = append(up.Cols, col.text)
+		up.Vals = append(up.Vals, val)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = e
+	}
+	return up, nil
+}
+
+func (p *sqlParser) delete() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: name.text}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	return del, nil
+}
+
+func (p *sqlParser) selectStmt() (*Select, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.accept(tokKeyword, "DISTINCT")
+	if p.accept(tokSymbol, "*") {
+		sel.Star = true
+	} else {
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				a, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a.text
+			} else if p.at(tokIdent, "") {
+				item.Alias = p.cur().text
+				p.i++
+			}
+			sel.Items = append(sel.Items, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: name.text, Alias: name.text}
+		if p.at(tokIdent, "") {
+			ref.Alias = p.cur().text
+			p.i++
+		}
+		sel.From = append(sel.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, c)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: c}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		lim, err := strconv.Atoi(n.text)
+		if err != nil || lim < 0 {
+			return nil, fmt.Errorf("bad LIMIT %q", n.text)
+		}
+		sel.Limit = lim
+	}
+	return sel, nil
+}
+
+func (p *sqlParser) columnRef() (*ColumnRef, error) {
+	first, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokSymbol, ".") {
+		second, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: first.text, Name: second.text}, nil
+	}
+	return &ColumnRef{Name: first.text}, nil
+}
+
+// expression implements precedence OR < AND < NOT < comparison < primary.
+func (p *sqlParser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *sqlParser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicalOp{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &LogicalOp{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) notExpr() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		if p.at(tokKeyword, "EXISTS") {
+			e, err := p.existsExpr()
+			if err != nil {
+				return nil, err
+			}
+			e.(*ExistsOp).Neg = true
+			return e, nil
+		}
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotOp{E: e}, nil
+	}
+	if p.at(tokKeyword, "EXISTS") {
+		return p.existsExpr()
+	}
+	return p.comparison()
+}
+
+func (p *sqlParser) existsExpr() (Expr, error) {
+	if _, err := p.expect(tokKeyword, "EXISTS"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	sub, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &ExistsOp{Sub: sub}, nil
+}
+
+func (p *sqlParser) comparison() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokKeyword, "IS") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: l, Neg: neg}, nil
+	}
+	if p.at(tokKeyword, "IN") || (p.at(tokKeyword, "NOT") && p.toks[p.i+1].kind == tokKeyword && p.toks[p.i+1].text == "IN") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "IN"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		in := &InList{E: l, Neg: neg}
+		for {
+			v, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := v.(*Literal); !ok {
+				return nil, fmt.Errorf("IN list elements must be literals")
+			}
+			in.Vals = append(in.Vals, v)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+	for _, op := range []string{"<=", ">=", "<>", "!=", "=", "<", ">"} {
+		if p.accept(tokSymbol, op) {
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinaryOp{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.accept(tokSymbol, "("):
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokKeyword && isAggregate(t.text):
+		p.i++
+		return p.aggregate(t.text)
+	case t.kind == tokNumber:
+		p.i++
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q", t.text)
+			}
+			return &Literal{Val: relation.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", t.text)
+		}
+		return &Literal{Val: relation.Int(n)}, nil
+	case t.kind == tokString:
+		p.i++
+		return &Literal{Val: relation.String(t.text)}, nil
+	case p.accept(tokKeyword, "NULL"):
+		return &Literal{Val: relation.Null()}, nil
+	case t.kind == tokIdent:
+		return p.columnRef()
+	default:
+		return nil, fmt.Errorf("at offset %d: unexpected token %q", t.pos, t.text)
+	}
+}
+
+func isAggregate(kw string) bool {
+	switch kw {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+func (p *sqlParser) aggregate(fn string) (Expr, error) {
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	agg := &Aggregate{Fn: fn}
+	if fn == "COUNT" && p.accept(tokSymbol, "*") {
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	}
+	agg.Distinct = p.accept(tokKeyword, "DISTINCT")
+	arg, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	agg.Arg = arg
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}

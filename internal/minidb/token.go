@@ -1,0 +1,197 @@
+// Package minidb is a small in-memory SQL engine over the relation
+// substrate. It exists because the violation-detection technique of
+// Fan et al. (TODS 2008) — which §5 of the tutorial demonstrates through
+// the Semandaq system — works by translating a CFD set into a pair of SQL
+// queries (Q_C for constant violations, Q_V for variable violations) and
+// running them on an RDBMS. The repository is offline and stdlib-only, so
+// minidb plays the role of the commercial DBMS of the paper.
+//
+// Supported SQL subset:
+//
+//	CREATE TABLE name (col KIND, ...)
+//	INSERT INTO name VALUES (lit, ...)[, (...)]
+//	SELECT [DISTINCT] exprs FROM t1 [a1], t2 [a2], ...
+//	    [WHERE expr] [GROUP BY cols] [HAVING expr]
+//	    [ORDER BY cols [DESC]] [LIMIT n]
+//
+// with AND/OR/NOT, comparison operators, IS [NOT] NULL, [NOT] EXISTS
+// (correlated subqueries), and the aggregates COUNT(*), COUNT(x),
+// COUNT(DISTINCT x), SUM, AVG, MIN and MAX. The executor uses hash joins
+// for equi-join conjuncts, decorrelates EXISTS subqueries with
+// equality-only correlation into hash semi-joins, and falls back to
+// nested loops otherwise — enough machinery for the paper's detection
+// queries to run at the data sizes of the experiments.
+package minidb
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * . = < > <= >= <> !=
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AND": true, "OR": true,
+	"NOT": true, "NULL": true, "IS": true, "AS": true, "DISTINCT": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "EXISTS": true, "ASC": true, "DESC": true,
+	"IN": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"STRING": true, "INT": true, "FLOAT": true, "TRUE": true, "FALSE": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.tokens, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isLetter(c):
+			start := l.pos
+			for l.pos < len(l.src) && (isLetter(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			if keywords[strings.ToUpper(word)] {
+				l.tokens = append(l.tokens, token{tokKeyword, strings.ToUpper(word), start})
+			} else {
+				l.tokens = append(l.tokens, token{tokIdent, word, start})
+			}
+		case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) && l.numberContext()):
+			start := l.pos
+			if c == '-' {
+				l.pos++
+			}
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos])
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("minidb: unterminated string at offset %d", l.pos)
+				}
+				if l.src[l.pos] == '\'' {
+					// '' escapes a quote.
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.emit(tokString, sb.String())
+		case c == '<':
+			if l.peekAt(1) == '=' {
+				l.emit2(tokSymbol, "<=")
+			} else if l.peekAt(1) == '>' {
+				l.emit2(tokSymbol, "<>")
+			} else {
+				l.emit1(tokSymbol, "<")
+			}
+		case c == '>':
+			if l.peekAt(1) == '=' {
+				l.emit2(tokSymbol, ">=")
+			} else {
+				l.emit1(tokSymbol, ">")
+			}
+		case c == '!':
+			if l.peekAt(1) == '=' {
+				l.emit2(tokSymbol, "!=")
+			} else {
+				return nil, fmt.Errorf("minidb: unexpected '!' at offset %d", l.pos)
+			}
+		case strings.IndexByte("(),*.=-+", c) >= 0:
+			l.emit1(tokSymbol, string(c))
+		default:
+			return nil, fmt.Errorf("minidb: unexpected character %q at offset %d", string(c), l.pos)
+		}
+	}
+}
+
+// numberContext reports whether a '-' at the current position starts a
+// negative literal (previous token is not an operand).
+func (l *lexer) numberContext() bool {
+	if len(l.tokens) == 0 {
+		return true
+	}
+	prev := l.tokens[len(l.tokens)-1]
+	switch prev.kind {
+	case tokIdent, tokNumber, tokString:
+		return false
+	case tokSymbol:
+		return prev.text != ")"
+	default:
+		return true
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind, text, l.pos})
+}
+
+func (l *lexer) emit1(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind, text, l.pos})
+	l.pos++
+}
+
+func (l *lexer) emit2(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind, text, l.pos})
+	l.pos += 2
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || c == '#' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }

@@ -1,0 +1,135 @@
+package noise
+
+import (
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/relation"
+	"semandaq/internal/repair"
+)
+
+func TestDirtyRateAndTruth(t *testing.T) {
+	r := datagen.Cust(1000, 1)
+	dirty, truth := Dirty(r, Options{Rate: 0.05, Seed: 2})
+	if truth.Len() != 50 {
+		t.Fatalf("dirtied %d cells, want 50", truth.Len())
+	}
+	// Every recorded cell actually differs from the clean value, and the
+	// clean relation is untouched.
+	for cell, orig := range truth.Cells {
+		got := dirty.Get(cell[0], cell[1])
+		if got.Identical(orig) {
+			t.Errorf("cell %v recorded as dirty but unchanged", cell)
+		}
+		if !r.Get(cell[0], cell[1]).Identical(orig) {
+			t.Errorf("truth value for %v does not match the clean input", cell)
+		}
+	}
+	// Undirtied cells are identical.
+	changed := 0
+	for tid := 0; tid < r.Len(); tid++ {
+		for a := 0; a < r.Schema().Arity(); a++ {
+			if !r.Get(tid, a).Identical(dirty.Get(tid, a)) {
+				changed++
+				if _, ok := truth.Cells[[2]int{tid, a}]; !ok {
+					t.Errorf("cell (%d,%d) changed without truth entry", tid, a)
+				}
+			}
+		}
+	}
+	if changed != truth.Len() {
+		t.Errorf("changed %d cells, truth has %d", changed, truth.Len())
+	}
+}
+
+func TestDirtyDeterministic(t *testing.T) {
+	r := datagen.Cust(200, 3)
+	d1, t1 := Dirty(r, Options{Rate: 0.1, Seed: 5})
+	d2, t2 := Dirty(r, Options{Rate: 0.1, Seed: 5})
+	if t1.Len() != t2.Len() {
+		t.Fatal("same seed, different truth size")
+	}
+	for i := 0; i < d1.Len(); i++ {
+		if !d1.Tuple(i).Equal(d2.Tuple(i)) {
+			t.Fatalf("tuple %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestDirtyAttrRestriction(t *testing.T) {
+	r := datagen.Cust(300, 4)
+	str := r.Schema().MustIndex("STR")
+	_, truth := Dirty(r, Options{Rate: 0.2, Attrs: []int{str}, Seed: 6})
+	for cell := range truth.Cells {
+		if cell[1] != str {
+			t.Errorf("cell %v dirtied outside restricted attr", cell)
+		}
+	}
+}
+
+func TestDirtyCreatesDetectableViolations(t *testing.T) {
+	r := datagen.Cust(1000, 7)
+	set := datagen.CustConstraints()
+	// Dirty only constrained attributes so most corruptions are visible.
+	str := r.Schema().MustIndex("STR")
+	ct := r.Schema().MustIndex("CT")
+	dirty, truth := Dirty(r, Options{Rate: 0.08, Attrs: []int{str, ct}, Seed: 8})
+	vs, err := cfd.NewDetector(set).Detect(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatalf("%d dirtied cells produced no violations", truth.Len())
+	}
+}
+
+func TestScore(t *testing.T) {
+	truth := &Truth{Cells: map[[2]int]relation.Value{
+		{0, 1}: relation.String("good"),
+		{2, 3}: relation.String("fine"),
+	}}
+	changes := []repair.Change{
+		{TID: 0, Attr: 1, To: relation.String("good")}, // corrected
+		{TID: 2, Attr: 3, To: relation.String("bad")},  // wrong fix
+		{TID: 5, Attr: 0, To: relation.String("x")},    // spurious change
+	}
+	q := Score(changes, truth)
+	if q.Corrected != 1 || q.Repaired != 3 || q.Dirtied != 2 {
+		t.Fatalf("score = %+v", q)
+	}
+	if q.Precision != 1.0/3 || q.Recall != 0.5 {
+		t.Errorf("P=%f R=%f", q.Precision, q.Recall)
+	}
+}
+
+func TestEndToEndRepairQuality(t *testing.T) {
+	// The E4 pipeline in miniature: generate, dirty, repair, score.
+	// With variable-CFD noise on STR inside sizeable zip groups, the
+	// medoid value choice should restore most originals.
+	r := datagen.Cust(2000, 9)
+	set := datagen.CustConstraints()
+	str := r.Schema().MustIndex("STR")
+	dirty, truth := Dirty(r, Options{Rate: 0.03, Attrs: []int{str}, Seed: 10})
+	res, err := repair.Batch(dirty, set, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repair.Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+	q := Score(res.Changes, truth)
+	if q.Recall < 0.5 {
+		t.Errorf("repair recall %.3f too low (%+v)", q.Recall, q)
+	}
+	if q.Precision < 0.5 {
+		t.Errorf("repair precision %.3f too low (%+v)", q.Precision, q)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

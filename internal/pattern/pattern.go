@@ -1,0 +1,242 @@
+// Package pattern implements the pattern tableaux that distinguish
+// conditional dependencies (CFDs, CINDs, eCFDs) from their classical
+// counterparts.
+//
+// A pattern value is either a constant, which matches exactly that data
+// value, or the wildcard "_", which matches any value. Pattern tuples
+// (rows of constants and wildcards) assembled into tableaux specify the
+// part of a relation on which an embedded dependency must hold, following
+// Fan, Geerts, Jia, Kementsietsidis (TODS 2008).
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"semandaq/internal/relation"
+)
+
+// Value is a pattern value: a constant or the wildcard.
+// The zero Value is the wildcard.
+type Value struct {
+	isConst bool
+	c       relation.Value
+}
+
+// Wild returns the wildcard pattern "_".
+func Wild() Value { return Value{} }
+
+// Const returns the constant pattern matching exactly v.
+func Const(v relation.Value) Value { return Value{isConst: true, c: v} }
+
+// ConstStr returns the constant pattern for a string value; shorthand for
+// the common all-string schemas in the paper.
+func ConstStr(s string) Value { return Const(relation.String(s)) }
+
+// IsWild reports whether p is the wildcard.
+func (p Value) IsWild() bool { return !p.isConst }
+
+// IsConst reports whether p is a constant.
+func (p Value) IsConst() bool { return p.isConst }
+
+// Constant returns the constant matched by p; only meaningful when
+// IsConst.
+func (p Value) Constant() relation.Value { return p.c }
+
+// Matches reports whether data value v matches pattern p. The wildcard
+// matches everything including NULL; a constant matches only an identical
+// value (NULL never matches a constant).
+func (p Value) Matches(v relation.Value) bool {
+	if !p.isConst {
+		return true
+	}
+	return p.c.Identical(v)
+}
+
+// Subsumes reports whether p is at least as general as q: every data
+// value matched by q is matched by p.
+func (p Value) Subsumes(q Value) bool {
+	if !p.isConst {
+		return true
+	}
+	return q.isConst && p.c.Identical(q.c)
+}
+
+// Equal reports pattern identity.
+func (p Value) Equal(q Value) bool {
+	if p.isConst != q.isConst {
+		return false
+	}
+	return !p.isConst || p.c.Identical(q.c)
+}
+
+// String renders the pattern: "_" for the wildcard, the constant
+// otherwise (strings single-quoted).
+func (p Value) String() string {
+	if !p.isConst {
+		return "_"
+	}
+	if p.c.Kind() == relation.KindString {
+		return "'" + p.c.Str() + "'"
+	}
+	return p.c.String()
+}
+
+// Row is a pattern tuple over a fixed attribute list.
+type Row []Value
+
+// Matches reports whether data tuple t (restricted to positions attrs)
+// matches the row: attrs[i]'s value must match row[i].
+func (r Row) Matches(t relation.Tuple, attrs []int) bool {
+	for i, p := range r {
+		if !p.Matches(t[attrs[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether r is at least as general as q component-wise.
+func (r Row) Subsumes(q Row) bool {
+	if len(r) != len(q) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Subsumes(q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports component-wise pattern identity.
+func (r Row) Equal(q Row) bool {
+	if len(r) != len(q) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllWild reports whether every pattern in the row is the wildcard.
+func (r Row) AllWild() bool {
+	for _, p := range r {
+		if p.IsConst() {
+			return false
+		}
+	}
+	return true
+}
+
+// AllConst reports whether every pattern in the row is a constant.
+func (r Row) AllConst() bool {
+	for _, p := range r {
+		if p.IsWild() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row as (p1, p2, ...).
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, p := range r {
+		parts[i] = p.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tableau is an ordered list of pattern rows, all of the same width.
+type Tableau []Row
+
+// Validate checks that every row has the expected width.
+func (tb Tableau) Validate(width int) error {
+	for i, r := range tb {
+		if len(r) != width {
+			return fmt.Errorf("pattern: tableau row %d has width %d, want %d", i, len(r), width)
+		}
+	}
+	return nil
+}
+
+// MatchingRows returns the indexes of rows matched by tuple t on attrs.
+func (tb Tableau) MatchingRows(t relation.Tuple, attrs []int) []int {
+	var out []int
+	for i, r := range tb {
+		if r.Matches(t, attrs) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Reduce removes rows subsumed by other rows (keeping the earlier, more
+// general row), returning a new tableau. When two rows are identical the
+// first is kept.
+func (tb Tableau) Reduce() Tableau {
+	keep := make([]bool, len(tb))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := range tb {
+		if !keep[i] {
+			continue
+		}
+		for j := range tb {
+			if i == j || !keep[j] {
+				continue
+			}
+			if tb[i].Subsumes(tb[j]) && !(tb[j].Subsumes(tb[i]) && j < i) {
+				keep[j] = false
+			}
+		}
+	}
+	var out Tableau
+	for i, r := range tb {
+		if keep[i] {
+			out = append(out, r.Clone())
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the tableau.
+func (tb Tableau) Clone() Tableau {
+	out := make(Tableau, len(tb))
+	for i, r := range tb {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// ParseValue parses the textual form of a single pattern value: "_" is
+// the wildcard; 'quoted' or bare text is a constant of the given kind.
+func ParseValue(s string, kind relation.Kind) (Value, error) {
+	s = strings.TrimSpace(s)
+	if s == "_" {
+		return Wild(), nil
+	}
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return ConstStr(s[1 : len(s)-1]), nil
+	}
+	v, err := relation.ParseValue(s, kind)
+	if err != nil {
+		return Wild(), err
+	}
+	if v.IsNull() {
+		return Wild(), fmt.Errorf("pattern: empty constant in pattern value %q", s)
+	}
+	return Const(v), nil
+}

@@ -1,0 +1,227 @@
+package pattern
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"semandaq/internal/relation"
+)
+
+func TestValueMatching(t *testing.T) {
+	w := Wild()
+	c := ConstStr("44")
+	if !w.Matches(relation.String("anything")) || !w.Matches(relation.Null()) {
+		t.Error("wildcard must match everything")
+	}
+	if !c.Matches(relation.String("44")) {
+		t.Error("constant must match identical value")
+	}
+	if c.Matches(relation.String("01")) {
+		t.Error("constant must not match different value")
+	}
+	if c.Matches(relation.Null()) {
+		t.Error("constant must not match NULL")
+	}
+	if c.Matches(relation.Int(44)) {
+		t.Error("string constant must not match int value")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	w, a, b := Wild(), ConstStr("a"), ConstStr("b")
+	if !w.Subsumes(a) || !w.Subsumes(w) || !a.Subsumes(a) {
+		t.Error("subsumption reflexivity/wildcard cases failed")
+	}
+	if a.Subsumes(w) {
+		t.Error("constant must not subsume wildcard")
+	}
+	if a.Subsumes(b) {
+		t.Error("distinct constants must not subsume each other")
+	}
+}
+
+func randomPattern(r *rand.Rand) Value {
+	if r.Intn(3) == 0 {
+		return Wild()
+	}
+	return ConstStr(string(rune('a' + r.Intn(4))))
+}
+
+type patBox struct{ P Value }
+
+func (patBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(patBox{P: randomPattern(r)})
+}
+
+func TestSubsumptionIsPartialOrder(t *testing.T) {
+	// Reflexive, antisymmetric (up to Equal), transitive.
+	refl := func(a patBox) bool { return a.P.Subsumes(a.P) }
+	anti := func(a, b patBox) bool {
+		if a.P.Subsumes(b.P) && b.P.Subsumes(a.P) {
+			return a.P.Equal(b.P)
+		}
+		return true
+	}
+	trans := func(a, b, c patBox) bool {
+		if a.P.Subsumes(b.P) && b.P.Subsumes(c.P) {
+			return a.P.Subsumes(c.P)
+		}
+		return true
+	}
+	for name, prop := range map[string]any{"refl": refl, "anti": anti, "trans": trans} {
+		if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestSubsumptionSemantics(t *testing.T) {
+	// Property: p.Subsumes(q) implies every value matched by q is matched
+	// by p (checked over a sample domain).
+	domain := []relation.Value{
+		relation.String("a"), relation.String("b"), relation.String("c"),
+		relation.String("d"), relation.Null(),
+	}
+	prop := func(a, b patBox) bool {
+		if !a.P.Subsumes(b.P) {
+			return true
+		}
+		for _, v := range domain {
+			if b.P.Matches(v) && !a.P.Matches(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowMatches(t *testing.T) {
+	// Row over attrs {0, 2} of a 3-tuple.
+	row := Row{ConstStr("44"), Wild()}
+	tup := relation.Tuple{relation.String("44"), relation.String("x"), relation.String("y")}
+	if !row.Matches(tup, []int{0, 2}) {
+		t.Error("row should match on (44, _)")
+	}
+	if row.Matches(tup, []int{1, 2}) {
+		t.Error("row should not match when first attr is x")
+	}
+}
+
+func TestRowPredicates(t *testing.T) {
+	if !(Row{Wild(), Wild()}).AllWild() {
+		t.Error("AllWild failed")
+	}
+	if (Row{Wild(), ConstStr("a")}).AllWild() {
+		t.Error("AllWild false positive")
+	}
+	if !(Row{ConstStr("a"), ConstStr("b")}).AllConst() {
+		t.Error("AllConst failed")
+	}
+	if (Row{ConstStr("a"), Wild()}).AllConst() {
+		t.Error("AllConst false positive")
+	}
+}
+
+func TestTableauValidateAndReduce(t *testing.T) {
+	tb := Tableau{
+		{Wild(), Wild()},
+		{ConstStr("a"), Wild()},        // subsumed by row 0
+		{ConstStr("a"), ConstStr("b")}, // subsumed by rows 0 and 1
+	}
+	if err := tb.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Validate(3); err == nil {
+		t.Error("Validate should fail for wrong width")
+	}
+	red := tb.Reduce()
+	if len(red) != 1 || !red[0].Equal(Row{Wild(), Wild()}) {
+		t.Errorf("Reduce = %v, want single all-wild row", red)
+	}
+}
+
+func TestTableauReduceKeepsIncomparable(t *testing.T) {
+	tb := Tableau{
+		{ConstStr("a"), Wild()},
+		{Wild(), ConstStr("b")},
+	}
+	red := tb.Reduce()
+	if len(red) != 2 {
+		t.Errorf("Reduce removed incomparable rows: %v", red)
+	}
+}
+
+func TestTableauReduceDuplicates(t *testing.T) {
+	tb := Tableau{
+		{ConstStr("a")},
+		{ConstStr("a")},
+	}
+	if red := tb.Reduce(); len(red) != 1 {
+		t.Errorf("Reduce kept duplicate rows: %v", red)
+	}
+}
+
+func TestReduceSemanticsPreserved(t *testing.T) {
+	// Property: reduction preserves the matched tuple set.
+	rng := rand.New(rand.NewSource(11))
+	domainTuple := func() relation.Tuple {
+		return relation.Tuple{
+			relation.String(string(rune('a' + rng.Intn(4)))),
+			relation.String(string(rune('a' + rng.Intn(4)))),
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		var tb Tableau
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			tb = append(tb, Row{randomPattern(rng), randomPattern(rng)})
+		}
+		red := tb.Reduce()
+		for probe := 0; probe < 20; probe++ {
+			tup := domainTuple()
+			before := len(tb.MatchingRows(tup, []int{0, 1})) > 0
+			after := len(red.MatchingRows(tup, []int{0, 1})) > 0
+			if before != after {
+				t.Fatalf("Reduce changed semantics for %v: tableau %v -> %v", tup, tb, red)
+			}
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	p, err := ParseValue("_", relation.KindString)
+	if err != nil || !p.IsWild() {
+		t.Errorf("ParseValue(_) = %v, %v", p, err)
+	}
+	p, err = ParseValue("'44'", relation.KindString)
+	if err != nil || !p.Matches(relation.String("44")) {
+		t.Errorf("ParseValue('44') = %v, %v", p, err)
+	}
+	p, err = ParseValue("42", relation.KindInt)
+	if err != nil || !p.Matches(relation.Int(42)) {
+		t.Errorf("ParseValue(42) = %v, %v", p, err)
+	}
+	if _, err = ParseValue("abc", relation.KindInt); err == nil {
+		t.Error("ParseValue(abc as int) should fail")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if Wild().String() != "_" {
+		t.Error("wildcard should render as _")
+	}
+	if ConstStr("x").String() != "'x'" {
+		t.Errorf("ConstStr render = %s", ConstStr("x").String())
+	}
+	if Const(relation.Int(5)).String() != "5" {
+		t.Errorf("int const render = %s", Const(relation.Int(5)).String())
+	}
+	row := Row{Wild(), ConstStr("a")}
+	if row.String() != "(_, 'a')" {
+		t.Errorf("row render = %s", row.String())
+	}
+}

@@ -1,0 +1,94 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV loads a relation from CSV. The first record must be a header
+// whose column names match the schema's attribute names in order. Empty
+// fields load as NULL.
+func ReadCSV(r io.Reader, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.Arity()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	for i, name := range schema.Names() {
+		if header[i] != name {
+			return nil, fmt.Errorf("relation: CSV header column %d is %q, schema expects %q", i, header[i], name)
+		}
+	}
+	rel := New(schema)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV line %d: %w", line, err)
+		}
+		t := make(Tuple, schema.Arity())
+		for i, field := range rec {
+			v, err := ParseValue(field, schema.Attr(i).Kind)
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d column %s: %w", line, schema.Attr(i).Name, err)
+			}
+			t[i] = v
+		}
+		if _, err := rel.Insert(t); err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row. NULL writes as
+// the empty field, which ReadCSV maps back to NULL.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema().Names()); err != nil {
+		return fmt.Errorf("relation: writing CSV header: %w", err)
+	}
+	rec := make([]string, r.Schema().Arity())
+	for _, t := range r.Tuples() {
+		for i, v := range t {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: writing CSV record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSVFile reads a relation from the named CSV file.
+func LoadCSVFile(path string, schema *Schema) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f, schema)
+}
+
+// SaveCSVFile writes the relation to the named CSV file.
+func SaveCSVFile(path string, r *Relation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,47 @@
+package relation
+
+// HashIndex maps composite keys over a fixed attribute list to the TIDs
+// holding that key. It is a snapshot: mutations to the relation after
+// Build are not reflected.
+type HashIndex struct {
+	attrs   []int
+	buckets map[string][]int
+}
+
+// BuildIndex constructs a hash index on the given attribute positions.
+func BuildIndex(r *Relation, attrs []int) *HashIndex {
+	idx := &HashIndex{
+		attrs:   append([]int(nil), attrs...),
+		buckets: make(map[string][]int, r.Len()),
+	}
+	for tid, t := range r.Tuples() {
+		k := t.Key(idx.attrs)
+		idx.buckets[k] = append(idx.buckets[k], tid)
+	}
+	return idx
+}
+
+// Attrs returns the indexed attribute positions.
+func (ix *HashIndex) Attrs() []int { return ix.attrs }
+
+// Lookup returns the TIDs whose indexed attributes encode to the same key
+// as t's. The returned slice aliases index storage.
+func (ix *HashIndex) Lookup(t Tuple) []int {
+	return ix.buckets[t.Key(ix.attrs)]
+}
+
+// LookupKey returns the TIDs stored under a pre-encoded key.
+func (ix *HashIndex) LookupKey(key string) []int { return ix.buckets[key] }
+
+// Groups iterates over every (key, tids) bucket. Iteration order is
+// unspecified.
+func (ix *HashIndex) Groups(f func(key string, tids []int) bool) {
+	for k, tids := range ix.buckets {
+		if !f(k, tids) {
+			return
+		}
+	}
+}
+
+// Size returns the number of distinct keys.
+func (ix *HashIndex) Size() int { return len(ix.buckets) }

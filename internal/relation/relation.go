@@ -1,0 +1,170 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is an in-memory table: a schema plus a slice of tuples. Tuple
+// identifiers (TIDs) are positions in the slice and are stable under
+// in-place cell updates, which is what the repair algorithms require.
+type Relation struct {
+	schema *Schema
+	tuples []Tuple
+}
+
+// New creates an empty relation over the given schema.
+func New(schema *Schema) *Relation {
+	return &Relation{schema: schema}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the tuple with the given TID. The returned slice aliases
+// relation storage; callers that mutate it mutate the relation.
+func (r *Relation) Tuple(tid int) Tuple { return r.tuples[tid] }
+
+// Tuples returns the underlying tuple slice. The slice aliases relation
+// storage and must not be appended to by callers.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Insert validates and appends a tuple, returning its TID. The tuple must
+// have the schema's arity, and each non-NULL value must have the declared
+// kind (integers are accepted into float columns).
+func (r *Relation) Insert(t Tuple) (int, error) {
+	if len(t) != r.schema.Arity() {
+		return 0, fmt.Errorf("relation %s: inserting tuple of arity %d into schema of arity %d",
+			r.schema.Name(), len(t), r.schema.Arity())
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		want := r.schema.Attr(i).Kind
+		if v.Kind() == want {
+			continue
+		}
+		if want == KindFloat && v.Kind() == KindInt {
+			t[i] = Float(v.FloatVal())
+			continue
+		}
+		return 0, fmt.Errorf("relation %s: attribute %s expects %v, got %v (%s)",
+			r.schema.Name(), r.schema.Attr(i).Name, want, v.Kind(), v)
+	}
+	r.tuples = append(r.tuples, t)
+	return len(r.tuples) - 1, nil
+}
+
+// MustInsert inserts a tuple and panics on validation failure. Intended
+// for tests and generators where the tuple shape is statically correct.
+func (r *Relation) MustInsert(t Tuple) int {
+	tid, err := r.Insert(t)
+	if err != nil {
+		panic(err)
+	}
+	return tid
+}
+
+// Set overwrites a single cell.
+func (r *Relation) Set(tid, attr int, v Value) {
+	r.tuples[tid][attr] = v
+}
+
+// Get reads a single cell.
+func (r *Relation) Get(tid, attr int) Value {
+	return r.tuples[tid][attr]
+}
+
+// Clone returns a deep copy of the relation (same schema pointer; the
+// schema is immutable).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{schema: r.schema, tuples: make([]Tuple, len(r.tuples))}
+	for i, t := range r.tuples {
+		out.tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// Select returns the TIDs of tuples satisfying pred.
+func (r *Relation) Select(pred func(Tuple) bool) []int {
+	var out []int
+	for tid, t := range r.tuples {
+		if pred(t) {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// Distinct returns the number of distinct full tuples.
+func (r *Relation) Distinct() int {
+	seen := make(map[string]struct{}, len(r.tuples))
+	for _, t := range r.tuples {
+		seen[t.FullKey()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// SortBy sorts tuples in place by the listed attribute positions
+// (ascending, Value.Compare order). TIDs are renumbered; callers holding
+// TIDs across a sort must not.
+func (r *Relation) SortBy(idxs []int) {
+	sort.SliceStable(r.tuples, func(i, j int) bool {
+		a, b := r.tuples[i], r.tuples[j]
+		for _, idx := range idxs {
+			if c := a[idx].Compare(b[idx]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// Head renders the first n tuples as an aligned text table for display.
+func (r *Relation) Head(n int) string {
+	if n > len(r.tuples) {
+		n = len(r.tuples)
+	}
+	names := r.schema.Names()
+	widths := make([]int, len(names))
+	for i, name := range names {
+		widths[i] = len(name)
+	}
+	rows := make([][]string, n)
+	for i := 0; i < n; i++ {
+		row := make([]string, len(names))
+		for j, v := range r.tuples[i] {
+			row[j] = v.String()
+			if len(row[j]) > widths[j] {
+				widths[j] = len(row[j])
+			}
+		}
+		rows[i] = row
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for j, c := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for k := len(c); k < widths[j]; k++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	if n < len(r.tuples) {
+		fmt.Fprintf(&b, "... (%d more tuples)\n", len(r.tuples)-n)
+	}
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func custSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := StringSchema("cust", "CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(""); err == nil {
+		t.Error("empty schema name should fail")
+	}
+	if _, err := NewSchema("r"); err == nil {
+		t.Error("zero attributes should fail")
+	}
+	if _, err := NewSchema("r", Attribute{Name: "A"}, Attribute{Name: "A"}); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+	if _, err := NewSchema("r", Attribute{Name: ""}); err == nil {
+		t.Error("empty attribute name should fail")
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := custSchema(t)
+	if s.Arity() != 7 {
+		t.Fatalf("arity = %d, want 7", s.Arity())
+	}
+	i, ok := s.Index("ZIP")
+	if !ok || i != 6 {
+		t.Errorf("Index(ZIP) = %d, %v; want 6, true", i, ok)
+	}
+	if _, ok := s.Index("missing"); ok {
+		t.Error("Index(missing) should report false")
+	}
+	idxs, err := s.Indexes("CC", "ZIP")
+	if err != nil || idxs[0] != 0 || idxs[1] != 6 {
+		t.Errorf("Indexes(CC, ZIP) = %v, %v", idxs, err)
+	}
+	if _, err := s.Indexes("CC", "nope"); err == nil {
+		t.Error("Indexes with unknown attribute should fail")
+	}
+}
+
+func strTuple(vals ...string) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = String(v)
+	}
+	return t
+}
+
+func TestInsertValidation(t *testing.T) {
+	s := MustSchema("r", Attribute{"A", KindString}, Attribute{"B", KindInt}, Attribute{"C", KindFloat})
+	r := New(s)
+	if _, err := r.Insert(Tuple{String("x")}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := r.Insert(Tuple{Int(1), Int(2), Float(3)}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	// int into float column is coerced
+	tid, err := r.Insert(Tuple{String("x"), Int(2), Int(3)})
+	if err != nil {
+		t.Fatalf("int-to-float coercion failed: %v", err)
+	}
+	if got := r.Get(tid, 2); got.Kind() != KindFloat || got.FloatVal() != 3 {
+		t.Errorf("coerced value = %v (%v)", got, got.Kind())
+	}
+	// NULL fits anywhere
+	if _, err := r.Insert(Tuple{Null(), Null(), Null()}); err != nil {
+		t.Errorf("NULL insert failed: %v", err)
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	tp := strTuple("a", "b", "c")
+	pr := tp.Project([]int{2, 0})
+	if !pr.Equal(strTuple("c", "a")) {
+		t.Errorf("Project = %v", pr)
+	}
+	cl := tp.Clone()
+	cl[0] = String("z")
+	if tp[0].Str() != "a" {
+		t.Error("Clone must not alias")
+	}
+	if !tp.EqualOn(strTuple("a", "x", "c"), []int{0, 2}) {
+		t.Error("EqualOn {0,2} should hold")
+	}
+	if tp.EqualOn(strTuple("a", "x", "c"), []int{0, 1}) {
+		t.Error("EqualOn {0,1} should not hold")
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	s := custSchema(t)
+	r := New(s)
+	r.MustInsert(strTuple("44", "131", "1111111", "mike", "mayfield", "edi", "EH4 8LE"))
+	r.MustInsert(strTuple("44", "131", "2222222", "rick", "crichton", "edi", "EH4 8LE"))
+	r.MustInsert(strTuple("01", "908", "3333333", "joe", "mtn ave", "mh", "07974"))
+	idx := BuildIndex(r, []int{0, 1})
+	if idx.Size() != 2 {
+		t.Fatalf("index size = %d, want 2", idx.Size())
+	}
+	got := idx.Lookup(r.Tuple(0))
+	if len(got) != 2 {
+		t.Errorf("Lookup(44,131) = %v, want 2 tids", got)
+	}
+	got = idx.Lookup(r.Tuple(2))
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("Lookup(01,908) = %v, want [2]", got)
+	}
+}
+
+func TestIndexAgreesWithScan(t *testing.T) {
+	// Property: for random relations, index lookups equal scan results.
+	rng := rand.New(rand.NewSource(7))
+	s := MustSchema("r", Attribute{"A", KindString}, Attribute{"B", KindString}, Attribute{"C", KindString})
+	r := New(s)
+	vals := []string{"x", "y", "z"}
+	for i := 0; i < 500; i++ {
+		r.MustInsert(strTuple(vals[rng.Intn(3)], vals[rng.Intn(3)], vals[rng.Intn(3)]))
+	}
+	attrs := []int{0, 2}
+	idx := BuildIndex(r, attrs)
+	for probe := 0; probe < 50; probe++ {
+		tid := rng.Intn(r.Len())
+		t0 := r.Tuple(tid)
+		want := r.Select(func(u Tuple) bool { return u.EqualOn(t0, attrs) })
+		got := idx.Lookup(t0)
+		if len(got) != len(want) {
+			t.Fatalf("lookup size %d != scan size %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("lookup %v != scan %v", got, want)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustSchema("mix", Attribute{"A", KindString}, Attribute{"B", KindInt}, Attribute{"C", KindFloat})
+	r := New(s)
+	r.MustInsert(Tuple{String("hello, world"), Int(1), Float(1.5)})
+	r.MustInsert(Tuple{String(`with "quotes"`), Int(-2), Float(0)})
+	r.MustInsert(Tuple{Null(), Null(), Null()})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != r.Len() {
+		t.Fatalf("round trip length %d != %d", back.Len(), r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		if !back.Tuple(i).Equal(r.Tuple(i)) {
+			t.Errorf("tuple %d: %v != %v", i, back.Tuple(i), r.Tuple(i))
+		}
+	}
+}
+
+func TestCSVHeaderMismatch(t *testing.T) {
+	s := MustSchema("r", Attribute{"A", KindString})
+	if _, err := ReadCSV(strings.NewReader("B\nx\n"), s); err == nil {
+		t.Error("header mismatch should fail")
+	}
+}
+
+func TestCSVBadValue(t *testing.T) {
+	s := MustSchema("r", Attribute{"A", KindInt})
+	if _, err := ReadCSV(strings.NewReader("A\nnotanint\n"), s); err == nil {
+		t.Error("unparsable int should fail")
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	s := MustSchema("r", Attribute{"A", KindString}, Attribute{"B", KindInt})
+	r := New(s)
+	r.MustInsert(Tuple{String("b"), Int(2)})
+	r.MustInsert(Tuple{String("a"), Int(3)})
+	r.MustInsert(Tuple{String("a"), Int(1)})
+	r.SortBy([]int{0, 1})
+	want := []string{"a", "a", "b"}
+	wantB := []int64{1, 3, 2}
+	for i := range want {
+		if r.Tuple(i)[0].Str() != want[i] || r.Tuple(i)[1].IntVal() != wantB[i] {
+			t.Errorf("after sort, tuple %d = %v", i, r.Tuple(i))
+		}
+	}
+}
+
+func TestDistinctAndClone(t *testing.T) {
+	s := MustSchema("r", Attribute{"A", KindString})
+	r := New(s)
+	r.MustInsert(strTuple("x"))
+	r.MustInsert(strTuple("x"))
+	r.MustInsert(strTuple("y"))
+	if d := r.Distinct(); d != 2 {
+		t.Errorf("Distinct = %d, want 2", d)
+	}
+	c := r.Clone()
+	c.Set(0, 0, String("changed"))
+	if r.Get(0, 0).Str() != "x" {
+		t.Error("Clone must deep-copy tuples")
+	}
+}
+
+func TestHead(t *testing.T) {
+	s := MustSchema("r", Attribute{"A", KindString})
+	r := New(s)
+	for i := 0; i < 5; i++ {
+		r.MustInsert(strTuple("v"))
+	}
+	out := r.Head(2)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "3 more") {
+		t.Errorf("Head output unexpected:\n%s", out)
+	}
+}

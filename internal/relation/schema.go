@@ -1,0 +1,146 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named, typed column of a schema.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes a relation: its name and ordered attribute list.
+// Schemas are immutable after construction.
+type Schema struct {
+	name   string
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// NewSchema builds a schema. Attribute names must be non-empty and
+// pairwise distinct (case-sensitive).
+func NewSchema(name string, attrs ...Attribute) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relation: schema name must be non-empty")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: schema %q must have at least one attribute", name)
+	}
+	byName := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("relation: schema %q attribute %d has empty name", name, i)
+		}
+		if _, dup := byName[a.Name]; dup {
+			return nil, fmt.Errorf("relation: schema %q has duplicate attribute %q", name, a.Name)
+		}
+		byName[a.Name] = i
+	}
+	return &Schema{name: name, attrs: append([]Attribute(nil), attrs...), byName: byName}, nil
+}
+
+// MustSchema is like NewSchema but panics on error. Intended for
+// package-level schema literals in tests and generators.
+func MustSchema(name string, attrs ...Attribute) *Schema {
+	s, err := NewSchema(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// StringSchema builds a schema in which every named attribute has kind
+// string — the common case for the data-cleaning workloads in the paper.
+func StringSchema(name string, attrNames ...string) (*Schema, error) {
+	attrs := make([]Attribute, len(attrNames))
+	for i, n := range attrNames {
+		attrs[i] = Attribute{Name: n, Kind: KindString}
+	}
+	return NewSchema(name, attrs...)
+}
+
+// Name returns the relation name.
+func (s *Schema) Name() string { return s.name }
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute { return append([]Attribute(nil), s.attrs...) }
+
+// Names returns the attribute names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Index returns the position of the named attribute.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// MustIndex returns the position of the named attribute and panics if the
+// attribute does not exist. Use only when the name is statically known.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: schema %q has no attribute %q", s.name, name))
+	}
+	return i
+}
+
+// Indexes resolves a list of attribute names to positions.
+func (s *Schema) Indexes(names ...string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, ok := s.byName[n]
+		if !ok {
+			return nil, fmt.Errorf("relation: schema %q has no attribute %q", s.name, n)
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Equal reports whether two schemas have the same name and attribute
+// lists.
+func (s *Schema) Equal(t *Schema) bool {
+	if s == t {
+		return true
+	}
+	if s == nil || t == nil || s.name != t.name || len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != t.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as name(attr kind, ...).
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		b.WriteByte(' ')
+		b.WriteString(a.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

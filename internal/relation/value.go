@@ -1,0 +1,240 @@
+// Package relation provides the typed relational substrate used by every
+// constraint, repair, discovery and matching module in this repository.
+//
+// It implements schemas, typed values, tuples, in-memory relations,
+// hash indexes and CSV import/export. The design goal is a small but
+// complete core on which the SQL-based detection techniques of
+// Fan et al. (TODS 2008) and the repair algorithms of Cong et al.
+// (VLDB 2007) can be expressed faithfully.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero Kind so that the zero
+// Value is the SQL NULL.
+const (
+	KindNull Kind = iota
+	KindString
+	KindInt
+	KindFloat
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a kind name ("string", "int", "float", "null") to a
+// Kind.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "string", "str", "text":
+		return KindString, nil
+	case "int", "integer":
+		return KindInt, nil
+	case "float", "double", "real":
+		return KindFloat, nil
+	case "null":
+		return KindNull, nil
+	default:
+		return KindNull, fmt.Errorf("relation: unknown kind %q", s)
+	}
+}
+
+// Value is a typed relational value. The zero Value is NULL.
+//
+// Value is a comparable struct, so it can be used directly as a map key;
+// equality via == coincides with Equal for values of the same kind.
+type Value struct {
+	kind Kind
+	s    string
+	n    int64
+	f    float64
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int returns an integer value.
+func Int(n int64) Value { return Value{kind: KindInt, n: n} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Kind reports the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload. It is only meaningful for KindString.
+func (v Value) Str() string { return v.s }
+
+// IntVal returns the integer payload. It is only meaningful for KindInt.
+func (v Value) IntVal() int64 { return v.n }
+
+// FloatVal returns the float payload. For KindInt it returns the integer
+// converted to float64, which makes numeric comparisons uniform.
+func (v Value) FloatVal() float64 {
+	if v.kind == KindInt {
+		return float64(v.n)
+	}
+	return v.f
+}
+
+// Equal reports whether two values are equal. NULL is not equal to
+// anything, including NULL (SQL semantics); use IsNull to test for NULL.
+// Numeric values of different kinds compare by numeric value.
+func (v Value) Equal(w Value) bool {
+	if v.kind == KindNull || w.kind == KindNull {
+		return false
+	}
+	if v.kind == w.kind {
+		switch v.kind {
+		case KindString:
+			return v.s == w.s
+		case KindInt:
+			return v.n == w.n
+		case KindFloat:
+			return v.f == w.f
+		}
+	}
+	if v.isNumeric() && w.isNumeric() {
+		return v.FloatVal() == w.FloatVal()
+	}
+	return false
+}
+
+// Identical reports whether two values are indistinguishable, treating
+// NULL as identical to NULL. This is the notion used for grouping and
+// map keys, as opposed to the SQL equality of Equal.
+func (v Value) Identical(w Value) bool {
+	if v.kind == KindNull && w.kind == KindNull {
+		return true
+	}
+	return v.Equal(w)
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare returns -1, 0 or +1 ordering v relative to w. NULL sorts before
+// everything; across kinds the order is null < numeric < string.
+func (v Value) Compare(w Value) int {
+	if v.kind == KindNull || w.kind == KindNull {
+		switch {
+		case v.kind == KindNull && w.kind == KindNull:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.isNumeric() && w.isNumeric() {
+		a, b := v.FloatVal(), w.FloatVal()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.isNumeric() != w.isNumeric() {
+		if v.isNumeric() {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(v.s, w.s)
+}
+
+// String renders the value for display. NULL renders as "⊥".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "⊥"
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.n, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return "?"
+	}
+}
+
+// Encode appends a self-delimiting binary encoding of v to dst, used for
+// composite grouping keys. Within a single kind (plus NULL) the encoding
+// agrees exactly with Identical: equal values encode equally and
+// distinct values encode distinctly. Across numeric kinds, Int(9) and
+// Float(9) are Identical but encode differently; relation columns are
+// kind-uniform by construction (Insert coerces ints into float columns
+// and rejects other mixtures), so per-column keys are exact.
+func (v Value) Encode(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindString:
+		dst = append(dst, strconv.Itoa(len(v.s))...)
+		dst = append(dst, ':')
+		dst = append(dst, v.s...)
+	case KindInt:
+		dst = strconv.AppendInt(dst, v.n, 10)
+		dst = append(dst, ';')
+	case KindFloat:
+		dst = strconv.AppendFloat(dst, v.f, 'g', -1, 64)
+		dst = append(dst, ';')
+	}
+	return dst
+}
+
+// ParseValue parses s into a value of the requested kind. The empty
+// string parses as NULL for every kind.
+func ParseValue(s string, kind Kind) (Value, error) {
+	if s == "" {
+		return Null(), nil
+	}
+	switch kind {
+	case KindString:
+		return String(s), nil
+	case KindInt:
+		n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parsing %q as int: %w", s, err)
+		}
+		return Int(n), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parsing %q as float: %w", s, err)
+		}
+		return Float(f), nil
+	case KindNull:
+		return Null(), nil
+	default:
+		return Null(), fmt.Errorf("relation: cannot parse into kind %v", kind)
+	}
+}

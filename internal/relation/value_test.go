@@ -1,0 +1,186 @@
+package relation
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null(), KindNull, "⊥"},
+		{String("abc"), KindString, "abc"},
+		{String(""), KindString, ""},
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("kind %v: String() = %q, want %q", c.kind, c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null().Equal(Null()) {
+		t.Error("NULL must not Equal NULL (SQL semantics)")
+	}
+	if Null().Equal(String("")) {
+		t.Error("NULL must not Equal empty string")
+	}
+	if !Null().Identical(Null()) {
+		t.Error("NULL must be Identical to NULL (grouping semantics)")
+	}
+	if !String("x").Identical(String("x")) {
+		t.Error("identical strings must be Identical")
+	}
+}
+
+func TestValueNumericCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should Equal Float(3.0)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not Equal Float(3.5)")
+	}
+	if Int(3).Compare(Float(3.5)) != -1 {
+		t.Error("Int(3) should sort before Float(3.5)")
+	}
+	if Int(3).Equal(String("3")) {
+		t.Error("Int(3) should not Equal String(\"3\")")
+	}
+}
+
+func TestValueCompareTotalOrderAcrossKinds(t *testing.T) {
+	// null < numeric < string
+	ordered := []Value{Null(), Int(-5), Float(0), Int(7), String(""), String("a")}
+	for i := 0; i < len(ordered); i++ {
+		for j := 0; j < len(ordered); j++ {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueAsMapKey(t *testing.T) {
+	m := map[Value]int{}
+	m[String("a")] = 1
+	m[Int(1)] = 2
+	m[Null()] = 3
+	if m[String("a")] != 1 || m[Int(1)] != 2 || m[Null()] != 3 {
+		t.Error("Value should be usable directly as a comparable map key")
+	}
+}
+
+// randomValue generates an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return Null()
+	case 1:
+		b := make([]byte, r.Intn(8))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return String(string(b))
+	case 2:
+		return Int(int64(r.Intn(200) - 100))
+	default:
+		return Float(float64(r.Intn(100)) / 4)
+	}
+}
+
+type valueBox struct{ V Value }
+
+func (valueBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueBox{V: randomValue(r)})
+}
+
+func TestValueEncodeInjective(t *testing.T) {
+	// Property (the contract Encode documents): within a single kind
+	// (plus NULL) the encoding coincides with Identical. Across numeric
+	// kinds Int(9) and Float(9) are Identical yet encode differently,
+	// which is fine because relation columns are kind-uniform.
+	prop := func(a, b valueBox) bool {
+		ea := string(a.V.Encode(nil))
+		eb := string(b.V.Encode(nil))
+		if a.V.Kind() == b.V.Kind() {
+			return (ea == eb) == a.V.Identical(b.V)
+		}
+		// Mixed kinds: encodings must still be distinct (the kind tag
+		// guarantees it), so keys never collide across kinds.
+		return ea != eb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	prop := func(a, b valueBox) bool {
+		return a.V.Compare(b.V) == -b.V.Compare(a.V)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		s    string
+		kind Kind
+		want Value
+	}{
+		{"hello", KindString, String("hello")},
+		{"42", KindInt, Int(42)},
+		{"-3", KindInt, Int(-3)},
+		{"2.5", KindFloat, Float(2.5)},
+		{"", KindString, Null()},
+		{"", KindInt, Null()},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.s, c.kind)
+		if err != nil {
+			t.Errorf("ParseValue(%q, %v): %v", c.s, c.kind, err)
+			continue
+		}
+		if !got.Identical(c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("ParseValue(%q, %v) = %v, want %v", c.s, c.kind, got, c.want)
+		}
+	}
+	if _, err := ParseValue("abc", KindInt); err == nil {
+		t.Error("ParseValue(\"abc\", int) should fail")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Kind
+	}{{"string", KindString}, {"INT", KindInt}, {"Float", KindFloat}, {"text", KindString}} {
+		got, err := ParseKind(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(\"blob\") should fail")
+	}
+}

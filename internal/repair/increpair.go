@@ -1,0 +1,253 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relation"
+)
+
+// Inc runs the IncRepair algorithm of Cong et al. (VLDB 2007): given a
+// relation whose prefix (every tuple NOT listed in deltaTIDs) already
+// satisfies the CFD set, it repairs only the delta tuples so that the
+// whole relation satisfies the set. The base tuples are treated as
+// authoritative and are never modified — the defining property that
+// makes IncRepair cheap for small deltas (experiment E6).
+//
+// Resolution rules per violation kind:
+//
+//   - a variable violation in a group containing base tuples binds the
+//     delta cells to the base group's value;
+//   - a variable violation among delta tuples only is resolved like
+//     BatchRepair (class merge, cost-minimizing value);
+//   - a constant violation on a delta tuple binds the cell to the
+//     required constant, or moves the tuple out of the pattern scope
+//     when the cell is already bound otherwise.
+func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if !r.Schema().Equal(set.Schema()) {
+		return nil, fmt.Errorf("repair: relation %s does not match constraint schema %s",
+			r.Schema().Name(), set.Schema().Name())
+	}
+	isDelta := make(map[int]bool, len(deltaTIDs))
+	for _, tid := range deltaTIDs {
+		if tid < 0 || tid >= r.Len() {
+			return nil, fmt.Errorf("repair: delta TID %d out of range", tid)
+		}
+		isDelta[tid] = true
+	}
+
+	arity := r.Schema().Arity()
+	work := r.Clone()
+	orig := r
+
+	// Cell classes restricted to delta cells; base cells are constants.
+	// We key the union-find by delta cell ids mapped densely.
+	deltaIdx := make(map[int]int, len(isDelta)*arity) // cellID -> dense id
+	var denseCells []int
+	cellID := func(tid, attr int) int { return tid*arity + attr }
+	for tid := range isDelta {
+		for a := 0; a < arity; a++ {
+			deltaIdx[cellID(tid, a)] = len(denseCells)
+			denseCells = append(denseCells, cellID(tid, a))
+		}
+	}
+	uf := newUnionFind(len(denseCells))
+	targets := make(map[int]cellTarget)
+	freshCounter := 0
+
+	setConst := func(dense int, v relation.Value, kind relation.Kind) bool {
+		root := uf.find(dense)
+		t := targets[root]
+		switch t.kind {
+		case targetUnset:
+			targets[root] = cellTarget{targetConst, v}
+			return true
+		case targetConst:
+			if !t.value.Identical(v) {
+				freshCounter++
+				targets[root] = cellTarget{targetFresh, freshValue(kind, freshCounter)}
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+
+	materialize := func() {
+		members := make(map[int][]int)
+		for dense := range denseCells {
+			members[uf.find(dense)] = append(members[uf.find(dense)], dense)
+		}
+		for root, cells := range members {
+			t := targets[root]
+			var v relation.Value
+			switch {
+			case t.kind != targetUnset:
+				v = t.value
+			default:
+				cellIDs := make([]int, len(cells))
+				for i, dense := range cells {
+					cellIDs[i] = denseCells[dense]
+				}
+				v = classValue(orig, cellIDs, arity, opts)
+			}
+			for _, dense := range cells {
+				c := denseCells[dense]
+				work.Set(c/arity, c%arity, v)
+			}
+		}
+	}
+
+	passes := 0
+	for ; passes < opts.MaxPasses; passes++ {
+		materialize()
+		// Only violations touching delta tuples matter: the base is
+		// consistent by precondition and never modified.
+		var vs []cfd.Violation
+		for _, c := range set.All() {
+			idx := relation.BuildIndex(work, c.LHS())
+			vs = append(vs, cfd.IncDetect(work, c, idx, deltaTIDs)...)
+		}
+		if len(vs) == 0 {
+			res := finish(orig, work, passes+1, opts)
+			// Assert the base is untouched (the algorithm's contract).
+			for _, ch := range res.Changes {
+				if !isDelta[ch.TID] {
+					return nil, fmt.Errorf("repair: internal: IncRepair modified base tuple %d", ch.TID)
+				}
+			}
+			return res, nil
+		}
+		progress := false
+		for _, v := range vs {
+			switch v.Kind {
+			case cfd.VarViolation:
+				// Split the group into base and delta members.
+				var base []int
+				var delta []int
+				for _, tid := range v.TIDs {
+					if isDelta[tid] {
+						delta = append(delta, tid)
+					} else {
+						base = append(base, tid)
+					}
+				}
+				if len(base) > 0 {
+					// The base members of a group must already agree — if
+					// they don't, the precondition (clean base) is broken
+					// and IncRepair cannot proceed without editing it.
+					bv := work.Get(base[0], v.Attr)
+					for _, tid := range base[1:] {
+						if !work.Get(tid, v.Attr).Identical(bv) {
+							return nil, fmt.Errorf(
+								"repair: base tuples %v disagree on %s under %s — the base must satisfy the set before IncRepair",
+								base, r.Schema().Attr(v.Attr).Name, v.CFD.Name())
+						}
+					}
+					// Bind every delta cell to the base value.
+					for _, tid := range delta {
+						dense := deltaIdx[cellID(tid, v.Attr)]
+						if setConst(dense, bv, r.Schema().Attr(v.Attr).Kind) {
+							progress = true
+						}
+					}
+					continue
+				}
+				// Delta-only group: merge classes.
+				first := deltaIdx[cellID(delta[0], v.Attr)]
+				for _, tid := range delta[1:] {
+					dense := deltaIdx[cellID(tid, v.Attr)]
+					if !uf.sameSet(first, dense) {
+						progress = true
+					}
+					root1, root2 := uf.find(first), uf.find(dense)
+					t1, t2 := targets[root1], targets[root2]
+					root := uf.union(root1, root2)
+					delete(targets, root1)
+					delete(targets, root2)
+					switch {
+					case t1.kind == targetFresh || t2.kind == targetFresh ||
+						(t1.kind == targetConst && t2.kind == targetConst && !t1.value.Identical(t2.value)):
+						freshCounter++
+						targets[root] = cellTarget{targetFresh, freshValue(r.Schema().Attr(v.Attr).Kind, freshCounter)}
+					case t1.kind == targetConst:
+						targets[root] = t1
+					case t2.kind == targetConst:
+						targets[root] = t2
+					}
+				}
+			case cfd.ConstViolation:
+				tid := v.TIDs[0]
+				if !isDelta[tid] {
+					return nil, fmt.Errorf("repair: base tuple %d violates %s — the base must satisfy the set before IncRepair", tid, v.CFD.Name())
+				}
+				c := v.CFD
+				rhsIdx := indexOf(c.RHS(), v.Attr)
+				pat := c.RowRHS(v.Row)[rhsIdx]
+				dense := deltaIdx[cellID(tid, v.Attr)]
+				root := uf.find(dense)
+				t := targets[root]
+				if t.kind == targetUnset || (t.kind == targetConst && t.value.Identical(pat.Constant())) {
+					if setConst(dense, pat.Constant(), r.Schema().Attr(v.Attr).Kind) {
+						progress = true
+					}
+					continue
+				}
+				// Move out of scope via a constant LHS pattern.
+				for i, lhsAttr := range c.LHS() {
+					lp := c.RowLHS(v.Row)[i]
+					if !lp.IsConst() {
+						continue
+					}
+					ldense := deltaIdx[cellID(tid, lhsAttr)]
+					lroot := uf.find(ldense)
+					lt := targets[lroot]
+					if lt.kind == targetFresh || (lt.kind == targetConst && lt.value.Identical(lp.Constant())) {
+						continue
+					}
+					freshCounter++
+					targets[lroot] = cellTarget{targetFresh, freshValue(r.Schema().Attr(lhsAttr).Kind, freshCounter)}
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("repair: IncRepair made no progress after %d passes", passes+1)
+		}
+	}
+	return nil, fmt.Errorf("repair: IncRepair pass limit %d exceeded", opts.MaxPasses)
+}
+
+// AppendAndRepair is the common IncRepair entry point: append the delta
+// tuples to a clean base relation and repair just the delta. It returns
+// the repaired combined relation and the result.
+func AppendAndRepair(base *relation.Relation, delta []relation.Tuple, set *cfd.Set, opts Options) (*Result, error) {
+	combined := base.Clone()
+	deltaTIDs := make([]int, 0, len(delta))
+	for _, t := range delta {
+		tid, err := combined.Insert(t.Clone())
+		if err != nil {
+			return nil, err
+		}
+		deltaTIDs = append(deltaTIDs, tid)
+	}
+	return Inc(combined, set, deltaTIDs, opts)
+}
+
+// ChangedTIDs extracts the sorted distinct TIDs touched by a result.
+func ChangedTIDs(res *Result) []int {
+	seen := map[int]bool{}
+	for _, ch := range res.Changes {
+		seen[ch.TID] = true
+	}
+	out := make([]int, 0, len(seen))
+	for tid := range seen {
+		out = append(out, tid)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,397 @@
+package repair
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relation"
+)
+
+func custSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	s, err := relation.StringSchema("cust", "CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func strTuple(vals ...string) relation.Tuple {
+	tp := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		tp[i] = relation.String(v)
+	}
+	return tp
+}
+
+func custData(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.New(custSchema(t))
+	r.MustInsert(strTuple("44", "131", "1111111", "mike", "mayfield rd", "edi", "EH4 8LE"))
+	r.MustInsert(strTuple("44", "131", "2222222", "rick", "mayfield rd", "edi", "EH4 8LE"))
+	r.MustInsert(strTuple("44", "131", "3333333", "anna", "crichton st", "edi", "EH8 9LE"))
+	r.MustInsert(strTuple("01", "908", "4444444", "joe", "mtn ave", "mh", "07974"))
+	r.MustInsert(strTuple("01", "908", "5555555", "ben", "high st", "mh", "07974"))
+	r.MustInsert(strTuple("01", "212", "6666666", "kim", "broadway", "nyc", "10012"))
+	return r
+}
+
+func tutorialSet(t *testing.T, s *relation.Schema) *cfd.Set {
+	t.Helper()
+	set, err := cfd.ParseSet(`
+cfd phi1: cust([CC='44', ZIP] -> [STR])
+cfd phi2: cust([CC='01', AC='908', PN] -> [CT='mh'])
+cfd phi3: cust([CC, AC] -> [CT]) { ('44', '131' || 'edi'), ('01', '908' || 'mh') }
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestBatchCleanDataUntouched(t *testing.T) {
+	r := custData(t)
+	set := tutorialSet(t, r.Schema())
+	res, err := Batch(r, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changes) != 0 || res.Cost != 0 {
+		t.Fatalf("clean data repaired: %v (cost %f)", res.Changes, res.Cost)
+	}
+	if err := Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchRepairsVariableViolation(t *testing.T) {
+	r := custData(t)
+	set := tutorialSet(t, r.Schema())
+	str := r.Schema().MustIndex("STR")
+	// Corrupt one of the two agreeing UK streets; the majority/medoid
+	// choice should restore the original value.
+	r.Set(1, str, relation.String("maifield rd")) // small typo
+	res, err := Batch(r, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+	got := res.Repaired.Get(1, str)
+	if got.Str() != "mayfield rd" {
+		t.Errorf("repaired STR = %q, want restoration to mayfield rd", got.Str())
+	}
+	if len(res.Changes) != 1 {
+		t.Errorf("changes = %v, want exactly 1", res.Changes)
+	}
+	// The input must not be modified.
+	if r.Get(1, str).Str() != "maifield rd" {
+		t.Error("Batch modified its input")
+	}
+}
+
+func TestBatchRepairsConstantViolation(t *testing.T) {
+	r := custData(t)
+	set := tutorialSet(t, r.Schema())
+	ct := r.Schema().MustIndex("CT")
+	r.Set(4, ct, relation.String("nyc"))
+	res, err := Batch(r, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.Get(4, ct); got.Str() != "mh" {
+		t.Errorf("repaired CT = %q, want mh", got.Str())
+	}
+}
+
+func TestBatchWeightsSteerValueChoice(t *testing.T) {
+	s := custSchema(t)
+	set, err := cfd.ParseSet("cfd phi: cust([CC='44', ZIP] -> [STR])", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(s)
+	r.MustInsert(strTuple("44", "131", "1", "a", "street one", "edi", "Z"))
+	r.MustInsert(strTuple("44", "131", "2", "b", "street two", "edi", "Z"))
+	// With a high weight on tuple 1's STR, the class value must follow
+	// tuple 1 even though both candidates are otherwise symmetric.
+	str := s.MustIndex("STR")
+	weights := func(tid, attr int) float64 {
+		if tid == 1 && attr == str {
+			return 100
+		}
+		return 1
+	}
+	res, err := Batch(r, set, Options{Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.Get(0, str); got.Str() != "street two" {
+		t.Errorf("weighted repair chose %q, want street two", got.Str())
+	}
+	// And symmetrically.
+	weights2 := func(tid, attr int) float64 {
+		if tid == 0 && attr == str {
+			return 100
+		}
+		return 1
+	}
+	res2, err := Batch(r, set, Options{Weights: weights2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Repaired.Get(1, str); got.Str() != "street one" {
+		t.Errorf("weighted repair chose %q, want street one", got.Str())
+	}
+}
+
+func TestBatchConflictingConstantsMovesOutOfScope(t *testing.T) {
+	s := custSchema(t)
+	// Two rules force different cities for the same tuple; the repair
+	// must move the tuple out of one scope (fresh value on CC or ZIP)
+	// rather than loop.
+	set, err := cfd.ParseSet(`
+cust([CC='44'] -> [CT='edi'])
+cust([ZIP='Z1'] -> [CT='mh'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(s)
+	r.MustInsert(strTuple("44", "131", "1", "a", "s", "gla", "Z1"))
+	res, err := Batch(r, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changes) == 0 {
+		t.Fatal("expected changes")
+	}
+}
+
+func TestBatchCascadingRepair(t *testing.T) {
+	s := custSchema(t)
+	// Repairing CT to 'edi' puts the tuple in the scope of the second
+	// rule, which then forces AC; the loop must cascade to a fixpoint.
+	set, err := cfd.ParseSet(`
+cust([CC='44'] -> [CT='edi'])
+cust([CT='edi'] -> [AC='131'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(s)
+	r.MustInsert(strTuple("44", "999", "1", "a", "s", "gla", "Z"))
+	res, err := Batch(r, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+	ct, ac := s.MustIndex("CT"), s.MustIndex("AC")
+	if res.Repaired.Get(0, ct).Str() != "edi" || res.Repaired.Get(0, ac).Str() != "131" {
+		t.Errorf("cascade result: CT=%v AC=%v", res.Repaired.Get(0, ct), res.Repaired.Get(0, ac))
+	}
+	if res.Passes < 2 {
+		t.Errorf("expected at least 2 passes, got %d", res.Passes)
+	}
+}
+
+// TestBatchPropertyAlwaysSatisfies is the core property: on randomized
+// dirty data over a satisfiable CFD set, Batch always produces a relation
+// with zero violations, never touches the input, and reports a cost
+// consistent with its change list.
+func TestBatchPropertyAlwaysSatisfies(t *testing.T) {
+	s := custSchema(t)
+	set := tutorialSet(t, s)
+	rng := rand.New(rand.NewSource(99))
+	cities := []string{"edi", "mh", "nyc", "gla"}
+	zips := []string{"Z1", "Z2", "Z3"}
+	streets := []string{"high st", "main st", "mayfield rd"}
+
+	for trial := 0; trial < 15; trial++ {
+		r := relation.New(s)
+		n := 20 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			cc, ac := "44", "131"
+			if rng.Intn(2) == 0 {
+				cc, ac = "01", "908"
+			}
+			r.MustInsert(strTuple(cc, ac,
+				"pn"+string(rune('0'+rng.Intn(10))),
+				"name",
+				streets[rng.Intn(len(streets))],
+				cities[rng.Intn(len(cities))],
+				zips[rng.Intn(len(zips))]))
+		}
+		res, err := Batch(r, set, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(res, set); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Cost consistency: cost > 0 iff changes exist; every change
+		// differs from/to.
+		if (res.Cost > 0) != (len(res.Changes) > 0) {
+			t.Fatalf("trial %d: cost %f vs %d changes", trial, res.Cost, len(res.Changes))
+		}
+		for _, ch := range res.Changes {
+			if ch.From.Identical(ch.To) {
+				t.Fatalf("trial %d: no-op change %v", trial, ch)
+			}
+		}
+	}
+}
+
+func TestIncRepairBindsToBase(t *testing.T) {
+	r := custData(t)
+	set := tutorialSet(t, r.Schema())
+	str := r.Schema().MustIndex("STR")
+	// New UK tuple with a conflicting street for an existing zip group.
+	delta := []relation.Tuple{
+		strTuple("44", "131", "7777777", "eve", "WRONG STREET", "edi", "EH4 8LE"),
+	}
+	res, err := AppendAndRepair(r, delta, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+	newTID := r.Len() // appended at the end
+	if got := res.Repaired.Get(newTID, str); got.Str() != "mayfield rd" {
+		t.Errorf("delta street = %q, want base value mayfield rd", got.Str())
+	}
+	// Base tuples untouched.
+	for _, ch := range res.Changes {
+		if ch.TID < r.Len() {
+			t.Errorf("IncRepair modified base tuple %d", ch.TID)
+		}
+	}
+}
+
+func TestIncRepairConstViolation(t *testing.T) {
+	r := custData(t)
+	set := tutorialSet(t, r.Schema())
+	ct := r.Schema().MustIndex("CT")
+	delta := []relation.Tuple{
+		strTuple("01", "908", "8888888", "zed", "oak ave", "nyc", "07974"),
+	}
+	res, err := AppendAndRepair(r, delta, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.Get(r.Len(), ct); got.Str() != "mh" {
+		t.Errorf("delta CT = %q, want mh", got.Str())
+	}
+}
+
+func TestIncRepairDeltaOnlyConflict(t *testing.T) {
+	r := custData(t)
+	set := tutorialSet(t, r.Schema())
+	// Two new tuples in a brand-new zip group disagreeing on street.
+	delta := []relation.Tuple{
+		strTuple("44", "131", "1010101", "pat", "king st", "edi", "NEWZIP"),
+		strTuple("44", "131", "2020202", "sam", "queen st", "edi", "NEWZIP"),
+	}
+	res, err := AppendAndRepair(r, delta, set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+	str := r.Schema().MustIndex("STR")
+	a := res.Repaired.Get(r.Len(), str)
+	b := res.Repaired.Get(r.Len()+1, str)
+	if !a.Identical(b) {
+		t.Errorf("delta-only group not reconciled: %v vs %v", a, b)
+	}
+}
+
+func TestIncRepairRejectsDirtyBase(t *testing.T) {
+	r := custData(t)
+	set := tutorialSet(t, r.Schema())
+	str := r.Schema().MustIndex("STR")
+	// Empty delta over any base succeeds trivially (nothing to repair).
+	if _, err := Inc(r, set, nil, Options{}); err != nil {
+		t.Fatalf("empty delta should succeed trivially: %v", err)
+	}
+	// Make the base itself inconsistent (tuples 0 and 1 share a UK zip
+	// but now disagree on street), then add a delta tuple to that group:
+	// IncRepair must refuse rather than silently repair the base.
+	r.Set(1, str, relation.String("corrupted st"))
+	delta := []relation.Tuple{
+		strTuple("44", "131", "7777777", "eve", "third st", "edi", "EH4 8LE"),
+	}
+	_, err := AppendAndRepair(r, delta, set, Options{})
+	if err == nil || !strings.Contains(err.Error(), "base") {
+		t.Fatalf("dirty base should be reported, got %v", err)
+	}
+}
+
+func TestIncMatchesBatchOnDeltaProperty(t *testing.T) {
+	// Property: after IncRepair, the combined relation satisfies the set
+	// (same guarantee Batch gives), on randomized deltas over a clean base.
+	s := custSchema(t)
+	set := tutorialSet(t, s)
+	rng := rand.New(rand.NewSource(123))
+	base := custData(t)
+	cities := []string{"edi", "mh", "nyc"}
+	for trial := 0; trial < 10; trial++ {
+		var delta []relation.Tuple
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			cc, ac := "44", "131"
+			if rng.Intn(2) == 0 {
+				cc, ac = "01", "908"
+			}
+			delta = append(delta, strTuple(cc, ac,
+				"pn"+string(rune('0'+rng.Intn(5))),
+				"nm", "some st",
+				cities[rng.Intn(3)],
+				[]string{"EH4 8LE", "07974", "NEW"}[rng.Intn(3)]))
+		}
+		res, err := AppendAndRepair(base, delta, set, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(res, set); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, ch := range res.Changes {
+			if ch.TID < base.Len() {
+				t.Fatalf("trial %d: base modified", trial)
+			}
+		}
+	}
+}
+
+func TestChangedTIDs(t *testing.T) {
+	res := &Result{Changes: []Change{{TID: 5}, {TID: 2}, {TID: 5}}}
+	got := ChangedTIDs(res)
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Errorf("ChangedTIDs = %v", got)
+	}
+}
+
+func TestBatchSchemaMismatch(t *testing.T) {
+	r := custData(t)
+	other, _ := relation.StringSchema("other", "A")
+	set := cfd.NewSet(other)
+	if _, err := Batch(r, set, Options{}); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}

@@ -1,0 +1,42 @@
+package repair
+
+// unionFind is a standard disjoint-set forest with path compression and
+// union by size, over dense integer cell identifiers.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the classes of a and b and returns the surviving root.
+func (uf *unionFind) union(a, b int) int {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return ra
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	return ra
+}
+
+// sameSet reports whether a and b are in the same class.
+func (uf *unionFind) sameSet(a, b int) bool { return uf.find(a) == uf.find(b) }

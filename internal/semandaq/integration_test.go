@@ -1,0 +1,174 @@
+package semandaq
+
+import (
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/discovery"
+	"semandaq/internal/noise"
+)
+
+// TestHospWorkflowEndToEnd runs the full pipeline on the second dataset
+// family: generate, dirty, detect (both paths), repair, verify, then
+// check the planted rules are rediscoverable from the repaired data.
+func TestHospWorkflowEndToEnd(t *testing.T) {
+	clean := datagen.Hosp(2000, 5)
+	set := datagen.HospConstraints()
+	schema := clean.Schema()
+	dirty, truth := noise.Dirty(clean, noise.Options{
+		Rate:  0.04,
+		Attrs: []int{schema.MustIndex("CITY"), schema.MustIndex("STATE"), schema.MustIndex("PHONE")},
+		Seed:  6,
+	})
+
+	p, err := NewProject("hosp", dirty, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := p.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(native) == 0 {
+		t.Fatal("dirty hosp data should violate")
+	}
+	sqlTIDs, err := p.DetectSQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nativeTIDs := cfd.ViolatingTIDs(native)
+	if len(sqlTIDs) != len(nativeTIDs) {
+		t.Fatalf("SQL %d vs native %d violating tuples", len(sqlTIDs), len(nativeTIDs))
+	}
+
+	res, err := p.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := noise.Score(res.Changes, truth)
+	if q.Recall < 0.6 || q.Precision < 0.6 {
+		t.Errorf("hosp repair quality too low: %+v", q)
+	}
+	if err := p.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ := p.Detect()
+	if len(vs) != 0 {
+		t.Fatalf("%d violations after repair", len(vs))
+	}
+
+	// Profiling the repaired data should find ZIP -> STATE again.
+	fds, err := discovery.FDs(p.Data(), discovery.Options{MinSupport: 5, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range fds {
+		if len(c.LHSNames()) == 1 && c.LHSNames()[0] == "ZIP" && c.RHSNames()[0] == "STATE" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ZIP -> STATE not rediscovered from repaired data")
+	}
+}
+
+// TestPropagationAfterRepair checks the downstream story: repair the
+// source, then the propagated constraints hold on a materialized view of
+// the repaired data.
+func TestPropagationAfterRepair(t *testing.T) {
+	clean := datagen.Cust(1500, 8)
+	set := datagen.CustConstraints()
+	schema := clean.Schema()
+	dirty, _ := noise.Dirty(clean, noise.Options{
+		Rate:  0.05,
+		Attrs: []int{schema.MustIndex("STR"), schema.MustIndex("CT")},
+		Seed:  9,
+	})
+	p, err := NewProject("prop", dirty, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Accept(); err != nil {
+		t.Fatal(err)
+	}
+
+	view := cfd.View{
+		Name:    "uk",
+		Source:  schema,
+		Project: []string{"ZIP", "STR", "CT"},
+		Select:  map[string]string{"CC": "44"},
+	}
+	prop, err := cfd.Propagate(set, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Len() == 0 {
+		t.Fatal("no constraints propagated")
+	}
+	mat, err := view.Materialize(p.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := cfd.NewDetector(prop).Detect(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("propagated constraints violated on the view of repaired data: %v", vs)
+	}
+}
+
+// TestDiscoveryFeedsRepair closes the profiling loop: discover CFDs from
+// a clean sample, then use them to repair a dirty instance of the same
+// process.
+func TestDiscoveryFeedsRepair(t *testing.T) {
+	sample := datagen.Cust(2000, 10)
+	discovered, err := discovery.VariableCFDs(sample, discovery.Options{MinSupport: 20, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep rules over (CC, ZIP) -> STR shaped dependencies only, to stay
+	// within what the noise below breaks.
+	set := cfd.NewSet(sample.Schema())
+	for _, c := range discovered {
+		names := c.LHSNames()
+		if len(names) == 2 && c.RHSNames()[0] == "STR" {
+			set.MustAdd(c)
+		}
+	}
+	if set.Len() == 0 {
+		t.Skip("no suitable discovered rules in this configuration")
+	}
+	clean := datagen.Cust(1000, 11)
+	schema := clean.Schema()
+	dirty, truth := noise.Dirty(clean, noise.Options{
+		Rate:  0.03,
+		Attrs: []int{schema.MustIndex("STR")},
+		Seed:  12,
+	})
+	p, err := NewProject("disc", dirty, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := noise.Score(res.Changes, truth)
+	// Discovered rules from an independent sample still fix a good
+	// share of the injected noise.
+	if q.Corrected == 0 {
+		t.Errorf("discovered rules repaired nothing: %+v", q)
+	}
+	if err := p.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	if vs, _ := p.Detect(); len(vs) != 0 {
+		t.Fatalf("%d violations remain", len(vs))
+	}
+}

@@ -1,0 +1,268 @@
+package semandaq
+
+import (
+	"strings"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/noise"
+	"semandaq/internal/relation"
+	"semandaq/internal/repair"
+)
+
+func project(t *testing.T, n int, seed int64) *Project {
+	t.Helper()
+	data := datagen.Cust(n, seed)
+	p, err := NewProject("test", data, datagen.CustConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProjectValidation(t *testing.T) {
+	data := datagen.Cust(10, 1)
+	other, _ := relation.StringSchema("other", "A")
+	if _, err := NewProject("x", data, cfd.NewSet(other)); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+	// Unsatisfiable constraints are rejected up front.
+	bad, err := cfd.ParseSet(`
+cust([CC] -> [CT='a'])
+cust([CC] -> [CT='b'])
+`, data.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProject("x", data, bad); err == nil {
+		t.Error("unsatisfiable set should be rejected")
+	}
+}
+
+func TestDetectCleanAndDirty(t *testing.T) {
+	p := project(t, 500, 1)
+	vs, err := p.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("clean project has %d violations", len(vs))
+	}
+	// Dirty one cell through Edit-free backdoor (simulating load of
+	// dirty data): use Edit, which also confirms — then detection sees it.
+	ct := p.Data().Schema().MustIndex("CT")
+	if err := p.Edit(0, ct, relation.String("WRONGCITY")); err != nil {
+		t.Fatal(err)
+	}
+	vs, err = p.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("edited-in inconsistency not detected")
+	}
+}
+
+func TestSQLAndNativeDetectionAgree(t *testing.T) {
+	data := datagen.Cust(400, 2)
+	str := data.Schema().MustIndex("STR")
+	ct := data.Schema().MustIndex("CT")
+	dirty, _ := noise.Dirty(data, noise.Options{Rate: 0.05, Attrs: []int{str, ct}, Seed: 3})
+	p, err := NewProject("x", dirty, datagen.CustConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := p.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nativeTIDs := cfd.ViolatingTIDs(native)
+	sqlTIDs, err := p.DetectSQL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sqlTIDs) != len(nativeTIDs) {
+		t.Fatalf("SQL %d tids vs native %d", len(sqlTIDs), len(nativeTIDs))
+	}
+	for i := range sqlTIDs {
+		if sqlTIDs[i] != nativeTIDs[i] {
+			t.Fatalf("tid mismatch at %d: %d vs %d", i, sqlTIDs[i], nativeTIDs[i])
+		}
+	}
+}
+
+func TestRepairAcceptWorkflow(t *testing.T) {
+	data := datagen.Cust(600, 4)
+	str := data.Schema().MustIndex("STR")
+	dirty, _ := noise.Dirty(data, noise.Options{Rate: 0.05, Attrs: []int{str}, Seed: 5})
+	p, err := NewProject("x", dirty, datagen.CustConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Candidate() != res {
+		t.Error("candidate not cached")
+	}
+	// Data unchanged until Accept.
+	vs, _ := p.Detect()
+	if len(vs) == 0 {
+		t.Fatal("repair should not mutate data before Accept")
+	}
+	if err := p.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	vs, _ = p.Detect()
+	if len(vs) != 0 {
+		t.Fatalf("%d violations after Accept", len(vs))
+	}
+	if err := p.Accept(); err == nil {
+		t.Error("double Accept should fail")
+	}
+}
+
+func TestUserEditSteersRepair(t *testing.T) {
+	// The §5 demo loop: the system proposes a repair; the user overrides
+	// a cell; re-repair respects the override and fixes the OTHER side
+	// of the conflict.
+	s := datagen.CustSchema()
+	set, err := cfd.ParseSet("cfd phi1: cust([CC='44', ZIP] -> [STR])", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(s)
+	mk := func(pn, str string) relation.Tuple {
+		return relation.Tuple{
+			relation.String("44"), relation.String("131"), relation.String(pn),
+			relation.String("nm"), relation.String(str), relation.String("edi"),
+			relation.String("EH1"),
+		}
+	}
+	r.MustInsert(mk("1", "street a"))
+	r.MustInsert(mk("2", "street b"))
+	r.MustInsert(mk("3", "street b")) // majority is b
+	p, err := NewProject("demo", r, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.MustIndex("STR")
+
+	// Without user input the majority value wins.
+	res, err := p.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.Get(0, str).Str(); got != "street b" {
+		t.Fatalf("majority repair = %q, want street b", got)
+	}
+
+	// The user insists tuple 0's street is correct; repair must now move
+	// the other tuples to "street a" despite the majority.
+	if err := p.Confirm(0, str); err != nil {
+		t.Fatal(err)
+	}
+	res, err = p.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 3; tid++ {
+		if got := res.Repaired.Get(tid, str).Str(); got != "street a" {
+			t.Fatalf("confirmed repair: tuple %d = %q, want street a", tid, got)
+		}
+	}
+	if err := repair.Verify(res, set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditInvalidatesCandidate(t *testing.T) {
+	p := project(t, 100, 6)
+	if _, err := p.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Edit(0, 0, relation.String("07")); err != nil {
+		t.Fatal(err)
+	}
+	if p.Candidate() != nil {
+		t.Error("edit should invalidate the cached candidate")
+	}
+	if err := p.Edit(-1, 0, relation.String("x")); err == nil {
+		t.Error("out-of-range edit should fail")
+	}
+	if err := p.Edit(0, 99, relation.String("x")); err == nil {
+		t.Error("out-of-range attr should fail")
+	}
+}
+
+func TestAppendIncremental(t *testing.T) {
+	p := project(t, 300, 7)
+	before := p.Data().Len()
+	// A new UK tuple with a wrong street for an existing zip group: the
+	// incremental path must fix it against the base.
+	base := p.Data().Tuple(0).Clone()
+	str := p.Data().Schema().MustIndex("STR")
+	pn := p.Data().Schema().MustIndex("PN")
+	wrong := base.Clone()
+	wrong[pn] = relation.String("fresh-pn")
+	wrong[str] = relation.String("NO SUCH STREET")
+	res, err := p.Append([]relation.Tuple{wrong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Data().Len() != before+1 {
+		t.Fatalf("append length %d, want %d", p.Data().Len(), before+1)
+	}
+	vs, err := p.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("%d violations after incremental append", len(vs))
+	}
+	if got := p.Data().Get(before, str); got.Str() != base[str].Str() {
+		t.Errorf("appended street = %q, want base %q", got.Str(), base[str].Str())
+	}
+	_ = res
+}
+
+func TestSummaryAndFormatChanges(t *testing.T) {
+	p := project(t, 50, 8)
+	ct := p.Data().Schema().MustIndex("CT")
+	if err := p.Edit(0, ct, relation.String("WRONG")); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := p.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"project test", "constraints:", "violations:", "confirmed cells: 1"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	changes := []repair.Change{
+		{TID: 3, Attr: ct, From: relation.String("a"), To: relation.String("b")},
+		{TID: 4, Attr: ct, From: relation.String("c"), To: relation.String("d")},
+	}
+	out := FormatChanges(p.Data(), changes, 1)
+	if !strings.Contains(out, "tuple 3") || !strings.Contains(out, "1 more") {
+		t.Errorf("FormatChanges = %q", out)
+	}
+}
+
+func TestConfirmedCellsSorted(t *testing.T) {
+	p := project(t, 20, 9)
+	p.Confirm(5, 2)
+	p.Confirm(1, 3)
+	p.Confirm(1, 1)
+	cells := p.ConfirmedCells()
+	want := [][2]int{{1, 1}, {1, 3}, {5, 2}}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("cells = %v", cells)
+		}
+	}
+}

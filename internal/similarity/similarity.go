@@ -1,0 +1,336 @@
+// Package similarity provides the string similarity measures used by the
+// record-matching module (relative candidate keys compare attributes "with
+// a similarity operator ≈", tutorial §4) and by the repair cost model of
+// Cong et al. (VLDB 2007), which weighs attribute updates by string
+// distance.
+//
+// Every measure is normalized to [0, 1], where 1 means identical. All
+// measures are symmetric.
+package similarity
+
+import (
+	"math"
+	"strings"
+	"unicode"
+)
+
+// Measure scores the similarity of two strings in [0, 1].
+type Measure interface {
+	// Name identifies the measure (for constraint syntax and reports).
+	Name() string
+	// Sim returns the normalized similarity of a and b.
+	Sim(a, b string) float64
+}
+
+// Func adapts an ordinary function to a named Measure.
+type Func struct {
+	MeasureName string
+	F           func(a, b string) float64
+}
+
+// Name implements Measure.
+func (f Func) Name() string { return f.MeasureName }
+
+// Sim implements Measure.
+func (f Func) Sim(a, b string) float64 { return f.F(a, b) }
+
+// Levenshtein computes the edit distance between a and b: the minimum
+// number of single-rune insertions, deletions and substitutions.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// DamerauLevenshtein additionally counts adjacent transpositions as a
+// single edit (the classic typo model used when injecting noise).
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	n, m := len(ra), len(rb)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	d := make([][]int, n+1)
+	for i := range d {
+		d[i] = make([]int, m+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= m; j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d[i][j] = min3(d[i-1][j]+1, d[i][j-1]+1, d[i-1][j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := d[i-2][j-2] + 1; t < d[i][j] {
+					d[i][j] = t
+				}
+			}
+		}
+	}
+	return d[n][m]
+}
+
+// LevenshteinSim is 1 - dist/maxLen, the normalized form used in the
+// repair cost model.
+func LevenshteinSim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	maxLen := max(len([]rune(a)), len([]rune(b)))
+	if maxLen == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(maxLen)
+}
+
+// Jaro computes the Jaro similarity.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max(0, i-window)
+		hi := min(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchedB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchedA[i], matchedB[j] = true, true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix
+// (up to 4 runes), with the standard scaling factor p = 0.1.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// QGramJaccard computes the Jaccard coefficient of the q-gram multiset
+// signatures of a and b (as sets). Strings shorter than q are padded
+// conceptually by comparing them whole.
+func QGramJaccard(q int) func(a, b string) float64 {
+	return func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		ga, gb := qgrams(a, q), qgrams(b, q)
+		if len(ga) == 0 && len(gb) == 0 {
+			return 1
+		}
+		if len(ga) == 0 || len(gb) == 0 {
+			return 0
+		}
+		inter := 0
+		for g := range ga {
+			if _, ok := gb[g]; ok {
+				inter++
+			}
+		}
+		union := len(ga) + len(gb) - inter
+		return float64(inter) / float64(union)
+	}
+}
+
+func qgrams(s string, q int) map[string]struct{} {
+	out := make(map[string]struct{})
+	r := []rune(s)
+	if len(r) == 0 {
+		return out
+	}
+	if len(r) < q {
+		out[string(r)] = struct{}{}
+		return out
+	}
+	for i := 0; i+q <= len(r); i++ {
+		out[string(r[i:i+q])] = struct{}{}
+	}
+	return out
+}
+
+// TokenCosine computes the cosine similarity of whitespace-token sets
+// (binary weights). Useful for multi-word address fields.
+func TokenCosine(a, b string) float64 {
+	ta, tb := tokenSet(a), tokenSet(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for tok := range ta {
+		if _, ok := tb[tok]; ok {
+			inter++
+		}
+	}
+	// sqrt of the product (not product of sqrts) so that equal-size sets
+	// with full overlap score exactly 1.
+	sim := float64(inter) / math.Sqrt(float64(len(ta))*float64(len(tb)))
+	return min(sim, 1)
+}
+
+func tokenSet(s string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		out[tok] = struct{}{}
+	}
+	return out
+}
+
+// Soundex computes the American Soundex code of s (letter + 3 digits).
+// Non-ASCII-letter input contributes nothing.
+func Soundex(s string) string {
+	code := map[rune]byte{
+		'b': '1', 'f': '1', 'p': '1', 'v': '1',
+		'c': '2', 'g': '2', 'j': '2', 'k': '2', 'q': '2', 's': '2', 'x': '2', 'z': '2',
+		'd': '3', 't': '3',
+		'l': '4',
+		'm': '5', 'n': '5',
+		'r': '6',
+	}
+	var letters []rune
+	for _, r := range strings.ToLower(s) {
+		if unicode.IsLetter(r) && r < 128 {
+			letters = append(letters, r)
+		}
+	}
+	if len(letters) == 0 {
+		return ""
+	}
+	out := []byte{byte(unicode.ToUpper(letters[0]))}
+	prev := code[letters[0]]
+	for _, r := range letters[1:] {
+		c := code[r]
+		if c == 0 {
+			// Vowels (and h, w, y) reset the adjacency rule, except h/w
+			// which are transparent in standard Soundex.
+			if r != 'h' && r != 'w' {
+				prev = 0
+			}
+			continue
+		}
+		if c != prev {
+			out = append(out, c)
+			if len(out) == 4 {
+				break
+			}
+		}
+		prev = c
+	}
+	for len(out) < 4 {
+		out = append(out, '0')
+	}
+	return string(out)
+}
+
+// SoundexSim is 1 if the Soundex codes agree, else 0.
+func SoundexSim(a, b string) float64 {
+	if Soundex(a) == Soundex(b) {
+		return 1
+	}
+	return 0
+}
+
+// Registry of named measures usable in textual constraint syntax.
+var registry = map[string]Measure{
+	"levenshtein": Func{"levenshtein", LevenshteinSim},
+	"jaro":        Func{"jaro", Jaro},
+	"jarowinkler": Func{"jarowinkler", JaroWinkler},
+	"qgram":       Func{"qgram", QGramJaccard(2)},
+	"cosine":      Func{"cosine", TokenCosine},
+	"soundex":     Func{"soundex", SoundexSim},
+	"equal": Func{"equal", func(a, b string) float64 {
+		if a == b {
+			return 1
+		}
+		return 0
+	}},
+}
+
+// Lookup returns the named measure, or false if unknown. Names are
+// case-insensitive.
+func Lookup(name string) (Measure, bool) {
+	m, ok := registry[strings.ToLower(name)]
+	return m, ok
+}
+
+// Names returns the registered measure names (unsorted).
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}
+
+func min3(a, b, c int) int { return min(a, min(b, c)) }

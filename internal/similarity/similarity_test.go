@@ -1,0 +1,181 @@
+package similarity
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"mtn ave", "mountain ave", 5},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDamerauTransposition(t *testing.T) {
+	if got := DamerauLevenshtein("ab", "ba"); got != 1 {
+		t.Errorf("Damerau(ab, ba) = %d, want 1", got)
+	}
+	if got := Levenshtein("ab", "ba"); got != 2 {
+		t.Errorf("Levenshtein(ab, ba) = %d, want 2", got)
+	}
+	if got := DamerauLevenshtein("smith", "smiht"); got != 1 {
+		t.Errorf("Damerau(smith, smiht) = %d, want 1", got)
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	// Classic reference pairs (values from Winkler's papers, 3 decimals).
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.961},
+		{"DIXON", "DICKSONX", 0.813},
+		{"JELLYFISH", "SMELLYFISH", 0.896},
+	}
+	for _, c := range cases {
+		got := JaroWinkler(c.a, c.b)
+		if got < c.want-0.002 || got > c.want+0.002 {
+			t.Errorf("JaroWinkler(%q, %q) = %.4f, want ≈%.3f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSoundex(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"},
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestQGramAndCosine(t *testing.T) {
+	qg := QGramJaccard(2)
+	if qg("night", "night") != 1 {
+		t.Error("identical strings must have qgram sim 1")
+	}
+	if s := qg("night", "nacht"); s <= 0 || s >= 1 {
+		t.Errorf("qgram(night, nacht) = %f, want in (0,1)", s)
+	}
+	if s := qg("abc", "xyz"); s != 0 {
+		t.Errorf("qgram of disjoint strings = %f, want 0", s)
+	}
+	if TokenCosine("10 main street", "main street 10") != 1 {
+		t.Error("token cosine ignores order; permuted tokens must score 1")
+	}
+	if s := TokenCosine("10 main street", "10 oak avenue"); s <= 0 || s >= 1 {
+		t.Errorf("cosine partial overlap = %f, want in (0,1)", s)
+	}
+}
+
+func randString(r *rand.Rand) string {
+	b := make([]byte, r.Intn(10))
+	for i := range b {
+		b[i] = byte('a' + r.Intn(5))
+	}
+	return string(b)
+}
+
+type strPair struct{ A, B string }
+
+func (strPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(strPair{A: randString(r), B: randString(r)})
+}
+
+func TestMeasureProperties(t *testing.T) {
+	// Every registered measure: symmetric, reflexive with score 1, bounded.
+	for _, name := range Names() {
+		m, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("registered measure %q not found", name)
+		}
+		prop := func(p strPair) bool {
+			ab, ba := m.Sim(p.A, p.B), m.Sim(p.B, p.A)
+			if ab != ba {
+				return false
+			}
+			if ab < 0 || ab > 1 {
+				return false
+			}
+			return m.Sim(p.A, p.A) == 1
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("measure %s: %v", name, err)
+		}
+	}
+}
+
+func TestLevenshteinTriangleInequality(t *testing.T) {
+	prop := func(p strPair, c strPair) bool {
+		x, y, z := p.A, p.B, c.A
+		return Levenshtein(x, z) <= Levenshtein(x, y)+Levenshtein(y, z)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	prop := func(p strPair) bool {
+		d := Levenshtein(p.A, p.B)
+		if (d == 0) != (p.A == p.B) {
+			return false
+		}
+		return d == Levenshtein(p.B, p.A)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDamerauNeverExceedsLevenshtein(t *testing.T) {
+	prop := func(p strPair) bool {
+		return DamerauLevenshtein(p.A, p.B) <= Levenshtein(p.A, p.B)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("no-such-measure"); ok {
+		t.Error("Lookup of unknown measure should fail")
+	}
+	if m, ok := Lookup("JaroWinkler"); !ok || m.Name() != "jarowinkler" {
+		t.Error("Lookup should be case-insensitive")
+	}
+}
+
+func TestEqualMeasure(t *testing.T) {
+	m, _ := Lookup("equal")
+	if m.Sim("a", "a") != 1 || m.Sim("a", "b") != 0 {
+		t.Error("equal measure must be exact")
+	}
+}

@@ -1,0 +1,156 @@
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relation"
+)
+
+// This file extends SQL detection generation to eCFDs (Bravo, Fan,
+// Geerts, Ma, ICDE 2008 — "increasing the expressivity ... without extra
+// complexity"). Disjunction patterns compile to IN lists and negation
+// patterns to NOT IN; the query shape is otherwise the single-row
+// constant/variable pair of the CFD case, demonstrating the paper's
+// point that the added expressivity costs nothing structurally.
+
+// GeneratedECFD holds the queries generated for one eCFD.
+type GeneratedECFD struct {
+	ECFD *cfd.ECFD
+	// QC is per (row, constrained-RHS attribute): tuples in the row's
+	// scope whose attribute fails the disjunction/negation.
+	QC []string
+	// QV is per (row, wildcard-RHS attribute): X-groups in the row's
+	// scope where the attribute varies.
+	QV []string
+}
+
+// patternSQL renders an ePattern condition over column col, or "" for
+// the wildcard.
+func ePatternSQL(col string, p cfd.EPattern) string {
+	switch p.Op {
+	case cfd.EAny:
+		return ""
+	case cfd.EIn:
+		return fmt.Sprintf("%s IN (%s)", col, quoteList(p.Vals))
+	default: // ENotIn: constants never match NULL, so exclude NULLs too.
+		return fmt.Sprintf("(%s NOT IN (%s) AND %s IS NOT NULL)", col, quoteList(p.Vals), col)
+	}
+}
+
+func quoteList(vals []relation.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = quoteSQL(v.Str())
+	}
+	return strings.Join(parts, ", ")
+}
+
+// negatedEPatternSQL renders the violation condition for a constrained
+// RHS pattern: the attribute fails the pattern. NULL never matches a
+// constrained pattern, so NULL counts as failing.
+func negatedEPatternSQL(col string, p cfd.EPattern) string {
+	switch p.Op {
+	case cfd.EIn:
+		return fmt.Sprintf("(%s NOT IN (%s) OR %s IS NULL)", col, quoteList(p.Vals), col)
+	case cfd.ENotIn:
+		return fmt.Sprintf("(%s IN (%s) OR %s IS NULL)", col, quoteList(p.Vals), col)
+	default:
+		return "" // wildcard RHS has no constant violations
+	}
+}
+
+// ForECFD generates the detection queries for an eCFD over the
+// TID-widened table relName. All referenced attributes must be strings
+// (same restriction as CFD SQL generation).
+func ForECFD(e *cfd.ECFD, relName string) (GeneratedECFD, error) {
+	schema := e.Schema()
+	lhs, rhs := e.LHS(), e.RHS()
+	for _, pos := range append(append([]int(nil), lhs...), rhs...) {
+		if schema.Attr(pos).Kind != relation.KindString {
+			return GeneratedECFD{}, fmt.Errorf(
+				"sqlgen: SQL detection requires string attributes; %s.%s is %v",
+				schema.Name(), schema.Attr(pos).Name, schema.Attr(pos).Kind)
+		}
+	}
+	g := GeneratedECFD{ECFD: e}
+	for rowIdx := 0; rowIdx < e.Rows(); rowIdx++ {
+		row := e.Row(rowIdx)
+		var scope []string
+		for i, attr := range lhs {
+			if cond := ePatternSQL("t."+schema.Attr(attr).Name, row[i]); cond != "" {
+				scope = append(scope, cond)
+			}
+		}
+		scopeStr := strings.Join(scope, " AND ")
+		for j, attr := range rhs {
+			p := row[len(lhs)+j]
+			col := "t." + schema.Attr(attr).Name
+			if p.Op != cfd.EAny {
+				qc := fmt.Sprintf("SELECT t.%s AS tid FROM %s t WHERE %s",
+					TIDColumn, relName, andJoin(scopeStr, negatedEPatternSQL(col, p)))
+				g.QC = append(g.QC, qc)
+				continue
+			}
+			// Wildcard RHS: group by X inside the scope.
+			selX := make([]string, len(lhs))
+			groupX := make([]string, len(lhs))
+			for i, a := range lhs {
+				selX[i] = fmt.Sprintf("t.%s AS %s", schema.Attr(a).Name, schema.Attr(a).Name)
+				groupX[i] = "t." + schema.Attr(a).Name
+			}
+			qv := fmt.Sprintf("SELECT %s FROM %s t", strings.Join(selX, ", "), relName)
+			if scopeStr != "" {
+				qv += " WHERE " + scopeStr
+			}
+			rhsName := schema.Attr(attr).Name
+			qv += fmt.Sprintf(" GROUP BY %s HAVING COUNT(DISTINCT t.%s) > 1 OR (COUNT(t.%s) < COUNT(*) AND COUNT(DISTINCT t.%s) >= 1)",
+				strings.Join(groupX, ", "), rhsName, rhsName, rhsName)
+			g.QV = append(g.QV, qv)
+		}
+	}
+	return g, nil
+}
+
+// DetectECFD runs the generated eCFD queries and returns the violating
+// TIDs of the original relation, matching cfd.DetectECFD's tuple set.
+func (rn *Runner) DetectECFD(e *cfd.ECFD, tableName string) ([]int, error) {
+	orig, ok := rn.loaded[tableName]
+	if !ok {
+		return nil, fmt.Errorf("sqlgen: table %q not loaded", tableName)
+	}
+	g, err := ForECFD(e, tableName)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int]bool{}
+	for _, qc := range g.QC {
+		res, err := rn.DB.Query(qc)
+		if err != nil {
+			return nil, fmt.Errorf("sqlgen: running eCFD Q_C: %w", err)
+		}
+		for _, t := range res.Tuples() {
+			seen[int(t[0].IntVal())] = true
+		}
+	}
+	if len(g.QV) > 0 {
+		idx := relation.BuildIndex(orig, e.LHS())
+		for _, qv := range g.QV {
+			res, err := rn.DB.Query(qv)
+			if err != nil {
+				return nil, fmt.Errorf("sqlgen: running eCFD Q_V: %w", err)
+			}
+			width := make([]int, res.Schema().Arity())
+			for i := range width {
+				width[i] = i
+			}
+			for _, gtup := range res.Tuples() {
+				for _, tid := range idx.LookupKey(gtup.Key(width)) {
+					seen[tid] = true
+				}
+			}
+		}
+	}
+	return sortedKeys(seen), nil
+}

@@ -1,0 +1,97 @@
+package sqlgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relation"
+)
+
+func eCFDFixture(t *testing.T) (*cfd.ECFD, *relation.Schema) {
+	t.Helper()
+	s := custSchema(t)
+	// For CC in {44, 01}: city must not be 'atlantis' and, within the
+	// scope, (CC, AC) determines CT.
+	e, err := cfd.NewECFD("e1", s,
+		[]string{"CC", "AC"}, []string{"CT"},
+		[][]cfd.EPattern{
+			{cfd.EInP(relation.String("44"), relation.String("01")), cfd.EAnyP(), cfd.ENotInP(relation.String("atlantis"))},
+			{cfd.EAnyP(), cfd.EAnyP(), cfd.EAnyP()},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, s
+}
+
+func TestForECFDShape(t *testing.T) {
+	e, _ := eCFDFixture(t)
+	g, err := ForECFD(e, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.QC) != 1 || len(g.QV) != 1 {
+		t.Fatalf("QC=%d QV=%d, want 1 and 1", len(g.QC), len(g.QV))
+	}
+	if !strings.Contains(g.QC[0], "IN ('01', '44')") && !strings.Contains(g.QC[0], "IN ('44', '01')") {
+		t.Errorf("QC missing IN list: %s", g.QC[0])
+	}
+	if !strings.Contains(g.QC[0], "IN ('atlantis')") {
+		t.Errorf("QC missing negation violation: %s", g.QC[0])
+	}
+	if !strings.Contains(g.QV[0], "GROUP BY") {
+		t.Errorf("QV missing grouping: %s", g.QV[0])
+	}
+}
+
+func TestECFDSQLEquivalenceRandomized(t *testing.T) {
+	e, s := eCFDFixture(t)
+	rng := rand.New(rand.NewSource(77))
+	ccs := []string{"44", "01", "07"}
+	acs := []string{"131", "908"}
+	cities := []string{"edi", "mh", "atlantis"}
+	for trial := 0; trial < 10; trial++ {
+		r := relation.New(s)
+		for i := 0; i < 40+rng.Intn(60); i++ {
+			tup := strTuple(
+				ccs[rng.Intn(3)], acs[rng.Intn(2)], "p", "n", "s",
+				cities[rng.Intn(3)], "Z")
+			if rng.Intn(25) == 0 {
+				tup[rng.Intn(len(tup))] = relation.Null()
+			}
+			r.MustInsert(tup)
+		}
+		native, err := cfd.DetectECFD(r, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nativeTIDs := cfd.ViolatingTIDs(native)
+
+		rn := NewRunner()
+		if _, err := rn.Load("cust", r); err != nil {
+			t.Fatal(err)
+		}
+		sqlTIDs, err := rn.DetectECFD(e, "cust")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(sqlTIDs, nativeTIDs) {
+			t.Fatalf("trial %d: SQL %v != native %v", trial, sqlTIDs, nativeTIDs)
+		}
+	}
+}
+
+func TestECFDSQLRejectsNonString(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attribute{Name: "A", Kind: relation.KindInt},
+		relation.Attribute{Name: "B", Kind: relation.KindString})
+	e, err := cfd.NewECFD("x", s, []string{"A"}, []string{"B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForECFD(e, "r"); err == nil {
+		t.Error("int attribute should be rejected")
+	}
+}

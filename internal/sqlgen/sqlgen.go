@@ -1,0 +1,437 @@
+// Package sqlgen translates CFDs and CINDs into SQL detection queries,
+// following the technique of Fan, Geerts, Jia and Kementsietsidis
+// (TODS 2008) that §5 of the tutorial credits Semandaq with ("automatic
+// detections of cfd violations, based on efficient sql-based
+// techniques").
+//
+// For a normalized CFD φ = (X → B, Tp) over relation R the generator
+// emits:
+//
+//   - an encoding of the tableau Tp as a relation enc_φ(X..., B), with
+//     the reserved marker (default "@") standing for the wildcard;
+//   - Q_C, which joins R with enc_φ and returns the tuples matching some
+//     row's LHS whose B disagrees with that row's constant; and
+//   - Q_V, which groups the in-scope tuples by X and returns the groups
+//     in which B takes more than one value.
+//
+// The crucial property (the headline experiment of TODS 2008 §8, E2 in
+// this repository) is that the pair (Q_C, Q_V) is independent of the
+// NUMBER of pattern rows — growing tableaux only grow the small encoded
+// relation, not the query. The per-row variant (one pair of queries per
+// pattern row, constants inlined) is also provided as the baseline.
+//
+// For CINDs the generator emits the NOT EXISTS anti-join form, which
+// minidb decorrelates into a hash semi-join.
+//
+// SQL detection requires string-typed attributes (the tableau encoding
+// stores patterns and the wildcard marker in the same column), matching
+// the all-string schemas of the papers' datasets. The native detectors in
+// the cfd and cind packages carry no such restriction and are used to
+// cross-check the SQL path.
+package sqlgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/cind"
+	"semandaq/internal/minidb"
+	"semandaq/internal/pattern"
+	"semandaq/internal/relation"
+)
+
+// TIDColumn is the synthetic tuple-identifier column added to relations
+// when they are loaded for SQL detection, so that query results can be
+// mapped back to relation TIDs.
+const TIDColumn = "_tid"
+
+// DefaultWildcardMarker encodes the wildcard in tableau relations.
+const DefaultWildcardMarker = "@"
+
+// GeneratedCFD holds the artifacts generated for one normalized CFD.
+type GeneratedCFD struct {
+	CFD     *cfd.CFD
+	EncName string             // name of the tableau-encoding relation
+	Enc     *relation.Relation // the encoded tableau
+	QC      string             // constant-violation query (returns _tid)
+	QV      string             // variable-violation query (returns the X attrs)
+	// PerRow holds the naive baseline of TODS 2008 §8: the same query
+	// pair generated once per pattern row, each joining a single-row
+	// tableau relation. Detection then issues 2·|Tp| statements instead
+	// of 2.
+	PerRow []GeneratedCFD
+}
+
+// ForCFD generates detection SQL for every normalized (single-RHS) form
+// of c. relName is the SQL-visible name of the data table, which must
+// include the TIDColumn (use Runner.Load). The marker must not collide
+// with any tableau constant; pass "" for the default.
+func ForCFD(c *cfd.CFD, relName, marker string) ([]GeneratedCFD, error) {
+	if marker == "" {
+		marker = DefaultWildcardMarker
+	}
+	var out []GeneratedCFD
+	for _, n := range c.Normalize() {
+		g, err := forNormalized(n, relName, marker)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+func forNormalized(c *cfd.CFD, relName, marker string) (GeneratedCFD, error) {
+	schema := c.Schema()
+	for _, pos := range append(c.LHS(), c.RHS()...) {
+		if schema.Attr(pos).Kind != relation.KindString {
+			return GeneratedCFD{}, fmt.Errorf(
+				"sqlgen: SQL detection requires string attributes; %s.%s is %v",
+				schema.Name(), schema.Attr(pos).Name, schema.Attr(pos).Kind)
+		}
+	}
+	lhsNames := c.LHSNames()
+	rhsName := c.RHSNames()[0]
+	tb := c.Tableau()
+
+	// Validate the marker and encode the tableau.
+	encAttrs := make([]relation.Attribute, 0, len(lhsNames)+1)
+	for _, n := range lhsNames {
+		encAttrs = append(encAttrs, relation.Attribute{Name: n, Kind: relation.KindString})
+	}
+	encAttrs = append(encAttrs, relation.Attribute{Name: rhsName, Kind: relation.KindString})
+	encName := encTableName(c)
+	encSchema, err := relation.NewSchema(encName, encAttrs...)
+	if err != nil {
+		return GeneratedCFD{}, err
+	}
+	enc := relation.New(encSchema)
+	for _, row := range tb {
+		t := make(relation.Tuple, len(row))
+		for i, p := range row {
+			if p.IsWild() {
+				t[i] = relation.String(marker)
+				continue
+			}
+			if p.Constant().Str() == marker {
+				return GeneratedCFD{}, fmt.Errorf(
+					"sqlgen: tableau constant %q collides with wildcard marker; choose another marker", marker)
+			}
+			t[i] = relation.String(p.Constant().Str())
+		}
+		enc.MustInsert(t)
+	}
+
+	q := quoteSQL
+	// Match condition t[X] ≍ tp[X].
+	var matchX []string
+	for _, n := range lhsNames {
+		matchX = append(matchX, fmt.Sprintf("(tp.%s = %s OR t.%s = tp.%s)", n, q(marker), n, n))
+	}
+	matchXStr := strings.Join(matchX, " AND ")
+
+	// Q_C: in-scope tuples disagreeing with a constant RHS. The IS NULL
+	// disjunct aligns SQL with the native detector: a NULL cell never
+	// matches a constant pattern, so it violates.
+	qc := fmt.Sprintf(
+		"SELECT DISTINCT t.%s AS tid FROM %s t, %s tp WHERE %s AND tp.%s <> %s AND (t.%s <> tp.%s OR t.%s IS NULL)",
+		TIDColumn, relName, encName, matchXStr, rhsName, q(marker), rhsName, rhsName, rhsName)
+
+	// Q_V: X-groups within some wildcard-RHS row's scope where B varies.
+	selX := make([]string, len(lhsNames))
+	groupX := make([]string, len(lhsNames))
+	for i, n := range lhsNames {
+		selX[i] = fmt.Sprintf("t.%s AS %s", n, n)
+		groupX[i] = "t." + n
+	}
+	// The HAVING clause flags a group when B takes two non-NULL values,
+	// or mixes NULL with a non-NULL value (COUNT(B) skips NULLs, so
+	// COUNT(B) < COUNT(*) detects the mix). All-NULL groups agree.
+	havingVaries := fmt.Sprintf(
+		"COUNT(DISTINCT t.%s) > 1 OR (COUNT(t.%s) < COUNT(*) AND COUNT(DISTINCT t.%s) >= 1)",
+		rhsName, rhsName, rhsName)
+	qv := fmt.Sprintf(
+		"SELECT %s FROM %s t, %s tp WHERE %s AND tp.%s = %s GROUP BY %s HAVING %s",
+		strings.Join(selX, ", "), relName, encName, matchXStr, rhsName, q(marker),
+		strings.Join(groupX, ", "), havingVaries)
+
+	g := GeneratedCFD{CFD: c, EncName: encName, Enc: enc, QC: qc, QV: qv}
+
+	// Naive baseline: the same machinery once per pattern row.
+	if len(tb) > 1 {
+		for i, row := range tb {
+			single, err := cfd.New(fmt.Sprintf("%s_row%d", c.Name(), i), c.Schema(),
+				c.LHSNames(), c.RHSNames(), pattern.Tableau{row})
+			if err != nil {
+				return GeneratedCFD{}, err
+			}
+			sg, err := forNormalized(single, relName, marker)
+			if err != nil {
+				return GeneratedCFD{}, err
+			}
+			g.PerRow = append(g.PerRow, sg)
+		}
+	}
+	return g, nil
+}
+
+func andJoin(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + " AND " + b
+}
+
+var encCounter int
+
+func encTableName(c *cfd.CFD) string {
+	encCounter++
+	name := c.Name()
+	if name == "" {
+		name = "cfd"
+	}
+	return fmt.Sprintf("enc_%s_%d", sanitize(name), encCounter)
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// quoteSQL renders a string constant as a SQL literal.
+func quoteSQL(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// GeneratedCIND holds the anti-join query generated for a CIND.
+type GeneratedCIND struct {
+	CIND *cind.CIND
+	Q    string // returns the _tid of left tuples lacking a witness
+}
+
+// ForCIND generates the NOT EXISTS detection query. leftName and
+// rightName are the SQL-visible table names; leftName must carry the
+// TIDColumn.
+func ForCIND(c *cind.CIND, leftName, rightName string) (GeneratedCIND, error) {
+	left, right := c.Left(), c.Right()
+	for _, pos := range c.LHSCorr() {
+		if left.Attr(pos).Kind != relation.KindString {
+			return GeneratedCIND{}, fmt.Errorf("sqlgen: SQL detection requires string attributes; %s.%s",
+				left.Name(), left.Attr(pos).Name)
+		}
+	}
+	q := quoteSQL
+	var outer []string
+	lhsPatAttrs, lhsPats := c.LHSPattern()
+	for i, pos := range lhsPatAttrs {
+		if lhsPats[i].IsConst() {
+			outer = append(outer, fmt.Sprintf("t.%s = %s", left.Attr(pos).Name, q(lhsPats[i].Constant().Str())))
+		}
+	}
+	var inner []string
+	lc, rc := c.LHSCorr(), c.RHSCorr()
+	for i := range lc {
+		inner = append(inner, fmt.Sprintf("s.%s = t.%s", right.Attr(rc[i]).Name, left.Attr(lc[i]).Name))
+	}
+	rhsPatAttrs, rhsPats := c.RHSPattern()
+	for i, pos := range rhsPatAttrs {
+		if rhsPats[i].IsConst() {
+			inner = append(inner, fmt.Sprintf("s.%s = %s", right.Attr(pos).Name, q(rhsPats[i].Constant().Str())))
+		}
+	}
+	sql := fmt.Sprintf("SELECT t.%s AS tid FROM %s t", TIDColumn, leftName)
+	where := strings.Join(outer, " AND ")
+	notExists := fmt.Sprintf("NOT EXISTS (SELECT s.%s FROM %s s WHERE %s)",
+		right.Attr(rc[0]).Name, rightName, strings.Join(inner, " AND "))
+	sql += " WHERE " + andJoin(where, notExists)
+	return GeneratedCIND{CIND: c, Q: sql}, nil
+}
+
+// Runner owns a minidb instance, loads relations with TID columns,
+// installs generated constraints and executes detection.
+type Runner struct {
+	DB     *minidb.DB
+	marker string
+	loaded map[string]*relation.Relation // SQL name -> original relation
+}
+
+// NewRunner creates a Runner with the default wildcard marker.
+func NewRunner() *Runner {
+	return &Runner{DB: minidb.New(), marker: DefaultWildcardMarker, loaded: map[string]*relation.Relation{}}
+}
+
+// Load copies r into the runner's database under the given SQL name,
+// adding the TIDColumn as the first column. It returns the widened
+// relation.
+func (rn *Runner) Load(name string, r *relation.Relation) (*relation.Relation, error) {
+	attrs := []relation.Attribute{{Name: TIDColumn, Kind: relation.KindInt}}
+	attrs = append(attrs, r.Schema().Attrs()...)
+	schema, err := relation.NewSchema(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	wide := relation.New(schema)
+	for tid, t := range r.Tuples() {
+		nt := make(relation.Tuple, 0, len(t)+1)
+		nt = append(nt, relation.Int(int64(tid)))
+		nt = append(nt, t...)
+		if _, err := wide.Insert(nt); err != nil {
+			return nil, err
+		}
+	}
+	rn.DB.Register(name, wide)
+	rn.loaded[name] = r
+	return wide, nil
+}
+
+// InstallCFD generates and registers detection artifacts for a CFD
+// against the already-loaded table name.
+func (rn *Runner) InstallCFD(c *cfd.CFD, tableName string) ([]GeneratedCFD, error) {
+	if _, ok := rn.loaded[tableName]; !ok {
+		return nil, fmt.Errorf("sqlgen: table %q not loaded", tableName)
+	}
+	gens, err := ForCFD(c, tableName, rn.marker)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range gens {
+		rn.DB.Register(g.EncName, g.Enc)
+		for _, sg := range g.PerRow {
+			rn.DB.Register(sg.EncName, sg.Enc)
+		}
+	}
+	return gens, nil
+}
+
+// DetectCFD runs the merged-tableau query pair of g and maps results back
+// to TIDs of the original relation: constant violators from Q_C plus
+// every member of each conflicting X-group from Q_V.
+func (rn *Runner) DetectCFD(g GeneratedCFD, tableName string) ([]int, error) {
+	seen := map[int]bool{}
+	qcRes, err := rn.DB.Query(g.QC)
+	if err != nil {
+		return nil, fmt.Errorf("sqlgen: running Q_C: %w", err)
+	}
+	for _, t := range qcRes.Tuples() {
+		seen[int(t[0].IntVal())] = true
+	}
+	qvRes, err := rn.DB.Query(g.QV)
+	if err != nil {
+		return nil, fmt.Errorf("sqlgen: running Q_V: %w", err)
+	}
+	if qvRes.Len() > 0 {
+		tids, err := rn.expandGroups(g.CFD, qvRes, tableName)
+		if err != nil {
+			return nil, err
+		}
+		for _, tid := range tids {
+			seen[tid] = true
+		}
+	}
+	return sortedKeys(seen), nil
+}
+
+// DetectCFDPerRow runs the naive per-pattern-row baseline: the full
+// query pair once for every tableau row. When the tableau has a single
+// row the baseline coincides with the merged plan.
+func (rn *Runner) DetectCFDPerRow(g GeneratedCFD, tableName string) ([]int, error) {
+	if len(g.PerRow) == 0 {
+		return rn.DetectCFD(g, tableName)
+	}
+	seen := map[int]bool{}
+	for _, sg := range g.PerRow {
+		tids, err := rn.DetectCFD(sg, tableName)
+		if err != nil {
+			return nil, err
+		}
+		for _, tid := range tids {
+			seen[tid] = true
+		}
+	}
+	return sortedKeys(seen), nil
+}
+
+// expandGroups maps Q_V's violating X-groups back to the member TIDs by
+// probing an index on the original relation (equality joins in SQL would
+// drop NULL-keyed groups, which the native detector legitimately forms
+// when wildcards match NULLs).
+func (rn *Runner) expandGroups(c *cfd.CFD, groups *relation.Relation, tableName string) ([]int, error) {
+	orig, ok := rn.loaded[tableName]
+	if !ok {
+		return nil, fmt.Errorf("sqlgen: table %q not loaded", tableName)
+	}
+	idx := relation.BuildIndex(orig, c.LHS())
+	groupWidth := make([]int, groups.Schema().Arity())
+	for i := range groupWidth {
+		groupWidth[i] = i
+	}
+	var out []int
+	for _, g := range groups.Tuples() {
+		out = append(out, idx.LookupKey(g.Key(groupWidth))...)
+	}
+	return out, nil
+}
+
+// DetectSet installs and runs detection for a whole CFD set, returning
+// the union of violating TIDs — the SQL counterpart of
+// cfd.ViolatingTIDs(Detector.Detect(...)).
+func (rn *Runner) DetectSet(set *cfd.Set, tableName string) ([]int, error) {
+	seen := map[int]bool{}
+	for _, c := range set.All() {
+		gens, err := rn.InstallCFD(c, tableName)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range gens {
+			tids, err := rn.DetectCFD(g, tableName)
+			if err != nil {
+				return nil, err
+			}
+			for _, tid := range tids {
+				seen[tid] = true
+			}
+		}
+	}
+	return sortedKeys(seen), nil
+}
+
+// DetectCIND generates and runs the anti-join query for a CIND over two
+// loaded tables, returning violating left-relation TIDs.
+func (rn *Runner) DetectCIND(c *cind.CIND, leftName, rightName string) ([]int, error) {
+	g, err := ForCIND(c, leftName, rightName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rn.DB.Query(g.Q)
+	if err != nil {
+		return nil, fmt.Errorf("sqlgen: running CIND query: %w", err)
+	}
+	out := make([]int, 0, res.Len())
+	for _, t := range res.Tuples() {
+		out = append(out, int(t[0].IntVal()))
+	}
+	seen := map[int]bool{}
+	for _, tid := range out {
+		seen[tid] = true
+	}
+	return sortedKeys(seen), nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,305 @@
+package sqlgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/cind"
+	"semandaq/internal/relation"
+)
+
+func custSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	s, err := relation.StringSchema("cust", "CC", "AC", "PN", "NM", "STR", "CT", "ZIP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func strTuple(vals ...string) relation.Tuple {
+	t := make(relation.Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = relation.String(v)
+	}
+	return t
+}
+
+func custData(t *testing.T) *relation.Relation {
+	t.Helper()
+	r := relation.New(custSchema(t))
+	r.MustInsert(strTuple("44", "131", "1111111", "mike", "mayfield rd", "edi", "EH4 8LE"))
+	r.MustInsert(strTuple("44", "131", "2222222", "rick", "mayfield rd", "edi", "EH4 8LE"))
+	r.MustInsert(strTuple("44", "131", "3333333", "anna", "crichton st", "edi", "EH8 9LE"))
+	r.MustInsert(strTuple("01", "908", "4444444", "joe", "mtn ave", "mh", "07974"))
+	r.MustInsert(strTuple("01", "908", "5555555", "ben", "high st", "mh", "07974"))
+	r.MustInsert(strTuple("01", "212", "6666666", "kim", "broadway", "nyc", "10012"))
+	return r
+}
+
+func TestGeneratedQueriesShape(t *testing.T) {
+	s := custSchema(t)
+	c := cfd.MustParse("cfd phi: cust([CC, ZIP] -> [STR]) { ('44', _ || _) }", s)
+	gens, err := ForCFD(c, "cust", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 {
+		t.Fatalf("generated %d", len(gens))
+	}
+	g := gens[0]
+	if g.Enc.Len() != 1 {
+		t.Errorf("enc rows = %d", g.Enc.Len())
+	}
+	if !strings.Contains(g.QC, "SELECT DISTINCT t._tid") || !strings.Contains(g.QC, g.EncName) {
+		t.Errorf("QC = %s", g.QC)
+	}
+	if !strings.Contains(g.QV, "GROUP BY t.CC, t.ZIP") || !strings.Contains(g.QV, "HAVING") {
+		t.Errorf("QV = %s", g.QV)
+	}
+	if len(g.PerRow) != 0 {
+		t.Errorf("single-row tableau should have no separate per-row plans, got %d", len(g.PerRow))
+	}
+	// A multi-row tableau generates one full query pair per row.
+	c2 := cfd.MustParse(`cust([CC, AC] -> [CT]) { ('44', '131' || 'edi'), ('01', '908' || 'mh') }`, s)
+	gens2, err := ForCFD(c2, "cust", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens2[0].PerRow) != 2 {
+		t.Fatalf("per-row plans = %d, want 2", len(gens2[0].PerRow))
+	}
+	for _, sg := range gens2[0].PerRow {
+		if sg.Enc.Len() != 1 {
+			t.Errorf("per-row enc rows = %d, want 1", sg.Enc.Len())
+		}
+		if sg.QC == "" || sg.QV == "" {
+			t.Error("per-row plan missing QC/QV")
+		}
+	}
+}
+
+func TestMarkerCollision(t *testing.T) {
+	s := custSchema(t)
+	c := cfd.MustParse("cust([CC='@'] -> [STR])", s)
+	if _, err := ForCFD(c, "cust", "@"); err == nil {
+		t.Error("marker collision should be rejected")
+	}
+	// A different marker succeeds.
+	if _, err := ForCFD(c, "cust", "%"); err != nil {
+		t.Errorf("alternate marker should work: %v", err)
+	}
+}
+
+func TestNonStringSchemaRejected(t *testing.T) {
+	s := relation.MustSchema("r",
+		relation.Attribute{Name: "A", Kind: relation.KindInt},
+		relation.Attribute{Name: "B", Kind: relation.KindString})
+	c, err := cfd.New("x", s, []string{"A"}, []string{"B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForCFD(c, "r", ""); err == nil {
+		t.Error("int attribute should be rejected for SQL detection")
+	}
+}
+
+func TestDetectCFDMatchesNativeOnExample(t *testing.T) {
+	r := custData(t)
+	// Corrupt: one variable violation (UK street) + one constant
+	// violation (908 customer outside mh).
+	r.Set(1, r.Schema().MustIndex("STR"), relation.String("WRONG"))
+	r.Set(4, r.Schema().MustIndex("CT"), relation.String("nyc"))
+
+	set, err := cfd.ParseSet(`
+cfd phi1: cust([CC='44', ZIP] -> [STR])
+cfd phi2: cust([CC='01', AC='908', PN] -> [CT='mh'])
+`, r.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rn := NewRunner()
+	if _, err := rn.Load("cust", r); err != nil {
+		t.Fatal(err)
+	}
+	sqlTIDs, err := rn.DetectSet(set, "cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := cfd.NewDetector(set).Detect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nativeTIDs := cfd.ViolatingTIDs(native)
+	if !equalInts(sqlTIDs, nativeTIDs) {
+		t.Fatalf("SQL %v != native %v", sqlTIDs, nativeTIDs)
+	}
+	// Must include the pair {0,1} and the constant violator {4}.
+	if !equalInts(sqlTIDs, []int{0, 1, 4}) {
+		t.Fatalf("tids = %v, want [0 1 4]", sqlTIDs)
+	}
+}
+
+// TestSQLEquivalenceRandomized is the cross-check property: on random
+// dirty data, the SQL detection path and the native detector report
+// exactly the same violating tuple set, for both the merged-tableau and
+// the per-row query plans.
+func TestSQLEquivalenceRandomized(t *testing.T) {
+	s := custSchema(t)
+	rng := rand.New(rand.NewSource(42))
+	ccs := []string{"44", "01", "07"}
+	acs := []string{"131", "908", "212"}
+	cities := []string{"edi", "mh", "nyc", "gla"}
+
+	set, err := cfd.ParseSet(`
+cfd p1: cust([CC='44', ZIP] -> [STR])
+cfd p2: cust([CC, AC] -> [CT]) { ('44', '131' || 'edi'), ('01', '908' || 'mh'), (_, _ || _) }
+cfd p3: cust([CC='01', AC='908', PN] -> [CT='mh'])
+`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		r := relation.New(s)
+		n := 50 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			tup := strTuple(
+				ccs[rng.Intn(len(ccs))],
+				acs[rng.Intn(len(acs))],
+				string(rune('0'+rng.Intn(5)))+"-phone",
+				"name",
+				"street "+string(rune('a'+rng.Intn(4))),
+				cities[rng.Intn(len(cities))],
+				"Z"+string(rune('0'+rng.Intn(3))),
+			)
+			// Sprinkle NULLs to exercise NULL semantics.
+			if rng.Intn(20) == 0 {
+				tup[rng.Intn(len(tup))] = relation.Null()
+			}
+			r.MustInsert(tup)
+		}
+
+		native, err := cfd.NewDetector(set).Detect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nativeTIDs := cfd.ViolatingTIDs(native)
+
+		rn := NewRunner()
+		if _, err := rn.Load("cust", r); err != nil {
+			t.Fatal(err)
+		}
+		sqlTIDs, err := rn.DetectSet(set, "cust")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(sqlTIDs, nativeTIDs) {
+			t.Fatalf("trial %d: SQL %v != native %v", trial, sqlTIDs, nativeTIDs)
+		}
+
+		// Per-row plan agrees too.
+		perRow := map[int]bool{}
+		for _, c := range set.All() {
+			gens, err := rn.InstallCFD(c, "cust")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, g := range gens {
+				tids, err := rn.DetectCFDPerRow(g, "cust")
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tid := range tids {
+					perRow[tid] = true
+				}
+			}
+		}
+		perRowTIDs := sortedKeys(perRow)
+		if !equalInts(perRowTIDs, nativeTIDs) {
+			t.Fatalf("trial %d: per-row SQL %v != native %v", trial, perRowTIDs, nativeTIDs)
+		}
+	}
+}
+
+func TestDetectCINDMatchesNative(t *testing.T) {
+	cdS, err := relation.StringSchema("CD", "album", "price", "genre")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bookS, err := relation.StringSchema("book", "title", "price", "format")
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi := cind.MustParse("cind psi: CD(album, price | genre='a-book') <= book(title, price | format='audio')", cdS, bookS)
+
+	rng := rand.New(rand.NewSource(7))
+	titles := []string{"dune", "blindsight", "emma", "ilium"}
+	prices := []string{"10", "20"}
+	for trial := 0; trial < 10; trial++ {
+		cdRel := relation.New(cdS)
+		bookRel := relation.New(bookS)
+		for i := 0; i < 30+rng.Intn(40); i++ {
+			genre := "music"
+			if rng.Intn(2) == 0 {
+				genre = "a-book"
+			}
+			cdRel.MustInsert(strTuple(titles[rng.Intn(len(titles))], prices[rng.Intn(2)], genre))
+		}
+		for i := 0; i < 20+rng.Intn(30); i++ {
+			format := "audio"
+			if rng.Intn(3) == 0 {
+				format = "paper"
+			}
+			bookRel.MustInsert(strTuple(titles[rng.Intn(len(titles))], prices[rng.Intn(2)], format))
+		}
+
+		native, err := cind.Detect(cdRel, bookRel, psi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nativeTIDs := cind.ViolatingTIDs(native)
+
+		rn := NewRunner()
+		if _, err := rn.Load("CD", cdRel); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rn.Load("book", bookRel); err != nil {
+			t.Fatal(err)
+		}
+		sqlTIDs, err := rn.DetectCIND(psi, "CD", "book")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalInts(sqlTIDs, nativeTIDs) {
+			t.Fatalf("trial %d: SQL %v != native %v", trial, sqlTIDs, nativeTIDs)
+		}
+	}
+}
+
+func TestMultiRHSNormalizedGeneration(t *testing.T) {
+	s := custSchema(t)
+	c := cfd.MustParse("cust([CC='01', AC='908', PN] -> [STR, CT='mh', ZIP])", s)
+	gens, err := ForCFD(c, "cust", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("normalized generation count = %d, want 3", len(gens))
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
