@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench run-daemon
+
+all: check
+
+# check is the CI gate: formatting, vet, build, and the race-enabled
+# test suite (the engine/server concurrency tests rely on -race).
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench pins one iteration per benchmark for a quick smoke run; drop
+# -benchtime for real measurements.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+run-daemon:
+	$(GO) run ./cmd/semandaqd -preload 10000

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"semandaq/internal/cfd"
@@ -356,6 +357,44 @@ func BenchmarkE12EndToEnd(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkE13ParallelDetect compares the serial detector against the
+// worker-pool detector that backs the semandaqd service, on the 10k
+// benchmark dataset. The outputs are asserted byte-identical — the
+// parallel detector's contract is "same violations, same order, less
+// wall-clock".
+func BenchmarkE13ParallelDetect(b *testing.B) {
+	set := datagen.CustConstraints()
+	dirty, _ := dirtyCust(10_000, 0.05, 79)
+	d := cfd.NewDetector(set)
+	serial, err := d.Detect(dirty)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parallel, err := d.DetectParallel(dirty, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+		b.Fatal("parallel violation set diverges from serial")
+	}
+	b.Run("serial/n=10000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Detect(dirty); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallel/n=10000/workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := d.DetectParallel(dirty, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablation benchmarks (design choices called out in DESIGN.md) ---

@@ -1,0 +1,105 @@
+// Command semandaqd runs Semandaq as a long-running data-quality
+// service: datasets are registered once, constraints compiled once, and
+// detect/repair/discover are served over HTTP/JSON to any number of
+// concurrent clients (see internal/server for the API).
+//
+// Usage:
+//
+//	semandaqd [-addr :8080] [-workers 0] [-preload 0]
+//
+// -workers sizes the per-dataset detection worker pool (0 = NumCPU,
+// 1 = serial). -preload N registers a built-in "cust" dataset of N
+// noisy tuples with its planted constraints at startup, which makes the
+// quickstart in README.md work with curl alone.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"semandaq/internal/datagen"
+	"semandaq/internal/engine"
+	"semandaq/internal/noise"
+	"semandaq/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "detection worker pool size (0 = NumCPU, 1 = serial)")
+	preload := flag.Int("preload", 0, "preload a noisy 'cust' dataset of this many tuples")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{Workers: *workers})
+	if *preload > 0 {
+		if err := preloadCust(eng, *preload); err != nil {
+			log.Fatalf("semandaqd: preload: %v", err)
+		}
+		log.Printf("preloaded dataset %q with %d tuples and planted constraints", "cust", *preload)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(server.New(eng)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("semandaqd listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("semandaqd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Print("semandaqd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("semandaqd: shutdown: %v", err)
+		}
+	}
+}
+
+// preloadCust registers the benchmark workload: a noisy cust relation
+// with the constraints datagen plants in it.
+func preloadCust(eng *engine.Engine, n int) error {
+	clean := datagen.Cust(n, 1)
+	schema := clean.Schema()
+	dirty, _ := noise.Dirty(clean, noise.Options{
+		Rate:  0.05,
+		Attrs: []int{schema.MustIndex("STR"), schema.MustIndex("CT")},
+		Seed:  2,
+	})
+	sess, err := eng.Register("cust", dirty)
+	if err != nil {
+		return err
+	}
+	return sess.SetConstraints(datagen.CustConstraints())
+}
+
+// logRequests is a minimal access-log middleware.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, fmtDuration(time.Since(start)))
+	})
+}
+
+func fmtDuration(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}

@@ -87,13 +87,30 @@ func DetectOne(r *relation.Relation, c *CFD) ([]Violation, error) {
 	return detectGrouped(r, c, idx, nil), nil
 }
 
-// detectGrouped runs group-wise detection. If only is non-nil, it
-// restricts reporting to groups containing at least one TID in only
-// (used by incremental detection).
+// detectGrouped runs group-wise detection over every X-group, visiting
+// groups in sorted key order so the violation list is deterministic (and
+// byte-identical to what DetectParallel assembles from key chunks). If
+// only is non-nil, it restricts reporting to groups containing at least
+// one TID in only (used by incremental detection).
 func detectGrouped(r *relation.Relation, c *CFD, idx *relation.HashIndex, only map[int]bool) []Violation {
+	return DetectKeys(r, c, idx, idx.Keys(), only)
+}
+
+// DetectKeys is the partitioned detection entry point: it detects
+// violations of c restricted to the X-groups listed in keys (pre-encoded
+// index keys over c's LHS). Because every tuple belongs to exactly one
+// X-group and group-wise detection never looks outside the group,
+// splitting idx.Keys() into disjoint chunks and concatenating the
+// per-chunk results in chunk order reproduces the serial output exactly;
+// this is what DetectParallel's worker pool does.
+func DetectKeys(r *relation.Relation, c *CFD, idx *relation.HashIndex, keys []string, only map[int]bool) []Violation {
 	var out []Violation
 	nl := len(c.lhs)
-	idx.Groups(func(_ string, tids []int) bool {
+	for _, key := range keys {
+		tids := idx.LookupKey(key)
+		if len(tids) == 0 {
+			continue
+		}
 		if only != nil {
 			hit := false
 			for _, tid := range tids {
@@ -103,7 +120,7 @@ func detectGrouped(r *relation.Relation, c *CFD, idx *relation.HashIndex, only m
 				}
 			}
 			if !hit {
-				return true
+				continue
 			}
 		}
 		rep := r.Tuple(tids[0])
@@ -146,8 +163,7 @@ func detectGrouped(r *relation.Relation, c *CFD, idx *relation.HashIndex, only m
 				}
 			}
 		}
-		return true
-	})
+	}
 	return out
 }
 

@@ -1,0 +1,113 @@
+package cfd
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"semandaq/internal/relation"
+)
+
+// DetectParallel returns exactly what Detect returns — the same
+// violations in the same order — but partitions the work across a pool
+// of `workers` goroutines. Zero (or negative) workers means
+// runtime.NumCPU().
+//
+// Parallelization exploits the grouping structure of CFD detection: a
+// violation is always contained in a single X-group, so the sorted key
+// list of each per-CFD index is split into contiguous chunks, every
+// chunk is an independent DetectKeys job, and the per-chunk outputs are
+// concatenated in (CFD, chunk) order. No locks are needed on the data
+// path: workers only read the relation and write disjoint result slots.
+// Index construction for the different CFDs runs concurrently too.
+func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violation, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	cfds := d.set.cfds
+	if workers == 1 || len(cfds) == 0 || r.Len() == 0 {
+		return d.Detect(r)
+	}
+	for _, c := range cfds {
+		if !r.Schema().Equal(c.schema) {
+			return nil, fmt.Errorf("cfd: detecting %s over relation %s with schema %s",
+				c.name, r.Schema().Name(), c.schema.Name())
+		}
+	}
+
+	// Stage 1: build the per-CFD X-indexes concurrently (bounded by the
+	// pool size; index building is the serial fraction of Detect).
+	indexes := make([]*relation.HashIndex, len(cfds))
+	keys := make([][]string, len(cfds))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, c := range cfds {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, c *CFD) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			idx := relation.BuildIndex(r, c.lhs)
+			indexes[i] = idx
+			keys[i] = idx.Keys()
+		}(i, c)
+	}
+	wg.Wait()
+
+	// Stage 2: fan chunk jobs out to the worker pool. Each CFD's key
+	// space is cut into up to `workers` contiguous chunks so every
+	// worker stays busy even for a single-CFD set.
+	type job struct {
+		cfdIdx, chunkIdx int
+		chunk            []string
+	}
+	results := make([][][]Violation, len(cfds))
+	var jobs []job
+	for i := range cfds {
+		ks := keys[i]
+		chunks := workers
+		if chunks > len(ks) {
+			chunks = len(ks)
+		}
+		if chunks == 0 {
+			continue
+		}
+		results[i] = make([][]Violation, chunks)
+		size, rem := len(ks)/chunks, len(ks)%chunks
+		lo := 0
+		for c := 0; c < chunks; c++ {
+			hi := lo + size
+			if c < rem {
+				hi++
+			}
+			jobs = append(jobs, job{cfdIdx: i, chunkIdx: c, chunk: ks[lo:hi]})
+			lo = hi
+		}
+	}
+	jobCh := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				c := cfds[j.cfdIdx]
+				results[j.cfdIdx][j.chunkIdx] = DetectKeys(r, c, indexes[j.cfdIdx], j.chunk, nil)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Deterministic merge: (CFD, chunk) order equals the serial
+	// sorted-key traversal.
+	var out []Violation
+	for _, perCFD := range results {
+		for _, vs := range perCFD {
+			out = append(out, vs...)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/relation"
+)
+
+// Sentinel errors the HTTP layer maps to status codes (errors.Is).
+var (
+	// ErrDuplicate reports a Register against an existing name.
+	ErrDuplicate = errors.New("dataset already registered")
+	// ErrUnknownDataset reports an operation naming no registered dataset.
+	ErrUnknownDataset = errors.New("unknown dataset")
+)
+
+// maxCachedSets bounds the compiled-constraint cache; on overflow the
+// cache is reset wholesale (sessions keep their installed sets — only
+// future compilations lose sharing), which keeps a long-running daemon
+// fed distinct constraint texts from growing without bound.
+const maxCachedSets = 256
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the detection worker-pool size handed to every
+	// session: 0 means runtime.NumCPU(), 1 forces serial detection.
+	Workers int
+}
+
+// Engine is the dataset registry: named sessions behind an RWMutex so
+// lookups from concurrent requests never contend with each other, plus
+// a cache of compiled constraint sets so re-installing the same
+// constraint text (e.g. every dataset of a fleet sharing one rule file)
+// reuses the parsed cfd.Set instead of recompiling per dataset.
+type Engine struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	setCache map[string]*cfd.Set
+	workers  int
+}
+
+// New creates an empty engine.
+func New(opts Options) *Engine {
+	return &Engine{
+		sessions: map[string]*Session{},
+		setCache: map[string]*cfd.Set{},
+		workers:  opts.Workers,
+	}
+}
+
+// Register opens a new session named name over a private clone of data,
+// with an empty constraint set. Names are unique; registering an
+// existing name fails (Drop it first).
+func (e *Engine) Register(name string, data *relation.Relation) (*Session, error) {
+	if name == "" {
+		return nil, fmt.Errorf("engine: dataset name must be non-empty")
+	}
+	s, err := NewSession(name, data, nil, e.workers)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.sessions[name]; dup {
+		return nil, fmt.Errorf("engine: dataset %q: %w", name, ErrDuplicate)
+	}
+	e.sessions[name] = s
+	return s, nil
+}
+
+// Get returns the named session.
+func (e *Engine) Get(name string) (*Session, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s, ok := e.sessions[name]
+	return s, ok
+}
+
+// Drop removes the named session from the registry and reports whether
+// it existed. In-flight requests holding the session finish normally.
+func (e *Engine) Drop(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.sessions[name]
+	delete(e.sessions, name)
+	return ok
+}
+
+// List returns the registered dataset names, sorted.
+func (e *Engine) List() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.sessions))
+	for name := range e.sessions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CompileConstraints parses constraint text against a schema, caching
+// the compiled set keyed by (schema, text). Compiled sets are shared
+// across sessions and must therefore never be mutated after
+// installation — SetConstraints swaps whole sets, preserving that.
+func (e *Engine) CompileConstraints(schema *relation.Schema, text string) (*cfd.Set, error) {
+	key := schema.String() + "\x00" + text
+	e.mu.RLock()
+	set, ok := e.setCache[key]
+	e.mu.RUnlock()
+	if ok {
+		return set, nil
+	}
+	set, err := cfd.ParseSet(text, schema)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	// Another request may have compiled the same text while we parsed;
+	// keep the first so every session shares one instance.
+	if prior, dup := e.setCache[key]; dup {
+		set = prior
+	} else {
+		if len(e.setCache) >= maxCachedSets {
+			e.setCache = make(map[string]*cfd.Set, maxCachedSets)
+		}
+		e.setCache[key] = set
+	}
+	e.mu.Unlock()
+	return set, nil
+}
+
+// InstallConstraints compiles text and installs the set on the named
+// dataset in one step — the service path for POST /v1/constraints.
+func (e *Engine) InstallConstraints(dataset, text string) (*cfd.Set, error) {
+	s, ok := e.Get(dataset)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, dataset)
+	}
+	set, err := e.CompileConstraints(s.Schema(), text)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.SetConstraints(set); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

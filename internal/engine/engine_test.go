@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/discovery"
+	"semandaq/internal/noise"
+	"semandaq/internal/relation"
+)
+
+// dirtyCust builds the benchmark workload: generated customers with
+// noise planted on the repairable attributes.
+func dirtyCust(t testing.TB, n int, seed int64) *relation.Relation {
+	t.Helper()
+	clean := datagen.Cust(n, seed)
+	schema := clean.Schema()
+	dirty, _ := noise.Dirty(clean, noise.Options{
+		Rate:  0.05,
+		Attrs: []int{schema.MustIndex("STR"), schema.MustIndex("CT")},
+		Seed:  seed + 1,
+	})
+	return dirty
+}
+
+func newSession(t testing.TB, n int, seed int64) *Session {
+	t.Helper()
+	s, err := NewSession("test", dirtyCust(t, n, seed), datagen.CustConstraints(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Register("", datagen.Cust(5, 1)); err == nil {
+		t.Error("empty name should fail")
+	}
+	s, err := e.Register("a", datagen.Cust(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Register("a", datagen.Cust(5, 1)); err == nil {
+		t.Error("duplicate name should fail")
+	}
+	if _, err := e.Register("b", datagen.Cust(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := e.Get("a"); got != s {
+		t.Error("Get returned a different session")
+	}
+	if names := e.List(); !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Errorf("List = %v", names)
+	}
+	if !e.Drop("a") || e.Drop("a") {
+		t.Error("Drop should succeed once")
+	}
+	if _, ok := e.Get("a"); ok {
+		t.Error("dropped dataset still resolvable")
+	}
+}
+
+func TestRegisterClonesData(t *testing.T) {
+	e := New(Options{})
+	data := datagen.Cust(5, 1)
+	s, err := e.Register("a", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data.Set(0, 0, relation.String("mutated"))
+	if s.Data().Get(0, 0).Str() == "mutated" {
+		t.Error("session data aliases the caller's relation")
+	}
+}
+
+func TestCompileConstraintsCached(t *testing.T) {
+	e := New(Options{})
+	schema := datagen.CustSchema()
+	text := "cfd phi1: cust([CC='44', ZIP] -> [STR])"
+	a, err := e.CompileConstraints(schema, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.CompileConstraints(schema, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same (schema, text) should return the cached set instance")
+	}
+	c, err := e.CompileConstraints(schema, text+" ") // different text, same meaning
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different text must not collide in the cache")
+	}
+	if _, err := e.CompileConstraints(schema, "not a cfd"); err == nil {
+		t.Error("parse error should surface")
+	}
+}
+
+func TestInstallConstraints(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Register("cust", dirtyCust(t, 200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	set, err := e.InstallConstraints("cust", "cfd phi1: cust([CC='44', ZIP] -> [STR])")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 1 {
+		t.Fatalf("installed %d CFDs", set.Len())
+	}
+	s, _ := e.Get("cust")
+	if s.Constraints() != set {
+		t.Error("session does not hold the installed set")
+	}
+	if _, err := e.InstallConstraints("nope", "x"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+// TestParallelDetectionDeterminism is the acceptance check at session
+// level: the worker-pool detector and the serial detector return the
+// same violations in the same order, and rendering them is
+// byte-identical.
+func TestParallelDetectionDeterminism(t *testing.T) {
+	s := newSession(t, 3_000, 5)
+	par, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := s.DetectSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) == 0 {
+		t.Fatal("noisy fixture should violate the planted constraints")
+	}
+	if !reflect.DeepEqual(par, ser) {
+		t.Fatal("parallel and serial detection diverge")
+	}
+	if fmt.Sprint(par) != fmt.Sprint(ser) {
+		t.Fatal("rendered violation sets are not byte-identical")
+	}
+}
+
+func TestViolationsCache(t *testing.T) {
+	s := newSession(t, 500, 7)
+	vs, err := s.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vs, again) {
+		t.Error("cached violations diverge from computed ones")
+	}
+	// A mutation invalidates the cache; swapping in a one-CFD subset
+	// must change what Violations returns.
+	sub, err := cfd.ParseSet("cfd phi1: cust([CC='44', ZIP] -> [STR])", s.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetConstraints(sub); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range after {
+		if v.CFD.Name() != "phi1" {
+			t.Fatalf("violation of %s after installing the phi1-only set", v.CFD.Name())
+		}
+	}
+	if reflect.DeepEqual(vs, after) {
+		t.Error("violations unchanged after swapping the constraint set")
+	}
+}
+
+func TestRepairAcceptCycle(t *testing.T) {
+	s := newSession(t, 1_000, 9)
+	if s.Candidate() != nil {
+		t.Fatal("candidate before Repair")
+	}
+	if err := s.Accept(); err == nil {
+		t.Fatal("Accept without candidate should fail")
+	}
+	res, err := s.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changes) == 0 {
+		t.Fatal("repair of noisy data should change cells")
+	}
+	if s.Candidate() != res {
+		t.Fatal("candidate not cached")
+	}
+	if err := s.Accept(); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("accepted repair leaves %d violations", len(vs))
+	}
+	if s.Candidate() != nil {
+		t.Fatal("candidate should be cleared by Accept")
+	}
+}
+
+func TestRepairAcceptAtomic(t *testing.T) {
+	s := newSession(t, 500, 25)
+	res, err := s.RepairAccept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Changes) == 0 {
+		t.Fatal("atomic repair of noisy data should change cells")
+	}
+	if s.Candidate() != nil {
+		t.Fatal("RepairAccept should not leave a dangling candidate")
+	}
+	vs, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("atomic repair leaves %d violations", len(vs))
+	}
+}
+
+func TestEditConfirmWeights(t *testing.T) {
+	s := newSession(t, 300, 11)
+	if err := s.Edit(-1, 0, relation.String("x")); err == nil {
+		t.Error("negative TID should fail")
+	}
+	if err := s.Confirm(0, 99); err == nil {
+		t.Error("attr out of range should fail")
+	}
+	if err := s.Edit(0, 1, relation.String("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Confirm(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	cells := s.ConfirmedCells()
+	if !reflect.DeepEqual(cells, [][2]int{{0, 1}, {2, 3}}) {
+		t.Errorf("ConfirmedCells = %v", cells)
+	}
+}
+
+func TestAppendIncremental(t *testing.T) {
+	base := datagen.Cust(2_000, 13)
+	s, err := NewSession("inc", base, datagen.CustConstraints(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := base.Schema()
+	deltaClean := datagen.Cust(50, 17)
+	deltaDirty, _ := noise.Dirty(deltaClean, noise.Options{
+		Rate:  0.3,
+		Attrs: []int{schema.MustIndex("STR"), schema.MustIndex("CT")},
+		Seed:  19,
+	})
+	delta := make([]relation.Tuple, deltaDirty.Len())
+	for i := range delta {
+		delta[i] = deltaDirty.Tuple(i).Clone()
+	}
+	res, err := s.Append(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range res.Changes {
+		if ch.TID < base.Len() {
+			t.Fatalf("incremental repair modified base tuple %d", ch.TID)
+		}
+	}
+	if s.Len() != base.Len()+len(delta) {
+		t.Fatalf("Len = %d after append", s.Len())
+	}
+	vs, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("incremental repair leaves %d violations", len(vs))
+	}
+}
+
+func TestDiscoverInstall(t *testing.T) {
+	clean := datagen.Cust(500, 21)
+	s, err := NewSession("disc", clean, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := s.Discover(discovery.Options{MinSupport: 10, MaxLHS: 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("discovery on generated data should find CFDs")
+	}
+	if s.Constraints().Len() != len(found) {
+		t.Fatalf("installed %d of %d discovered CFDs", s.Constraints().Len(), len(found))
+	}
+	// Discovered constraints hold on the data they were mined from.
+	vs, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("discovered set is violated by its own data: %d violations", len(vs))
+	}
+}
+
+// TestConcurrentDetectWithWriter is the registry/session concurrency
+// test the service depends on: N goroutines detect against a shared
+// dataset while another goroutine edits cells and a third hammers the
+// registry. Run under -race (the Makefile and CI do).
+func TestConcurrentDetectWithWriter(t *testing.T) {
+	e := New(Options{})
+	s, err := e.Register("shared", dirtyCust(t, 1_500, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetConstraints(datagen.CustConstraints()); err != nil {
+		t.Fatal(err)
+	}
+	schema := s.Schema()
+	strIdx := schema.MustIndex("STR")
+
+	const readers = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+2)
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := s.Detect(); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := s.Violations(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	// Writer: keeps mutating cells (and confirming them) mid-detection.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds*10; r++ {
+			tid := r % s.Len()
+			if err := s.Edit(tid, strIdx, relation.String(fmt.Sprintf("w-%d", r))); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	// Registry churn: register/list/drop unrelated datasets.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			name := fmt.Sprintf("tmp-%d", r)
+			if _, err := e.Register(name, datagen.Cust(20, int64(r))); err != nil {
+				errCh <- err
+				return
+			}
+			e.List()
+			e.Drop(name)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// The session must still be coherent afterwards.
+	if _, err := s.Detect(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	data := datagen.Cust(10, 1)
+	other, err := relation.StringSchema("other", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession("x", data, cfd.NewSet(other), 0); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+	bad, err := cfd.ParseSet(`
+cfd a: cust([CC] -> [CT='x'])
+cfd b: cust([CC] -> [CT='y'])
+`, data.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSession("x", data, bad, 0); err == nil {
+		t.Error("unsatisfiable set should fail")
+	}
+}

@@ -1,0 +1,405 @@
+// Package engine is the long-running core of the Semandaq service: a
+// registry of named datasets with compiled constraint sets, each wrapped
+// in a concurrency-safe Session that serves detect → repair → discover
+// to many callers at once. It is the persistent-system counterpart of
+// the one-shot pipeline in cmd/semandaq — HoloClean-style engines earn
+// interactive use by keeping data loaded and constraints compiled across
+// requests, which is exactly what the Engine's registry and the
+// Session's cached state provide. internal/server exposes it over
+// HTTP/JSON; the semandaq facade's Project is a thin single-user wrapper
+// around Session.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/discovery"
+	"semandaq/internal/relation"
+	"semandaq/internal/repair"
+)
+
+// ConfirmedWeight is the cell weight assigned to user-confirmed values;
+// it makes the repair engine treat them as (almost) immutable relative
+// to default-weight cells.
+const ConfirmedWeight = 1e6
+
+// Session is one loaded dataset with its compiled constraints and
+// interaction state: cell confidences, the latest candidate repair, and
+// the cached violation list. All methods are safe for concurrent use;
+// reads (Detect, Violations, Summary, snapshots) share an RLock so any
+// number of detection requests proceed in parallel, while mutations
+// (Edit, Accept, Append, SetConstraints) serialize behind the write
+// lock and bump an internal version that invalidates stale caches.
+type Session struct {
+	mu      sync.RWMutex
+	name    string
+	data    *relation.Relation
+	set     *cfd.Set
+	workers int
+
+	confirmed map[[2]int]bool
+	candidate *repair.Result
+
+	// version counts mutations of data/set; caches tagged with an older
+	// version are discarded instead of stored.
+	version    uint64
+	violations []cfd.Violation
+	vioValid   bool
+}
+
+// NewSession opens a session over a private clone of data. The
+// constraint set must match the data's schema and be satisfiable (an
+// unsatisfiable set cannot be repaired to). workers configures parallel
+// detection: 0 means runtime.NumCPU(), 1 forces serial.
+func NewSession(name string, data *relation.Relation, set *cfd.Set, workers int) (*Session, error) {
+	if set == nil {
+		set = cfd.NewSet(data.Schema())
+	}
+	if err := checkConstraints(data.Schema(), set); err != nil {
+		return nil, err
+	}
+	return &Session{
+		name:      name,
+		data:      data.Clone(),
+		set:       set,
+		workers:   workers,
+		confirmed: map[[2]int]bool{},
+	}, nil
+}
+
+func checkConstraints(schema *relation.Schema, set *cfd.Set) error {
+	if !schema.Equal(set.Schema()) {
+		return fmt.Errorf("engine: data schema %s does not match constraint schema %s",
+			schema.Name(), set.Schema().Name())
+	}
+	if set.Len() > 0 {
+		if ok, _ := cfd.Satisfiable(set); !ok {
+			return fmt.Errorf("engine: the CFD set is unsatisfiable; no repair can exist")
+		}
+	}
+	return nil
+}
+
+// Name returns the session name.
+func (s *Session) Name() string { return s.name }
+
+// Schema returns the dataset schema (immutable; mutations never change
+// it, but the underlying relation pointer is swapped by Accept/Append,
+// hence the lock).
+func (s *Session) Schema() *relation.Schema {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data.Schema()
+}
+
+// Len returns the current number of tuples.
+func (s *Session) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data.Len()
+}
+
+// Data returns the current working relation. The relation aliases
+// session storage: treat it as read-only and use Edit/Append/Accept for
+// changes, and do not hold it across mutations when other goroutines
+// share the session (use Snapshot for an isolated copy).
+func (s *Session) Data() *relation.Relation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data
+}
+
+// Snapshot returns a deep copy of the current working relation.
+func (s *Session) Snapshot() *relation.Relation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data.Clone()
+}
+
+// Constraints returns the session's current CFD set. Sets are treated
+// as immutable once installed; SetConstraints swaps the whole set.
+func (s *Session) Constraints() *cfd.Set {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.set
+}
+
+// SetConstraints replaces the constraint set (schema-checked and
+// satisfiability-checked) and invalidates cached state.
+func (s *Session) SetConstraints(set *cfd.Set) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := checkConstraints(s.data.Schema(), set); err != nil {
+		return err
+	}
+	s.set = set
+	s.mutated()
+	return nil
+}
+
+// mutated must be called with the write lock held after any change to
+// data or constraints.
+func (s *Session) mutated() {
+	s.version++
+	s.violations = nil
+	s.vioValid = false
+	s.candidate = nil
+}
+
+// Detect runs violation detection on the current data using the
+// session's worker pool and refreshes the violation cache. The returned
+// slice is owned by the caller.
+func (s *Session) Detect() ([]cfd.Violation, error) {
+	// Holding the read lock across the computation is what makes
+	// concurrent detection safe against in-place cell edits; other
+	// readers still proceed in parallel.
+	s.mu.RLock()
+	ver := s.version
+	vs, err := cfd.NewDetector(s.set).DetectParallel(s.data, s.workers)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.version == ver {
+		// Cache a copy: the returned slice is caller-owned, and a
+		// caller sorting or rewriting it must not corrupt what
+		// Violations serves to everyone else.
+		s.violations = append([]cfd.Violation(nil), vs...)
+		s.vioValid = true
+	}
+	s.mu.Unlock()
+	return vs, nil
+}
+
+// DetectSerial runs single-threaded detection, bypassing the worker
+// pool and the cache. It exists so callers can cross-check the parallel
+// path (the results are identical by construction; tests assert it).
+func (s *Session) DetectSerial() ([]cfd.Violation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return cfd.NewDetector(s.set).Detect(s.data)
+}
+
+// Violations returns the cached violation list, recomputing it if the
+// data or constraints changed since the last Detect.
+func (s *Session) Violations() ([]cfd.Violation, error) {
+	s.mu.RLock()
+	if s.vioValid {
+		out := append([]cfd.Violation(nil), s.violations...)
+		s.mu.RUnlock()
+		return out, nil
+	}
+	s.mu.RUnlock()
+	return s.Detect()
+}
+
+// weights builds the repair weight function: confirmed cells are
+// near-immutable, everything else has unit weight. Caller must hold a
+// lock; the returned closure reads confirmed without locking and is
+// only passed to repair runs that hold the write lock.
+func (s *Session) weights() repair.WeightFn {
+	return func(tid, attr int) float64 {
+		if s.confirmed[[2]int{tid, attr}] {
+			return ConfirmedWeight
+		}
+		return 1
+	}
+}
+
+// Repair computes (and caches) a candidate repair of the current data;
+// it does NOT modify the data — inspect the result and call Accept, or
+// edit cells and re-run. Repair holds the write lock for the duration
+// of the computation, so it serializes with other mutations (detection
+// requests queue behind it; the candidate is always computed against a
+// stable snapshot).
+func (s *Session) Repair() (*repair.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := repair.Batch(s.data, s.set, repair.Options{Weights: s.weights()})
+	if err != nil {
+		return nil, err
+	}
+	s.candidate = res
+	return res, nil
+}
+
+// RepairAccept computes a repair and commits it in one critical
+// section, so the result the caller sees is exactly what was committed
+// — the atomic variant service handlers need (a separate Repair +
+// Accept pair can interleave with another client's Repair and commit a
+// different candidate than the one returned).
+func (s *Session) RepairAccept() (*repair.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := repair.Batch(s.data, s.set, repair.Options{Weights: s.weights()})
+	if err != nil {
+		return nil, err
+	}
+	s.mutated()
+	s.data = res.Repaired
+	return res, nil
+}
+
+// Candidate returns the cached candidate repair (nil before Repair or
+// after any mutation).
+func (s *Session) Candidate() *repair.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.candidate
+}
+
+// Accept commits the cached candidate repair as the current data.
+func (s *Session) Accept() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.candidate == nil {
+		return fmt.Errorf("engine: no candidate repair; call Repair first")
+	}
+	repaired := s.candidate.Repaired
+	s.mutated()
+	s.data = repaired
+	return nil
+}
+
+// Edit is the interactive override: set a cell to a value and mark it
+// confirmed, so subsequent repairs treat it as ground truth and resolve
+// conflicts by changing other cells.
+func (s *Session) Edit(tid, attr int, v relation.Value) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkCell(tid, attr); err != nil {
+		return err
+	}
+	s.data.Set(tid, attr, v)
+	s.confirmed[[2]int{tid, attr}] = true
+	s.mutated()
+	return nil
+}
+
+// Confirm marks a cell's current value as user-verified without
+// changing it.
+func (s *Session) Confirm(tid, attr int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkCell(tid, attr); err != nil {
+		return err
+	}
+	s.confirmed[[2]int{tid, attr}] = true
+	return nil
+}
+
+func (s *Session) checkCell(tid, attr int) error {
+	if tid < 0 || tid >= s.data.Len() {
+		return fmt.Errorf("engine: TID %d out of range", tid)
+	}
+	if attr < 0 || attr >= s.data.Schema().Arity() {
+		return fmt.Errorf("engine: attribute %d out of range", attr)
+	}
+	return nil
+}
+
+// ConfirmedCells returns the confirmed cells, sorted by (TID, attr).
+func (s *Session) ConfirmedCells() [][2]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][2]int, 0, len(s.confirmed))
+	for c := range s.confirmed {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Append inserts new tuples and repairs only them incrementally
+// (repair.Inc via AppendAndRepair), assuming the current data is clean;
+// it commits the repaired combined relation and returns the result.
+// This is the service route for POST /v1/repair/incremental.
+func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := repair.AppendAndRepair(s.data, tuples, s.set, repair.Options{Weights: s.weights()})
+	if err != nil {
+		return nil, err
+	}
+	s.mutated()
+	s.data = res.Repaired
+	return res, nil
+}
+
+// Discover profiles the current data for CFDs. If install is true the
+// discovered set replaces the session constraints (after the usual
+// checks).
+func (s *Session) Discover(opts discovery.Options, install bool) ([]*cfd.CFD, error) {
+	s.mu.RLock()
+	found, err := discovery.Discover(s.data, opts)
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if !install {
+		return found, nil
+	}
+	set := cfd.NewSet(s.Schema())
+	for _, c := range found {
+		if err := set.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.SetConstraints(set); err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// Summary renders a short session status report.
+func (s *Session) Summary() (string, error) {
+	vs, err := s.Violations()
+	if err != nil {
+		return "", err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "project %s: %d tuples over %s\n", s.name, s.data.Len(), s.data.Schema())
+	fmt.Fprintf(&b, "constraints: %d CFDs, %d pattern rows\n", s.set.Len(), s.set.TotalRows())
+	constCount, varCount := 0, 0
+	for _, v := range vs {
+		if v.Kind == cfd.ConstViolation {
+			constCount++
+		} else {
+			varCount++
+		}
+	}
+	fmt.Fprintf(&b, "violations: %d constant, %d variable (%d tuples involved)\n",
+		constCount, varCount, len(cfd.ViolatingTIDs(vs)))
+	fmt.Fprintf(&b, "confirmed cells: %d\n", len(s.confirmed))
+	if s.candidate != nil {
+		fmt.Fprintf(&b, "candidate repair: %d changes, cost %.2f\n",
+			len(s.candidate.Changes), s.candidate.Cost)
+	}
+	return b.String(), nil
+}
+
+// FormatChanges renders a candidate repair's change list for review.
+func FormatChanges(r *relation.Relation, changes []repair.Change, limit int) string {
+	var b strings.Builder
+	for i, ch := range changes {
+		if limit > 0 && i == limit {
+			fmt.Fprintf(&b, "... (%d more changes)\n", len(changes)-limit)
+			break
+		}
+		fmt.Fprintf(&b, "tuple %d, %s: %s -> %s\n",
+			ch.TID, r.Schema().Attr(ch.Attr).Name, ch.From, ch.To)
+	}
+	return b.String()
+}

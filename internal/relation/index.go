@@ -1,5 +1,7 @@
 package relation
 
+import "sort"
+
 // HashIndex maps composite keys over a fixed attribute list to the TIDs
 // holding that key. It is a snapshot: mutations to the relation after
 // Build are not reflected.
@@ -41,6 +43,19 @@ func (ix *HashIndex) Groups(f func(key string, tids []int) bool) {
 			return
 		}
 	}
+}
+
+// Keys returns every distinct key in sorted order. The sorted slice is
+// the unit of work partitioning for parallel detection: splitting it
+// into contiguous chunks assigns whole groups to workers, and the fixed
+// order makes any chunk-wise traversal deterministic.
+func (ix *HashIndex) Keys() []string {
+	out := make([]string, 0, len(ix.buckets))
+	for k := range ix.buckets {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Size returns the number of distinct keys.

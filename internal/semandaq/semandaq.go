@@ -9,14 +9,16 @@
 //	    from the original data — plus the demo's interactive loop: the
 //	    user inspects the candidate repair, confirms or overrides cells,
 //	    and the system re-repairs around those manual changes.
+//
+// Project is a thin single-user facade over engine.Session, the
+// concurrency-safe session type that also backs the semandaqd service
+// (internal/server); the facade adds the SQL-based detection cross-check
+// and the text rendering helpers the CLI uses.
 package semandaq
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-
 	"semandaq/internal/cfd"
+	"semandaq/internal/engine"
 	"semandaq/internal/relation"
 	"semandaq/internal/repair"
 	"semandaq/internal/sqlgen"
@@ -25,193 +27,91 @@ import (
 // ConfirmedWeight is the cell weight assigned to user-confirmed values;
 // it makes the repair engine treat them as (almost) immutable relative
 // to default-weight cells.
-const ConfirmedWeight = 1e6
+const ConfirmedWeight = engine.ConfirmedWeight
 
 // Project is a Semandaq session: one relation, one CFD set, cell
-// confidence state, and the latest candidate repair.
+// confidence state, and the latest candidate repair. It delegates to an
+// engine.Session with the default worker pool (NumCPU); parallel and
+// serial detection return identical results, so the facade's behavior
+// is unchanged from the original single-threaded implementation.
 type Project struct {
-	name      string
-	data      *relation.Relation
-	set       *cfd.Set
-	confirmed map[[2]int]bool
-	candidate *repair.Result
+	s *engine.Session
 }
 
 // NewProject opens a project. The constraint set must match the data's
 // schema and be satisfiable (an unsatisfiable set cannot be repaired
 // to).
 func NewProject(name string, data *relation.Relation, set *cfd.Set) (*Project, error) {
-	if !data.Schema().Equal(set.Schema()) {
-		return nil, fmt.Errorf("semandaq: data schema %s does not match constraint schema %s",
-			data.Schema().Name(), set.Schema().Name())
+	s, err := engine.NewSession(name, data, set, 0)
+	if err != nil {
+		return nil, err
 	}
-	if ok, _ := cfd.Satisfiable(set); !ok {
-		return nil, fmt.Errorf("semandaq: the CFD set is unsatisfiable; no repair can exist")
-	}
-	return &Project{
-		name:      name,
-		data:      data.Clone(),
-		set:       set,
-		confirmed: map[[2]int]bool{},
-	}, nil
+	return &Project{s: s}, nil
 }
 
+// Session exposes the underlying engine session, for callers graduating
+// from the single-user facade to the concurrent service API.
+func (p *Project) Session() *engine.Session { return p.s }
+
 // Name returns the project name.
-func (p *Project) Name() string { return p.name }
+func (p *Project) Name() string { return p.s.Name() }
 
 // Data returns the current working relation (aliased; treat as
 // read-only and use Edit for changes).
-func (p *Project) Data() *relation.Relation { return p.data }
+func (p *Project) Data() *relation.Relation { return p.s.Data() }
 
 // Constraints returns the project's CFD set.
-func (p *Project) Constraints() *cfd.Set { return p.set }
+func (p *Project) Constraints() *cfd.Set { return p.s.Constraints() }
 
 // Detect runs native violation detection on the current data.
-func (p *Project) Detect() ([]cfd.Violation, error) {
-	return cfd.NewDetector(p.set).Detect(p.data)
-}
+func (p *Project) Detect() ([]cfd.Violation, error) { return p.s.Detect() }
 
 // DetectSQL runs the TODS 2008 SQL-based detection on the current data
 // and returns the violating TIDs. The result always equals
 // cfd.ViolatingTIDs of Detect (cross-checked by tests).
 func (p *Project) DetectSQL() ([]int, error) {
+	data := p.s.Data()
 	rn := sqlgen.NewRunner()
-	if _, err := rn.Load(p.data.Schema().Name(), p.data); err != nil {
+	if _, err := rn.Load(data.Schema().Name(), data); err != nil {
 		return nil, err
 	}
-	return rn.DetectSet(p.set, p.data.Schema().Name())
-}
-
-// weights builds the repair weight function: confirmed cells are
-// near-immutable, everything else has unit weight.
-func (p *Project) weights() repair.WeightFn {
-	return func(tid, attr int) float64 {
-		if p.confirmed[[2]int{tid, attr}] {
-			return ConfirmedWeight
-		}
-		return 1
-	}
+	return rn.DetectSet(p.s.Constraints(), data.Schema().Name())
 }
 
 // Repair computes (and caches) a candidate repair of the current data;
 // it does NOT modify the data — inspect the result and call Accept, or
 // edit cells and re-run.
-func (p *Project) Repair() (*repair.Result, error) {
-	res, err := repair.Batch(p.data, p.set, repair.Options{Weights: p.weights()})
-	if err != nil {
-		return nil, err
-	}
-	p.candidate = res
-	return res, nil
-}
+func (p *Project) Repair() (*repair.Result, error) { return p.s.Repair() }
 
 // Candidate returns the cached candidate repair (nil before Repair).
-func (p *Project) Candidate() *repair.Result { return p.candidate }
+func (p *Project) Candidate() *repair.Result { return p.s.Candidate() }
 
 // Accept commits the cached candidate repair as the current data.
-func (p *Project) Accept() error {
-	if p.candidate == nil {
-		return fmt.Errorf("semandaq: no candidate repair; call Repair first")
-	}
-	p.data = p.candidate.Repaired
-	p.candidate = nil
-	return nil
-}
+func (p *Project) Accept() error { return p.s.Accept() }
 
 // Edit is the demo's manual override: the user sets a cell to a value
 // and the cell becomes confirmed, so subsequent repairs treat it as
 // ground truth and resolve conflicts by changing other cells.
-func (p *Project) Edit(tid, attr int, v relation.Value) error {
-	if tid < 0 || tid >= p.data.Len() {
-		return fmt.Errorf("semandaq: TID %d out of range", tid)
-	}
-	if attr < 0 || attr >= p.data.Schema().Arity() {
-		return fmt.Errorf("semandaq: attribute %d out of range", attr)
-	}
-	p.data.Set(tid, attr, v)
-	p.confirmed[[2]int{tid, attr}] = true
-	p.candidate = nil
-	return nil
-}
+func (p *Project) Edit(tid, attr int, v relation.Value) error { return p.s.Edit(tid, attr, v) }
 
 // Confirm marks a cell's current value as user-verified without
 // changing it.
-func (p *Project) Confirm(tid, attr int) error {
-	if tid < 0 || tid >= p.data.Len() {
-		return fmt.Errorf("semandaq: TID %d out of range", tid)
-	}
-	if attr < 0 || attr >= p.data.Schema().Arity() {
-		return fmt.Errorf("semandaq: attribute %d out of range", attr)
-	}
-	p.confirmed[[2]int{tid, attr}] = true
-	return nil
-}
+func (p *Project) Confirm(tid, attr int) error { return p.s.Confirm(tid, attr) }
 
 // ConfirmedCells returns the confirmed cells, sorted.
-func (p *Project) ConfirmedCells() [][2]int {
-	out := make([][2]int, 0, len(p.confirmed))
-	for c := range p.confirmed {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
-	return out
-}
+func (p *Project) ConfirmedCells() [][2]int { return p.s.ConfirmedCells() }
 
 // Append inserts new tuples and repairs only them incrementally
 // (IncRepair), assuming the current data is clean; it returns the
 // repair result and commits it.
 func (p *Project) Append(tuples []relation.Tuple) (*repair.Result, error) {
-	res, err := repair.AppendAndRepair(p.data, tuples, p.set, repair.Options{Weights: p.weights()})
-	if err != nil {
-		return nil, err
-	}
-	p.data = res.Repaired
-	p.candidate = nil
-	return res, nil
+	return p.s.Append(tuples)
 }
 
 // Summary renders a short project status report.
-func (p *Project) Summary() (string, error) {
-	vs, err := p.Detect()
-	if err != nil {
-		return "", err
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "project %s: %d tuples over %s\n", p.name, p.data.Len(), p.data.Schema())
-	fmt.Fprintf(&b, "constraints: %d CFDs, %d pattern rows\n", p.set.Len(), p.set.TotalRows())
-	constCount, varCount := 0, 0
-	for _, v := range vs {
-		if v.Kind == cfd.ConstViolation {
-			constCount++
-		} else {
-			varCount++
-		}
-	}
-	fmt.Fprintf(&b, "violations: %d constant, %d variable (%d tuples involved)\n",
-		constCount, varCount, len(cfd.ViolatingTIDs(vs)))
-	fmt.Fprintf(&b, "confirmed cells: %d\n", len(p.confirmed))
-	if p.candidate != nil {
-		fmt.Fprintf(&b, "candidate repair: %d changes, cost %.2f\n",
-			len(p.candidate.Changes), p.candidate.Cost)
-	}
-	return b.String(), nil
-}
+func (p *Project) Summary() (string, error) { return p.s.Summary() }
 
 // FormatChanges renders a candidate repair's change list for review.
 func FormatChanges(r *relation.Relation, changes []repair.Change, limit int) string {
-	var b strings.Builder
-	for i, ch := range changes {
-		if limit > 0 && i == limit {
-			fmt.Fprintf(&b, "... (%d more changes)\n", len(changes)-limit)
-			break
-		}
-		fmt.Fprintf(&b, "tuple %d, %s: %s -> %s\n",
-			ch.TID, r.Schema().Attr(ch.Attr).Name, ch.From, ch.To)
-	}
-	return b.String()
+	return engine.FormatChanges(r, changes, limit)
 }

@@ -1,0 +1,558 @@
+// Package server exposes the Semandaq engine over HTTP/JSON: the
+// long-running service face of the §5 demo system. One process keeps
+// datasets loaded and constraint sets compiled (the engine registry),
+// and any number of clients drive detect → repair → discover against
+// them concurrently. cmd/semandaqd wires this handler to a listener.
+//
+// API (all request/response bodies are JSON):
+//
+//	GET    /healthz                        liveness probe
+//	POST   /v1/datasets                    register a dataset (inline CSV or generator)
+//	GET    /v1/datasets                    list datasets
+//	GET    /v1/datasets/{name}             dataset info
+//	DELETE /v1/datasets/{name}             drop a dataset
+//	GET    /v1/datasets/{name}/violations  current (cached) violations
+//	POST   /v1/constraints                 compile + install a CFD set
+//	POST   /v1/detect                      run parallel violation detection
+//	POST   /v1/repair                      compute a candidate repair (optionally accept)
+//	POST   /v1/repair/incremental          append tuples, repair only them (repair.Inc)
+//	POST   /v1/discover                    profile the data for CFDs
+//	POST   /v1/edit                        set/confirm a cell (interactive loop)
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/datagen"
+	"semandaq/internal/discovery"
+	"semandaq/internal/engine"
+	"semandaq/internal/noise"
+	"semandaq/internal/relation"
+	"semandaq/internal/repair"
+)
+
+// maxBodyBytes bounds request bodies (inline CSV uploads included).
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP front end over an engine.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New builds the handler around an engine.
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleList)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDrop)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/violations", s.handleViolations)
+	s.mux.HandleFunc("POST /v1/constraints", s.handleConstraints)
+	s.mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	s.mux.HandleFunc("POST /v1/repair/incremental", s.handleRepairIncremental)
+	s.mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	s.mux.HandleFunc("POST /v1/edit", s.handleEdit)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- encoding helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	return nil
+}
+
+// session resolves the dataset named in a request body.
+func (s *Server) session(w http.ResponseWriter, name string) (*engine.Session, bool) {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing dataset name"))
+		return nil, false
+	}
+	sess, ok := s.eng.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return nil, false
+	}
+	return sess, true
+}
+
+// --- JSON shapes ---
+
+type attrJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type datasetJSON struct {
+	Name        string `json:"name"`
+	Tuples      int    `json:"tuples"`
+	Schema      string `json:"schema"`
+	Constraints int    `json:"constraints"`
+}
+
+type violationJSON struct {
+	CFD  string `json:"cfd"`
+	Row  int    `json:"row"`
+	Kind string `json:"kind"`
+	Attr string `json:"attr"`
+	TIDs []int  `json:"tids"`
+}
+
+func violationsJSON(schema *relation.Schema, vs []cfd.Violation) []violationJSON {
+	out := make([]violationJSON, len(vs))
+	for i, v := range vs {
+		out[i] = violationJSON{
+			CFD:  v.CFD.Name(),
+			Row:  v.Row,
+			Kind: v.Kind.String(),
+			Attr: schema.Attr(v.Attr).Name,
+			TIDs: v.TIDs,
+		}
+	}
+	return out
+}
+
+type changeJSON struct {
+	TID  int    `json:"tid"`
+	Attr string `json:"attr"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+type repairJSON struct {
+	Changes  []changeJSON `json:"changes"`
+	Cost     float64      `json:"cost"`
+	Passes   int          `json:"passes"`
+	Accepted bool         `json:"accepted"`
+}
+
+func repairResponse(schema *relation.Schema, res *repair.Result, accepted bool) repairJSON {
+	out := repairJSON{
+		Changes:  make([]changeJSON, len(res.Changes)),
+		Cost:     res.Cost,
+		Passes:   res.Passes,
+		Accepted: accepted,
+	}
+	for i, ch := range res.Changes {
+		out.Changes[i] = changeJSON{
+			TID:  ch.TID,
+			Attr: schema.Attr(ch.Attr).Name,
+			From: ch.From.String(),
+			To:   ch.To.String(),
+		}
+	}
+	return out
+}
+
+func datasetInfo(sess *engine.Session) datasetJSON {
+	return datasetJSON{
+		Name:        sess.Name(),
+		Tuples:      sess.Len(),
+		Schema:      sess.Schema().String(),
+		Constraints: sess.Constraints().Len(),
+	}
+}
+
+// --- handlers ---
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "datasets": len(s.eng.List())})
+}
+
+type registerRequest struct {
+	Name string `json:"name"`
+	// Inline data: a schema plus CSV text whose header matches it.
+	Schema *schemaJSON `json:"schema,omitempty"`
+	CSV    string      `json:"csv,omitempty"`
+	// Built-in workload generator (alternative to schema+csv).
+	Generate *generateJSON `json:"generate,omitempty"`
+}
+
+type schemaJSON struct {
+	Name  string     `json:"name"`
+	Attrs []attrJSON `json:"attrs"`
+}
+
+type generateJSON struct {
+	Kind string  `json:"kind"` // cust | hosp
+	N    int     `json:"n"`
+	Rate float64 `json:"rate"` // noise rate, 0 = clean
+	Seed int64   `json:"seed"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := buildRelation(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, err := s.eng.Register(req.Name, data)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, engine.ErrDuplicate) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, datasetInfo(sess))
+}
+
+func buildRelation(req registerRequest) (*relation.Relation, error) {
+	switch {
+	case req.Generate != nil:
+		g := req.Generate
+		if g.N <= 0 {
+			return nil, fmt.Errorf("generate: n must be positive")
+		}
+		var data *relation.Relation
+		switch g.Kind {
+		case "cust":
+			data = datagen.Cust(g.N, g.Seed)
+		case "hosp":
+			data = datagen.Hosp(g.N, g.Seed)
+		default:
+			return nil, fmt.Errorf("generate: unknown kind %q (cust, hosp)", g.Kind)
+		}
+		if g.Rate > 0 {
+			data, _ = noise.Dirty(data, noise.Options{Rate: g.Rate, Seed: g.Seed + 1})
+		}
+		return data, nil
+	case req.Schema != nil && req.CSV != "":
+		attrs := make([]relation.Attribute, len(req.Schema.Attrs))
+		for i, a := range req.Schema.Attrs {
+			kind, err := relation.ParseKind(a.Kind)
+			if err != nil {
+				return nil, err
+			}
+			attrs[i] = relation.Attribute{Name: a.Name, Kind: kind}
+		}
+		schema, err := relation.NewSchema(req.Schema.Name, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		return relation.ReadCSV(strings.NewReader(req.CSV), schema)
+	default:
+		return nil, fmt.Errorf("provide either schema+csv or generate")
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	names := s.eng.List()
+	out := make([]datasetJSON, 0, len(names))
+	for _, name := range names {
+		if sess, ok := s.eng.Get(name); ok {
+			out = append(out, datasetInfo(sess))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, datasetInfo(sess))
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.eng.Drop(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	vs, err := sess.Violations()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(vs),
+		"tids":       cfd.ViolatingTIDs(vs),
+		"violations": violationsJSON(sess.Schema(), vs),
+	})
+}
+
+type constraintsRequest struct {
+	Dataset string `json:"dataset"`
+	CFDs    string `json:"cfds"`
+}
+
+func (s *Server) handleConstraints(w http.ResponseWriter, r *http.Request) {
+	var req constraintsRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	set, err := s.eng.InstallConstraints(req.Dataset, req.CFDs)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, engine.ErrUnknownDataset) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"installed": set.Len(),
+		"rows":      set.TotalRows(),
+	})
+}
+
+type detectRequest struct {
+	Dataset string `json:"dataset"`
+	// Limit truncates the violation list in the response (0 = all);
+	// count and tids always cover the full result.
+	Limit int `json:"limit,omitempty"`
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req detectRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.session(w, req.Dataset)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	vs, err := sess.Detect()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	shown := vs
+	if req.Limit > 0 && len(shown) > req.Limit {
+		shown = shown[:req.Limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(vs),
+		"tids":       cfd.ViolatingTIDs(vs),
+		"violations": violationsJSON(sess.Schema(), shown),
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+type repairRequest struct {
+	Dataset string `json:"dataset"`
+	// Accept commits the candidate repair in the same request.
+	Accept bool `json:"accept,omitempty"`
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	var req repairRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.session(w, req.Dataset)
+	if !ok {
+		return
+	}
+	// accept:true goes through the atomic variant so the committed
+	// repair is exactly the one in the response (a Repair+Accept pair
+	// could interleave with another client's Repair).
+	var res *repair.Result
+	var err error
+	if req.Accept {
+		res, err = sess.RepairAccept()
+	} else {
+		res, err = sess.Repair()
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, repairResponse(sess.Schema(), res, req.Accept))
+}
+
+type incrementalRequest struct {
+	Dataset string `json:"dataset"`
+	// Tuples are given positionally as strings; each value is parsed
+	// with the schema's attribute kind (empty string = NULL).
+	Tuples [][]string `json:"tuples"`
+}
+
+func (s *Server) handleRepairIncremental(w http.ResponseWriter, r *http.Request) {
+	var req incrementalRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.session(w, req.Dataset)
+	if !ok {
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no tuples to append"))
+		return
+	}
+	schema := sess.Schema()
+	tuples := make([]relation.Tuple, len(req.Tuples))
+	for i, fields := range req.Tuples {
+		if len(fields) != schema.Arity() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("tuple %d has %d fields, schema %s expects %d", i, len(fields), schema.Name(), schema.Arity()))
+			return
+		}
+		t := make(relation.Tuple, len(fields))
+		for j, f := range fields {
+			v, err := relation.ParseValue(f, schema.Attr(j).Kind)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("tuple %d: %w", i, err))
+				return
+			}
+			t[j] = v
+		}
+		tuples[i] = t
+	}
+	res, err := sess.Append(tuples)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	out := repairResponse(schema, res, true)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"appended": len(tuples),
+		"tuples":   sess.Len(),
+		"repair":   out,
+	})
+}
+
+type discoverRequest struct {
+	Dataset    string `json:"dataset"`
+	MinSupport int    `json:"min_support,omitempty"`
+	MaxLHS     int    `json:"max_lhs,omitempty"`
+	// Install replaces the session constraints with the discovered set.
+	Install bool `json:"install,omitempty"`
+}
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req discoverRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.session(w, req.Dataset)
+	if !ok {
+		return
+	}
+	found, err := sess.Discover(discovery.Options{MinSupport: req.MinSupport, MaxLHS: req.MaxLHS}, req.Install)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	strs := make([]string, len(found))
+	for i, c := range found {
+		strs[i] = c.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":     len(found),
+		"cfds":      strs,
+		"installed": req.Install,
+	})
+}
+
+type editRequest struct {
+	Dataset string `json:"dataset"`
+	TID     int    `json:"tid"`
+	Attr    string `json:"attr"`
+	// Value sets the cell (parsed with the attribute kind) and confirms
+	// it; omitting Value with Confirm=true confirms the current value.
+	Value   *string `json:"value,omitempty"`
+	Confirm bool    `json:"confirm,omitempty"`
+}
+
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	var req editRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sess, ok := s.session(w, req.Dataset)
+	if !ok {
+		return
+	}
+	schema := sess.Schema()
+	attr, ok2 := schema.Index(req.Attr)
+	if !ok2 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("schema %s has no attribute %q", schema.Name(), req.Attr))
+		return
+	}
+	switch {
+	case req.Value != nil:
+		v, err := relation.ParseValue(*req.Value, schema.Attr(attr).Kind)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := sess.Edit(req.TID, attr, v); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Confirm:
+		if err := sess.Confirm(req.TID, attr); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("provide value or confirm"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":   req.Dataset,
+		"tid":       req.TID,
+		"attr":      req.Attr,
+		"confirmed": len(sess.ConfirmedCells()),
+	})
+}
