@@ -1,6 +1,13 @@
 GO ?= go
+# bench pipes go test through benchjson; pipefail keeps a failing
+# benchmark from exiting green.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+# BENCHTIME=1x is the smoke setting (CI); use e.g. BENCHTIME=2s for
+# real measurements.
+BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race bench run-daemon
+.PHONY: all check fmt vet build test race bench bench-all run-daemon
 
 all: check
 
@@ -26,9 +33,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench pins one iteration per benchmark for a quick smoke run; drop
-# -benchtime for real measurements.
+# bench runs the detection benchmarks (E1 scale sweep, E13 parallel
+# detector) with allocation counts and emits BENCH_detect.json — the
+# perf-trajectory artifact CI archives on every run.
 bench:
+	$(GO) test -bench='E1DetectScaleTuples|E13ParallelDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_detect.json
+
+# bench-all smoke-runs every benchmark once.
+bench-all:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
 run-daemon:

@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON document on stdout, so CI can archive benchmark
+// results as machine-readable artifacts (see `make bench`, which emits
+// BENCH_detect.json for the detection benchmarks E1/E13).
+//
+// Lines that are not benchmark results (the goos/pkg header, PASS/ok
+// trailers) are recorded verbatim under "meta" when they carry context
+// and skipped otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	rep := Report{Meta: map[string]string{}, Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok ") || strings.HasPrefix(line, "testing:"):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Meta[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line of the form
+//
+//	BenchmarkName-8  100  123456 ns/op  789 B/op  12 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	var r Result
+	r.Name = fields[0]
+	// The -N suffix is GOMAXPROCS; sub-benchmark names can contain
+	// dashes, so only strip a trailing integer.
+	if i := strings.LastIndex(fields[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			r.Name, r.Procs = fields[0][:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = f
+			}
+		case "B/op":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = n
+			}
+		case "allocs/op":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = n
+			}
+		}
+	}
+	return r, true
+}

@@ -346,8 +346,8 @@ func TestIncDetect(t *testing.T) {
 	c := MustParse("cust([CC='44', ZIP] -> [STR])", r.Schema())
 	// Insert a new conflicting UK tuple.
 	tid := r.MustInsert(strTuple("44", "131", "7777777", "eve", "WRONG ST", "edi", "EH4 8LE"))
-	idx := relation.BuildIndex(r, c.LHS())
-	vs := IncDetect(r, c, idx, []int{tid})
+	pli := relation.BuildPLI(r, c.LHS())
+	vs := IncDetect(r, c, pli, []int{tid})
 	if len(vs) != 1 || vs[0].Kind != VarViolation {
 		t.Fatalf("IncDetect = %v", vs)
 	}
@@ -369,8 +369,8 @@ func TestIncDetectUntouchedGroupIgnored(t *testing.T) {
 	r.Set(1, r.Schema().MustIndex("STR"), relation.String("corrupt"))
 	// ...but only ask about a new tuple in a different group.
 	tid := r.MustInsert(strTuple("44", "131", "9", "zed", "new st", "edi", "NEW ZIP"))
-	idx := relation.BuildIndex(r, c.LHS())
-	vs := IncDetect(r, c, idx, []int{tid})
+	pli := relation.BuildPLI(r, c.LHS())
+	vs := IncDetect(r, c, pli, []int{tid})
 	if len(vs) != 0 {
 		t.Errorf("IncDetect should ignore untouched groups: %v", vs)
 	}

@@ -2,6 +2,7 @@ package cfd
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"semandaq/internal/relation"
@@ -44,15 +45,31 @@ func (v Violation) String() string {
 }
 
 // Detector detects violations of a CFD set against relations. It caches
-// per-CFD X-indexes keyed by the relation, so repeated detection over the
-// same (unmutated) relation is cheap; see also IncDetect for the
-// incremental variant.
+// the per-CFD X-partition indexes (PLIs) in a relation.IndexCache keyed
+// by attribute set and validated against the relation's column versions,
+// so repeated detection over the same (unmutated) relation — and over a
+// relation whose edits missed the X columns — rebuilds nothing; see also
+// IncDetect for the incremental variant.
 type Detector struct {
-	set *Set
+	set   *Set
+	cache *relation.IndexCache
 }
 
-// NewDetector creates a detector for the given CFD set.
-func NewDetector(set *Set) *Detector { return &Detector{set: set} }
+// NewDetector creates a detector for the given CFD set with a private
+// index cache.
+func NewDetector(set *Set) *Detector {
+	return &Detector{set: set, cache: relation.NewIndexCache()}
+}
+
+// NewDetectorWithCache creates a detector sharing an external index
+// cache — the engine wires every detector of a session through the
+// session's cache so service requests reuse indexes across calls.
+func NewDetectorWithCache(set *Set, cache *relation.IndexCache) *Detector {
+	if cache == nil {
+		return NewDetector(set)
+	}
+	return &Detector{set: set, cache: cache}
+}
 
 // Detect returns all violations of the detector's CFD set in r.
 // Violations are reported per (CFD, tableau row, Y attribute): constant
@@ -61,11 +78,12 @@ func NewDetector(set *Set) *Detector { return &Detector{set: set} }
 func (d *Detector) Detect(r *relation.Relation) ([]Violation, error) {
 	var out []Violation
 	for _, c := range d.set.cfds {
-		vs, err := DetectOne(r, c)
-		if err != nil {
-			return nil, err
+		if !r.Schema().Equal(c.schema) {
+			return nil, fmt.Errorf("cfd: detecting %s over relation %s with schema %s",
+				c.name, r.Schema().Name(), c.schema.Name())
 		}
-		out = append(out, vs...)
+		pli := d.cache.Get(r, c.lhs)
+		out = append(out, DetectGroups(r, c, pli, 0, pli.NumGroups())...)
 	}
 	return out, nil
 }
@@ -83,45 +101,108 @@ func DetectOne(r *relation.Relation, c *CFD) ([]Violation, error) {
 		return nil, fmt.Errorf("cfd: detecting %s over relation %s with schema %s",
 			c.name, r.Schema().Name(), c.schema.Name())
 	}
-	idx := relation.BuildIndex(r, c.lhs)
-	return detectGrouped(r, c, idx, nil), nil
+	pli := relation.BuildPLI(r, c.lhs)
+	return DetectGroups(r, c, pli, 0, pli.NumGroups()), nil
 }
 
-// detectGrouped runs group-wise detection over every X-group, visiting
-// groups in sorted key order so the violation list is deterministic (and
-// byte-identical to what DetectParallel assembles from key chunks). If
-// only is non-nil, it restricts reporting to groups containing at least
-// one TID in only (used by incremental detection).
-func detectGrouped(r *relation.Relation, c *CFD, idx *relation.HashIndex, only map[int]bool) []Violation {
-	return DetectKeys(r, c, idx, idx.Keys(), only)
+// rhsConst is the prepared fast path for one constant RHS pattern: the
+// column code of the constant, resolved once per detection call so the
+// per-tuple check is an int32 comparison instead of a Value comparison.
+type rhsConst struct {
+	code   int32
+	ok     bool // some column value matches the constant
+	unique bool // ...and it is the only code that does
 }
 
-// DetectKeys is the partitioned detection entry point: it detects
-// violations of c restricted to the X-groups listed in keys (pre-encoded
-// index keys over c's LHS). Because every tuple belongs to exactly one
+// prepareRHS resolves every constant RHS pattern of c against r's column
+// dictionaries. prep[row][j] is meaningful only where the pattern is a
+// constant.
+func prepareRHS(r *relation.Relation, c *CFD) [][]rhsConst {
+	nl := len(c.lhs)
+	prep := make([][]rhsConst, len(c.tableau))
+	for i, row := range c.tableau {
+		prep[i] = make([]rhsConst, len(c.rhs))
+		for j, attr := range c.rhs {
+			if p := row[nl+j]; p.IsConst() {
+				code, ok, unique := r.LookupCode(attr, p.Constant())
+				prep[i][j] = rhsConst{code: code, ok: ok, unique: unique}
+			}
+		}
+	}
+	return prep
+}
+
+func isNaNValue(v relation.Value) bool {
+	return v.Kind() == relation.KindFloat && math.IsNaN(v.FloatVal())
+}
+
+// rhsColumnCodes gathers the code columns of c's RHS attributes.
+func rhsColumnCodes(r *relation.Relation, c *CFD) [][]int32 {
+	out := make([][]int32, len(c.rhs))
+	for j, attr := range c.rhs {
+		out[j] = r.ColumnCodes(attr)
+	}
+	return out
+}
+
+// groupVarConflict decides a wildcard-RHS check: does the group disagree
+// on attr under Value.Identical? The fast path compares codes (equal
+// codes certify agreement except for NaN, which is never Identical to
+// itself); when codes cannot certify agreement — unequal codes may still
+// be Identical across mixed kinds — it decides exactly. Shared by full
+// and incremental detection so their semantics cannot diverge.
+func groupVarConflict(r *relation.Relation, codes []int32, tids []int, attr int) bool {
+	first := codes[tids[0]]
+	agree := true
+	for _, tid := range tids[1:] {
+		if codes[tid] != first {
+			agree = false
+			break
+		}
+	}
+	fv := r.Tuple(tids[0])[attr]
+	if agree && !isNaNValue(fv) {
+		return false
+	}
+	for _, tid := range tids[1:] {
+		if !r.Tuple(tid)[attr].Identical(fv) {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectGroups is the partitioned detection entry point: it detects
+// violations of c restricted to the X-groups with indexes in [lo, hi) of
+// the PLI over c's LHS. Because every tuple belongs to exactly one
 // X-group and group-wise detection never looks outside the group,
-// splitting idx.Keys() into disjoint chunks and concatenating the
-// per-chunk results in chunk order reproduces the serial output exactly;
-// this is what DetectParallel's worker pool does.
-func DetectKeys(r *relation.Relation, c *CFD, idx *relation.HashIndex, keys []string, only map[int]bool) []Violation {
+// splitting [0, NumGroups) into disjoint ranges and concatenating the
+// per-range results in range order reproduces the serial output exactly;
+// this is what DetectParallel's worker pool does. (IncDetect is a
+// separate loop, not a filter over DetectGroups: its constant-RHS
+// reporting is restricted per tuple, not per group.)
+//
+// The hot path runs on column codes: constant RHS checks compare the
+// tuple's code against the pre-resolved constant code, and wildcard RHS
+// agreement compares codes pairwise. Both fall back to the exact
+// Value.Identical semantics when codes cannot decide (a constant
+// matching several codes in a mixed-kind column, a group that actually
+// disagrees, or NaN — which is never Identical to itself), so the
+// violation list is byte-identical to value-by-value detection.
+func DetectGroups(r *relation.Relation, c *CFD, pli *relation.PLI, lo, hi int) []Violation {
+	return detectGroupsPrepared(r, c, pli, lo, hi, prepareRHS(r, c), rhsColumnCodes(r, c))
+}
+
+// detectGroupsPrepared is DetectGroups with the per-CFD preparation
+// hoisted out, so DetectParallel resolves constants and code columns
+// once per CFD instead of once per chunk job.
+func detectGroupsPrepared(r *relation.Relation, c *CFD, pli *relation.PLI, lo, hi int, prep [][]rhsConst, rhsCodes [][]int32) []Violation {
 	var out []Violation
 	nl := len(c.lhs)
-	for _, key := range keys {
-		tids := idx.LookupKey(key)
+	for g := lo; g < hi; g++ {
+		tids := pli.Group(g)
 		if len(tids) == 0 {
 			continue
-		}
-		if only != nil {
-			hit := false
-			for _, tid := range tids {
-				if only[tid] {
-					hit = true
-					break
-				}
-			}
-			if !hit {
-				continue
-			}
 		}
 		rep := r.Tuple(tids[0])
 		for rowIdx, row := range c.tableau {
@@ -131,12 +212,35 @@ func DetectKeys(r *relation.Relation, c *CFD, idx *relation.HashIndex, keys []st
 			for j, attr := range c.rhs {
 				p := row[nl+j]
 				if p.IsConst() {
-					for _, tid := range tids {
-						if !p.Matches(r.Tuple(tid)[attr]) {
+					ci := prep[rowIdx][j]
+					codes := rhsCodes[j]
+					switch {
+					case !ci.ok:
+						// No value in the column matches the constant:
+						// every tuple of the group violates.
+						for _, tid := range tids {
 							out = append(out, Violation{
 								CFD: c, Row: rowIdx, Kind: ConstViolation,
 								Attr: attr, TIDs: []int{tid},
 							})
+						}
+					case ci.unique:
+						for _, tid := range tids {
+							if codes[tid] != ci.code {
+								out = append(out, Violation{
+									CFD: c, Row: rowIdx, Kind: ConstViolation,
+									Attr: attr, TIDs: []int{tid},
+								})
+							}
+						}
+					default:
+						for _, tid := range tids {
+							if !p.Matches(r.Tuple(tid)[attr]) {
+								out = append(out, Violation{
+									CFD: c, Row: rowIdx, Kind: ConstViolation,
+									Attr: attr, TIDs: []int{tid},
+								})
+							}
 						}
 					}
 					continue
@@ -145,15 +249,7 @@ func DetectKeys(r *relation.Relation, c *CFD, idx *relation.HashIndex, keys []st
 				if len(tids) < 2 {
 					continue
 				}
-				first := r.Tuple(tids[0])[attr]
-				conflict := false
-				for _, tid := range tids[1:] {
-					if !r.Tuple(tid)[attr].Identical(first) {
-						conflict = true
-						break
-					}
-				}
-				if conflict {
+				if groupVarConflict(r, rhsCodes[j], tids, attr) {
 					group := append([]int(nil), tids...)
 					sort.Ints(group)
 					out = append(out, Violation{
@@ -169,20 +265,27 @@ func DetectKeys(r *relation.Relation, c *CFD, idx *relation.HashIndex, keys []st
 
 // IncDetect returns the violations of c in r that involve at least one of
 // the given TIDs (typically a freshly inserted or edited batch). The
-// caller provides the current X-index over all of r; IncDetect only
+// caller provides the current X-partition over all of r; IncDetect only
 // inspects the X-groups touched by the batch, which is the access pattern
-// of the IncRepair algorithm (Cong et al., VLDB 2007).
-func IncDetect(r *relation.Relation, c *CFD, idx *relation.HashIndex, tids []int) []Violation {
+// of the IncRepair algorithm (Cong et al., VLDB 2007). Groups are
+// visited in PLI (sorted-key) order, so the output is deterministic.
+func IncDetect(r *relation.Relation, c *CFD, pli *relation.PLI, tids []int) []Violation {
 	only := make(map[int]bool, len(tids))
-	touched := make(map[string][]int)
+	groupSet := make(map[int]bool, len(tids))
 	for _, tid := range tids {
 		only[tid] = true
-		key := r.Tuple(tid).Key(idx.Attrs())
-		touched[key] = idx.LookupKey(key)
+		groupSet[pli.GroupOf(tid)] = true
 	}
+	groups := make([]int, 0, len(groupSet))
+	for g := range groupSet {
+		groups = append(groups, g)
+	}
+	sort.Ints(groups)
+
 	var out []Violation
 	nl := len(c.lhs)
-	for _, groupTIDs := range touched {
+	for _, g := range groups {
+		groupTIDs := pli.Group(g)
 		if len(groupTIDs) == 0 {
 			continue
 		}
@@ -207,15 +310,7 @@ func IncDetect(r *relation.Relation, c *CFD, idx *relation.HashIndex, tids []int
 				if len(groupTIDs) < 2 {
 					continue
 				}
-				first := r.Tuple(groupTIDs[0])[attr]
-				conflict := false
-				for _, tid := range groupTIDs[1:] {
-					if !r.Tuple(tid)[attr].Identical(first) {
-						conflict = true
-						break
-					}
-				}
-				if conflict {
+				if groupVarConflict(r, r.ColumnCodes(attr), groupTIDs, attr) {
 					group := append([]int(nil), groupTIDs...)
 					sort.Ints(group)
 					out = append(out, Violation{

@@ -14,12 +14,14 @@ import (
 // runtime.NumCPU().
 //
 // Parallelization exploits the grouping structure of CFD detection: a
-// violation is always contained in a single X-group, so the sorted key
-// list of each per-CFD index is split into contiguous chunks, every
-// chunk is an independent DetectKeys job, and the per-chunk outputs are
+// violation is always contained in a single X-group, so each per-CFD
+// PLI's group range is split into contiguous chunks, every chunk is an
+// independent DetectGroups job, and the per-chunk outputs are
 // concatenated in (CFD, chunk) order. No locks are needed on the data
 // path: workers only read the relation and write disjoint result slots.
-// Index construction for the different CFDs runs concurrently too.
+// PLI acquisition for the different CFDs runs concurrently too, through
+// the detector's index cache (which is concurrency-safe), so a warm
+// cache skips the partition phase entirely.
 func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violation, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -35,10 +37,12 @@ func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violatio
 		}
 	}
 
-	// Stage 1: build the per-CFD X-indexes concurrently (bounded by the
-	// pool size; index building is the serial fraction of Detect).
-	indexes := make([]*relation.HashIndex, len(cfds))
-	keys := make([][]string, len(cfds))
+	// Stage 1: acquire the per-CFD X-partitions concurrently (bounded by
+	// the pool size; index building is the serial fraction of Detect),
+	// and resolve each CFD's constant codes once for all of its chunks.
+	plis := make([]*relation.PLI, len(cfds))
+	preps := make([][][]rhsConst, len(cfds))
+	rhsCodes := make([][][]int32, len(cfds))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, c := range cfds {
@@ -47,40 +51,40 @@ func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violatio
 		go func(i int, c *CFD) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			idx := relation.BuildIndex(r, c.lhs)
-			indexes[i] = idx
-			keys[i] = idx.Keys()
+			plis[i] = d.cache.Get(r, c.lhs)
+			preps[i] = prepareRHS(r, c)
+			rhsCodes[i] = rhsColumnCodes(r, c)
 		}(i, c)
 	}
 	wg.Wait()
 
-	// Stage 2: fan chunk jobs out to the worker pool. Each CFD's key
-	// space is cut into up to `workers` contiguous chunks so every
+	// Stage 2: fan chunk jobs out to the worker pool. Each CFD's group
+	// range is cut into up to `workers` contiguous chunks so every
 	// worker stays busy even for a single-CFD set.
 	type job struct {
 		cfdIdx, chunkIdx int
-		chunk            []string
+		lo, hi           int
 	}
 	results := make([][][]Violation, len(cfds))
 	var jobs []job
 	for i := range cfds {
-		ks := keys[i]
+		n := plis[i].NumGroups()
 		chunks := workers
-		if chunks > len(ks) {
-			chunks = len(ks)
+		if chunks > n {
+			chunks = n
 		}
 		if chunks == 0 {
 			continue
 		}
 		results[i] = make([][]Violation, chunks)
-		size, rem := len(ks)/chunks, len(ks)%chunks
+		size, rem := n/chunks, n%chunks
 		lo := 0
 		for c := 0; c < chunks; c++ {
 			hi := lo + size
 			if c < rem {
 				hi++
 			}
-			jobs = append(jobs, job{cfdIdx: i, chunkIdx: c, chunk: ks[lo:hi]})
+			jobs = append(jobs, job{cfdIdx: i, chunkIdx: c, lo: lo, hi: hi})
 			lo = hi
 		}
 	}
@@ -91,7 +95,8 @@ func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violatio
 			defer wg.Done()
 			for j := range jobCh {
 				c := cfds[j.cfdIdx]
-				results[j.cfdIdx][j.chunkIdx] = DetectKeys(r, c, indexes[j.cfdIdx], j.chunk, nil)
+				results[j.cfdIdx][j.chunkIdx] = detectGroupsPrepared(
+					r, c, plis[j.cfdIdx], j.lo, j.hi, preps[j.cfdIdx], rhsCodes[j.cfdIdx])
 			}
 		}()
 	}
@@ -102,7 +107,7 @@ func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violatio
 	wg.Wait()
 
 	// Deterministic merge: (CFD, chunk) order equals the serial
-	// sorted-key traversal.
+	// sorted-group traversal.
 	var out []Violation
 	for _, perCFD := range results {
 		for _, vs := range perCFD {

@@ -103,25 +103,25 @@ func TestDetectParallelRepeatable(t *testing.T) {
 	}
 }
 
-// TestDetectKeysPartition checks the partitioning identity DetectKeys
-// is built on: detection over any chunking of the sorted key list,
-// concatenated in order, equals full detection.
-func TestDetectKeysPartition(t *testing.T) {
+// TestDetectGroupsPartition checks the partitioning identity
+// DetectGroups is built on: detection over any chunking of the sorted
+// group range, concatenated in order, equals full detection.
+func TestDetectGroupsPartition(t *testing.T) {
 	r := noisyCust(t, 500, 13)
 	set := noisyCustSet(t, r.Schema())
 	c := set.CFD(0)
-	idx := relation.BuildIndex(r, c.lhs)
-	keys := idx.Keys()
-	want := DetectKeys(r, c, idx, keys, nil)
+	pli := relation.BuildPLI(r, c.lhs)
+	n := pli.NumGroups()
+	want := DetectGroups(r, c, pli, 0, n)
 	for _, chunks := range []int{2, 3, 7} {
 		var got []Violation
-		size := (len(keys) + chunks - 1) / chunks
-		for lo := 0; lo < len(keys); lo += size {
+		size := (n + chunks - 1) / chunks
+		for lo := 0; lo < n; lo += size {
 			hi := lo + size
-			if hi > len(keys) {
-				hi = len(keys)
+			if hi > n {
+				hi = n
 			}
-			got = append(got, DetectKeys(r, c, idx, keys[lo:hi], nil)...)
+			got = append(got, DetectGroups(r, c, pli, lo, hi)...)
 		}
 		if !reflect.DeepEqual(got, want) {
 			t.Errorf("chunks=%d: concatenated chunk results diverge from full detection", chunks)

@@ -419,3 +419,96 @@ cfd b: cust([CC] -> [CT='y'])
 		t.Error("unsatisfiable set should fail")
 	}
 }
+
+// TestSessionIndexCacheWarm asserts the service-side acceptance
+// criterion of the columnar refactor: repeated detection on an
+// unmutated session performs zero index rebuilds (the miss counter
+// freezes after warm-up), and edits rebuild only the indexes over the
+// touched columns.
+func TestSessionIndexCacheWarm(t *testing.T) {
+	s := newSession(t, 500, 3)
+	schema := s.Schema()
+	// CustConstraints has four distinct LHS attribute sets:
+	// (CC,ZIP), (CC,AC,PN), (CC,AC), (ZIP,CC).
+	const lhsSets = 4
+
+	if _, err := s.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.IndexStats()
+	if stats.Misses != lhsSets {
+		t.Fatalf("cold detection built %d indexes, want %d", stats.Misses, lhsSets)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.Detect(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats = s.IndexStats()
+	if stats.Misses != lhsSets {
+		t.Fatalf("warm detection rebuilt indexes: misses = %d, want %d", stats.Misses, lhsSets)
+	}
+	if stats.Hits < 5*lhsSets {
+		t.Fatalf("warm detection hits = %d, want >= %d", stats.Hits, 5*lhsSets)
+	}
+
+	// STR appears in no LHS: editing it must rebuild nothing.
+	if err := s.Edit(3, schema.MustIndex("STR"), relation.String("index-cache-test-street")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IndexStats().Misses; got != lhsSets {
+		t.Fatalf("editing a non-key column rebuilt indexes: misses = %d, want %d", got, lhsSets)
+	}
+
+	// ZIP appears in the LHS of phi1 and phi4: exactly two rebuilds.
+	if err := s.Edit(3, schema.MustIndex("ZIP"), relation.String("ZZ9 9ZZ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IndexStats().Misses; got != lhsSets+2 {
+		t.Fatalf("editing ZIP rebuilt %d indexes, want 2", got-lhsSets)
+	}
+
+	// The detection result through the warm cache equals a cold run.
+	warm, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cfd.NewDetector(s.Constraints()).Detect(s.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatalf("warm-cache detection diverges from cold detection")
+	}
+}
+
+// TestSessionCacheAcrossAccept checks that committing a repair (which
+// swaps the underlying relation) is detected as staleness rather than
+// served from the old relation's indexes.
+func TestSessionCacheAcrossAccept(t *testing.T) {
+	s := newSession(t, 300, 9)
+	if _, err := s.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.IndexStats()
+	if _, err := s.RepairAccept(); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("repair-accepted data still has %d violations", len(vs))
+	}
+	after := s.IndexStats()
+	if after.Misses <= before.Misses {
+		t.Fatalf("detection after Accept reused indexes of the replaced relation")
+	}
+}

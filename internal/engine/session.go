@@ -41,6 +41,12 @@ type Session struct {
 	set     *cfd.Set
 	workers int
 
+	// indexes caches the X-partition PLIs of the session's dataset keyed
+	// by attribute set. Entries self-validate against the relation's
+	// per-column versions, so repeated detection rebuilds nothing and a
+	// cell edit invalidates only the indexes over the touched column.
+	indexes *relation.IndexCache
+
 	confirmed map[[2]int]bool
 	candidate *repair.Result
 
@@ -67,6 +73,7 @@ func NewSession(name string, data *relation.Relation, set *cfd.Set, workers int)
 		data:      data.Clone(),
 		set:       set,
 		workers:   workers,
+		indexes:   relation.NewIndexCache(),
 		confirmed: map[[2]int]bool{},
 	}, nil
 }
@@ -159,7 +166,7 @@ func (s *Session) Detect() ([]cfd.Violation, error) {
 	// readers still proceed in parallel.
 	s.mu.RLock()
 	ver := s.version
-	vs, err := cfd.NewDetector(s.set).DetectParallel(s.data, s.workers)
+	vs, err := cfd.NewDetectorWithCache(s.set, s.indexes).DetectParallel(s.data, s.workers)
 	s.mu.RUnlock()
 	if err != nil {
 		return nil, err
@@ -182,7 +189,14 @@ func (s *Session) Detect() ([]cfd.Violation, error) {
 func (s *Session) DetectSerial() ([]cfd.Violation, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return cfd.NewDetector(s.set).Detect(s.data)
+	return cfd.NewDetectorWithCache(s.set, s.indexes).Detect(s.data)
+}
+
+// IndexStats returns the hit/miss counters of the session's PLI cache.
+// Misses count index builds: a warm steady state (repeated detection
+// without mutations) shows Hits growing while Misses stays constant.
+func (s *Session) IndexStats() relation.CacheStats {
+	return s.indexes.Stats()
 }
 
 // Violations returns the cached violation list, recomputing it if the

@@ -1015,10 +1015,9 @@ func finishSelect(sel *Select, r *relation.Relation) (*relation.Relation, error)
 			idxs[i] = pos
 			descs[i] = o.Desc
 		}
-		tuples := out.Tuples()
-		sort.SliceStable(tuples, func(a, b int) bool {
+		out.SortStable(func(a, b relation.Tuple) bool {
 			for i, pos := range idxs {
-				c := tuples[a][pos].Compare(tuples[b][pos])
+				c := a[pos].Compare(b[pos])
 				if c != 0 {
 					if descs[i] {
 						return c > 0

@@ -1,0 +1,99 @@
+package relation
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats is a snapshot of an IndexCache's counters. Misses count
+// index (re)builds, so "zero rebuilds" across repeated detection is
+// asserted by Misses staying constant while Hits grows.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// IndexCache memoizes PLIs per attribute set for one logical dataset.
+// Entries carry their build-time column versions, so a lookup after a
+// mutation rebuilds exactly the indexes whose columns were touched:
+// cell edits invalidate only PLIs mentioning the edited column, inserts
+// and relation swaps invalidate everything.
+//
+// The cache is safe for concurrent use. It is keyed by attribute set
+// only — callers hand it the current relation on every Get and the
+// cache validates the stored snapshot against it — so an engine session
+// keeps one cache across Accept/Append data swaps, and a repair run
+// keeps one across materialize passes.
+type IndexCache struct {
+	mu      sync.RWMutex
+	entries map[string]*PLI
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewIndexCache creates an empty cache.
+func NewIndexCache() *IndexCache {
+	return &IndexCache{entries: make(map[string]*PLI)}
+}
+
+func attrsKey(attrs []int) string {
+	buf := make([]byte, 0, 4*len(attrs))
+	for _, a := range attrs {
+		buf = strconv.AppendInt(buf, int64(a), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// Get returns a PLI of r over attrs, reusing the cached one when it is
+// still fresh and rebuilding (and re-caching) it otherwise. Concurrent
+// readers may race to rebuild the same stale entry; both get a correct
+// index and one of them wins the cache slot.
+func (c *IndexCache) Get(r *Relation, attrs []int) *PLI {
+	key := attrsKey(attrs)
+	c.mu.RLock()
+	p := c.entries[key]
+	c.mu.RUnlock()
+	if p != nil && p.Fresh(r) {
+		c.hits.Add(1)
+		return p
+	}
+	p = BuildPLI(r, attrs)
+	c.misses.Add(1)
+	c.mu.Lock()
+	if prior := c.entries[key]; prior == nil || !prior.Fresh(r) {
+		c.entries[key] = p
+	}
+	// PLIs pin the relation they were built from. When the caller's
+	// relation changes identity (a session committing a repair swaps its
+	// data), drop every entry still referencing another relation so the
+	// cache never keeps a replaced dataset alive — including entries
+	// under attribute sets the caller no longer asks for.
+	for k, e := range c.entries {
+		if e.rel != r {
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+	return p
+}
+
+// Stats returns the cache's hit/miss counters.
+func (c *IndexCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// Len returns the number of cached attribute sets.
+func (c *IndexCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry (counters are preserved).
+func (c *IndexCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*PLI)
+}

@@ -1,0 +1,323 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomMixedRelation builds a relation over string/int/float columns
+// with small domains (so groups are non-trivial), NULLs, awkward string
+// values chosen to stress the prefix-free encoding (digits, colons,
+// prefixes of each other), and a round of post-insert Set edits —
+// including kind-mismatched writes into the int column, which is the
+// historical unchecked Set behavior that produces mixed-kind columns.
+func randomMixedRelation(t testing.TB, seed int64, n int) *Relation {
+	t.Helper()
+	schema := MustSchema("rnd",
+		Attribute{Name: "S", Kind: KindString},
+		Attribute{Name: "I", Kind: KindInt},
+		Attribute{Name: "F", Kind: KindFloat},
+		Attribute{Name: "S2", Kind: KindString},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	strDomain := []string{"", "a", "ab", "abc", "1", "12", "1:", "12:", ":", "x;", "-3", "edi", "gla"}
+	r := New(schema)
+	randS := func() Value {
+		if rng.Intn(10) == 0 {
+			return Null()
+		}
+		return String(strDomain[rng.Intn(len(strDomain))])
+	}
+	randI := func() Value {
+		if rng.Intn(10) == 0 {
+			return Null()
+		}
+		return Int(int64(rng.Intn(7) - 3))
+	}
+	randF := func() Value {
+		if rng.Intn(10) == 0 {
+			return Null()
+		}
+		if rng.Intn(2) == 0 {
+			// Integral floats; via Insert these may also arrive as Int
+			// and be coerced, exercising the cross-kind path.
+			return Float(float64(rng.Intn(5)))
+		}
+		return Float(float64(rng.Intn(5)) + 0.5)
+	}
+	for i := 0; i < n; i++ {
+		f := randF()
+		if rng.Intn(3) == 0 && !f.IsNull() && f.FloatVal() == float64(int64(f.FloatVal())) {
+			f = Int(int64(f.FloatVal())) // Insert must coerce this
+		}
+		r.MustInsert(Tuple{randS(), randI(), f, randS()})
+	}
+	for k := 0; k < n/4; k++ {
+		tid, attr := rng.Intn(n), rng.Intn(4)
+		switch attr {
+		case 0, 3:
+			r.Set(tid, attr, randS())
+		case 1:
+			if rng.Intn(4) == 0 {
+				// Kind-mismatched write: a float value in the int column.
+				r.Set(tid, attr, Float(float64(rng.Intn(7)-3)))
+			} else {
+				r.Set(tid, attr, randI())
+			}
+		case 2:
+			r.Set(tid, attr, randF())
+		}
+	}
+	return r
+}
+
+// TestPLIMatchesHashIndex is the grouping-agreement regression promised
+// by the Value.Encode documentation: on randomized relations (including
+// coerced inserts and mixed-kind Set writes) the PLI partition has
+// exactly the buckets of the legacy string-key HashIndex, in exactly the
+// sorted-key order.
+func TestPLIMatchesHashIndex(t *testing.T) {
+	attrSets := [][]int{{0}, {1}, {2}, {3}, {0, 1}, {1, 0}, {2, 1}, {0, 2, 3}, {3, 2, 1, 0}}
+	for seed := int64(1); seed <= 8; seed++ {
+		r := randomMixedRelation(t, seed, 200+int(seed)*37)
+		for _, attrs := range attrSets {
+			idx := BuildIndex(r, attrs)
+			pli := BuildPLI(r, attrs)
+			keys := idx.Keys()
+			if pli.NumGroups() != len(keys) {
+				t.Fatalf("seed %d attrs %v: PLI has %d groups, HashIndex %d keys",
+					seed, attrs, pli.NumGroups(), len(keys))
+			}
+			for g, key := range keys {
+				want := idx.LookupKey(key)
+				got := pli.Group(g)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d attrs %v group %d: PLI %v vs HashIndex %v", seed, attrs, g, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d attrs %v group %d: PLI %v vs HashIndex %v", seed, attrs, g, got, want)
+					}
+				}
+				for _, tid := range got {
+					if pli.GroupOf(tid) != g {
+						t.Fatalf("seed %d attrs %v: GroupOf(%d) = %d, want %d", seed, attrs, tid, pli.GroupOf(tid), g)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInternNoIdenticalCollision asserts the interning invariant behind
+// code-based comparison: within a column populated through Insert (which
+// coerces ints into float columns), no two distinct codes hold Identical
+// values — Int(9) inserted into a float column lands on the same code as
+// Float(9). This is the regression test for the cross-kind ambiguity
+// note on Value.Encode.
+func TestInternNoIdenticalCollision(t *testing.T) {
+	schema := MustSchema("ck",
+		Attribute{Name: "F", Kind: KindFloat},
+		Attribute{Name: "I", Kind: KindInt},
+		Attribute{Name: "S", Kind: KindString},
+	)
+	r := New(schema)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		var f Value
+		switch rng.Intn(3) {
+		case 0:
+			f = Int(int64(rng.Intn(6))) // coerced to Float by Insert
+		case 1:
+			f = Float(float64(rng.Intn(6)))
+		default:
+			f = Float(float64(rng.Intn(6)) + 0.25)
+		}
+		r.MustInsert(Tuple{f, Int(int64(rng.Intn(6) - 3)), String(fmt.Sprint(rng.Intn(9)))})
+	}
+	// Int(k) and Float(k) must have landed on one code in the F column.
+	a := r.MustInsert(Tuple{Int(3), Int(0), String("x")})
+	b := r.MustInsert(Tuple{Float(3), Int(0), String("x")})
+	if r.Code(a, 0) != r.Code(b, 0) {
+		t.Fatalf("Insert coercion: Int(3) and Float(3) interned as different codes in float column")
+	}
+	// The raw encodings do differ across kinds — that is the documented
+	// ambiguity the coercion neutralizes.
+	if string(Int(3).Encode(nil)) == string(Float(3).Encode(nil)) {
+		t.Fatalf("Encode no longer distinguishes Int(3) from Float(3); update the interning rationale")
+	}
+	for attr := 0; attr < schema.Arity(); attr++ {
+		d := r.DistinctCodes(attr)
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				vi, vj := r.CodeValue(attr, int32(i)), r.CodeValue(attr, int32(j))
+				if vi.Identical(vj) {
+					t.Errorf("column %d: distinct codes %d/%d hold Identical values %s/%s",
+						attr, i, j, vi, vj)
+				}
+			}
+		}
+	}
+}
+
+func TestLookupCode(t *testing.T) {
+	schema := MustSchema("lk",
+		Attribute{Name: "F", Kind: KindFloat},
+		Attribute{Name: "I", Kind: KindInt},
+	)
+	r := New(schema)
+	r.MustInsert(Tuple{Float(2), Int(7)})
+	r.MustInsert(Tuple{Float(2.5), Null()})
+
+	if code, ok, unique := r.LookupCode(0, Int(2)); !ok || !unique || code != r.Code(0, 0) {
+		t.Fatalf("LookupCode(F, Int(2)) = (%d, %v, %v): the Float(2) twin must match", code, ok, unique)
+	}
+	if _, ok, _ := r.LookupCode(0, Int(3)); ok {
+		t.Fatalf("LookupCode(F, Int(3)) found a match in a column without 3")
+	}
+	if code, ok, unique := r.LookupCode(1, Float(7)); !ok || !unique || code != r.Code(0, 1) {
+		t.Fatalf("LookupCode(I, Float(7)) = (%d, %v, %v): the Int(7) twin must match", code, ok, unique)
+	}
+	if code, ok, unique := r.LookupCode(1, Null()); !ok || !unique || code != r.Code(1, 1) {
+		t.Fatalf("LookupCode(I, NULL) = (%d, %v, %v)", code, ok, unique)
+	}
+	// A mixed column (via unchecked Set) holds Int(7) and Float(7) under
+	// distinct codes; the lookup must flag the ambiguity.
+	r.Set(1, 1, Float(7))
+	if _, ok, unique := r.LookupCode(1, Int(7)); !ok || unique {
+		t.Fatalf("LookupCode on a mixed column should report a non-unique match")
+	}
+}
+
+// TestVersionsAndInvalidation covers the staleness contract: Set bumps
+// only the touched column, Insert bumps everything, a code-identical Set
+// bumps nothing, and the IndexCache turns each of those into the minimal
+// set of rebuilds.
+func TestVersionsAndInvalidation(t *testing.T) {
+	r := randomMixedRelation(t, 42, 120)
+	cache := NewIndexCache()
+
+	p01 := cache.Get(r, []int{0, 1})
+	p23 := cache.Get(r, []int{2, 3})
+	if s := cache.Stats(); s.Misses != 2 || s.Hits != 0 {
+		t.Fatalf("cold cache stats = %+v", s)
+	}
+	if got := cache.Get(r, []int{0, 1}); got != p01 {
+		t.Fatalf("warm lookup rebuilt the PLI")
+	}
+	if s := cache.Stats(); s.Hits != 1 {
+		t.Fatalf("stats after warm lookup = %+v", cache.Stats())
+	}
+
+	// Code-identical overwrite: no version change, indexes stay fresh.
+	v0, vc := r.Version(), r.ColumnVersion(0)
+	r.Set(5, 0, r.Get(5, 0))
+	if r.Version() != v0 || r.ColumnVersion(0) != vc {
+		t.Fatalf("code-identical Set bumped versions")
+	}
+
+	// Edit column 0: only indexes mentioning column 0 go stale.
+	old := r.Get(7, 0)
+	r.Set(7, 0, String("freshly-edited-value"))
+	if r.ColumnVersion(0) == vc {
+		t.Fatalf("Set did not bump the column version")
+	}
+	if p01.Fresh(r) {
+		t.Fatalf("PLI over edited column still claims freshness")
+	}
+	if !p23.Fresh(r) {
+		t.Fatalf("PLI over untouched columns was invalidated by an unrelated edit")
+	}
+	p01b := cache.Get(r, []int{0, 1})
+	if p01b == p01 {
+		t.Fatalf("cache served a stale PLI after an edit")
+	}
+	if got := cache.Get(r, []int{2, 3}); got != p23 {
+		t.Fatalf("cache rebuilt an index over untouched columns")
+	}
+	// The rebuilt index reflects the edit: the tuple moved groups.
+	idx := BuildIndex(r, []int{0, 1})
+	keys := idx.Keys()
+	for g, key := range keys {
+		want := idx.LookupKey(key)
+		got := p01b.Group(g)
+		if len(got) != len(want) {
+			t.Fatalf("rebuilt PLI group %d = %v, want %v", g, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rebuilt PLI group %d = %v, want %v", g, got, want)
+			}
+		}
+	}
+	r.Set(7, 0, old)
+
+	// Insert invalidates every index (each column grows).
+	p23 = cache.Get(r, []int{2, 3})
+	r.MustInsert(Tuple{String("s"), Int(1), Float(1.5), String("t")})
+	if p23.Fresh(r) {
+		t.Fatalf("PLI survived an Insert")
+	}
+	if got := cache.Get(r, []int{2, 3}); got == p23 {
+		t.Fatalf("cache served a pre-Insert PLI")
+	}
+}
+
+// TestIndexCacheConcurrent hammers one cache from many goroutines under
+// -race: concurrent readers over a quiescent relation must share
+// entries safely.
+func TestIndexCacheConcurrent(t *testing.T) {
+	r := randomMixedRelation(t, 7, 300)
+	cache := NewIndexCache()
+	attrSets := [][]int{{0}, {1}, {0, 1}, {2, 3}, {3, 0}}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				attrs := attrSets[(w+i)%len(attrSets)]
+				pli := cache.Get(r, attrs)
+				if !pli.Fresh(r) {
+					t.Errorf("stale PLI from quiescent cache")
+					return
+				}
+				n := 0
+				for g := 0; g < pli.NumGroups(); g++ {
+					n += len(pli.Group(g))
+				}
+				if n != r.Len() {
+					t.Errorf("partition covers %d of %d tuples", n, r.Len())
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := cache.Stats(); s.Hits+s.Misses != 8*50 {
+		t.Fatalf("stats don't add up: %+v", s)
+	}
+}
+
+// TestSortStableKeepsCodes checks that relation-level sorting permutes
+// the code columns together with the tuples.
+func TestSortStableKeepsCodes(t *testing.T) {
+	r := randomMixedRelation(t, 11, 150)
+	r.SortBy([]int{0, 2})
+	for tid := 0; tid < r.Len(); tid++ {
+		for attr := 0; attr < r.Schema().Arity(); attr++ {
+			v := r.Get(tid, attr)
+			rep := r.CodeValue(attr, r.Code(tid, attr))
+			if string(v.Encode(nil)) != string(rep.Encode(nil)) {
+				t.Fatalf("after sort, cell (%d,%d)=%s disagrees with its code's value %s", tid, attr, v, rep)
+			}
+		}
+	}
+	pli := BuildPLI(r, []int{0})
+	idx := BuildIndex(r, []int{0})
+	if pli.NumGroups() != idx.Size() {
+		t.Fatalf("post-sort PLI groups = %d, HashIndex = %d", pli.NumGroups(), idx.Size())
+	}
+}

@@ -4,19 +4,79 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// column is the interned, columnar shadow of one attribute: every cell
+// value is mapped through a per-column dictionary to a dense int32 code,
+// and the codes are stored positionally (codes[tid]). Codes are assigned
+// in first-appearance order and never reused; two cells carry the same
+// code exactly when their values have the same Value.Encode key, which
+// is the grouping notion the hash indexes and PLIs are built on.
+type column struct {
+	codes   []int32          // per-TID code, parallel to Relation.tuples
+	dict    map[string]int32 // Encode key -> code
+	values  []Value          // code -> representative value
+	encs    []string         // code -> Encode key (needed for rank order)
+	version uint64           // bumped whenever any code in the column changes
+
+	// Lazily computed rank cache: ranks[code] is the code's position in
+	// the lexicographic order of the encs. Valid while ranksLen equals
+	// len(values) — codes are append-only and their keys immutable, so
+	// the dictionary size fully determines the ranking. Guarded by
+	// rankMu so concurrent PLI builders share one computation.
+	rankMu   sync.Mutex
+	ranks    []int32
+	ranksLen int
+}
+
+func newColumn() *column {
+	return &column{dict: make(map[string]int32)}
+}
+
+func (c *column) clone() *column {
+	out := &column{
+		codes:   append([]int32(nil), c.codes...),
+		dict:    make(map[string]int32, len(c.dict)),
+		values:  append([]Value(nil), c.values...),
+		encs:    append([]string(nil), c.encs...),
+		version: c.version,
+	}
+	for k, v := range c.dict {
+		out.dict[k] = v
+	}
+	// Rank slices are immutable once published; the clone can share them.
+	c.rankMu.Lock()
+	out.ranks, out.ranksLen = c.ranks, c.ranksLen
+	c.rankMu.Unlock()
+	return out
+}
 
 // Relation is an in-memory table: a schema plus a slice of tuples. Tuple
 // identifiers (TIDs) are positions in the slice and are stable under
 // in-place cell updates, which is what the repair algorithms require.
+//
+// Alongside the row-oriented tuple storage the relation maintains an
+// interned columnar representation: per-column dictionaries assign each
+// distinct value a dense int32 code, and the code columns are kept in
+// sync by Insert and Set. Group-wise algorithms (violation detection,
+// partition indexes) consume the codes instead of re-encoding values
+// into string keys; see BuildPLI.
 type Relation struct {
-	schema *Schema
-	tuples []Tuple
+	schema  *Schema
+	tuples  []Tuple
+	cols    []*column
+	version uint64
+	scratch []byte // Encode buffer reused by intern; guarded by the caller's write side
 }
 
 // New creates an empty relation over the given schema.
 func New(schema *Schema) *Relation {
-	return &Relation{schema: schema}
+	r := &Relation{schema: schema, cols: make([]*column, schema.Arity())}
+	for i := range r.cols {
+		r.cols[i] = newColumn()
+	}
+	return r
 }
 
 // Schema returns the relation's schema.
@@ -25,13 +85,54 @@ func (r *Relation) Schema() *Schema { return r.schema }
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return len(r.tuples) }
 
+// Version returns the relation's mutation counter: it increases on every
+// Insert, reorder, and on every Set that actually changes a cell's code.
+// Index structures snapshot it (or the finer per-column counters) to
+// detect staleness.
+func (r *Relation) Version() uint64 { return r.version }
+
+// ColumnVersion returns the mutation counter of a single column. Insert
+// and reorders bump every column; Set bumps only the touched column, so
+// indexes over untouched columns remain valid after a cell edit.
+func (r *Relation) ColumnVersion(attr int) uint64 { return r.cols[attr].version }
+
 // Tuple returns the tuple with the given TID. The returned slice aliases
-// relation storage; callers that mutate it mutate the relation.
+// relation storage; callers must not mutate it (use Set, which keeps the
+// columnar codes in sync).
 func (r *Relation) Tuple(tid int) Tuple { return r.tuples[tid] }
 
 // Tuples returns the underlying tuple slice. The slice aliases relation
-// storage and must not be appended to by callers.
+// storage and must not be appended to, reordered or written through by
+// callers; use Insert, Set and SortStable.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// intern maps v to its dense code in column attr, allocating a new code
+// on first appearance. It must only be called from the relation's write
+// path (it reuses a shared scratch buffer).
+func (r *Relation) intern(attr int, v Value) int32 {
+	c := r.cols[attr]
+	r.scratch = v.Encode(r.scratch[:0])
+	if code, ok := c.dict[string(r.scratch)]; ok {
+		return code
+	}
+	code := int32(len(c.values))
+	key := string(r.scratch)
+	c.dict[key] = code
+	c.values = append(c.values, v)
+	c.encs = append(c.encs, key)
+	return code
+}
+
+// coerce applies the schema's kind coercion to a value destined for
+// column attr: integers are accepted into float columns. Other
+// mismatches are returned unchanged (Insert rejects them; Set stores
+// them as-is, matching its historical unchecked behavior).
+func (r *Relation) coerce(attr int, v Value) Value {
+	if !v.IsNull() && v.Kind() == KindInt && r.schema.Attr(attr).Kind == KindFloat {
+		return Float(v.FloatVal())
+	}
+	return v
+}
 
 // Insert validates and appends a tuple, returning its TID. The tuple must
 // have the schema's arity, and each non-NULL value must have the declared
@@ -56,8 +157,15 @@ func (r *Relation) Insert(t Tuple) (int, error) {
 		return 0, fmt.Errorf("relation %s: attribute %s expects %v, got %v (%s)",
 			r.schema.Name(), r.schema.Attr(i).Name, want, v.Kind(), v)
 	}
+	tid := len(r.tuples)
 	r.tuples = append(r.tuples, t)
-	return len(r.tuples) - 1, nil
+	for i, v := range t {
+		c := r.cols[i]
+		c.codes = append(c.codes, r.intern(i, v))
+		c.version++
+	}
+	r.version++
+	return tid, nil
 }
 
 // MustInsert inserts a tuple and panics on validation failure. Intended
@@ -70,9 +178,22 @@ func (r *Relation) MustInsert(t Tuple) int {
 	return tid
 }
 
-// Set overwrites a single cell.
+// Set overwrites a single cell, keeping the columnar codes in sync.
+// Integer values written into float columns are coerced like Insert
+// does, so columns stay kind-uniform. Writing a value whose code equals
+// the cell's current code (an encode-identical value) is a no-op for
+// versioning: indexes over the column remain valid.
 func (r *Relation) Set(tid, attr int, v Value) {
+	v = r.coerce(attr, v)
+	code := r.intern(attr, v)
+	c := r.cols[attr]
 	r.tuples[tid][attr] = v
+	if c.codes[tid] == code {
+		return
+	}
+	c.codes[tid] = code
+	c.version++
+	r.version++
 }
 
 // Get reads a single cell.
@@ -80,12 +201,123 @@ func (r *Relation) Get(tid, attr int) Value {
 	return r.tuples[tid][attr]
 }
 
+// Code returns the dense dictionary code of cell (tid, attr). Two cells
+// of the same column carry equal codes exactly when their values encode
+// identically (Value.Encode), which for kind-uniform columns coincides
+// with Value.Identical.
+func (r *Relation) Code(tid, attr int) int32 { return r.cols[attr].codes[tid] }
+
+// ColumnCodes returns the code column for attr. The slice aliases
+// relation storage and must be treated as read-only; it is invalidated
+// by Insert (growth) but not by Set (in-place).
+func (r *Relation) ColumnCodes(attr int) []int32 { return r.cols[attr].codes }
+
+// DistinctCodes returns the number of codes ever allocated in the
+// column. Codes are never reclaimed, so this is an upper bound on (and
+// after inserts without overwrites, equal to) the number of distinct
+// values in the column.
+func (r *Relation) DistinctCodes(attr int) int { return len(r.cols[attr].values) }
+
+// CodeValue returns the representative value of a code in column attr.
+func (r *Relation) CodeValue(attr int, code int32) Value { return r.cols[attr].values[code] }
+
+// LookupCode finds the code(s) of column attr whose stored values are
+// Identical to v. It probes the exact encoding of v and, for numeric v,
+// the cross-kind twin (Int(9) vs Float(9) are Identical but encode
+// differently). Returns the matching code, whether any match exists, and
+// whether the match is unique — with a kind-uniform column (the Insert
+// invariant) it always is; a Set-injected mixed column can hold two
+// Identical values under distinct codes, reported as !unique. NaN never
+// matches (Identical is false even for NaN vs NaN).
+func (r *Relation) LookupCode(attr int, v Value) (code int32, ok, unique bool) {
+	if v.IsNull() {
+		// NULL is Identical only to NULL, which encodes uniquely.
+		if c, found := r.lookupEnc(attr, v); found {
+			return c, true, true
+		}
+		return 0, false, true
+	}
+	if v.Kind() == KindFloat && v.FloatVal() != v.FloatVal() { // NaN
+		return 0, false, true
+	}
+	code, ok = r.lookupEnc(attr, v)
+	var twin Value
+	switch v.Kind() {
+	case KindInt:
+		twin = Float(v.FloatVal())
+	case KindFloat:
+		f := v.FloatVal()
+		n := int64(f)
+		if float64(n) != f {
+			return code, ok, true
+		}
+		twin = Int(n)
+	default:
+		return code, ok, true
+	}
+	tcode, tok := r.lookupEnc(attr, twin)
+	switch {
+	case ok && tok:
+		return code, true, false
+	case tok:
+		return tcode, true, true
+	default:
+		return code, ok, true
+	}
+}
+
+// lookupEnc finds the code of the exact encoding of v in column attr.
+// Unlike intern it allocates nothing shared, so it is safe on the
+// concurrent read path.
+func (r *Relation) lookupEnc(attr int, v Value) (int32, bool) {
+	var buf [48]byte
+	key := v.Encode(buf[:0])
+	code, ok := r.cols[attr].dict[string(key)]
+	return code, ok
+}
+
+// codeRanks returns, for column attr, the rank of every code under the
+// lexicographic order of the codes' Encode keys. Because the encoding is
+// prefix-free, comparing composite keys component-wise by these ranks
+// agrees exactly with comparing the concatenated string keys (see
+// BuildPLI), which is what keeps PLI group order byte-compatible with
+// HashIndex.Keys(). The ranking is cached on the column and reused until
+// the dictionary grows, so steady-state index builds sort nothing.
+func (r *Relation) codeRanks(attr int) []int32 {
+	c := r.cols[attr]
+	c.rankMu.Lock()
+	defer c.rankMu.Unlock()
+	if c.ranksLen == len(c.values) {
+		return c.ranks
+	}
+	order := make([]int32, len(c.encs))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return c.encs[order[i]] < c.encs[order[j]] })
+	ranks := make([]int32, len(order))
+	for rank, code := range order {
+		ranks[code] = int32(rank)
+	}
+	c.ranks, c.ranksLen = ranks, len(c.values)
+	return ranks
+}
+
 // Clone returns a deep copy of the relation (same schema pointer; the
-// schema is immutable).
+// schema is immutable). Dictionaries and code columns are copied, so the
+// clone's interning evolves independently.
 func (r *Relation) Clone() *Relation {
-	out := &Relation{schema: r.schema, tuples: make([]Tuple, len(r.tuples))}
+	out := &Relation{
+		schema:  r.schema,
+		tuples:  make([]Tuple, len(r.tuples)),
+		cols:    make([]*column, len(r.cols)),
+		version: r.version,
+	}
 	for i, t := range r.tuples {
 		out.tuples[i] = t.Clone()
+	}
+	for i := range r.cols {
+		out.cols[i] = r.cols[i].clone()
 	}
 	return out
 }
@@ -110,12 +342,32 @@ func (r *Relation) Distinct() int {
 	return len(seen)
 }
 
+// applyPermutation reorders tuples so that new position i holds old
+// position perm[i], updating every code column and bumping all versions
+// (TIDs are renumbered, so every index is stale).
+func (r *Relation) applyPermutation(perm []int) {
+	tuples := make([]Tuple, len(perm))
+	for i, p := range perm {
+		tuples[i] = r.tuples[p]
+	}
+	r.tuples = tuples
+	for a := range r.cols {
+		c := r.cols[a]
+		codes := make([]int32, len(perm))
+		for i, p := range perm {
+			codes[i] = c.codes[p]
+		}
+		c.codes = codes
+		c.version++
+	}
+	r.version++
+}
+
 // SortBy sorts tuples in place by the listed attribute positions
 // (ascending, Value.Compare order). TIDs are renumbered; callers holding
 // TIDs across a sort must not.
 func (r *Relation) SortBy(idxs []int) {
-	sort.SliceStable(r.tuples, func(i, j int) bool {
-		a, b := r.tuples[i], r.tuples[j]
+	r.SortStable(func(a, b Tuple) bool {
 		for _, idx := range idxs {
 			if c := a[idx].Compare(b[idx]); c != 0 {
 				return c < 0
@@ -123,6 +375,17 @@ func (r *Relation) SortBy(idxs []int) {
 		}
 		return false
 	})
+}
+
+// SortStable stably sorts tuples by an arbitrary comparator, keeping the
+// columnar codes in sync. TIDs are renumbered.
+func (r *Relation) SortStable(less func(a, b Tuple) bool) {
+	perm := make([]int, len(r.tuples))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return less(r.tuples[perm[i]], r.tuples[perm[j]]) })
+	r.applyPermutation(perm)
 }
 
 // Head renders the first n tuples as an aligned text table for display.

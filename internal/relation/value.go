@@ -79,8 +79,17 @@ func String(s string) Value { return Value{kind: KindString, s: s} }
 // Int returns an integer value.
 func Int(n int64) Value { return Value{kind: KindInt, n: n} }
 
-// Float returns a floating-point value.
-func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+// Float returns a floating-point value. Negative zero is normalized to
+// positive zero: -0.0 == 0.0 (so Identical treats them as one value)
+// but they render — and therefore Encode — differently, and the
+// code-based grouping fast paths require that Identical values of one
+// kind share one encoding.
+func Float(f float64) Value {
+	if f == 0 {
+		f = 0
+	}
+	return Value{kind: KindFloat, f: f}
+}
 
 // Kind reports the dynamic kind of v.
 func (v Value) Kind() Kind { return v.kind }
@@ -187,13 +196,25 @@ func (v Value) String() string {
 	}
 }
 
-// Encode appends a self-delimiting binary encoding of v to dst, used for
-// composite grouping keys. Within a single kind (plus NULL) the encoding
-// agrees exactly with Identical: equal values encode equally and
-// distinct values encode distinctly. Across numeric kinds, Int(9) and
-// Float(9) are Identical but encode differently; relation columns are
+// Encode appends a self-delimiting, prefix-free binary encoding of v to
+// dst, used for composite grouping keys (and as the interning key of the
+// columnar dictionaries, so per-column codes coincide with Encode
+// equality). Within a single kind (plus NULL) the encoding agrees
+// exactly with Identical: equal values encode equally and distinct
+// values encode distinctly. Across numeric kinds, Int(9) and Float(9)
+// are Identical but encode differently; relation columns are
 // kind-uniform by construction (Insert coerces ints into float columns
-// and rejects other mixtures), so per-column keys are exact.
+// and rejects other mixtures), so per-column keys are exact —
+// TestInternNoIdenticalCollision and TestPLIMatchesHashIndex are the
+// regression tests for this invariant, and Relation.LookupCode handles
+// the residual mixed-kind case (unchecked Set writes) explicitly.
+//
+// Prefix-freedom (strings are length-prefixed with a ':' delimiter that
+// can never be a length digit; numbers end in a ';' terminator that can
+// never appear in a rendered number; the kind byte leads) guarantees
+// that comparing concatenated keys lexicographically equals comparing
+// them component-wise, which BuildPLI relies on to order groups without
+// materializing keys.
 func (v Value) Encode(dst []byte) []byte {
 	dst = append(dst, byte(v.kind))
 	switch v.kind {

@@ -101,6 +101,10 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 		}
 	}
 
+	// One index cache across all passes: materialize only rewrites delta
+	// cells whose value actually changes, so X-partitions over columns the
+	// repair never touches stay fresh and are rebuilt zero times.
+	indexes := relation.NewIndexCache()
 	passes := 0
 	for ; passes < opts.MaxPasses; passes++ {
 		materialize()
@@ -108,8 +112,8 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 		// consistent by precondition and never modified.
 		var vs []cfd.Violation
 		for _, c := range set.All() {
-			idx := relation.BuildIndex(work, c.LHS())
-			vs = append(vs, cfd.IncDetect(work, c, idx, deltaTIDs)...)
+			pli := indexes.Get(work, c.LHS())
+			vs = append(vs, cfd.IncDetect(work, c, pli, deltaTIDs)...)
 		}
 		if len(vs) == 0 {
 			res := finish(orig, work, passes+1, opts)

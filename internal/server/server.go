@@ -123,6 +123,9 @@ type datasetJSON struct {
 	Tuples      int    `json:"tuples"`
 	Schema      string `json:"schema"`
 	Constraints int    `json:"constraints"`
+	// IndexCache reports the session's PLI cache counters; a healthy
+	// steady state shows hits growing while misses stay flat.
+	IndexCache relation.CacheStats `json:"index_cache"`
 }
 
 type violationJSON struct {
@@ -185,6 +188,7 @@ func datasetInfo(sess *engine.Session) datasetJSON {
 		Tuples:      sess.Len(),
 		Schema:      sess.Schema().String(),
 		Constraints: sess.Constraints().Len(),
+		IndexCache:  sess.IndexStats(),
 	}
 }
 
