@@ -7,13 +7,13 @@ SHELL := /bin/bash
 # real measurements.
 BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race bench bench-all run-daemon
+.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-all run-daemon
 
 all: check
 
 # check is the CI gate: formatting, vet, build, and the race-enabled
 # test suite (the engine/server concurrency tests rely on -race).
-check: fmt vet build race
+check: fmt vet build race race-cache
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -33,12 +33,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the detection benchmarks (E1 scale sweep, E13 parallel
-# detector) with allocation counts and emits BENCH_detect.json — the
-# perf-trajectory artifact CI archives on every run.
-bench:
+# race-cache re-runs the packages that share PLI caches across
+# goroutines (discovery through engine sessions, concurrent detection)
+# with a higher count, so cache-sharing races surface on every push.
+race-cache:
+	$(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/
+
+# bench runs the perf-trajectory benchmarks CI archives on every run:
+# detection (E1 scale sweep, E13 parallel detector) into
+# BENCH_detect.json and the discovery lattice walk (cold FDs, warm
+# session) into BENCH_discovery.json.
+bench: bench-detect bench-discovery
+
+bench-detect:
 	$(GO) test -bench='E1DetectScaleTuples|E13ParallelDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_detect.json
+
+bench-discovery:
+	$(GO) test -bench='DiscoveryFDs|DiscoveryWarmSession' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_discovery.json
 
 # bench-all smoke-runs every benchmark once.
 bench-all:

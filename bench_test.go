@@ -16,6 +16,7 @@ import (
 	"semandaq/internal/cqa"
 	"semandaq/internal/datagen"
 	"semandaq/internal/discovery"
+	"semandaq/internal/engine"
 	"semandaq/internal/experiments"
 	"semandaq/internal/matching"
 	"semandaq/internal/noise"
@@ -394,6 +395,45 @@ func BenchmarkE13ParallelDetect(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDiscoveryFDs measures the TANE-style FD lattice walk alone —
+// the hot loop of profiling — on clean E1-style customer data. This is
+// the perf gate for the partition-intersection PLI walk: level-k
+// partitions are refined from level-(k-1) ones instead of being rebuilt
+// from scratch per lattice node.
+func BenchmarkDiscoveryFDs(b *testing.B) {
+	for _, n := range []int{10_000, 50_000} {
+		r := datagen.Cust(n, 83)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := discovery.FDs(r, discovery.Options{MaxLHS: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiscoveryWarmSession measures repeated full discovery through
+// an engine session — the service steady state, where the per-dataset
+// PLI cache should turn every lattice partition into a lookup.
+func BenchmarkDiscoveryWarmSession(b *testing.B) {
+	r := datagen.Cust(20_000, 89)
+	s, err := engine.NewSession("bench", r, nil, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := discovery.Options{MinSupport: 10, MaxLHS: 2}
+	if _, err := s.Discover(opts, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Discover(opts, false); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -2,7 +2,6 @@ package cfd
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"semandaq/internal/relation"
@@ -132,9 +131,7 @@ func prepareRHS(r *relation.Relation, c *CFD) [][]rhsConst {
 	return prep
 }
 
-func isNaNValue(v relation.Value) bool {
-	return v.Kind() == relation.KindFloat && math.IsNaN(v.FloatVal())
-}
+func isNaNValue(v relation.Value) bool { return v.IsNaN() }
 
 // rhsColumnCodes gathers the code columns of c's RHS attributes.
 func rhsColumnCodes(r *relation.Relation, c *CFD) [][]int32 {

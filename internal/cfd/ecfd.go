@@ -223,10 +223,14 @@ func DetectECFD(r *relation.Relation, e *ECFD) ([]Violation, error) {
 		return nil, fmt.Errorf("ecfd: detecting %s over schema %s, want %s",
 			e.name, r.Schema().Name(), e.schema.Name())
 	}
-	idx := relation.BuildIndex(r, e.lhs)
+	// Partition by X through a PLI; group order is sorted-key order, so
+	// the violation list is deterministic (the legacy hash index iterated
+	// buckets in map order).
+	pli := relation.BuildPLI(r, e.lhs)
 	var out []Violation
 	nl := len(e.lhs)
-	idx.Groups(func(_ string, tids []int) bool {
+	for g := 0; g < pli.NumGroups(); g++ {
+		tids := pli.Group(g)
 		rep := r.Tuple(tids[0])
 		for rowIdx, row := range e.tableau {
 			matched := true
@@ -269,7 +273,6 @@ func DetectECFD(r *relation.Relation, e *ECFD) ([]Violation, error) {
 				}
 			}
 		}
-		return true
-	})
+	}
 	return out, nil
 }

@@ -43,10 +43,13 @@ func (iv Interval) String() string {
 }
 
 // Range computes the range-consistent answer of the aggregate over the
-// key-repairs of r. pred selects tuples (nil = all); attr is the
-// aggregated attribute (ignored for AggCount; must be numeric or its
-// FloatVal is used).
-func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred func(relation.Tuple) bool) (Interval, error) {
+// key-repairs of the answerer's relation. pred selects tuples (nil =
+// all); attr is the aggregated attribute (ignored for AggCount; must be
+// numeric or its FloatVal is used). The key partition comes from the
+// answerer's shared cache, so a Range after Certain/Conflicts
+// re-partitions nothing.
+func (a *Answerer) Range(agg AggKind, attr int, pred func(relation.Tuple) bool) (Interval, error) {
+	r := a.r
 	if agg != AggCount {
 		if attr < 0 || attr >= r.Schema().Arity() {
 			return Interval{}, fmt.Errorf("cqa: aggregate attribute %d out of range", attr)
@@ -58,7 +61,7 @@ func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred fun
 		}
 		return pred(t)
 	}
-	idx := relation.BuildIndex(r, keyAttrs)
+	pli := a.pli()
 
 	switch agg {
 	case AggCount:
@@ -66,9 +69,9 @@ func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred fun
 		// glb counts groups where EVERY member qualifies, lub counts
 		// groups where SOME member qualifies.
 		lo, hi := 0, 0
-		idx.Groups(func(_ string, tids []int) bool {
+		for g := 0; g < pli.NumGroups(); g++ {
 			all, some := true, false
-			for _, tid := range tids {
+			for _, tid := range pli.Group(g) {
 				if sel(r.Tuple(tid)) {
 					some = true
 				} else {
@@ -81,8 +84,7 @@ func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred fun
 			if some {
 				hi++
 			}
-			return true
-		})
+		}
 		return Interval{Lo: float64(lo), Hi: float64(hi), Defined: true}, nil
 
 	case AggSum:
@@ -90,9 +92,9 @@ func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred fun
 		// qualifies, else 0; independent minimization/maximization per
 		// group. NULL values contribute 0 (SQL SUM skips NULLs).
 		lo, hi := 0.0, 0.0
-		idx.Groups(func(_ string, tids []int) bool {
+		for g := 0; g < pli.NumGroups(); g++ {
 			gLo, gHi := math.Inf(1), math.Inf(-1)
-			for _, tid := range tids {
+			for _, tid := range pli.Group(g) {
 				t := r.Tuple(tid)
 				contrib := 0.0
 				if sel(t) && !t[attr].IsNull() {
@@ -107,16 +109,21 @@ func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred fun
 			}
 			lo += gLo
 			hi += gHi
-			return true
-		})
+		}
 		return Interval{Lo: lo, Hi: hi, Defined: true}, nil
 
 	case AggMin, AggMax:
-		return rangeMinMax(r, idx, agg, attr, sel)
+		return rangeMinMax(r, pli, agg, attr, sel)
 
 	default:
 		return Interval{}, fmt.Errorf("cqa: unknown aggregate kind %d", agg)
 	}
+}
+
+// Range computes the range-consistent aggregate answer with a transient
+// Answerer. See Answerer.Range.
+func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred func(relation.Tuple) bool) (Interval, error) {
+	return NewAnswerer(r, keyAttrs).Range(agg, attr, pred)
 }
 
 // rangeMinMax computes the interval for MIN/MAX. For MIN:
@@ -127,7 +134,7 @@ func Range(r *relation.Relation, keyAttrs []int, agg AggKind, attr int, pred fun
 //
 // MAX is symmetric. Defined is false when some repair can end with no
 // qualifying tuple at all (every group skippable).
-func rangeMinMax(r *relation.Relation, idx *relation.HashIndex, agg AggKind, attr int, sel func(relation.Tuple) bool) (Interval, error) {
+func rangeMinMax(r *relation.Relation, pli *relation.PLI, agg AggKind, attr int, sel func(relation.Tuple) bool) (Interval, error) {
 	type groupInfo struct {
 		bestVal  float64 // max qualifying value for MIN, min for MAX
 		hasQual  bool
@@ -139,14 +146,14 @@ func rangeMinMax(r *relation.Relation, idx *relation.HashIndex, agg AggKind, att
 		extremeAll = math.Inf(-1)
 	}
 	anyQual := false
-	idx.Groups(func(_ string, tids []int) bool {
+	for gi := 0; gi < pli.NumGroups(); gi++ {
 		g := groupInfo{}
 		if agg == AggMin {
 			g.bestVal = math.Inf(-1)
 		} else {
 			g.bestVal = math.Inf(1)
 		}
-		for _, tid := range tids {
+		for _, tid := range pli.Group(gi) {
 			t := r.Tuple(tid)
 			if !sel(t) || t[attr].IsNull() {
 				g.skipable = true
@@ -172,8 +179,7 @@ func rangeMinMax(r *relation.Relation, idx *relation.HashIndex, agg AggKind, att
 			g.hasQual = true
 		}
 		groups = append(groups, g)
-		return true
-	})
+	}
 	if !anyQual {
 		return Interval{Defined: false}, nil
 	}

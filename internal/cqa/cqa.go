@@ -89,10 +89,41 @@ func Direct(r *relation.Relation, q Query) (*relation.Relation, error) {
 	return out, nil
 }
 
+// Answerer evaluates the CQA primitives over one relation under one key
+// constraint, threading a single PLI cache through the whole query path:
+// Certain, Possible, Conflicts, CountRepairs, EnumerateRepairs and Range
+// share one cached key partition instead of re-partitioning per call —
+// the legacy path rebuilt the same hash index up to four times per
+// consistent-answer query (certain + conflicts + count + enumerate).
+type Answerer struct {
+	r     *relation.Relation
+	key   []int
+	cache *relation.IndexCache
+}
+
+// NewAnswerer creates an answerer with a private partition cache.
+func NewAnswerer(r *relation.Relation, keyAttrs []int) *Answerer {
+	return NewAnswererWithCache(r, keyAttrs, relation.NewIndexCache())
+}
+
+// NewAnswererWithCache creates an answerer sharing an existing cache
+// (e.g. an engine session's per-dataset cache, already warm from
+// detection). The cache validates entries against the relation on every
+// use, so the answerer stays correct across cell edits.
+func NewAnswererWithCache(r *relation.Relation, keyAttrs []int, cache *relation.IndexCache) *Answerer {
+	return &Answerer{r: r, key: append([]int(nil), keyAttrs...), cache: cache}
+}
+
+// pli returns the (cached) key partition of the current relation state.
+func (a *Answerer) pli() *relation.PLI {
+	return a.cache.Get(a.r, a.key)
+}
+
 // Certain returns the certain answers of the query under the key
 // constraint: the projected values produced by EVERY repair (repairs
 // keep exactly one tuple from each key group).
-func Certain(r *relation.Relation, keyAttrs []int, q Query) (*relation.Relation, error) {
+func (a *Answerer) Certain(q Query) (*relation.Relation, error) {
+	r := a.r
 	if err := q.validate(r.Schema()); err != nil {
 		return nil, err
 	}
@@ -102,45 +133,48 @@ func Certain(r *relation.Relation, keyAttrs []int, q Query) (*relation.Relation,
 	}
 	out := relation.New(schema)
 	seen := map[string]bool{}
-	idx := relation.BuildIndex(r, keyAttrs)
-	var groupErr error
-	idx.Groups(func(_ string, tids []int) bool {
+	pli := a.pli()
+	for g := 0; g < pli.NumGroups(); g++ {
+		tids := pli.Group(g)
 		// Every member must satisfy the selection and project to the same
 		// value; otherwise some repair omits the value (picks a member
 		// that fails the predicate or projects differently).
 		first := r.Tuple(tids[0])
 		if !q.pred(first) {
-			return true
+			continue
 		}
 		pt := first.Project(q.Project)
+		ok := true
 		for _, tid := range tids[1:] {
 			t := r.Tuple(tid)
 			if !q.pred(t) || !t.Project(q.Project).Equal(pt) {
-				return true
+				ok = false
+				break
 			}
+		}
+		if !ok {
+			continue
 		}
 		k := pt.FullKey()
 		if !seen[k] {
 			seen[k] = true
 			out.MustInsert(pt)
 		}
-		return true
-	})
-	return out, groupErr
+	}
+	return out, nil
 }
 
 // Possible returns the possible answers: the projected values produced
 // by SOME repair. For key repairs that is simply every selected tuple's
 // projection (each tuple survives in at least one repair).
-func Possible(r *relation.Relation, keyAttrs []int, q Query) (*relation.Relation, error) {
+func (a *Answerer) Possible(q Query) (*relation.Relation, error) {
 	// For tuple-deletion repairs of key constraints every tuple occurs in
 	// some repair, so possible answers coincide with direct evaluation.
-	_ = keyAttrs
-	res, err := Direct(r, q)
+	res, err := Direct(a.r, q)
 	if err != nil {
 		return nil, err
 	}
-	schema, err := q.resultSchema(r.Schema(), "possible")
+	schema, err := q.resultSchema(a.r.Schema(), "possible")
 	if err != nil {
 		return nil, err
 	}
@@ -153,33 +187,29 @@ func Possible(r *relation.Relation, keyAttrs []int, q Query) (*relation.Relation
 
 // Conflicts returns the key groups with more than one member — the
 // conflict hypergraph's edges for key constraints.
-func Conflicts(r *relation.Relation, keyAttrs []int) [][]int {
-	idx := relation.BuildIndex(r, keyAttrs)
+func (a *Answerer) Conflicts() [][]int {
+	pli := a.pli()
 	var out [][]int
-	idx.Groups(func(_ string, tids []int) bool {
-		if len(tids) > 1 {
-			group := append([]int(nil), tids...)
-			out = append(out, group)
+	for g := 0; g < pli.NumGroups(); g++ {
+		if tids := pli.Group(g); len(tids) > 1 {
+			out = append(out, append([]int(nil), tids...))
 		}
-		return true
-	})
+	}
 	return out
 }
 
 // CountRepairs returns the number of tuple-deletion repairs (the product
 // of key-group sizes), saturating at math.MaxUint64.
-func CountRepairs(r *relation.Relation, keyAttrs []int) uint64 {
-	idx := relation.BuildIndex(r, keyAttrs)
+func (a *Answerer) CountRepairs() uint64 {
+	pli := a.pli()
 	count := uint64(1)
-	idx.Groups(func(_ string, tids []int) bool {
-		n := uint64(len(tids))
+	for g := 0; g < pli.NumGroups(); g++ {
+		n := uint64(len(pli.Group(g)))
 		if count > math.MaxUint64/n {
-			count = math.MaxUint64
-			return false
+			return math.MaxUint64
 		}
 		count *= n
-		return true
-	})
+	}
 	return count
 }
 
@@ -187,16 +217,15 @@ func CountRepairs(r *relation.Relation, keyAttrs []int) uint64 {
 // TIDs) while f returns true. Exponential in the number of conflicting
 // groups; intended for tests and small interactive demos. Returns an
 // error when the repair count exceeds limit.
-func EnumerateRepairs(r *relation.Relation, keyAttrs []int, limit uint64, f func(tids []int) bool) error {
-	if c := CountRepairs(r, keyAttrs); c > limit {
+func (a *Answerer) EnumerateRepairs(limit uint64, f func(tids []int) bool) error {
+	if c := a.CountRepairs(); c > limit {
 		return fmt.Errorf("cqa: %d repairs exceed limit %d", c, limit)
 	}
-	idx := relation.BuildIndex(r, keyAttrs)
-	var groups [][]int
-	idx.Groups(func(_ string, tids []int) bool {
-		groups = append(groups, tids)
-		return true
-	})
+	pli := a.pli() // cache hit: CountRepairs just partitioned
+	groups := make([][]int, pli.NumGroups())
+	for g := range groups {
+		groups[g] = pli.Group(g)
+	}
 	choice := make([]int, len(groups))
 	for {
 		var tids []int
@@ -219,4 +248,40 @@ func EnumerateRepairs(r *relation.Relation, keyAttrs []int, limit uint64, f func
 			return nil
 		}
 	}
+}
+
+// The package-level entry points evaluate one primitive with a
+// transient Answerer. Callers issuing several primitives against the
+// same relation and key (the usual consistent-answer query: certain +
+// conflicts + count) should create one Answerer and reuse it, so the
+// key partition is built once.
+
+// Certain returns the certain answers of the query under the key
+// constraint. See Answerer.Certain.
+func Certain(r *relation.Relation, keyAttrs []int, q Query) (*relation.Relation, error) {
+	return NewAnswerer(r, keyAttrs).Certain(q)
+}
+
+// Possible returns the possible answers of the query under the key
+// constraint. See Answerer.Possible.
+func Possible(r *relation.Relation, keyAttrs []int, q Query) (*relation.Relation, error) {
+	return NewAnswerer(r, keyAttrs).Possible(q)
+}
+
+// Conflicts returns the key groups with more than one member. See
+// Answerer.Conflicts.
+func Conflicts(r *relation.Relation, keyAttrs []int) [][]int {
+	return NewAnswerer(r, keyAttrs).Conflicts()
+}
+
+// CountRepairs returns the number of tuple-deletion repairs. See
+// Answerer.CountRepairs.
+func CountRepairs(r *relation.Relation, keyAttrs []int) uint64 {
+	return NewAnswerer(r, keyAttrs).CountRepairs()
+}
+
+// EnumerateRepairs enumerates the tuple-deletion repairs. See
+// Answerer.EnumerateRepairs.
+func EnumerateRepairs(r *relation.Relation, keyAttrs []int, limit uint64, f func(tids []int) bool) error {
+	return NewAnswerer(r, keyAttrs).EnumerateRepairs(limit, f)
 }

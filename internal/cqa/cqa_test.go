@@ -36,6 +36,47 @@ func conflicted(t *testing.T) *relation.Relation {
 	return r
 }
 
+// TestAnswererSharesPartition is the regression for the repeated
+// per-query index rebuilds: one answerer serving a whole
+// consistent-answer query (certain + possible + conflicts + count +
+// enumerate + aggregate) partitions the relation by the key exactly
+// once, and a key-relevant edit triggers exactly one revalidating
+// rebuild.
+func TestAnswererSharesPartition(t *testing.T) {
+	r := conflicted(t)
+	cache := relation.NewIndexCache()
+	a := NewAnswererWithCache(r, []int{0}, cache)
+	q := Query{Project: []int{1}}
+	if _, err := a.Certain(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Possible(q); err != nil {
+		t.Fatal(err)
+	}
+	a.Conflicts()
+	a.CountRepairs()
+	if err := a.EnumerateRepairs(1<<20, func([]int) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Range(AggCount, -1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Misses != 1 {
+		t.Fatalf("the query path partitioned %d times, want 1 (stats %+v)", s.Misses, s)
+	}
+
+	// An edit to the key column invalidates the partition; the next
+	// primitive rebuilds it once and later ones reuse the rebuilt PLI.
+	r.Set(3, 0, relation.String("2"))
+	if got := a.CountRepairs(); got != 3 {
+		t.Fatalf("post-edit repairs = %d, want 3 (groups {1} and three id=2 tuples)", got)
+	}
+	a.Conflicts()
+	if s := cache.Stats(); s.Misses != 2 {
+		t.Fatalf("post-edit partitioning ran %d builds, want 2 total (stats %+v)", s.Misses, s)
+	}
+}
+
 func TestCertainAgreeingAttributesSurvive(t *testing.T) {
 	r := conflicted(t)
 	key := []int{0}

@@ -32,6 +32,11 @@ type Options struct {
 	MinSupport int
 	// MaxLHS bounds the number of LHS attributes explored (default 3).
 	MaxLHS int
+	// Cache supplies the PLI partition cache the lattice walk runs on.
+	// Passing a long-lived cache (e.g. an engine session's per-dataset
+	// cache, shared with detection) makes repeated discovery over
+	// unchanged data partition-free; nil uses a private per-call cache.
+	Cache *relation.IndexCache
 }
 
 func (o Options) withDefaults() Options {
@@ -41,6 +46,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxLHS == 0 {
 		o.MaxLHS = 3
 	}
+	if o.Cache == nil {
+		o.Cache = relation.NewIndexCache()
+	}
 	return o
 }
 
@@ -48,6 +56,14 @@ func (o Options) withDefaults() Options {
 // |X| ≤ MaxLHS that hold on r, using TANE-style level-wise partition
 // refinement: X → A holds iff the partition of r by X has as many groups
 // as the partition by X∪{A}.
+//
+// Partitions come from Options.Cache via IndexCache.GetVia, so the walk
+// intersects each level-k partition out of its level-(k-1) prefix
+// instead of re-partitioning the relation per lattice node: because
+// subsetsUpTo enumerates sets level-wise and lexicographically, every
+// sorted set X∪{A} is first requested exactly when X is its length-|X|
+// prefix, making the whole lattice cost |R| single builds plus one
+// counting-sort refinement per node.
 func FDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 	opts = opts.withDefaults()
 	arity := r.Schema().Arity()
@@ -55,7 +71,9 @@ func FDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 		return nil, nil
 	}
 
-	groupsOf := newPartitionCache(r)
+	groupsOf := func(attrs []int) int {
+		return opts.Cache.GetVia(r, attrs).NumGroups()
+	}
 
 	// minimal[A] holds the discovered minimal LHS sets for RHS attribute A.
 	minimal := make(map[int][][]int)
@@ -147,22 +165,21 @@ func ConstantCFDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 		if len(x) == 0 {
 			continue
 		}
-		idx := relation.BuildIndex(r, x)
+		pli := opts.Cache.GetVia(r, x)
 		type group struct {
 			vals relation.Tuple
 			tids []int
 		}
 		var groups []group
-		idx.Groups(func(_ string, tids []int) bool {
+		// PLI groups arrive in sorted encoded-key order — exactly the
+		// FullKey order the legacy path sorted into — so iteration is
+		// already deterministic and reproducible.
+		for gi := 0; gi < pli.NumGroups(); gi++ {
+			tids := pli.Group(gi)
 			if len(tids) >= opts.MinSupport {
 				groups = append(groups, group{r.Tuple(tids[0]).Project(x), tids})
 			}
-			return true
-		})
-		// Deterministic order for reproducible output.
-		sort.Slice(groups, func(i, j int) bool {
-			return groups[i].vals.FullKey() < groups[j].vals.FullKey()
-		})
+		}
 		for _, g := range groups {
 			hasNull := false
 			for _, v := range g.vals {
@@ -228,25 +245,25 @@ func VariableCFDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 	if r.Len() == 0 {
 		return nil, nil
 	}
-	groupsOf := newPartitionCache(r)
 
 	var out []*cfd.CFD
 	for _, x := range subsetsUpTo(arity, opts.MaxLHS) {
 		if len(x) < 2 {
 			continue // a condition needs one attr, the FD another
 		}
+		pliX := opts.Cache.GetVia(r, x)
 		for a := 0; a < arity; a++ {
 			if contains(x, a) {
 				continue
 			}
 			xa := append(append([]int(nil), x...), a)
 			sort.Ints(xa)
-			if groupsOf(x) == groupsOf(xa) {
+			if pliX.NumGroups() == opts.Cache.GetVia(r, xa).NumGroups() {
 				continue // holds globally: a plain FD, not a conditional one
 			}
 			// Try conditioning on each attribute of X.
 			for _, b := range x {
-				rows, err := conditionalRows(r, x, a, b, opts.MinSupport)
+				rows, err := conditionalRows(r, opts.Cache, pliX, x, a, b, opts.MinSupport)
 				if err != nil {
 					return nil, err
 				}
@@ -266,42 +283,51 @@ func VariableCFDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 
 // conditionalRows finds the values b of attribute cond such that X → A
 // holds on σ_{cond=b}(r) with at least minSupport tuples, returning the
-// pattern rows (constant on cond, wildcards elsewhere).
-func conditionalRows(r *relation.Relation, x []int, a, cond, minSupport int) ([]pattern.Row, error) {
-	// Partition by cond, then test the FD within each part.
-	byCond := relation.BuildIndex(r, []int{cond})
+// pattern rows (constant on cond, wildcards elsewhere). pliX is the
+// cached partition of r by X; X-group membership inside each scope comes
+// from PLI.GroupOf instead of re-encoding string keys per tuple.
+func conditionalRows(r *relation.Relation, cache *relation.IndexCache, pliX *relation.PLI, x []int, a, cond, minSupport int) ([]pattern.Row, error) {
+	// Partition by cond, then test the FD within each part. PLI group
+	// order is sorted encoded-key order, matching the legacy key sort.
+	byCond := cache.GetVia(r, []int{cond})
 	type candidate struct {
 		val  relation.Value
-		key  string
 		tids []int
 	}
 	var cands []candidate
-	byCond.Groups(func(key string, tids []int) bool {
+	for g := 0; g < byCond.NumGroups(); g++ {
+		tids := byCond.Group(g)
 		if len(tids) >= minSupport {
 			v := r.Tuple(tids[0])[cond]
 			if !v.IsNull() {
-				cands = append(cands, candidate{v, key, tids})
+				cands = append(cands, candidate{v, tids})
 			}
 		}
-		return true
-	})
-	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+	}
 
+	codesA := r.ColumnCodes(a)
 	var rows []pattern.Row
 	for _, cand := range cands {
-		// Check X → A within the scope.
-		seen := map[string]relation.Value{}
+		// Check X → A within the scope: every X-group of the scope must
+		// agree on A. Codes decide the fast path; unequal codes (possibly
+		// Identical across mixed kinds) and NaN fall back to the exact
+		// value comparison against the group's first member, preserving
+		// the legacy semantics.
+		first := map[int32]int{} // X-group -> first scope member
 		holds := true
 		for _, tid := range cand.tids {
-			t := r.Tuple(tid)
-			k := t.Key(x)
-			if prev, ok := seen[k]; ok {
-				if !prev.Identical(t[a]) {
-					holds = false
-					break
-				}
-			} else {
-				seen[k] = t[a]
+			g := pliX.GroupOf(tid)
+			ft, ok := first[int32(g)]
+			if !ok {
+				first[int32(g)] = tid
+				continue
+			}
+			if codesA[tid] == codesA[ft] && !r.Tuple(ft)[a].IsNaN() {
+				continue
+			}
+			if !r.Tuple(ft)[a].Identical(r.Tuple(tid)[a]) {
+				holds = false
+				break
 			}
 		}
 		if !holds {
@@ -311,14 +337,14 @@ func conditionalRows(r *relation.Relation, x []int, a, cond, minSupport int) ([]
 		// singleton the FD holds vacuously; require at least one group
 		// with 2+ members so the rule is supported by evidence.
 		supported := false
-		counts := map[string]int{}
+		seen := map[int32]bool{}
 		for _, tid := range cand.tids {
-			k := r.Tuple(tid).Key(x)
-			counts[k]++
-			if counts[k] >= 2 {
+			g := int32(pliX.GroupOf(tid))
+			if seen[g] {
 				supported = true
 				break
 			}
+			seen[g] = true
 		}
 		if !supported {
 			continue
@@ -346,8 +372,12 @@ func buildVariableCFD(schema *relation.Schema, x []int, a int, rows []pattern.Ro
 	return cfd.New(name, schema, lhs, []string{schema.Attr(a).Name}, pattern.Tableau(rows))
 }
 
-// Discover runs all three discovery passes and returns the union.
+// Discover runs all three discovery passes and returns the union. The
+// passes share one partition cache (Options.Cache, defaulted here), so
+// the lattice partitions FDs builds are reused by the constant and
+// variable passes.
 func Discover(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
+	opts = opts.withDefaults()
 	fds, err := FDs(r, opts)
 	if err != nil {
 		return nil, err
@@ -362,24 +392,6 @@ func Discover(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 	}
 	out := append(fds, consts...)
 	return append(out, vars...), nil
-}
-
-// newPartitionCache returns a memoized group-count function over
-// attribute sets.
-func newPartitionCache(r *relation.Relation) func([]int) int {
-	cache := map[string]int{}
-	return func(attrs []int) int {
-		key := encodeInts(attrs)
-		if n, ok := cache[key]; ok {
-			return n
-		}
-		seen := make(map[string]struct{}, r.Len())
-		for _, t := range r.Tuples() {
-			seen[t.Key(attrs)] = struct{}{}
-		}
-		cache[key] = len(seen)
-		return len(seen)
-	}
 }
 
 // subsetsUpTo enumerates the non-empty subsets of {0..n-1} with size ≤ k,

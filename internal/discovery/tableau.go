@@ -2,7 +2,6 @@ package discovery
 
 import (
 	"fmt"
-	"sort"
 
 	"semandaq/internal/cfd"
 	"semandaq/internal/pattern"
@@ -34,6 +33,9 @@ type TableauOptions struct {
 	// (default 2) — candidate rows are wildcards with up to this many
 	// attribute=constant conditions.
 	MaxConstants int
+	// Cache supplies the PLI partition cache candidate scopes and
+	// confidence grouping run on; nil uses a private per-call cache.
+	Cache *relation.IndexCache
 }
 
 func (o TableauOptions) withDefaults() TableauOptions {
@@ -48,6 +50,9 @@ func (o TableauOptions) withDefaults() TableauOptions {
 	}
 	if o.MaxConstants == 0 {
 		o.MaxConstants = 2
+	}
+	if o.Cache == nil {
+		o.Cache = relation.NewIndexCache()
 	}
 	return o
 }
@@ -94,16 +99,20 @@ func GenerateTableau(r *relation.Relation, lhsNames []string, rhsName string, op
 	}
 	var candidates []candidate
 
+	// Confidence groups each scope by the cached X partition and counts
+	// plurality A values by dictionary code — codes coincide with the
+	// Encode keys the legacy map grouped on.
+	pliLHS := opts.Cache.GetVia(r, lhs)
+	rhsCodes := r.ColumnCodes(rhsIdx)
 	confidence := func(scope []int) float64 {
 		// Group scope by X; keep plurality A per group.
-		groups := map[string]map[string]int{}
+		groups := map[int32]map[int32]int{}
 		for _, tid := range scope {
-			t := r.Tuple(tid)
-			k := t.Key(lhs)
-			if groups[k] == nil {
-				groups[k] = map[string]int{}
+			g := int32(pliLHS.GroupOf(tid))
+			if groups[g] == nil {
+				groups[g] = map[int32]int{}
 			}
-			groups[k][string(t[rhsIdx].Encode(nil))]++
+			groups[g][rhsCodes[tid]]++
 		}
 		kept := 0
 		for _, counts := range groups {
@@ -137,25 +146,24 @@ func GenerateTableau(r *relation.Relation, lhsNames []string, rhsName string, op
 	wildRow := make(pattern.Row, len(lhs))
 	addCandidate(wildRow, allTIDs)
 
-	// Constant rows on subsets of X.
+	// Constant rows on subsets of X. PLI group order is the sorted-key
+	// order the legacy path sorted buckets into.
 	for _, sub := range subsetsUpTo(len(lhs), opts.MaxConstants) {
 		attrs := make([]int, len(sub))
 		for i, pos := range sub {
 			attrs[i] = lhs[pos]
 		}
-		idx := relation.BuildIndex(r, attrs)
+		pli := opts.Cache.GetVia(r, attrs)
 		type bucket struct {
-			key  string
 			tids []int
 		}
 		var buckets []bucket
-		idx.Groups(func(key string, tids []int) bool {
+		for g := 0; g < pli.NumGroups(); g++ {
+			tids := pli.Group(g)
 			if len(tids) >= minScope {
-				buckets = append(buckets, bucket{key, tids})
+				buckets = append(buckets, bucket{tids})
 			}
-			return true
-		})
-		sort.Slice(buckets, func(i, j int) bool { return buckets[i].key < buckets[j].key })
+		}
 		for _, b := range buckets {
 			rep := r.Tuple(b.tids[0])
 			row := make(pattern.Row, len(lhs))

@@ -142,8 +142,11 @@ type Fix struct {
 type Fixer struct {
 	master *relation.Relation
 	rules  []*Rule
-	// per-rule index on the master's match attributes
-	indexes []*relation.HashIndex
+	// indexes caches the master's partitions on each rule's match
+	// attributes; rules sharing a correlated list share one PLI, and the
+	// cache revalidates against the master on every fix, so edits to the
+	// master between fixes are picked up instead of served stale.
+	indexes *relation.IndexCache
 }
 
 // NewFixer validates the rules against the master relation and builds
@@ -152,13 +155,13 @@ func NewFixer(master *relation.Relation, rules []*Rule) (*Fixer, error) {
 	if len(rules) == 0 {
 		return nil, fmt.Errorf("editrules: at least one rule required")
 	}
-	f := &Fixer{master: master, rules: rules}
+	f := &Fixer{master: master, rules: rules, indexes: relation.NewIndexCache()}
 	for _, r := range rules {
 		if !r.master.Equal(master.Schema()) {
 			return nil, fmt.Errorf("editrules: rule %s is over master schema %s, relation is %s",
 				r.name, r.master.Name(), master.Schema().Name())
 		}
-		f.indexes = append(f.indexes, relation.BuildIndex(master, r.matchMaster))
+		f.indexes.Get(master, r.matchMaster)
 	}
 	return f, nil
 }
@@ -188,7 +191,7 @@ func (f *Fixer) CertainFix(t relation.Tuple, validated []int) (relation.Tuple, [
 	var fixes []Fix
 	for changed := true; changed; {
 		changed = false
-		for ri, rule := range f.rules {
+		for _, rule := range f.rules {
 			// Evidence must be validated.
 			ok := true
 			for _, a := range rule.matchIn {
@@ -220,7 +223,7 @@ func (f *Fixer) CertainFix(t relation.Tuple, validated []int) (relation.Tuple, [
 			if hasNull {
 				continue
 			}
-			masters := f.indexes[ri].LookupKey(out.Key(rule.matchIn))
+			masters := f.indexes.Get(f.master, rule.matchMaster).Lookup(out.Project(rule.matchIn))
 			if len(masters) == 0 {
 				continue
 			}

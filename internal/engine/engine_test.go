@@ -488,6 +488,65 @@ func TestSessionIndexCacheWarm(t *testing.T) {
 	}
 }
 
+// TestSessionDiscoveryCacheWarm asserts the discovery-side acceptance
+// criterion of the partition-intersection refactor: discovery runs on
+// the session's per-dataset PLI cache, the cold lattice walk counting-
+// sorts only single-attribute partitions from scratch (every deeper
+// node is an intersection of its level-(k-1) prefix), and a warm
+// session re-discovers with zero builds and zero refinements — hit
+// counters grow, nothing else moves.
+func TestSessionDiscoveryCacheWarm(t *testing.T) {
+	s := newSession(t, 400, 5)
+	opts := discovery.Options{MinSupport: 5, MaxLHS: 2}
+
+	cold, err := s.Discover(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := s.IndexStats()
+	if stats.Misses == 0 || stats.Refines == 0 {
+		t.Fatalf("cold discovery should both build (singles) and refine (deeper sets): %+v", stats)
+	}
+	if arity := uint64(s.Schema().Arity()); stats.Misses > arity {
+		t.Fatalf("cold discovery built %d partitions from scratch, want at most arity %d (everything deeper intersects)",
+			stats.Misses, arity)
+	}
+
+	warm, err := s.Discover(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.IndexStats()
+	if after.Misses != stats.Misses || after.Refines != stats.Refines {
+		t.Fatalf("warm discovery re-partitioned: %+v -> %+v", stats, after)
+	}
+	if after.Hits <= stats.Hits {
+		t.Fatalf("warm discovery did not hit the cache: %+v -> %+v", stats, after)
+	}
+	if len(warm) != len(cold) {
+		t.Fatalf("warm discovery found %d rules, cold found %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i].String() != cold[i].String() {
+			t.Fatalf("warm rule %d = %s, cold = %s", i, warm[i], cold[i])
+		}
+	}
+
+	// Detection shares the same cache: a detect after discovery reuses
+	// the discovery-built LHS partitions. The cache keys by attribute
+	// ORDER, and phi4 declares its LHS as (ZIP, CC) — the one unsorted
+	// set the sorted lattice walk never visited — so exactly one new
+	// partition is allowed.
+	preDetect := s.IndexStats()
+	if _, err := s.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	postDetect := s.IndexStats()
+	if postDetect.Misses > preDetect.Misses+1 {
+		t.Fatalf("detection after discovery rebuilt partitions: %+v -> %+v", preDetect, postDetect)
+	}
+}
+
 // TestSessionCacheAcrossAccept checks that committing a repair (which
 // swaps the underlying relation) is detected as staleness rather than
 // served from the old relation's indexes.

@@ -42,9 +42,11 @@ type Session struct {
 	workers int
 
 	// indexes caches the X-partition PLIs of the session's dataset keyed
-	// by attribute set. Entries self-validate against the relation's
-	// per-column versions, so repeated detection rebuilds nothing and a
-	// cell edit invalidates only the indexes over the touched column.
+	// by attribute set, shared by detection AND discovery (Discover
+	// threads it through the lattice walk). Entries self-validate
+	// against the relation's per-column versions, so repeated detection
+	// or discovery rebuilds nothing and a cell edit invalidates only the
+	// indexes over the touched column.
 	indexes *relation.IndexCache
 
 	confirmed map[[2]int]bool
@@ -192,9 +194,11 @@ func (s *Session) DetectSerial() ([]cfd.Violation, error) {
 	return cfd.NewDetectorWithCache(s.set, s.indexes).Detect(s.data)
 }
 
-// IndexStats returns the hit/miss counters of the session's PLI cache.
-// Misses count index builds: a warm steady state (repeated detection
-// without mutations) shows Hits growing while Misses stays constant.
+// IndexStats returns the hit/miss/refine counters of the session's PLI
+// cache, which backs both detection and discovery. Misses count full
+// index builds and Refines count partition intersections: a warm steady
+// state (repeated detection/discovery without mutations) shows Hits
+// growing while Misses and Refines stay constant.
 func (s *Session) IndexStats() relation.CacheStats {
 	return s.indexes.Stats()
 }
@@ -352,9 +356,12 @@ func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 
 // Discover profiles the current data for CFDs. If install is true the
 // discovered set replaces the session constraints (after the usual
-// checks).
+// checks). The lattice walk runs on the session's per-dataset PLI
+// cache, so a warm session (repeated discovery, or discovery after
+// detection, over unchanged data) partitions nothing.
 func (s *Session) Discover(opts discovery.Options, install bool) ([]*cfd.CFD, error) {
 	s.mu.RLock()
+	opts.Cache = s.indexes
 	found, err := discovery.Discover(s.data, opts)
 	s.mu.RUnlock()
 	if err != nil {

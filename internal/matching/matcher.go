@@ -17,14 +17,25 @@ type Match struct {
 
 // Matcher identifies tuple pairs across two relations using a set of
 // RCKs: a pair matches when at least one key fires. Each key is
-// evaluated with hash blocking on its equality pairs, so the quadratic
-// comparison only happens within blocks (and only for keys with at least
-// one equality pair; keys that are all-similarity fall back to a full
-// scan, which the tutorial's derived keys avoid by construction).
+// evaluated with partition blocking on its equality pairs, so the
+// quadratic comparison only happens within blocks (and only for keys
+// with at least one equality pair; keys that are all-similarity fall
+// back to a full scan, which the tutorial's derived keys avoid by
+// construction). Blocks come from the matcher's PLI cache: keys sharing
+// an equality-attribute set share one partition of the right relation,
+// and repeated Runs against the same (unchanged) right relation
+// partition nothing.
+//
+// The cache retains the most recent right relation between Runs (its
+// PLIs pin it, and stale entries are only evicted on the next Run's
+// misses). Drop the Matcher — or call ReleaseBlocks — when that
+// relation must be reclaimable before the next Run; callers alternating
+// between several right relations get no cross-Run reuse either way.
 type Matcher struct {
-	left  *relation.Schema
-	right *relation.Schema
-	keys  []*RCK
+	left   *relation.Schema
+	right  *relation.Schema
+	keys   []*RCK
+	blocks *relation.IndexCache
 }
 
 // NewMatcher builds a matcher over the given keys (all over the same
@@ -38,8 +49,13 @@ func NewMatcher(left, right *relation.Schema, keys []*RCK) (*Matcher, error) {
 			return nil, fmt.Errorf("matching: RCK %s is over a different schema pair", k.name)
 		}
 	}
-	return &Matcher{left: left, right: right, keys: keys}, nil
+	return &Matcher{left: left, right: right, keys: keys, blocks: relation.NewIndexCache()}, nil
 }
+
+// ReleaseBlocks drops the cached blocking partitions, releasing the
+// matcher's reference to the last Run's right relation. The next Run
+// rebuilds its blocks as if the matcher were fresh.
+func (m *Matcher) ReleaseBlocks() { m.blocks.Reset() }
 
 // Run returns all matches between l and r, sorted by (LeftTID, RightTID).
 func (m *Matcher) Run(l, r *relation.Relation) ([]Match, error) {
@@ -71,8 +87,9 @@ func (m *Matcher) Run(l, r *relation.Relation) ([]Match, error) {
 			hits[pk] = append(hits[pk], k.name)
 		}
 		if len(eqLeft) > 0 {
-			// Block on the equality attributes.
-			idx := relation.BuildIndex(r, eqRight)
+			// Block on the equality attributes: probe the right
+			// relation's cached partition with the left tuple's values.
+			pli := m.blocks.Get(r, eqRight)
 			for lt, ltup := range l.Tuples() {
 				// NULL blocking keys match nothing.
 				skip := false
@@ -85,7 +102,7 @@ func (m *Matcher) Run(l, r *relation.Relation) ([]Match, error) {
 				if skip {
 					continue
 				}
-				for _, rt := range idx.LookupKey(ltup.Key(eqLeft)) {
+				for _, rt := range pli.Lookup(ltup.Project(eqLeft)) {
 					verify(lt, rt)
 				}
 			}

@@ -5,12 +5,23 @@ import "sort"
 // HashIndex maps composite keys over a fixed attribute list to the TIDs
 // holding that key. It is a snapshot: mutations to the relation after
 // Build are not reflected.
+//
+// Deprecated: HashIndex is the legacy string-keyed index retained only
+// as the reference implementation for PLI equivalence tests. Production
+// code partitions through BuildPLI (or, better, a shared IndexCache,
+// whose Get/GetVia reuse and refine cached partitions); PLI groups are
+// byte-identical to HashIndex buckets in sorted-key order, and
+// PLI.Lookup replaces Lookup/LookupKey probing.
 type HashIndex struct {
 	attrs   []int
 	buckets map[string][]int
 }
 
 // BuildIndex constructs a hash index on the given attribute positions.
+//
+// Deprecated: use BuildPLI or IndexCache.Get/GetVia; see HashIndex. The
+// only remaining call sites are tests asserting PLI-vs-legacy
+// equivalence.
 func BuildIndex(r *Relation, attrs []int) *HashIndex {
 	idx := &HashIndex{
 		attrs:   append([]int(nil), attrs...),

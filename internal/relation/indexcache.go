@@ -7,11 +7,17 @@ import (
 )
 
 // CacheStats is a snapshot of an IndexCache's counters. Misses count
-// index (re)builds, so "zero rebuilds" across repeated detection is
-// asserted by Misses staying constant while Hits grows.
+// from-scratch index (re)builds and Refines count parent-partition
+// intersections (GetVia), so "zero rebuilds" across repeated detection
+// or discovery is asserted by Misses+Refines staying constant while
+// Hits grows.
 type CacheStats struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
+	// Refines counts GetVia lookups answered by refining a cached parent
+	// PLI with one extra attribute instead of counting-sorting from
+	// scratch.
+	Refines uint64 `json:"refines"`
 }
 
 // IndexCache memoizes PLIs per attribute set for one logical dataset.
@@ -30,6 +36,7 @@ type IndexCache struct {
 	entries map[string]*PLI
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	refines atomic.Uint64
 }
 
 // NewIndexCache creates an empty cache.
@@ -61,6 +68,47 @@ func (c *IndexCache) Get(r *Relation, attrs []int) *PLI {
 	}
 	p = BuildPLI(r, attrs)
 	c.misses.Add(1)
+	c.store(r, key, p)
+	return p
+}
+
+// GetVia returns a PLI of r over attrs like Get, but answers a miss by
+// refining the cached PLI over attrs[:len-1] with the last attribute
+// (PLI.Intersect) when that parent is present and fresh — one counting
+// sort instead of len(attrs). Level-wise lattice walks (TANE-style
+// discovery) visit attribute sets in exactly the order that keeps the
+// parent warm, so a cold walk costs one full build per single attribute
+// and one refinement per larger set.
+func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
+	key := attrsKey(attrs)
+	c.mu.RLock()
+	p := c.entries[key]
+	var parent *PLI
+	if p == nil || !p.Fresh(r) {
+		if len(attrs) > 1 {
+			parent = c.entries[attrsKey(attrs[:len(attrs)-1])]
+		}
+		p = nil
+	}
+	c.mu.RUnlock()
+	if p != nil {
+		c.hits.Add(1)
+		return p
+	}
+	if parent != nil && parent.Fresh(r) {
+		p = parent.Intersect(attrs[len(attrs)-1])
+		c.refines.Add(1)
+	} else {
+		p = BuildPLI(r, attrs)
+		c.misses.Add(1)
+	}
+	c.store(r, key, p)
+	return p
+}
+
+// store publishes a freshly built PLI under key, evicting entries that
+// no longer describe the caller's relation.
+func (c *IndexCache) store(r *Relation, key string, p *PLI) {
 	c.mu.Lock()
 	if prior := c.entries[key]; prior == nil || !prior.Fresh(r) {
 		c.entries[key] = p
@@ -76,12 +124,11 @@ func (c *IndexCache) Get(r *Relation, attrs []int) *PLI {
 		}
 	}
 	c.mu.Unlock()
-	return p
 }
 
-// Stats returns the cache's hit/miss counters.
+// Stats returns the cache's hit/miss/refine counters.
 func (c *IndexCache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Refines: c.refines.Load()}
 }
 
 // Len returns the number of cached attribute sets.

@@ -1,6 +1,9 @@
 package relation
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // PLI is a position list index: the partition of a relation's TIDs into
 // groups agreeing on a fixed attribute list, computed over the interned
@@ -25,6 +28,11 @@ type PLI struct {
 	tids     []int   // concatenation of all groups; ascending within each
 	offsets  []int32 // group g occupies tids[offsets[g]:offsets[g+1]]
 	tidGroup []int32 // tid -> group index
+
+	// Lazily built composite-code -> group map backing Lookup; built at
+	// most once per PLI (sync.Once), so concurrent probers share it.
+	lookupOnce sync.Once
+	lookup     map[string]int32
 }
 
 // BuildPLI constructs the partition index of r on the given attribute
@@ -67,66 +75,113 @@ func BuildPLI(r *Relation, attrs []int) *PLI {
 	bounds := []int32{0, int32(n)}
 
 	for _, a := range attrs {
-		codes := r.ColumnCodes(a)
-		ranks := r.codeRanks(a)
-		count := make([]int32, r.DistinctCodes(a))
-		var touched []int32
-		newBounds := make([]int32, 1, len(bounds))
-		for gi := 0; gi+1 < len(bounds); gi++ {
-			lo, hi := int(bounds[gi]), int(bounds[gi+1])
-			if hi-lo == 1 {
-				next[lo] = cur[lo]
-				newBounds = append(newBounds, int32(hi))
-				continue
-			}
-			members := cur[lo:hi]
-			touched = touched[:0]
-			for _, tid := range members {
-				c := codes[tid]
-				if count[c] == 0 {
-					touched = append(touched, c)
-				}
-				count[c]++
-			}
-			if len(touched) == 1 {
-				copy(next[lo:hi], members)
-				newBounds = append(newBounds, int32(hi))
-				count[touched[0]] = 0
-				continue
-			}
-			sort.Slice(touched, func(i, j int) bool { return ranks[touched[i]] < ranks[touched[j]] })
-			// Turn counts into placement cursors (block starts in rank
-			// order), then place members stably so TIDs stay ascending.
-			pos := int32(lo)
-			for _, c := range touched {
-				cnt := count[c]
-				count[c] = pos
-				pos += cnt
-			}
-			for _, tid := range members {
-				c := codes[tid]
-				next[count[c]] = tid
-				count[c]++
-			}
-			// After placement each cursor sits at its block's end, which
-			// is exactly the sub-group boundary.
-			for _, c := range touched {
-				newBounds = append(newBounds, count[c])
-				count[c] = 0
-			}
-		}
+		bounds = refineBy(r, a, cur, next, bounds)
 		cur, next = next, cur
-		bounds = newBounds
 	}
 
 	p.tids = cur
 	p.offsets = bounds
-	for g := 0; g+1 < len(bounds); g++ {
-		for _, tid := range cur[bounds[g]:bounds[g+1]] {
+	p.fillTIDGroups()
+	return p
+}
+
+// refineBy sub-partitions (cur, bounds) by attribute a's codes, writing
+// the refined TID order into next and returning the refined bounds: one
+// stable counting-sort level of the BuildPLI recurrence, reused verbatim
+// by Intersect. cur is never written, so callers may pass shared
+// storage (Intersect hands in the parent PLI's tids directly).
+func refineBy(r *Relation, a int, cur, next []int, bounds []int32) []int32 {
+	codes := r.ColumnCodes(a)
+	ranks := r.codeRanks(a)
+	count := make([]int32, r.DistinctCodes(a))
+	var touched []int32
+	newBounds := make([]int32, 1, len(bounds))
+	for gi := 0; gi+1 < len(bounds); gi++ {
+		lo, hi := int(bounds[gi]), int(bounds[gi+1])
+		if hi-lo == 1 {
+			next[lo] = cur[lo]
+			newBounds = append(newBounds, int32(hi))
+			continue
+		}
+		members := cur[lo:hi]
+		touched = touched[:0]
+		for _, tid := range members {
+			c := codes[tid]
+			if count[c] == 0 {
+				touched = append(touched, c)
+			}
+			count[c]++
+		}
+		if len(touched) == 1 {
+			copy(next[lo:hi], members)
+			newBounds = append(newBounds, int32(hi))
+			count[touched[0]] = 0
+			continue
+		}
+		sort.Slice(touched, func(i, j int) bool { return ranks[touched[i]] < ranks[touched[j]] })
+		// Turn counts into placement cursors (block starts in rank
+		// order), then place members stably so TIDs stay ascending.
+		pos := int32(lo)
+		for _, c := range touched {
+			cnt := count[c]
+			count[c] = pos
+			pos += cnt
+		}
+		for _, tid := range members {
+			c := codes[tid]
+			next[count[c]] = tid
+			count[c]++
+		}
+		// After placement each cursor sits at its block's end, which
+		// is exactly the sub-group boundary.
+		for _, c := range touched {
+			newBounds = append(newBounds, count[c])
+			count[c] = 0
+		}
+	}
+	return newBounds
+}
+
+func (p *PLI) fillTIDGroups() {
+	for g := 0; g+1 < len(p.offsets); g++ {
+		for _, tid := range p.tids[p.offsets[g]:p.offsets[g+1]] {
 			p.tidGroup[tid] = int32(g)
 		}
 	}
-	return p
+}
+
+// Intersect returns the partition index over attrs ∪ {y} (y appended)
+// by refining this PLI's groups with one counting-sort pass over y's
+// codes — the classic TANE-style partition intersection. The result is
+// byte-identical (groups, member order, group order) to
+// BuildPLI(r, append(attrs, y)), but costs one refinement level instead
+// of len(attrs)+1.
+//
+// The receiver must still be fresh for its relation (Intersect snapshots
+// y's current column version alongside the receiver's recorded ones);
+// IndexCache.GetVia checks that before refining.
+func (p *PLI) Intersect(y int) *PLI {
+	r := p.rel
+	out := &PLI{
+		rel:     r,
+		attrs:   append(append([]int(nil), p.attrs...), y),
+		colVers: make([]uint64, len(p.attrs)+1),
+		n:       p.n,
+	}
+	copy(out.colVers, p.colVers)
+	out.colVers[len(p.attrs)] = r.ColumnVersion(y)
+	out.tidGroup = make([]int32, p.n)
+	if p.n == 0 {
+		out.offsets = []int32{0}
+		return out
+	}
+	// refineBy only reads cur, so the parent's TID storage is shared
+	// directly instead of copied.
+	next := make([]int, p.n)
+	out.offsets = refineBy(r, y, p.tids, next, p.offsets)
+	out.tids = next
+	out.fillTIDGroups()
+	return out
 }
 
 // Attrs returns the indexed attribute positions.
@@ -141,6 +196,55 @@ func (p *PLI) Group(g int) []int { return p.tids[p.offsets[g]:p.offsets[g+1]] }
 
 // GroupOf returns the index of the group containing tid.
 func (p *PLI) GroupOf(tid int) int { return int(p.tidGroup[tid]) }
+
+// Lookup returns the TIDs of the group whose indexed attributes hold
+// exactly the given values (one per indexed attribute, compared by
+// Value.Encode like HashIndex keys — the probe values may come from a
+// different relation). It returns nil when no group matches. The result
+// aliases index storage.
+//
+// Like every PLI read, Lookup describes the relation as of build time;
+// probe through IndexCache.Get to stay fresh across mutations.
+func (p *PLI) Lookup(vals []Value) []int {
+	if len(vals) != len(p.attrs) {
+		return nil
+	}
+	var buf [48]byte
+	key := make([]byte, 0, 8*len(vals))
+	for i, a := range p.attrs {
+		code, ok := p.rel.cols[a].dict[string(vals[i].Encode(buf[:0]))]
+		if !ok {
+			return nil // value never interned: no group can hold it
+		}
+		key = appendCode(key, code)
+	}
+	p.lookupOnce.Do(p.buildLookup)
+	g, ok := p.lookup[string(key)]
+	if !ok {
+		return nil
+	}
+	return p.Group(int(g))
+}
+
+// buildLookup materializes the composite-code -> group map from each
+// group's representative TID.
+func (p *PLI) buildLookup() {
+	m := make(map[string]int32, p.NumGroups())
+	key := make([]byte, 0, 8*len(p.attrs))
+	for g := 0; g < p.NumGroups(); g++ {
+		rep := p.tids[p.offsets[g]]
+		key = key[:0]
+		for _, a := range p.attrs {
+			key = appendCode(key, p.rel.cols[a].codes[rep])
+		}
+		m[string(key)] = int32(g)
+	}
+	p.lookup = m
+}
+
+func appendCode(b []byte, c int32) []byte {
+	return append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+}
 
 // Fresh reports whether the index still describes r: it was built from
 // this relation, the relation has not grown or been reordered, and none

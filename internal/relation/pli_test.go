@@ -111,6 +111,158 @@ func TestPLIMatchesHashIndex(t *testing.T) {
 	}
 }
 
+// samePartition asserts two PLIs have byte-identical groups: same group
+// count, same group order, same member order.
+func samePartition(t *testing.T, ctx string, got, want *PLI) {
+	t.Helper()
+	if got.NumGroups() != want.NumGroups() {
+		t.Fatalf("%s: %d groups, want %d", ctx, got.NumGroups(), want.NumGroups())
+	}
+	for g := 0; g < want.NumGroups(); g++ {
+		gg, wg := got.Group(g), want.Group(g)
+		if len(gg) != len(wg) {
+			t.Fatalf("%s group %d: %v, want %v", ctx, g, gg, wg)
+		}
+		for i := range wg {
+			if gg[i] != wg[i] {
+				t.Fatalf("%s group %d: %v, want %v", ctx, g, gg, wg)
+			}
+		}
+	}
+}
+
+// TestIntersectMatchesBuildPLI is the partition-intersection property:
+// on random mixed-kind relations, refining PLI[X] by one extra
+// attribute y produces byte-identical groups, member order, and group
+// order to counting-sorting X++[y] from scratch — for every prefix X of
+// several attribute chains, chained intersections included.
+func TestIntersectMatchesBuildPLI(t *testing.T) {
+	chains := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0}, {2, 0}}
+	for seed := int64(1); seed <= 8; seed++ {
+		r := randomMixedRelation(t, seed, 150+int(seed)*41)
+		for _, chain := range chains {
+			p := BuildPLI(r, chain[:1])
+			for k := 2; k <= len(chain); k++ {
+				p = p.Intersect(chain[k-1])
+				want := BuildPLI(r, chain[:k])
+				samePartition(t, fmt.Sprintf("seed %d chain %v level %d", seed, chain, k), p, want)
+				for tid := 0; tid < r.Len(); tid++ {
+					if p.GroupOf(tid) != want.GroupOf(tid) {
+						t.Fatalf("seed %d chain %v level %d: GroupOf(%d) = %d, want %d",
+							seed, chain, k, tid, p.GroupOf(tid), want.GroupOf(tid))
+					}
+				}
+				if !p.Fresh(r) {
+					t.Fatalf("seed %d chain %v level %d: intersected PLI is not fresh", seed, chain, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPLILookupMatchesHashIndex checks that PLI.Lookup agrees with
+// HashIndex.LookupKey for every key present in the relation and returns
+// nil for foreign values that were never interned.
+func TestPLILookupMatchesHashIndex(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		r := randomMixedRelation(t, seed, 200)
+		for _, attrs := range [][]int{{0}, {1, 2}, {0, 3}, {2, 1, 0}} {
+			idx := BuildIndex(r, attrs)
+			pli := BuildPLI(r, attrs)
+			for tid := 0; tid < r.Len(); tid++ {
+				probe := r.Tuple(tid).Project(attrs)
+				want := idx.Lookup(r.Tuple(tid))
+				got := pli.Lookup(probe)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d attrs %v tid %d: Lookup %v, want %v", seed, attrs, tid, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("seed %d attrs %v tid %d: Lookup %v, want %v", seed, attrs, tid, got, want)
+					}
+				}
+			}
+			// A value absent from the dictionaries can match no group.
+			miss := make(Tuple, len(attrs))
+			for i := range miss {
+				miss[i] = String("never-inserted-value")
+			}
+			if got := pli.Lookup(miss); got != nil {
+				t.Fatalf("seed %d attrs %v: Lookup of foreign value returned %v", seed, attrs, got)
+			}
+			if got := pli.Lookup(miss[:0]); got != nil {
+				t.Fatalf("seed %d attrs %v: arity-mismatched Lookup returned %v", seed, attrs, got)
+			}
+		}
+	}
+}
+
+// TestGetViaRefinesAndValidates covers the cache-aware refinement path:
+// GetVia answers from the parent partition when it can, falls back to a
+// full build when it cannot, and everything it returns validates Fresh —
+// including after edits that invalidate the parent.
+func TestGetViaRefinesAndValidates(t *testing.T) {
+	r := randomMixedRelation(t, 21, 180)
+	cache := NewIndexCache()
+
+	// Level-wise walk: singles are full builds, pairs/triples refine.
+	cache.GetVia(r, []int{0})
+	cache.GetVia(r, []int{1})
+	if s := cache.Stats(); s.Misses != 2 || s.Refines != 0 {
+		t.Fatalf("after singles: %+v", s)
+	}
+	p01 := cache.GetVia(r, []int{0, 1})
+	if s := cache.Stats(); s.Misses != 2 || s.Refines != 1 {
+		t.Fatalf("pair should refine from its prefix: %+v", s)
+	}
+	samePartition(t, "GetVia{0,1}", p01, BuildPLI(r, []int{0, 1}))
+	p012 := cache.GetVia(r, []int{0, 1, 2})
+	if s := cache.Stats(); s.Refines != 2 {
+		t.Fatalf("triple should refine from the cached pair: %+v", s)
+	}
+	samePartition(t, "GetVia{0,1,2}", p012, BuildPLI(r, []int{0, 1, 2}))
+	if !p012.Fresh(r) {
+		t.Fatalf("GetVia result is stale on a quiescent relation")
+	}
+	if got := cache.GetVia(r, []int{0, 1, 2}); got != p012 {
+		t.Fatalf("warm GetVia rebuilt the PLI")
+	}
+
+	// A pair whose prefix was never cached falls back to a full build.
+	cache.GetVia(r, []int{3, 2})
+	if s := cache.Stats(); s.Misses != 3 {
+		t.Fatalf("orphan pair should build from scratch: %+v", s)
+	}
+
+	// Edit column 1: {0,1} and {0,1,2} go stale; re-requesting {0,1,2}
+	// must not refine from the stale parent, and the fresh result must
+	// reflect the edit.
+	r.Set(3, 1, String("post-edit-value"))
+	if p012.Fresh(r) {
+		t.Fatalf("PLI over edited column claims freshness")
+	}
+	p012b := cache.GetVia(r, []int{0, 1, 2})
+	if p012b == p012 {
+		t.Fatalf("GetVia served a stale PLI after an edit")
+	}
+	if !p012b.Fresh(r) {
+		t.Fatalf("post-edit GetVia result does not validate Fresh")
+	}
+	samePartition(t, "post-edit GetVia{0,1,2}", p012b, BuildPLI(r, []int{0, 1, 2}))
+
+	// With the parent re-warmed, the child refines again post-edit.
+	cache.GetVia(r, []int{0, 1})
+	before := cache.Stats()
+	p013 := cache.GetVia(r, []int{0, 1, 3})
+	if s := cache.Stats(); s.Refines != before.Refines+1 {
+		t.Fatalf("re-warmed parent should serve refinement: %+v -> %+v", before, s)
+	}
+	if !p013.Fresh(r) {
+		t.Fatalf("refined PLI does not validate Fresh after edits")
+	}
+	samePartition(t, "post-edit GetVia{0,1,3}", p013, BuildPLI(r, []int{0, 1, 3}))
+}
+
 // TestInternNoIdenticalCollision asserts the interning invariant behind
 // code-based comparison: within a column populated through Insert (which
 // coerces ints into float columns), no two distinct codes hold Identical

@@ -147,6 +147,14 @@ func (v Value) Identical(w Value) bool {
 
 func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
 
+// IsNaN reports whether v is a floating NaN — the one value that is
+// never Identical to itself, and therefore the one case where equal
+// dictionary codes cannot certify agreement (code-compare fast paths
+// must fall back to Identical for it).
+func (v Value) IsNaN() bool {
+	return v.kind == KindFloat && v.f != v.f
+}
+
 // Compare returns -1, 0 or +1 ordering v relative to w. NULL sorts before
 // everything; across kinds the order is null < numeric < string.
 func (v Value) Compare(w Value) int {

@@ -123,8 +123,9 @@ type datasetJSON struct {
 	Tuples      int    `json:"tuples"`
 	Schema      string `json:"schema"`
 	Constraints int    `json:"constraints"`
-	// IndexCache reports the session's PLI cache counters; a healthy
-	// steady state shows hits growing while misses stay flat.
+	// IndexCache reports the session's PLI cache counters (shared by
+	// detection and discovery); a healthy steady state shows hits
+	// growing while misses and refines stay flat.
 	IndexCache relation.CacheStats `json:"index_cache"`
 }
 

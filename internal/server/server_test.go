@@ -263,6 +263,20 @@ func TestDiscover(t *testing.T) {
 	if code != http.StatusOK || body["count"].(float64) != 0 {
 		t.Fatalf("detect after discover+install: %d %v", code, body)
 	}
+	// Discovery runs on the session's PLI cache, and the dataset JSON
+	// reports its counters: the lattice walk must have registered
+	// partition intersections (refines), not just full builds.
+	code, body = call(t, ts, "GET", "/v1/datasets/clean", nil)
+	if code != http.StatusOK {
+		t.Fatalf("info: %d %v", code, body)
+	}
+	cacheStats := body["index_cache"].(map[string]any)
+	if cacheStats["refines"].(float64) == 0 {
+		t.Fatalf("discovery registered no partition intersections: %v", cacheStats)
+	}
+	if cacheStats["misses"].(float64) == 0 {
+		t.Fatalf("expected some full partition builds: %v", cacheStats)
+	}
 }
 
 func TestEditAndConfirm(t *testing.T) {

@@ -135,18 +135,14 @@ func (rn *Runner) DetectECFD(e *cfd.ECFD, tableName string) ([]int, error) {
 		}
 	}
 	if len(g.QV) > 0 {
-		idx := relation.BuildIndex(orig, e.LHS())
+		pli := rn.indexes[tableName].Get(orig, e.LHS())
 		for _, qv := range g.QV {
 			res, err := rn.DB.Query(qv)
 			if err != nil {
 				return nil, fmt.Errorf("sqlgen: running eCFD Q_V: %w", err)
 			}
-			width := make([]int, res.Schema().Arity())
-			for i := range width {
-				width[i] = i
-			}
 			for _, gtup := range res.Tuples() {
-				for _, tid := range idx.LookupKey(gtup.Key(width)) {
+				for _, tid := range pli.Lookup(gtup) {
 					seen[tid] = true
 				}
 			}

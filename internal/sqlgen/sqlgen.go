@@ -263,11 +263,21 @@ type Runner struct {
 	DB     *minidb.DB
 	marker string
 	loaded map[string]*relation.Relation // SQL name -> original relation
+	// indexes holds one PLI cache per loaded table (IndexCache evicts
+	// entries for foreign relations, so tables must not share a cache);
+	// group expansion after Q_V probes these instead of rebuilding a
+	// hash index per detection call.
+	indexes map[string]*relation.IndexCache
 }
 
 // NewRunner creates a Runner with the default wildcard marker.
 func NewRunner() *Runner {
-	return &Runner{DB: minidb.New(), marker: DefaultWildcardMarker, loaded: map[string]*relation.Relation{}}
+	return &Runner{
+		DB:      minidb.New(),
+		marker:  DefaultWildcardMarker,
+		loaded:  map[string]*relation.Relation{},
+		indexes: map[string]*relation.IndexCache{},
+	}
 }
 
 // Load copies r into the runner's database under the given SQL name,
@@ -291,6 +301,7 @@ func (rn *Runner) Load(name string, r *relation.Relation) (*relation.Relation, e
 	}
 	rn.DB.Register(name, wide)
 	rn.loaded[name] = r
+	rn.indexes[name] = relation.NewIndexCache()
 	return wide, nil
 }
 
@@ -362,22 +373,19 @@ func (rn *Runner) DetectCFDPerRow(g GeneratedCFD, tableName string) ([]int, erro
 }
 
 // expandGroups maps Q_V's violating X-groups back to the member TIDs by
-// probing an index on the original relation (equality joins in SQL would
-// drop NULL-keyed groups, which the native detector legitimately forms
-// when wildcards match NULLs).
+// probing the original relation's cached X partition with the group
+// tuples' values (equality joins in SQL would drop NULL-keyed groups,
+// which the native detector legitimately forms when wildcards match
+// NULLs).
 func (rn *Runner) expandGroups(c *cfd.CFD, groups *relation.Relation, tableName string) ([]int, error) {
 	orig, ok := rn.loaded[tableName]
 	if !ok {
 		return nil, fmt.Errorf("sqlgen: table %q not loaded", tableName)
 	}
-	idx := relation.BuildIndex(orig, c.LHS())
-	groupWidth := make([]int, groups.Schema().Arity())
-	for i := range groupWidth {
-		groupWidth[i] = i
-	}
+	pli := rn.indexes[tableName].Get(orig, c.LHS())
 	var out []int
 	for _, g := range groups.Tuples() {
-		out = append(out, idx.LookupKey(g.Key(groupWidth))...)
+		out = append(out, pli.Lookup(g)...)
 	}
 	return out, nil
 }
