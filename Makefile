@@ -7,7 +7,7 @@ SHELL := /bin/bash
 # real measurements.
 BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-all run-daemon
+.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-all run-daemon
 
 all: check
 
@@ -34,16 +34,19 @@ race:
 	$(GO) test -race ./...
 
 # race-cache re-runs the packages that share PLI caches across
-# goroutines (discovery through engine sessions, concurrent detection)
-# with a higher count, so cache-sharing races surface on every push.
+# goroutines (discovery through engine sessions, concurrent detection,
+# append-time PLI advancement through incremental repair) with a higher
+# count, so cache-sharing races surface on every push.
 race-cache:
-	$(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/
+	$(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/ ./internal/repair/
 
 # bench runs the perf-trajectory benchmarks CI archives on every run:
 # detection (E1 scale sweep, E13 parallel detector) into
-# BENCH_detect.json and the discovery lattice walk (cold FDs, warm
-# session) into BENCH_discovery.json.
-bench: bench-detect bench-discovery
+# BENCH_detect.json, the discovery lattice walk (cold FDs, warm
+# session) into BENCH_discovery.json, and the streaming append→detect
+# path (incremental PLI advance vs invalidate-and-rebuild) into
+# BENCH_append.json.
+bench: bench-detect bench-discovery bench-append
 
 bench-detect:
 	$(GO) test -bench='E1DetectScaleTuples|E13ParallelDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
@@ -52,6 +55,10 @@ bench-detect:
 bench-discovery:
 	$(GO) test -bench='DiscoveryFDs|DiscoveryWarmSession' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_discovery.json
+
+bench-append:
+	$(GO) test -bench='AppendDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_append.json
 
 # bench-all smoke-runs every benchmark once.
 bench-all:

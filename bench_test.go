@@ -437,6 +437,72 @@ func BenchmarkDiscoveryWarmSession(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendDetect measures the service's streaming steady state:
+// append a small delta to a warm 100k-tuple session, incrementally
+// repair it, and re-detect. The incremental path appends into the
+// session relation and absorbs the delta into the cached PLIs
+// (PLI.Advance — zero rebuilds, asserted by the engine tests); the
+// rebuild baseline reproduces the pre-advance architecture, where every
+// append cloned the base into a fresh combined relation and every
+// partition was counting-sorted from scratch on the next detect. This
+// is the perf gate for incremental PLI maintenance (BENCH_append.json).
+func BenchmarkAppendDetect(b *testing.B) {
+	const n, deltaSize = 100_000, 100
+	set := datagen.CustConstraints()
+	base := datagen.Cust(n, 97)
+	// Deltas are clones of base rows: consistent by construction, so
+	// both paths measure pure append+detect mechanics, not repair work.
+	mkDelta := func(i int) []relation.Tuple {
+		out := make([]relation.Tuple, deltaSize)
+		for j := range out {
+			out[j] = base.Tuple((i*deltaSize + j*31) % base.Len()).Clone()
+		}
+		return out
+	}
+	b.Run(fmt.Sprintf("incremental/n=%d/delta=%d", n, deltaSize), func(b *testing.B) {
+		s, err := engine.NewSession("bench-append", base, set, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Detect(); err != nil {
+			b.Fatal(err)
+		}
+		warm := s.IndexStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Append(mkDelta(i)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Detect(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		after := s.IndexStats()
+		if after.Misses != warm.Misses || after.Refines != warm.Refines {
+			b.Fatalf("incremental path rebuilt partitions: %+v -> %+v", warm, after)
+		}
+	})
+	b.Run(fmt.Sprintf("rebuild/n=%d/delta=%d", n, deltaSize), func(b *testing.B) {
+		cur := base.Clone()
+		d := cfd.NewDetector(set)
+		if _, err := d.Detect(cur); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := repair.AppendAndRepair(cur, mkDelta(i), set, repair.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur = res.Repaired
+			if _, err := d.Detect(cur); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Ablation benchmarks (design choices called out in DESIGN.md) ---
 
 // BenchmarkAblationGroupedVsNaive quantifies the grouped detection

@@ -113,6 +113,64 @@ type rhsConst struct {
 	unique bool // ...and it is the only code that does
 }
 
+// lhsRow is the prepared fast path for one tableau row's LHS patterns:
+// group-representative matching by int32 code comparisons instead of
+// Value comparisons — the per-group cost of the detection scan.
+type lhsRow struct {
+	// skip: some constant matches no value in its column, so no group
+	// can match the row at all.
+	skip bool
+	// fallback: some constant resolved ambiguously (mixed-kind column);
+	// code checks are necessary but not sufficient, confirm with the
+	// exact Value semantics.
+	fallback bool
+	// checks are the uniquely resolved constants: the group matches only
+	// if the representative's code at LHS position pos equals code.
+	checks []lhsCheck
+}
+
+type lhsCheck struct {
+	pos  int // index into the CFD's LHS attribute list
+	code int32
+}
+
+// prepareLHS resolves every constant LHS pattern of c against r's column
+// dictionaries, mirroring prepareRHS: a unique resolution turns the
+// per-group row-match into code comparisons, a failed resolution rules
+// the row out wholesale, and an ambiguous one falls back to
+// pattern.Row.Matches (whose semantics the fast path reproduces
+// exactly — tests assert byte-identical output vs the legacy scan).
+func prepareLHS(r *relation.Relation, c *CFD) []lhsRow {
+	out := make([]lhsRow, len(c.tableau))
+	for i, row := range c.tableau {
+		for j, attr := range c.lhs {
+			p := row[j]
+			if !p.IsConst() {
+				continue
+			}
+			code, ok, unique := r.LookupCode(attr, p.Constant())
+			switch {
+			case !ok:
+				out[i].skip = true
+			case unique:
+				out[i].checks = append(out[i].checks, lhsCheck{j, code})
+			default:
+				out[i].fallback = true
+			}
+		}
+	}
+	return out
+}
+
+// lhsColumnCodes gathers the code columns of c's LHS attributes.
+func lhsColumnCodes(r *relation.Relation, c *CFD) [][]int32 {
+	out := make([][]int32, len(c.lhs))
+	for j, attr := range c.lhs {
+		out[j] = r.ColumnCodes(attr)
+	}
+	return out
+}
+
 // prepareRHS resolves every constant RHS pattern of c against r's column
 // dictionaries. prep[row][j] is meaningful only where the pattern is a
 // constant.
@@ -187,13 +245,34 @@ func groupVarConflict(r *relation.Relation, codes []int32, tids []int, attr int)
 // disagrees, or NaN — which is never Identical to itself), so the
 // violation list is byte-identical to value-by-value detection.
 func DetectGroups(r *relation.Relation, c *CFD, pli *relation.PLI, lo, hi int) []Violation {
-	return detectGroupsPrepared(r, c, pli, lo, hi, prepareRHS(r, c), rhsColumnCodes(r, c))
+	return detectGroupsPrepared(r, c, pli, lo, hi, newPrep(r, c))
+}
+
+// cfdPrep bundles the per-CFD constant resolutions and code columns so
+// DetectParallel computes them once per CFD instead of once per chunk.
+type cfdPrep struct {
+	lhs      []lhsRow
+	lhsCodes [][]int32
+	rhs      [][]rhsConst
+	rhsCodes [][]int32
+}
+
+func newPrep(r *relation.Relation, c *CFD) cfdPrep {
+	return cfdPrep{
+		lhs:      prepareLHS(r, c),
+		lhsCodes: lhsColumnCodes(r, c),
+		rhs:      prepareRHS(r, c),
+		rhsCodes: rhsColumnCodes(r, c),
+	}
 }
 
 // detectGroupsPrepared is DetectGroups with the per-CFD preparation
-// hoisted out, so DetectParallel resolves constants and code columns
-// once per CFD instead of once per chunk job.
-func detectGroupsPrepared(r *relation.Relation, c *CFD, pli *relation.PLI, lo, hi int, prep [][]rhsConst, rhsCodes [][]int32) []Violation {
+// hoisted out. The group loop runs entirely on column codes: row
+// matching compares the representative's LHS codes against the
+// pre-resolved constants (falling back to exact Value matching only for
+// ambiguous mixed-kind resolutions), and the RHS checks work as
+// documented on DetectGroups.
+func detectGroupsPrepared(r *relation.Relation, c *CFD, pli *relation.PLI, lo, hi int, prep cfdPrep) []Violation {
 	var out []Violation
 	nl := len(c.lhs)
 	for g := lo; g < hi; g++ {
@@ -201,16 +280,31 @@ func detectGroupsPrepared(r *relation.Relation, c *CFD, pli *relation.PLI, lo, h
 		if len(tids) == 0 {
 			continue
 		}
-		rep := r.Tuple(tids[0])
+		repTID := tids[0]
+		rep := r.Tuple(repTID)
 		for rowIdx, row := range c.tableau {
-			if !row[:nl].Matches(rep, c.lhs) {
+			lp := &prep.lhs[rowIdx]
+			if lp.skip {
+				continue
+			}
+			matched := true
+			for _, chk := range lp.checks {
+				if prep.lhsCodes[chk.pos][repTID] != chk.code {
+					matched = false
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+			if lp.fallback && !row[:nl].Matches(rep, c.lhs) {
 				continue
 			}
 			for j, attr := range c.rhs {
 				p := row[nl+j]
 				if p.IsConst() {
-					ci := prep[rowIdx][j]
-					codes := rhsCodes[j]
+					ci := prep.rhs[rowIdx][j]
+					codes := prep.rhsCodes[j]
 					switch {
 					case !ci.ok:
 						// No value in the column matches the constant:
@@ -246,7 +340,7 @@ func detectGroupsPrepared(r *relation.Relation, c *CFD, pli *relation.PLI, lo, h
 				if len(tids) < 2 {
 					continue
 				}
-				if groupVarConflict(r, rhsCodes[j], tids, attr) {
+				if groupVarConflict(r, prep.rhsCodes[j], tids, attr) {
 					group := append([]int(nil), tids...)
 					sort.Ints(group)
 					out = append(out, Violation{
@@ -265,7 +359,16 @@ func detectGroupsPrepared(r *relation.Relation, c *CFD, pli *relation.PLI, lo, h
 // caller provides the current X-partition over all of r; IncDetect only
 // inspects the X-groups touched by the batch, which is the access pattern
 // of the IncRepair algorithm (Cong et al., VLDB 2007). Groups are
-// visited in PLI (sorted-key) order, so the output is deterministic.
+// visited in ascending group-index order, so the output is
+// deterministic.
+//
+// IncDetect tolerates delta tails: the PLI may come from
+// IndexCache.GetDelta, with appended rows absorbed but not compacted
+// (relation.PLI.Advance), so an appended batch costs O(delta) partition
+// maintenance plus the touched groups — no rebuild, no compaction.
+// Uncompacted provisional groups iterate after the base groups instead
+// of in sorted-key position; full detection (DetectGroups over
+// IndexCache.Get) always sees canonical order.
 func IncDetect(r *relation.Relation, c *CFD, pli *relation.PLI, tids []int) []Violation {
 	only := make(map[int]bool, len(tids))
 	groupSet := make(map[int]bool, len(tids))

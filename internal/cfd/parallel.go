@@ -41,8 +41,7 @@ func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violatio
 	// the pool size; index building is the serial fraction of Detect),
 	// and resolve each CFD's constant codes once for all of its chunks.
 	plis := make([]*relation.PLI, len(cfds))
-	preps := make([][][]rhsConst, len(cfds))
-	rhsCodes := make([][][]int32, len(cfds))
+	preps := make([]cfdPrep, len(cfds))
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, c := range cfds {
@@ -52,8 +51,7 @@ func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violatio
 			defer wg.Done()
 			defer func() { <-sem }()
 			plis[i] = d.cache.Get(r, c.lhs)
-			preps[i] = prepareRHS(r, c)
-			rhsCodes[i] = rhsColumnCodes(r, c)
+			preps[i] = newPrep(r, c)
 		}(i, c)
 	}
 	wg.Wait()
@@ -96,7 +94,7 @@ func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violatio
 			for j := range jobCh {
 				c := cfds[j.cfdIdx]
 				results[j.cfdIdx][j.chunkIdx] = detectGroupsPrepared(
-					r, c, plis[j.cfdIdx], j.lo, j.hi, preps[j.cfdIdx], rhsCodes[j.cfdIdx])
+					r, c, plis[j.cfdIdx], j.lo, j.hi, preps[j.cfdIdx])
 			}
 		}()
 	}

@@ -19,6 +19,8 @@ package discovery
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"semandaq/internal/cfd"
 	"semandaq/internal/pattern"
@@ -37,6 +39,15 @@ type Options struct {
 	// cache, shared with detection) makes repeated discovery over
 	// unchanged data partition-free; nil uses a private per-call cache.
 	Cache *relation.IndexCache
+	// Workers fans the independent per-set refinements of each lattice
+	// level out over this many goroutines (the cache is concurrency-
+	// safe); 0 or 1 walks serially. The output is byte-identical either
+	// way: per-set results are reduced in lexicographic order, and the
+	// minimality/generalization pruning only ever consults strictly
+	// smaller attribute sets, which are settled before a level starts.
+	// engine.Session.Discover defaults this to the session's worker
+	// pool (runtime.NumCPU()).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,7 +60,72 @@ func (o Options) withDefaults() Options {
 	if o.Cache == nil {
 		o.Cache = relation.NewIndexCache()
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
 	return o
+}
+
+// mapLevel applies fn to every attribute set of one lattice level,
+// fanning the independent computations over workers goroutines.
+// Results come back indexed by position, so callers reduce them in
+// deterministic lexicographic order regardless of scheduling;
+// workers <= 1 degrades to the plain serial loop.
+func mapLevel[T any](sets [][]int, workers int, fn func(x []int) T) []T {
+	out := make([]T, len(sets))
+	if workers > len(sets) {
+		workers = len(sets)
+	}
+	if workers <= 1 {
+		for i, x := range sets {
+			out[i] = fn(x)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(sets) {
+					return
+				}
+				out[i] = fn(sets[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// warmLevel materializes a level's own partitions (parallel GetVia)
+// before the per-set probes run, so every deeper probe — whose
+// refinement parent may be a lexicographic sibling, not the probing set
+// itself — finds that parent cached regardless of worker scheduling.
+// This keeps the parallel walk's from-scratch builds bounded by the
+// arity, exactly like the serial walk.
+func warmLevel(r *relation.Relation, cache *relation.IndexCache, sets [][]int, workers int) {
+	mapLevel(sets, workers, func(x []int) struct{} {
+		cache.GetVia(r, x)
+		return struct{}{}
+	})
+}
+
+// latticeLevels splits the level-wise subset enumeration into its
+// levels (size-1 sets, then size-2 sets, ...), each in lexicographic
+// order — the barrier unit of the parallel walk.
+func latticeLevels(n, k int) [][][]int {
+	var out [][][]int
+	for _, x := range subsetsUpTo(n, k) {
+		if len(out) < len(x) {
+			out = append(out, nil)
+		}
+		out[len(x)-1] = append(out[len(x)-1], x)
+	}
+	return out
 }
 
 // FDs discovers the minimal plain functional dependencies X → A with
@@ -87,15 +163,32 @@ func FDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 	}
 
 	var out []*cfd.CFD
-	for _, x := range subsetsUpTo(arity, opts.MaxLHS) {
-		gx := groupsOf(x)
-		for a := 0; a < arity; a++ {
-			if contains(x, a) || hasSubsetFD(x, a) {
-				continue
+	for _, level := range latticeLevels(arity, opts.MaxLHS) {
+		// Phase 1: materialize this level's partitions — a deeper probe
+		// below refines one of them, and under parallel scheduling that
+		// parent can be a sibling another worker owns.
+		warmLevel(r, opts.Cache, level, opts.Workers)
+		// Phase 2: the per-set probes are independent within the level
+		// (minimal-FD pruning only consults strictly smaller LHS sets —
+		// two same-size sets can never be subsets of each other), so fan
+		// them out and reduce in lexicographic order.
+		holds := mapLevel(level, opts.Workers, func(x []int) []int {
+			gx := groupsOf(x)
+			var as []int
+			for a := 0; a < arity; a++ {
+				if contains(x, a) || hasSubsetFD(x, a) {
+					continue
+				}
+				xa := append(append([]int(nil), x...), a)
+				sort.Ints(xa)
+				if gx == groupsOf(xa) {
+					as = append(as, a)
+				}
 			}
-			xa := append(append([]int(nil), x...), a)
-			sort.Ints(xa)
-			if gx == groupsOf(xa) {
+			return as
+		})
+		for i, x := range level {
+			for _, a := range holds[i] {
 				minimal[a] = append(minimal[a], append([]int(nil), x...))
 				c, err := buildFD(r.Schema(), x, a)
 				if err != nil {
@@ -160,58 +253,77 @@ func ConstantCFDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 		return false
 	}
 
+	// candidate is one minimal constant rule found for a set: X = vals
+	// implies attribute a = av.
+	type candidate struct {
+		vals relation.Tuple
+		a    int
+		av   relation.Value
+	}
 	var out []*cfd.CFD
-	for _, x := range subsetsUpTo(arity, opts.MaxLHS) {
-		if len(x) == 0 {
-			continue
-		}
-		pli := opts.Cache.GetVia(r, x)
-		type group struct {
-			vals relation.Tuple
-			tids []int
-		}
-		var groups []group
-		// PLI groups arrive in sorted encoded-key order — exactly the
-		// FullKey order the legacy path sorted into — so iteration is
-		// already deterministic and reproducible.
-		for gi := 0; gi < pli.NumGroups(); gi++ {
-			tids := pli.Group(gi)
-			if len(tids) >= opts.MinSupport {
-				groups = append(groups, group{r.Tuple(tids[0]).Project(x), tids})
+	for _, level := range latticeLevels(arity, opts.MaxLHS) {
+		warmLevel(r, opts.Cache, level, opts.Workers)
+		// Per-set mining is independent within a level: the
+		// generalization pruning only consults emitted rules over
+		// strictly smaller sets (a direct generalization drops one
+		// attribute), and emitted is only written at the level barrier
+		// below — so workers read a settled map.
+		found := mapLevel(level, opts.Workers, func(x []int) []candidate {
+			pli := opts.Cache.GetVia(r, x)
+			type group struct {
+				vals relation.Tuple
+				tids []int
 			}
-		}
-		for _, g := range groups {
-			hasNull := false
-			for _, v := range g.vals {
-				if v.IsNull() {
-					hasNull = true
-					break
+			var groups []group
+			// PLI groups arrive in sorted encoded-key order — exactly the
+			// FullKey order the legacy path sorted into — so iteration is
+			// already deterministic and reproducible.
+			for gi := 0; gi < pli.NumGroups(); gi++ {
+				tids := pli.Group(gi)
+				if len(tids) >= opts.MinSupport {
+					groups = append(groups, group{r.Tuple(tids[0]).Project(x), tids})
 				}
 			}
-			if hasNull {
-				continue // constant patterns cannot express NULL
-			}
-			for a := 0; a < arity; a++ {
-				if contains(x, a) {
-					continue
-				}
-				av := r.Tuple(g.tids[0])[a]
-				if av.IsNull() {
-					continue
-				}
-				uniform := true
-				for _, tid := range g.tids[1:] {
-					if !r.Tuple(tid)[a].Identical(av) {
-						uniform = false
+			var cands []candidate
+			for _, g := range groups {
+				hasNull := false
+				for _, v := range g.vals {
+					if v.IsNull() {
+						hasNull = true
 						break
 					}
 				}
-				if !uniform || generalizes(x, g.vals, a, av) {
-					continue
+				if hasNull {
+					continue // constant patterns cannot express NULL
 				}
-				k := ruleKey{encodeInts(x), g.vals.FullKey(), a, string(av.Encode(nil))}
+				for a := 0; a < arity; a++ {
+					if contains(x, a) {
+						continue
+					}
+					av := r.Tuple(g.tids[0])[a]
+					if av.IsNull() {
+						continue
+					}
+					uniform := true
+					for _, tid := range g.tids[1:] {
+						if !r.Tuple(tid)[a].Identical(av) {
+							uniform = false
+							break
+						}
+					}
+					if !uniform || generalizes(x, g.vals, a, av) {
+						continue
+					}
+					cands = append(cands, candidate{g.vals, a, av})
+				}
+			}
+			return cands
+		})
+		for i, x := range level {
+			for _, cand := range found[i] {
+				k := ruleKey{encodeInts(x), cand.vals.FullKey(), cand.a, string(cand.av.Encode(nil))}
 				emitted[k] = true
-				c, err := buildConstantCFD(r.Schema(), x, g.vals, a, av)
+				c, err := buildConstantCFD(r.Schema(), x, cand.vals, cand.a, cand.av)
 				if err != nil {
 					return nil, err
 				}
@@ -246,31 +358,44 @@ func VariableCFDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 		return nil, nil
 	}
 
+	// rule is one conditional CFD found for a set: X → a holds on the
+	// scopes described by rows (constants on one conditioning attribute).
+	type rule struct {
+		a    int
+		rows []pattern.Row
+	}
 	var out []*cfd.CFD
-	for _, x := range subsetsUpTo(arity, opts.MaxLHS) {
-		if len(x) < 2 {
+	for _, level := range latticeLevels(arity, opts.MaxLHS) {
+		if len(level) == 0 || len(level[0]) < 2 {
 			continue // a condition needs one attr, the FD another
 		}
-		pliX := opts.Cache.GetVia(r, x)
-		for a := 0; a < arity; a++ {
-			if contains(x, a) {
-				continue
-			}
-			xa := append(append([]int(nil), x...), a)
-			sort.Ints(xa)
-			if pliX.NumGroups() == opts.Cache.GetVia(r, xa).NumGroups() {
-				continue // holds globally: a plain FD, not a conditional one
-			}
-			// Try conditioning on each attribute of X.
-			for _, b := range x {
-				rows, err := conditionalRows(r, opts.Cache, pliX, x, a, b, opts.MinSupport)
-				if err != nil {
-					return nil, err
-				}
-				if len(rows) == 0 {
+		warmLevel(r, opts.Cache, level, opts.Workers)
+		found := mapLevel(level, opts.Workers, func(x []int) []rule {
+			pliX := opts.Cache.GetVia(r, x)
+			var rules []rule
+			for a := 0; a < arity; a++ {
+				if contains(x, a) {
 					continue
 				}
-				c, err := buildVariableCFD(r.Schema(), x, a, rows)
+				xa := append(append([]int(nil), x...), a)
+				sort.Ints(xa)
+				if pliX.NumGroups() == opts.Cache.GetVia(r, xa).NumGroups() {
+					continue // holds globally: a plain FD, not a conditional one
+				}
+				// Try conditioning on each attribute of X.
+				for _, b := range x {
+					rows := conditionalRows(r, opts.Cache, pliX, x, a, b, opts.MinSupport)
+					if len(rows) == 0 {
+						continue
+					}
+					rules = append(rules, rule{a, rows})
+				}
+			}
+			return rules
+		})
+		for i, x := range level {
+			for _, ru := range found[i] {
+				c, err := buildVariableCFD(r.Schema(), x, ru.a, ru.rows)
 				if err != nil {
 					return nil, err
 				}
@@ -286,7 +411,7 @@ func VariableCFDs(r *relation.Relation, opts Options) ([]*cfd.CFD, error) {
 // pattern rows (constant on cond, wildcards elsewhere). pliX is the
 // cached partition of r by X; X-group membership inside each scope comes
 // from PLI.GroupOf instead of re-encoding string keys per tuple.
-func conditionalRows(r *relation.Relation, cache *relation.IndexCache, pliX *relation.PLI, x []int, a, cond, minSupport int) ([]pattern.Row, error) {
+func conditionalRows(r *relation.Relation, cache *relation.IndexCache, pliX *relation.PLI, x []int, a, cond, minSupport int) []pattern.Row {
 	// Partition by cond, then test the FD within each part. PLI group
 	// order is sorted encoded-key order, matching the legacy key sort.
 	byCond := cache.GetVia(r, []int{cond})
@@ -360,7 +485,7 @@ func conditionalRows(r *relation.Relation, cache *relation.IndexCache, pliX *rel
 		row = append(row, pattern.Wild())
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows
 }
 
 func buildVariableCFD(schema *relation.Schema, x []int, a int, rows []pattern.Row) (*cfd.CFD, error) {

@@ -29,6 +29,12 @@ type Options struct {
 	// Workers is the detection worker-pool size handed to every
 	// session: 0 means runtime.NumCPU(), 1 forces serial detection.
 	Workers int
+	// IndexBudgetBytes caps every session's PLI cache at this resident
+	// byte estimate (0 = unlimited). Discovery lattices otherwise pin
+	// C(arity, MaxLHS+1) partitions per dataset for the session's
+	// lifetime; see relation.IndexCache.SetBudget for the eviction
+	// policy.
+	IndexBudgetBytes int64
 }
 
 // Engine is the dataset registry: named sessions behind an RWMutex so
@@ -37,18 +43,20 @@ type Options struct {
 // constraint text (e.g. every dataset of a fleet sharing one rule file)
 // reuses the parsed cfd.Set instead of recompiling per dataset.
 type Engine struct {
-	mu       sync.RWMutex
-	sessions map[string]*Session
-	setCache map[string]*cfd.Set
-	workers  int
+	mu          sync.RWMutex
+	sessions    map[string]*Session
+	setCache    map[string]*cfd.Set
+	workers     int
+	indexBudget int64
 }
 
 // New creates an empty engine.
 func New(opts Options) *Engine {
 	return &Engine{
-		sessions: map[string]*Session{},
-		setCache: map[string]*cfd.Set{},
-		workers:  opts.Workers,
+		sessions:    map[string]*Session{},
+		setCache:    map[string]*cfd.Set{},
+		workers:     opts.Workers,
+		indexBudget: opts.IndexBudgetBytes,
 	}
 }
 
@@ -62,6 +70,9 @@ func (e *Engine) Register(name string, data *relation.Relation) (*Session, error
 	s, err := NewSession(name, data, nil, e.workers)
 	if err != nil {
 		return nil, err
+	}
+	if e.indexBudget > 0 {
+		s.SetIndexBudget(e.indexBudget)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -299,6 +299,183 @@ func TestAppendIncremental(t *testing.T) {
 	}
 }
 
+// TestSessionAppendAdvancesNotRebuilds is the acceptance criterion of
+// the incremental-PLI work, at E13 scale: on a warm 100k-tuple session,
+// appending a 100-row delta and re-detecting performs ZERO partition
+// rebuilds — Misses and Refines freeze after warm-up while Advances
+// grows with every append batch. The appended tuples are clones of base
+// rows (consistent by construction), so the repair writes nothing and
+// no column version moves.
+func TestSessionAppendAdvancesNotRebuilds(t *testing.T) {
+	base := datagen.Cust(100_000, 31)
+	s, err := NewSession("append-warm", base, datagen.CustConstraints(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(); err != nil {
+		t.Fatal(err)
+	}
+	warm := s.IndexStats()
+	if warm.Misses == 0 {
+		t.Fatal("warm-up built nothing?")
+	}
+
+	const rounds, delta = 3, 100
+	for round := 0; round < rounds; round++ {
+		tuples := make([]relation.Tuple, delta)
+		for i := range tuples {
+			tuples[i] = base.Tuple((round*delta + i*37) % base.Len()).Clone()
+		}
+		res, err := s.Append(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Changes) != 0 {
+			t.Fatalf("round %d: consistent delta repaired %d cells", round, len(res.Changes))
+		}
+		vs, err := s.Detect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 0 {
+			t.Fatalf("round %d: %d violations after clean append", round, len(vs))
+		}
+	}
+	if s.Len() != base.Len()+rounds*delta {
+		t.Fatalf("session length = %d", s.Len())
+	}
+
+	after := s.IndexStats()
+	if after.Misses != warm.Misses || after.Refines != warm.Refines {
+		t.Fatalf("append+detect rebuilt partitions: %+v -> %+v", warm, after)
+	}
+	if after.Advances == 0 {
+		t.Fatalf("appends absorbed without advances being counted: %+v", after)
+	}
+
+	// The advanced-partition detection result equals a cold run.
+	warmVs, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldVs, err := cfd.NewDetector(s.Constraints()).Detect(s.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmVs, coldVs) {
+		t.Fatal("advanced-index detection diverges from cold detection")
+	}
+}
+
+// TestSessionAppendRollback checks the failure path: an arity-bad tuple
+// mid-batch rolls the whole append back, leaving length, violations and
+// subsequent detection exactly as before.
+func TestSessionAppendRollback(t *testing.T) {
+	s := newSession(t, 400, 15)
+	before, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Len()
+	good := s.Data().Tuple(0).Clone()
+	if _, err := s.Append([]relation.Tuple{good, good[:2]}); err == nil {
+		t.Fatal("arity-mismatched append should fail")
+	}
+	if s.Len() != n {
+		t.Fatalf("failed append left %d of %d tuples", s.Len(), n)
+	}
+	after, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("failed append changed the violation set")
+	}
+}
+
+// TestConcurrentAppendDetectDiscover hammers one session with the three
+// service verbs at once — appends (exclusive), detection and discovery
+// (shared) — under -race: the per-entry advance/compact serialization
+// in the index cache and the session lock discipline must keep every
+// result coherent. Run via `make race-cache` (-race -count=2).
+func TestConcurrentAppendDetectDiscover(t *testing.T) {
+	base := datagen.Cust(2_000, 27)
+	s, err := NewSession("conc", base, datagen.CustConstraints(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tuples := make([]relation.Tuple, 20)
+				for j := range tuples {
+					tuples[j] = base.Tuple((w*531 + i*97 + j) % base.Len()).Clone()
+				}
+				if _, err := s.Append(tuples); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if _, err := s.Detect(); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := s.Violations(); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds/2; i++ {
+				if _, err := s.Discover(discovery.Options{MinSupport: 10, MaxLHS: 2}, false); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if s.Len() != base.Len()+2*rounds*20 {
+		t.Fatalf("session length = %d after concurrent appends", s.Len())
+	}
+	vs, err := s.Detect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("%d violations after consistent concurrent appends", len(vs))
+	}
+	if after := s.IndexStats(); after.Advances == 0 {
+		t.Fatalf("concurrent appends never advanced a partition: %+v", after)
+	}
+}
+
 func TestDiscoverInstall(t *testing.T) {
 	clean := datagen.Cust(500, 21)
 	s, err := NewSession("disc", clean, nil, 0)

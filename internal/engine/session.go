@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -194,14 +195,22 @@ func (s *Session) DetectSerial() ([]cfd.Violation, error) {
 	return cfd.NewDetectorWithCache(s.set, s.indexes).Detect(s.data)
 }
 
-// IndexStats returns the hit/miss/refine counters of the session's PLI
-// cache, which backs both detection and discovery. Misses count full
-// index builds and Refines count partition intersections: a warm steady
-// state (repeated detection/discovery without mutations) shows Hits
-// growing while Misses and Refines stay constant.
+// IndexStats returns the counters of the session's PLI cache, which
+// backs both detection and discovery. Misses count full index builds,
+// Refines count partition intersections, and Advances count cached
+// partitions extended in place by appended rows: a warm steady state
+// (repeated detection/discovery without mutations) shows Hits growing
+// while Misses and Refines stay constant, and an append-heavy steady
+// state additionally grows Advances — still with zero rebuilds.
 func (s *Session) IndexStats() relation.CacheStats {
 	return s.indexes.Stats()
 }
+
+// SetIndexBudget caps the session's PLI cache at the given resident
+// byte estimate (0 = unlimited); see relation.IndexCache.SetBudget.
+// Deep discovery-lattice partitions are evicted before the shallow
+// detection partitions the service reuses on every request.
+func (s *Session) SetIndexBudget(bytes int64) { s.indexes.SetBudget(bytes) }
 
 // Violations returns the cached violation list, recomputing it if the
 // data or constraints changed since the last Detect.
@@ -338,19 +347,37 @@ func (s *Session) ConfirmedCells() [][2]int {
 	return out
 }
 
-// Append inserts new tuples and repairs only them incrementally
-// (repair.Inc via AppendAndRepair), assuming the current data is clean;
-// it commits the repaired combined relation and returns the result.
-// This is the service route for POST /v1/repair/incremental.
+// Append inserts new tuples into the session relation and repairs only
+// them incrementally (repair.IncInPlace), assuming the current data is
+// clean. This is the service route for POST /v1/repair/incremental.
+//
+// Unlike the one-shot repair.AppendAndRepair, nothing is cloned and the
+// relation keeps its identity: the session's PLI cache survives the
+// append, and the incremental detection inside the repair absorbs the
+// delta into the cached partitions (PLI.Advance via IndexCache.GetDelta)
+// instead of rebuilding them — the steady-state append cost is "extend
+// each partition by the delta", not "re-partition the dataset". On
+// failure the appended rows (and any partial delta repairs) are rolled
+// back with Truncate, leaving the session exactly as before.
 func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, err := repair.AppendAndRepair(s.data, tuples, s.set, repair.Options{Weights: s.weights()})
+	base := s.data.Len()
+	deltaTIDs := make([]int, 0, len(tuples))
+	for _, t := range tuples {
+		tid, err := s.data.Insert(t.Clone())
+		if err != nil {
+			s.data.Truncate(base)
+			return nil, err
+		}
+		deltaTIDs = append(deltaTIDs, tid)
+	}
+	res, err := repair.IncInPlace(s.data, s.set, deltaTIDs, repair.Options{Weights: s.weights()}, s.indexes)
 	if err != nil {
+		s.data.Truncate(base)
 		return nil, err
 	}
 	s.mutated()
-	s.data = res.Repaired
 	return res, nil
 }
 
@@ -358,10 +385,18 @@ func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 // discovered set replaces the session constraints (after the usual
 // checks). The lattice walk runs on the session's per-dataset PLI
 // cache, so a warm session (repeated discovery, or discovery after
-// detection, over unchanged data) partitions nothing.
+// detection, over unchanged data) partitions nothing; within each
+// lattice level the independent refinements fan out over the session's
+// worker pool (opts.Workers left zero defaults to the session workers,
+// i.e. runtime.NumCPU()).
 func (s *Session) Discover(opts discovery.Options, install bool) ([]*cfd.CFD, error) {
 	s.mu.RLock()
 	opts.Cache = s.indexes
+	if opts.Workers == 0 {
+		if opts.Workers = s.workers; opts.Workers <= 0 {
+			opts.Workers = runtime.NumCPU()
+		}
+	}
 	found, err := discovery.Discover(s.data, opts)
 	s.mu.RUnlock()
 	if err != nil {

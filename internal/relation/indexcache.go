@@ -18,30 +18,74 @@ type CacheStats struct {
 	// PLI with one extra attribute instead of counting-sorting from
 	// scratch.
 	Refines uint64 `json:"refines"`
+	// Advances counts lookups answered by absorbing appended rows into
+	// the cached PLI in place (PLI.Advance) instead of rebuilding it —
+	// the steady-state append→detect path builds nothing, so
+	// Misses+Refines stay constant while Advances grows.
+	Advances uint64 `json:"advances"`
+	// Evictions counts entries dropped to keep the cache inside its
+	// byte budget (SetBudget).
+	Evictions uint64 `json:"evictions"`
+}
+
+// cacheEntry wraps a cached PLI with its recency tick and last-measured
+// resident size (bytes is guarded by IndexCache.mu) for eviction.
+type cacheEntry struct {
+	pli     *PLI
+	lastUse atomic.Uint64
+	bytes   int64
 }
 
 // IndexCache memoizes PLIs per attribute set for one logical dataset.
-// Entries carry their build-time column versions, so a lookup after a
-// mutation rebuilds exactly the indexes whose columns were touched:
-// cell edits invalidate only PLIs mentioning the edited column, inserts
-// and relation swaps invalidate everything.
+// Entries carry their build-time column versions and length watermark,
+// so a lookup after a mutation does the minimum work: cell edits
+// invalidate only PLIs mentioning the edited column, appends are
+// absorbed in place (PLI.Advance — no rebuild at all), and relation
+// swaps invalidate everything.
 //
 // The cache is safe for concurrent use. It is keyed by attribute set
 // only — callers hand it the current relation on every Get and the
 // cache validates the stored snapshot against it — so an engine session
-// keeps one cache across Accept/Append data swaps, and a repair run
-// keeps one across materialize passes.
+// keeps one cache across Accept data swaps, and a repair run keeps one
+// across materialize passes. Catch-up mutations (advance/compact) are
+// serialized per entry; the session-level locking discipline (appends
+// are exclusive) keeps them from overlapping lock-free readers.
 type IndexCache struct {
 	mu      sync.RWMutex
-	entries map[string]*PLI
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	refines atomic.Uint64
+	entries map[string]*cacheEntry
+	// rel tracks the identity of the relation the resident entries were
+	// built from, so store only sweeps for replaced-relation entries
+	// when the identity actually changes (not on every store).
+	rel *Relation
+	// budget is atomic so the hit/advance fast path can test "is a
+	// budget configured at all" without taking the cache lock; resident
+	// is the running total of entry sizes (guarded by mu), maintained on
+	// store/evict/advance so budget enforcement never rescans the map.
+	budget   atomic.Int64
+	resident int64
+
+	tick      atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	refines   atomic.Uint64
+	advances  atomic.Uint64
+	evictions atomic.Uint64
 }
 
-// NewIndexCache creates an empty cache.
+// NewIndexCache creates an empty cache with no byte budget.
 func NewIndexCache() *IndexCache {
-	return &IndexCache{entries: make(map[string]*PLI)}
+	return &IndexCache{entries: make(map[string]*cacheEntry)}
+}
+
+// SetBudget caps the cache's resident PLI bytes (0 = unlimited, the
+// default). The budget is enforced on store and on in-place advances
+// (the paths where entries grow): when the running resident total
+// overflows, entries are evicted deepest-attribute-set first, then
+// least-recently-used among equals — so a discovery walk's deep lattice
+// leaves (cheap to re-derive via GetVia refinement) go before the
+// shallow detection partitions a service session reuses forever.
+func (c *IndexCache) SetBudget(bytes int64) {
+	c.budget.Store(bytes)
 }
 
 func attrsKey(attrs []int) string {
@@ -53,52 +97,110 @@ func attrsKey(attrs []int) string {
 	return string(buf)
 }
 
-// Get returns a PLI of r over attrs, reusing the cached one when it is
-// still fresh and rebuilding (and re-caching) it otherwise. Concurrent
-// readers may race to rebuild the same stale entry; both get a correct
-// index and one of them wins the cache slot.
+// Get returns a canonical PLI of r over attrs: a cached entry that is
+// fresh (or stale only by appends, which Get absorbs and compacts in
+// place) is reused; otherwise the index is rebuilt and re-cached.
+// Concurrent readers may race to rebuild the same stale entry; both get
+// a correct index and one of them wins the cache slot.
 func (c *IndexCache) Get(r *Relation, attrs []int) *PLI {
+	return c.lookup(r, attrs, true)
+}
+
+// GetDelta is Get for delta-tolerant consumers (incremental detection):
+// a stale-only-by-appends entry is advanced but NOT compacted, so each
+// absorbed batch costs O(delta) and the appended rows sit in per-group
+// tails — group iteration sees provisional new groups after the base
+// groups, in arrival rather than sorted-key order. Use Get wherever
+// canonical group order matters; a later Get compacts the tail.
+func (c *IndexCache) GetDelta(r *Relation, attrs []int) *PLI {
+	return c.lookup(r, attrs, false)
+}
+
+func (c *IndexCache) lookup(r *Relation, attrs []int, compact bool) *PLI {
 	key := attrsKey(attrs)
 	c.mu.RLock()
-	p := c.entries[key]
+	e := c.entries[key]
 	c.mu.RUnlock()
-	if p != nil && p.Fresh(r) {
-		c.hits.Add(1)
-		return p
+	if e != nil {
+		if ok, advanced := e.pli.catchUp(r, compact); ok {
+			e.lastUse.Store(c.tick.Add(1))
+			if advanced {
+				c.advances.Add(1)
+				c.enforceBudget(key)
+			} else {
+				c.hits.Add(1)
+			}
+			return e.pli
+		}
 	}
-	p = BuildPLI(r, attrs)
+	p := BuildPLI(r, attrs)
 	c.misses.Add(1)
 	c.store(r, key, p)
 	return p
 }
 
+// enforceBudget applies the byte budget outside store — the steady-state
+// append path grows entries in place (PLI.Advance) without ever storing,
+// and must not outgrow a configured cap. The advanced entry's size is
+// re-measured and folded into the running resident total, so the call is
+// O(1) unless an eviction is actually due. No-op (and lock-free) without
+// a budget.
+func (c *IndexCache) enforceBudget(keepKey string) {
+	if c.budget.Load() <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if e := c.entries[keepKey]; e != nil {
+		sz := e.pli.MemSize()
+		c.resident += sz - e.bytes
+		e.bytes = sz
+	}
+	c.enforceBudgetLocked(keepKey)
+	c.mu.Unlock()
+}
+
 // GetVia returns a PLI of r over attrs like Get, but answers a miss by
 // refining the cached PLI over attrs[:len-1] with the last attribute
-// (PLI.Intersect) when that parent is present and fresh — one counting
-// sort instead of len(attrs). Level-wise lattice walks (TANE-style
-// discovery) visit attribute sets in exactly the order that keeps the
-// parent warm, so a cold walk costs one full build per single attribute
-// and one refinement per larger set.
+// (PLI.Intersect) when that parent is present and reachable — one
+// counting sort instead of len(attrs). The parent itself is caught up
+// (advanced and compacted) first if it is stale only by appends.
+// Level-wise lattice walks (TANE-style discovery) visit attribute sets
+// in exactly the order that keeps the parent warm, so a cold walk costs
+// one full build per single attribute and one refinement per larger
+// set.
 func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 	key := attrsKey(attrs)
 	c.mu.RLock()
-	p := c.entries[key]
-	var parent *PLI
-	if p == nil || !p.Fresh(r) {
-		if len(attrs) > 1 {
-			parent = c.entries[attrsKey(attrs[:len(attrs)-1])]
-		}
-		p = nil
+	e := c.entries[key]
+	var parent *cacheEntry
+	if len(attrs) > 1 {
+		parent = c.entries[attrsKey(attrs[:len(attrs)-1])]
 	}
 	c.mu.RUnlock()
-	if p != nil {
-		c.hits.Add(1)
-		return p
+	if e != nil {
+		if ok, advanced := e.pli.catchUp(r, true); ok {
+			e.lastUse.Store(c.tick.Add(1))
+			if advanced {
+				c.advances.Add(1)
+				c.enforceBudget(key)
+			} else {
+				c.hits.Add(1)
+			}
+			return e.pli
+		}
 	}
-	if parent != nil && parent.Fresh(r) {
-		p = parent.Intersect(attrs[len(attrs)-1])
-		c.refines.Add(1)
-	} else {
+	var p *PLI
+	if parent != nil {
+		if ok, advanced := parent.pli.catchUp(r, true); ok {
+			if advanced {
+				c.advances.Add(1)
+			}
+			parent.lastUse.Store(c.tick.Add(1))
+			p = parent.pli.Intersect(attrs[len(attrs)-1])
+			c.refines.Add(1)
+		}
+	}
+	if p == nil {
 		p = BuildPLI(r, attrs)
 		c.misses.Add(1)
 	}
@@ -106,29 +208,82 @@ func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 	return p
 }
 
-// store publishes a freshly built PLI under key, evicting entries that
-// no longer describe the caller's relation.
+// store publishes a freshly built PLI under key. Entries referencing a
+// replaced relation are swept ONLY when the incoming relation's identity
+// differs from the one the cache tracks (a session committing a repair
+// swaps its data) — the hot same-relation path pays nothing, instead of
+// the former O(entries) full-map sweep on every store.
 func (c *IndexCache) store(r *Relation, key string, p *PLI) {
+	tick := c.tick.Add(1)
 	c.mu.Lock()
-	if prior := c.entries[key]; prior == nil || !prior.Fresh(r) {
-		c.entries[key] = p
-	}
-	// PLIs pin the relation they were built from. When the caller's
-	// relation changes identity (a session committing a repair swaps its
-	// data), drop every entry still referencing another relation so the
-	// cache never keeps a replaced dataset alive — including entries
-	// under attribute sets the caller no longer asks for.
-	for k, e := range c.entries {
-		if e.rel != r {
-			delete(c.entries, k)
+	defer c.mu.Unlock()
+	if c.rel != r {
+		// PLIs pin the relation they were built from; drop every entry
+		// still referencing another relation so the cache never keeps a
+		// replaced dataset alive — including entries under attribute
+		// sets the caller no longer asks for.
+		for k, e := range c.entries {
+			if e.pli.rel != r {
+				c.resident -= e.bytes
+				delete(c.entries, k)
+			}
 		}
+		c.rel = r
 	}
-	c.mu.Unlock()
+	if prior := c.entries[key]; prior == nil || !prior.pli.Fresh(r) {
+		e := &cacheEntry{pli: p, bytes: p.MemSize()}
+		e.lastUse.Store(tick)
+		if prior != nil {
+			c.resident -= prior.bytes
+		}
+		c.resident += e.bytes
+		c.entries[key] = e
+	}
+	c.enforceBudgetLocked(key)
 }
 
-// Stats returns the cache's hit/miss/refine counters.
+// enforceBudgetLocked evicts entries until the running resident total
+// fits the budget: deepest attribute sets first, least-recently-used
+// among equals. The entry just touched under keepKey survives even when
+// it alone exceeds the budget (evicting what the caller is about to use
+// would only thrash). The victim scan runs only while actually over
+// budget; the in-budget steady state pays nothing.
+func (c *IndexCache) enforceBudgetLocked(keepKey string) {
+	budget := c.budget.Load()
+	if budget <= 0 {
+		return
+	}
+	for c.resident > budget && len(c.entries) > 1 {
+		victim := ""
+		vDepth := -1
+		var vUse uint64
+		for k, e := range c.entries {
+			if k == keepKey {
+				continue
+			}
+			depth, use := len(e.pli.attrs), e.lastUse.Load()
+			if depth > vDepth || (depth == vDepth && use < vUse) {
+				victim, vDepth, vUse = k, depth, use
+			}
+		}
+		if victim == "" {
+			return
+		}
+		c.resident -= c.entries[victim].bytes
+		delete(c.entries, victim)
+		c.evictions.Add(1)
+	}
+}
+
+// Stats returns the cache's counters.
 func (c *IndexCache) Stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Refines: c.refines.Load()}
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Refines:   c.refines.Load(),
+		Advances:  c.advances.Load(),
+		Evictions: c.evictions.Load(),
+	}
 }
 
 // Len returns the number of cached attribute sets.
@@ -142,5 +297,7 @@ func (c *IndexCache) Len() int {
 func (c *IndexCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[string]*PLI)
+	c.entries = make(map[string]*cacheEntry)
+	c.rel = nil
+	c.resident = 0
 }

@@ -17,22 +17,57 @@ import (
 // table, which keeps a 100k-group index to three allocations instead of
 // 100k bucket slices.
 //
-// A PLI is a snapshot. It records the per-column versions of its
-// attributes at build time; Fresh reports whether it still describes the
-// relation, which is how IndexCache detects staleness after edits.
+// A PLI records the per-column code versions of its attributes and a
+// length watermark. Fresh reports whether it exactly describes the
+// relation; AdvanceableTo reports the weaker "stale only by appends"
+// state, which Advance repairs in O(delta) by absorbing the appended
+// TIDs into an LSM-style delta tail: a new TID joins the tail of its
+// existing group, or opens a provisional new group addressed after the
+// base groups. Compact lazily merges the tail back into canonical
+// sorted-group order (triggered by a size threshold or by order-
+// sensitive readers); after compaction the index is byte-identical to a
+// from-scratch build over the grown relation (property-tested).
 type PLI struct {
 	rel      *Relation
 	attrs    []int
 	colVers  []uint64
 	n        int
-	tids     []int   // concatenation of all groups; ascending within each
-	offsets  []int32 // group g occupies tids[offsets[g]:offsets[g+1]]
-	tidGroup []int32 // tid -> group index
+	tids     []int   // concatenation of all base groups; ascending within each
+	offsets  []int32 // base group g occupies tids[offsets[g]:offsets[g+1]]
+	tidGroup []int32 // tid -> group index (provisional for tailed new groups)
 
-	// Lazily built composite-code -> group map backing Lookup; built at
-	// most once per PLI (sync.Once), so concurrent probers share it.
-	lookupOnce sync.Once
-	lookup     map[string]int32
+	// mu serializes Advance and Compact — the mutating catch-up path the
+	// IndexCache drives. Plain reads (Group, GroupOf, Lookup, ...) stay
+	// lock-free; they must not overlap an Advance/Compact of the same
+	// PLI, which holds in practice because appends only happen under an
+	// exclusive writer (the engine session's write lock) and the cache
+	// finishes catching an entry up before handing it to the reader.
+	mu sync.Mutex
+
+	// Delta tail: rows absorbed by Advance but not yet merged into the
+	// flat storage. tails[g] holds the TIDs appended to base group g (in
+	// ascending TID order — every tail TID is greater than every base
+	// TID, so base++tail is the group's sorted membership); newGroups
+	// holds groups for composite keys unseen at build time, in arrival
+	// order, addressed by provisional indexes following the base groups.
+	tails     map[int32][]int
+	newGroups []deltaGroup
+	newLookup map[string]int32 // composite code key -> newGroups index
+	tailLen   int              // total TIDs across tails and newGroups
+
+	// Lazily built composite-code -> base-group map backing Lookup and
+	// Advance's group probes; extended/remapped by Compact instead of
+	// discarded. Guarded by lookupMu so concurrent probers share one
+	// build.
+	lookupMu sync.Mutex
+	lookup   map[string]int32
+}
+
+// deltaGroup is a provisional group opened by Advance for a composite
+// key that had no base group.
+type deltaGroup struct {
+	key  string // composite code key shared by the members
+	tids []int  // members in arrival (= ascending TID) order
 }
 
 // BuildPLI constructs the partition index of r on the given attribute
@@ -155,12 +190,13 @@ func (p *PLI) fillTIDGroups() {
 // codes — the classic TANE-style partition intersection. The result is
 // byte-identical (groups, member order, group order) to
 // BuildPLI(r, append(attrs, y)), but costs one refinement level instead
-// of len(attrs)+1.
+// of len(attrs)+1. A delta tail on the receiver is compacted first
+// (refinement needs the flat canonical storage).
 //
-// The receiver must still be fresh for its relation (Intersect snapshots
-// y's current column version alongside the receiver's recorded ones);
-// IndexCache.GetVia checks that before refining.
+// The receiver must still describe its relation (Fresh after the
+// compaction); IndexCache.GetVia catches the parent up before refining.
 func (p *PLI) Intersect(y int) *PLI {
+	p.Compact()
 	r := p.rel
 	out := &PLI{
 		rel:     r,
@@ -187,24 +223,52 @@ func (p *PLI) Intersect(y int) *PLI {
 // Attrs returns the indexed attribute positions.
 func (p *PLI) Attrs() []int { return p.attrs }
 
-// NumGroups returns the number of groups (distinct composite keys).
-func (p *PLI) NumGroups() int { return len(p.offsets) - 1 }
+// NumGroups returns the number of groups (distinct composite keys),
+// provisional new groups included.
+func (p *PLI) NumGroups() int { return len(p.offsets) - 1 + len(p.newGroups) }
 
-// Group returns the TIDs of group g in ascending order. The slice
-// aliases index storage.
-func (p *PLI) Group(g int) []int { return p.tids[p.offsets[g]:p.offsets[g+1]] }
+// Group returns the TIDs of group g in ascending order. For an index
+// without a delta tail the slice aliases index storage; a tailed base
+// group is returned as a fresh merged slice (base members, then the
+// appended tail — still ascending, since appended TIDs exceed all base
+// TIDs), and provisional new groups alias the tail storage.
+func (p *PLI) Group(g int) []int {
+	nb := len(p.offsets) - 1
+	if g >= nb {
+		return p.newGroups[g-nb].tids
+	}
+	base := p.tids[p.offsets[g]:p.offsets[g+1]]
+	if p.tailLen == 0 {
+		return base
+	}
+	tail := p.tails[int32(g)]
+	if len(tail) == 0 {
+		return base
+	}
+	out := make([]int, 0, len(base)+len(tail))
+	return append(append(out, base...), tail...)
+}
 
-// GroupOf returns the index of the group containing tid.
+// GroupOf returns the index of the group containing tid (a provisional
+// index past the base groups for uncompacted new groups).
 func (p *PLI) GroupOf(tid int) int { return int(p.tidGroup[tid]) }
+
+// TailLen returns the number of absorbed-but-uncompacted delta rows.
+func (p *PLI) TailLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tailLen
+}
 
 // Lookup returns the TIDs of the group whose indexed attributes hold
 // exactly the given values (one per indexed attribute, compared by
 // Value.Encode like HashIndex keys — the probe values may come from a
-// different relation). It returns nil when no group matches. The result
-// aliases index storage.
+// different relation). It returns nil when no group matches, and
+// tolerates delta tails (tailed groups come back merged, provisional
+// groups by their tail storage). The result may alias index storage.
 //
-// Like every PLI read, Lookup describes the relation as of build time;
-// probe through IndexCache.Get to stay fresh across mutations.
+// Like every PLI read, Lookup describes the relation as of build/advance
+// time; probe through IndexCache.Get to stay fresh across mutations.
 func (p *PLI) Lookup(vals []Value) []int {
 	if len(vals) != len(p.attrs) {
 		return nil
@@ -218,28 +282,34 @@ func (p *PLI) Lookup(vals []Value) []int {
 		}
 		key = appendCode(key, code)
 	}
-	p.lookupOnce.Do(p.buildLookup)
-	g, ok := p.lookup[string(key)]
-	if !ok {
-		return nil
+	if g, ok := p.baseLookup()[string(key)]; ok {
+		return p.Group(int(g))
 	}
-	return p.Group(int(g))
+	if gi, ok := p.newLookup[string(key)]; ok {
+		return p.newGroups[gi].tids
+	}
+	return nil
 }
 
-// buildLookup materializes the composite-code -> group map from each
-// group's representative TID.
-func (p *PLI) buildLookup() {
-	m := make(map[string]int32, p.NumGroups())
-	key := make([]byte, 0, 8*len(p.attrs))
-	for g := 0; g < p.NumGroups(); g++ {
-		rep := p.tids[p.offsets[g]]
-		key = key[:0]
-		for _, a := range p.attrs {
-			key = appendCode(key, p.rel.cols[a].codes[rep])
+// baseLookup returns the composite-code -> base-group map, materializing
+// it from each group's representative TID on first use.
+func (p *PLI) baseLookup() map[string]int32 {
+	p.lookupMu.Lock()
+	defer p.lookupMu.Unlock()
+	if p.lookup == nil {
+		m := make(map[string]int32, len(p.offsets)-1)
+		key := make([]byte, 0, 8*len(p.attrs))
+		for g := 0; g+1 < len(p.offsets); g++ {
+			rep := p.tids[p.offsets[g]]
+			key = key[:0]
+			for _, a := range p.attrs {
+				key = appendCode(key, p.rel.cols[a].codes[rep])
+			}
+			m[string(key)] = int32(g)
 		}
-		m[string(key)] = int32(g)
+		p.lookup = m
 	}
-	p.lookup = m
+	return p.lookup
 }
 
 func appendCode(b []byte, c int32) []byte {
@@ -247,9 +317,11 @@ func appendCode(b []byte, c int32) []byte {
 }
 
 // Fresh reports whether the index still describes r: it was built from
-// this relation, the relation has not grown or been reordered, and none
-// of the indexed columns changed since the build. A PLI over untouched
-// columns survives edits to other columns.
+// this relation, the relation has not grown, shrunk or been reordered,
+// and none of the indexed columns changed since the build (or last
+// Advance). A PLI over untouched columns survives edits to other
+// columns. Fresh does not imply canonical group order — an advanced
+// index may still carry a delta tail until Compact.
 func (p *PLI) Fresh(r *Relation) bool {
 	if p.rel != r || p.n != r.Len() {
 		return false
@@ -260,4 +332,242 @@ func (p *PLI) Fresh(r *Relation) bool {
 		}
 	}
 	return true
+}
+
+// AdvanceableTo reports whether the index describes a stale-only-by-
+// appends snapshot of r: built from this relation, no indexed column's
+// codes mutated (no Set on it, no reorder, no Truncate) since the
+// build, and the relation is at least as long. A fresh index is
+// trivially advanceable.
+func (p *PLI) AdvanceableTo(r *Relation) bool {
+	if p.rel != r || p.n > r.Len() {
+		return false
+	}
+	for i, a := range p.attrs {
+		if p.colVers[i] != r.ColumnVersion(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Advance absorbs the rows appended to the relation since the index was
+// built or last advanced: each new TID joins the delta tail of its
+// existing group, or opens a provisional new group — O(delta) map
+// probes, no counting sort, no rebuild. The tail is merged into
+// canonical sorted-group order lazily (see Compact), automatically once
+// it outgrows an eighth of the index. Advance returns false (changing
+// nothing) when the index cannot reach r by appending — an indexed
+// column was edited, the relation was reordered or truncated, or it is
+// a different relation — and true otherwise, including when there is
+// nothing to absorb.
+//
+// Advance and Compact mutate the index and are serialized against each
+// other (PLI.mu), but must not overlap lock-free readers of the same
+// PLI; callers guarantee that by appending only under an exclusive
+// writer, as engine sessions do.
+func (p *PLI) Advance(r *Relation) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.advanceLocked(r)
+}
+
+func (p *PLI) advanceLocked(r *Relation) bool {
+	if !p.AdvanceableTo(r) {
+		return false
+	}
+	n := r.Len()
+	if n == p.n {
+		return true
+	}
+	lookup := p.baseLookup()
+	cols := make([][]int32, len(p.attrs))
+	for i, a := range p.attrs {
+		cols[i] = r.cols[a].codes
+	}
+	nb := int32(len(p.offsets) - 1)
+	key := make([]byte, 0, 8*len(p.attrs))
+	for tid := p.n; tid < n; tid++ {
+		key = key[:0]
+		for _, codes := range cols {
+			key = appendCode(key, codes[tid])
+		}
+		if g, ok := lookup[string(key)]; ok {
+			if p.tails == nil {
+				p.tails = make(map[int32][]int)
+			}
+			p.tails[g] = append(p.tails[g], tid)
+			p.tidGroup = append(p.tidGroup, g)
+		} else if gi, ok := p.newLookup[string(key)]; ok {
+			p.newGroups[gi].tids = append(p.newGroups[gi].tids, tid)
+			p.tidGroup = append(p.tidGroup, nb+gi)
+		} else {
+			gi := int32(len(p.newGroups))
+			if p.newLookup == nil {
+				p.newLookup = make(map[string]int32)
+			}
+			k := string(key)
+			p.newLookup[k] = gi
+			p.newGroups = append(p.newGroups, deltaGroup{key: k, tids: []int{tid}})
+			p.tidGroup = append(p.tidGroup, nb+gi)
+		}
+		p.tailLen++
+	}
+	p.n = n
+	if p.tailLen*8 > p.n {
+		p.compactLocked()
+	}
+	return true
+}
+
+// Compact merges the delta tail into canonical order: provisional new
+// groups are sorted by composite key rank and spliced into the sorted
+// group sequence, tailed base groups re-concatenate their members, and
+// the flat storage (tids, offsets, tidGroup) is rebuilt in one O(n +
+// groups) merge pass — after which the index is byte-identical to
+// BuildPLI over the advanced relation. The Lookup map, if built, is
+// remapped to the new group numbering and extended with the new groups
+// rather than discarded. Compacting an index without a tail is a no-op.
+func (p *PLI) Compact() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.compactLocked()
+}
+
+func (p *PLI) compactLocked() {
+	if p.tailLen == 0 {
+		return
+	}
+	nb0 := len(p.offsets) - 1
+	if len(p.newGroups) == 0 {
+		// Fast path — the usual streaming case: every absorbed row
+		// joined an existing group, so group ids are unchanged and
+		// tidGroup and the Lookup map stay valid as-is. Merge span-wise:
+		// the runs of untouched groups between tailed ones are bulk
+		// memmoves, and only the (few) tailed groups touch the tail map.
+		tailed := make([]int32, 0, len(p.tails))
+		for g := range p.tails {
+			tailed = append(tailed, g)
+		}
+		sort.Slice(tailed, func(i, j int) bool { return tailed[i] < tailed[j] })
+		tids := make([]int, p.n)
+		offsets := make([]int32, nb0+1)
+		pos, done, shift := 0, 0, int32(0)
+		for _, tg := range tailed {
+			lo, hi := p.offsets[done], p.offsets[tg+1]
+			copy(tids[pos:], p.tids[lo:hi])
+			pos += int(hi - lo)
+			for g := done; g <= int(tg); g++ {
+				offsets[g+1] = p.offsets[g+1] + shift
+			}
+			tail := p.tails[tg]
+			copy(tids[pos:], tail)
+			pos += len(tail)
+			shift += int32(len(tail))
+			offsets[int(tg)+1] += int32(len(tail))
+			done = int(tg) + 1
+		}
+		copy(tids[pos:], p.tids[p.offsets[done]:])
+		for g := done; g < nb0; g++ {
+			offsets[g+1] = p.offsets[g+1] + shift
+		}
+		p.tids, p.offsets = tids, offsets
+		p.tails, p.tailLen = nil, 0
+		return
+	}
+	r := p.rel
+	k := len(p.attrs)
+	ranks := make([][]int32, k)
+	cols := make([][]int32, k)
+	for i, a := range p.attrs {
+		ranks[i] = r.codeRanks(a)
+		cols[i] = r.ColumnCodes(a)
+	}
+	// less compares two groups by their representative TIDs under the
+	// canonical component-wise code-rank order (see BuildPLI); distinct
+	// groups always differ in some component.
+	less := func(repA, repB int) bool {
+		for i := 0; i < k; i++ {
+			ra, rb := ranks[i][cols[i][repA]], ranks[i][cols[i][repB]]
+			if ra != rb {
+				return ra < rb
+			}
+		}
+		return false
+	}
+	sort.Slice(p.newGroups, func(i, j int) bool {
+		return less(p.newGroups[i].tids[0], p.newGroups[j].tids[0])
+	})
+	nb := len(p.offsets) - 1
+	total := nb + len(p.newGroups)
+	tids := make([]int, 0, p.n)
+	offsets := make([]int32, 1, total+1)
+	baseMap := make([]int32, nb)              // old base group -> new index
+	newMap := make([]int32, len(p.newGroups)) // sorted newGroups index -> new index
+	bi, ni := 0, 0
+	for bi < nb || ni < len(p.newGroups) {
+		takeNew := bi == nb ||
+			(ni < len(p.newGroups) && less(p.newGroups[ni].tids[0], p.tids[p.offsets[bi]]))
+		if takeNew {
+			newMap[ni] = int32(len(offsets) - 1)
+			tids = append(tids, p.newGroups[ni].tids...)
+			ni++
+		} else {
+			baseMap[bi] = int32(len(offsets) - 1)
+			tids = append(tids, p.tids[p.offsets[bi]:p.offsets[bi+1]]...)
+			tids = append(tids, p.tails[int32(bi)]...)
+			bi++
+		}
+		offsets = append(offsets, int32(len(tids)))
+	}
+	p.tids, p.offsets = tids, offsets
+	if len(p.tidGroup) != p.n {
+		p.tidGroup = make([]int32, p.n)
+	}
+	p.fillTIDGroups()
+	p.lookupMu.Lock()
+	if p.lookup != nil {
+		for key, g := range p.lookup {
+			p.lookup[key] = baseMap[g]
+		}
+		for i, ng := range p.newGroups {
+			p.lookup[ng.key] = newMap[i]
+		}
+	}
+	p.lookupMu.Unlock()
+	p.tails, p.newGroups, p.newLookup, p.tailLen = nil, nil, nil, 0
+}
+
+// catchUp is IndexCache's entry-revalidation hook: under the PLI's
+// mutex, absorb any appended rows and — for order-sensitive callers —
+// compact the delta tail. ok reports whether the entry now exactly
+// describes r; advanced reports whether rows were absorbed (an
+// "advance" in cache stats, as opposed to a pure hit).
+func (p *PLI) catchUp(r *Relation, compact bool) (ok, advanced bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.AdvanceableTo(r) {
+		return false, false
+	}
+	advanced = p.n < r.Len()
+	if advanced {
+		p.advanceLocked(r)
+	}
+	if compact {
+		p.compactLocked()
+	}
+	return true, advanced
+}
+
+// MemSize estimates the index's resident bytes (flat storage plus delta
+// tail and lookup map) — the unit of IndexCache's byte budget.
+func (p *PLI) MemSize() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sz := int64(len(p.tids))*8 + int64(len(p.offsets))*4 + int64(len(p.tidGroup))*4
+	sz += int64(p.tailLen) * 16
+	p.lookupMu.Lock()
+	sz += int64(len(p.lookup)) * (16 + int64(len(p.attrs))*4)
+	p.lookupMu.Unlock()
+	return sz + 96
 }

@@ -344,9 +344,10 @@ func TestLookupCode(t *testing.T) {
 }
 
 // TestVersionsAndInvalidation covers the staleness contract: Set bumps
-// only the touched column, Insert bumps everything, a code-identical Set
-// bumps nothing, and the IndexCache turns each of those into the minimal
-// set of rebuilds.
+// only the touched column, Insert bumps no column version (appends are
+// absorbable, not invalidating), a code-identical Set bumps nothing,
+// and the IndexCache turns each of those into the minimal work — a
+// rebuild only for edited columns, an in-place advance for appends.
 func TestVersionsAndInvalidation(t *testing.T) {
 	r := randomMixedRelation(t, 42, 120)
 	cache := NewIndexCache()
@@ -406,14 +407,43 @@ func TestVersionsAndInvalidation(t *testing.T) {
 	}
 	r.Set(7, 0, old)
 
-	// Insert invalidates every index (each column grows).
+	// Insert leaves every index length-stale but advanceable: the cache
+	// absorbs the appended row into the same PLI instead of rebuilding.
 	p23 = cache.Get(r, []int{2, 3})
+	before := cache.Stats()
+	appendVer := r.AppendVersion()
 	r.MustInsert(Tuple{String("s"), Int(1), Float(1.5), String("t")})
+	if r.AppendVersion() != appendVer+1 {
+		t.Fatalf("Insert did not move the append watermark")
+	}
 	if p23.Fresh(r) {
-		t.Fatalf("PLI survived an Insert")
+		t.Fatalf("PLI claims freshness before absorbing the appended row")
+	}
+	if !p23.AdvanceableTo(r) {
+		t.Fatalf("append-only staleness not advanceable")
+	}
+	got := cache.Get(r, []int{2, 3})
+	if got != p23 {
+		t.Fatalf("cache rebuilt an append-stale PLI instead of advancing it")
+	}
+	if !got.Fresh(r) {
+		t.Fatalf("advanced PLI does not validate Fresh")
+	}
+	after := cache.Stats()
+	if after.Misses != before.Misses || after.Advances != before.Advances+1 {
+		t.Fatalf("append should advance, not rebuild: %+v -> %+v", before, after)
+	}
+	samePartition(t, "post-append advance", got, BuildPLI(r, []int{2, 3}))
+
+	// A Truncate (the append rollback) invalidates wholesale: an index
+	// that may have absorbed the dropped rows cannot be trusted if the
+	// relation grows back to the same length with different tuples.
+	r.Truncate(r.Len() - 1)
+	if p23.Fresh(r) || p23.AdvanceableTo(r) {
+		t.Fatalf("PLI survived a Truncate")
 	}
 	if got := cache.Get(r, []int{2, 3}); got == p23 {
-		t.Fatalf("cache served a pre-Insert PLI")
+		t.Fatalf("cache served a pre-Truncate PLI")
 	}
 }
 

@@ -67,6 +67,7 @@ type Relation struct {
 	tuples  []Tuple
 	cols    []*column
 	version uint64
+	appends uint64 // count of tuples ever appended (the append watermark)
 	scratch []byte // Encode buffer reused by intern; guarded by the caller's write side
 }
 
@@ -86,15 +87,24 @@ func (r *Relation) Schema() *Schema { return r.schema }
 func (r *Relation) Len() int { return len(r.tuples) }
 
 // Version returns the relation's mutation counter: it increases on every
-// Insert, reorder, and on every Set that actually changes a cell's code.
-// Index structures snapshot it (or the finer per-column counters) to
-// detect staleness.
+// Insert, Truncate, reorder, and on every Set that actually changes a
+// cell's code. Index structures snapshot it (or the finer per-column
+// counters) to detect staleness.
 func (r *Relation) Version() uint64 { return r.version }
 
-// ColumnVersion returns the mutation counter of a single column. Insert
-// and reorders bump every column; Set bumps only the touched column, so
-// indexes over untouched columns remain valid after a cell edit.
+// ColumnVersion returns the code-mutation counter of a single column.
+// Set bumps only the touched column (so indexes over untouched columns
+// remain valid after a cell edit), and reorders and Truncate bump every
+// column. Insert bumps NO column version: appending rows changes no
+// existing code, so an index can tell "rows appended" (its length
+// watermark lags Len while column versions match — absorbable via
+// PLI.Advance) apart from "codes mutated" (a rebuild).
 func (r *Relation) ColumnVersion(attr int) uint64 { return r.cols[attr].version }
+
+// AppendVersion returns the number of tuples ever appended — the
+// monotone watermark that, together with the per-column code versions,
+// splits staleness into "grew by appends" and "mutated in place".
+func (r *Relation) AppendVersion() uint64 { return r.appends }
 
 // Tuple returns the tuple with the given TID. The returned slice aliases
 // relation storage; callers must not mutate it (use Set, which keeps the
@@ -161,11 +171,32 @@ func (r *Relation) Insert(t Tuple) (int, error) {
 	r.tuples = append(r.tuples, t)
 	for i, v := range t {
 		c := r.cols[i]
+		// Appends deliberately leave c.version alone: no existing code
+		// changed, and PLIs detect growth through the length watermark
+		// (and absorb it incrementally, see PLI.Advance).
 		c.codes = append(c.codes, r.intern(i, v))
+	}
+	r.version++
+	r.appends++
+	return tid, nil
+}
+
+// Truncate discards every tuple with TID >= n — the rollback primitive
+// for failed appends (engine.Session.Append). Interned codes stay
+// allocated (codes are never reclaimed; the dropped rows' values simply
+// keep their dictionary slots). Every column version is bumped: an index
+// that absorbed the dropped rows must not be mistaken for fresh if the
+// relation later grows back to its length with different tuples.
+func (r *Relation) Truncate(n int) {
+	if n < 0 || n >= len(r.tuples) {
+		return
+	}
+	r.tuples = r.tuples[:n]
+	for _, c := range r.cols {
+		c.codes = c.codes[:n]
 		c.version++
 	}
 	r.version++
-	return tid, nil
 }
 
 // MustInsert inserts a tuple and panics on validation failure. Intended
@@ -282,7 +313,10 @@ func (r *Relation) lookupEnc(attr int, v Value) (int32, bool) {
 // agrees exactly with comparing the concatenated string keys (see
 // BuildPLI), which is what keeps PLI group order byte-compatible with
 // HashIndex.Keys(). The ranking is cached on the column and reused until
-// the dictionary grows, so steady-state index builds sort nothing.
+// the dictionary grows, so steady-state index builds sort nothing; when
+// it does grow (appends or edits interning unseen values), only the new
+// codes are sorted and merged into the existing order — O(old + new·log
+// new) instead of re-sorting the whole dictionary.
 func (r *Relation) codeRanks(attr int) []int32 {
 	c := r.cols[attr]
 	c.rankMu.Lock()
@@ -290,14 +324,46 @@ func (r *Relation) codeRanks(attr int) []int32 {
 	if c.ranksLen == len(c.values) {
 		return c.ranks
 	}
-	order := make([]int32, len(c.encs))
-	for i := range order {
-		order[i] = int32(i)
+	old := c.ranksLen
+	fresh := make([]int32, len(c.values)-old)
+	for i := range fresh {
+		fresh[i] = int32(old + i)
 	}
-	sort.Slice(order, func(i, j int) bool { return c.encs[order[i]] < c.encs[order[j]] })
-	ranks := make([]int32, len(order))
-	for rank, code := range order {
-		ranks[code] = int32(rank)
+	sort.Slice(fresh, func(i, j int) bool { return c.encs[fresh[i]] < c.encs[fresh[j]] })
+	// Published rank slices are immutable (clones share them), so the
+	// extended ranking goes into a fresh allocation.
+	ranks := make([]int32, len(c.values))
+	if old == 0 {
+		for rank, code := range fresh {
+			ranks[code] = int32(rank)
+		}
+	} else {
+		// Recover the old sorted order from the cached ranks and merge
+		// the sorted new codes into it. Encode keys are unique per code,
+		// so there are no ties to break.
+		order := make([]int32, old)
+		for code := 0; code < old; code++ {
+			order[c.ranks[code]] = int32(code)
+		}
+		oi, fi := 0, 0
+		for rank := 0; rank < len(c.values); rank++ {
+			var code int32
+			switch {
+			case oi == len(order):
+				code = fresh[fi]
+				fi++
+			case fi == len(fresh):
+				code = order[oi]
+				oi++
+			case c.encs[fresh[fi]] < c.encs[order[oi]]:
+				code = fresh[fi]
+				fi++
+			default:
+				code = order[oi]
+				oi++
+			}
+			ranks[code] = int32(rank)
+		}
 	}
 	c.ranks, c.ranksLen = ranks, len(c.values)
 	return ranks
@@ -312,6 +378,7 @@ func (r *Relation) Clone() *Relation {
 		tuples:  make([]Tuple, len(r.tuples)),
 		cols:    make([]*column, len(r.cols)),
 		version: r.version,
+		appends: r.appends,
 	}
 	for i, t := range r.tuples {
 		out.tuples[i] = t.Clone()

@@ -13,7 +13,9 @@ import (
 // satisfies the CFD set, it repairs only the delta tuples so that the
 // whole relation satisfies the set. The base tuples are treated as
 // authoritative and are never modified — the defining property that
-// makes IncRepair cheap for small deltas (experiment E6).
+// makes IncRepair cheap for small deltas (experiment E6). The input
+// relation is not modified; the result holds a repaired copy. Service
+// paths that own their relation use IncInPlace and skip the copy.
 //
 // Resolution rules per violation kind:
 //
@@ -25,22 +27,68 @@ import (
 //     required constant, or moves the tuple out of the pattern scope
 //     when the cell is already bound otherwise.
 func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	return IncInPlace(r.Clone(), set, deltaTIDs, opts, nil)
+}
+
+// IncInPlace is IncRepair without the defensive copy: it writes repaired
+// values directly into the delta cells of r (base tuples are still never
+// modified) and runs its per-pass incremental detection on the caller's
+// PLI cache, so a session's partitions survive the append→repair cycle —
+// stale-only-by-appends indexes are advanced (IndexCache.GetDelta), not
+// rebuilt. Result.Repaired is r itself. A nil cache uses a private one.
+//
+// On error the delta cells may hold partially repaired values; callers
+// that appended the delta roll back with Relation.Truncate (as
+// engine.Session.Append does).
+func IncInPlace(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options, cache *relation.IndexCache) (*Result, error) {
+	if err := checkDelta(r, set, deltaTIDs); err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		cache = relation.NewIndexCache()
+	}
+	// Snapshot the delta tuples' original values: only delta cells are
+	// ever written, so this is all the repair needs for cost computation
+	// and the change list.
+	snap := make(map[int]relation.Tuple, len(deltaTIDs))
+	for _, tid := range deltaTIDs {
+		if _, dup := snap[tid]; !dup {
+			snap[tid] = r.Tuple(tid).Clone()
+		}
+	}
+	orig := func(tid, attr int) relation.Value {
+		if t, ok := snap[tid]; ok {
+			return t[attr]
+		}
+		return r.Get(tid, attr)
+	}
+	return incRun(r, orig, set, deltaTIDs, opts, cache)
+}
+
+func checkDelta(r *relation.Relation, set *cfd.Set, deltaTIDs []int) error {
 	if !r.Schema().Equal(set.Schema()) {
-		return nil, fmt.Errorf("repair: relation %s does not match constraint schema %s",
+		return fmt.Errorf("repair: relation %s does not match constraint schema %s",
 			r.Schema().Name(), set.Schema().Name())
 	}
-	isDelta := make(map[int]bool, len(deltaTIDs))
 	for _, tid := range deltaTIDs {
 		if tid < 0 || tid >= r.Len() {
-			return nil, fmt.Errorf("repair: delta TID %d out of range", tid)
+			return fmt.Errorf("repair: delta TID %d out of range", tid)
 		}
+	}
+	return nil
+}
+
+// incRun is the shared IncRepair loop: work is mutated in place (delta
+// cells only), orig supplies the pre-repair values of every cell, and
+// cache serves the per-CFD X-partitions across passes.
+func incRun(work *relation.Relation, orig func(tid, attr int) relation.Value, set *cfd.Set, deltaTIDs []int, opts Options, cache *relation.IndexCache) (*Result, error) {
+	opts = opts.withDefaults()
+	isDelta := make(map[int]bool, len(deltaTIDs))
+	for _, tid := range deltaTIDs {
 		isDelta[tid] = true
 	}
 
-	arity := r.Schema().Arity()
-	work := r.Clone()
-	orig := r
+	arity := work.Schema().Arity()
 
 	// Cell classes restricted to delta cells; base cells are constants.
 	// We key the union-find by delta cell ids mapped densely.
@@ -76,7 +124,12 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 		}
 	}
 
-	materialize := func() {
+	// materialize writes every class value into work. The base-tuple
+	// guard is the algorithm's contract made explicit: IncRepair may
+	// write delta cells ONLY — especially load-bearing now that work can
+	// be a session's live relation (IncInPlace), where a stray base
+	// write would silently corrupt data no rollback removes.
+	materialize := func() error {
 		members := make(map[int][]int)
 		for dense := range denseCells {
 			members[uf.find(dense)] = append(members[uf.find(dense)], dense)
@@ -92,38 +145,38 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 				for i, dense := range cells {
 					cellIDs[i] = denseCells[dense]
 				}
-				v = classValue(orig, cellIDs, arity, opts)
+				v = classValueBy(orig, cellIDs, arity, opts)
 			}
 			for _, dense := range cells {
 				c := denseCells[dense]
+				if !isDelta[c/arity] {
+					return fmt.Errorf("repair: internal: IncRepair attempted to modify base tuple %d", c/arity)
+				}
 				work.Set(c/arity, c%arity, v)
 			}
 		}
+		return nil
 	}
 
 	// One index cache across all passes: materialize only rewrites delta
 	// cells whose value actually changes, so X-partitions over columns the
-	// repair never touches stay fresh and are rebuilt zero times.
-	indexes := relation.NewIndexCache()
+	// repair never touches stay fresh — and when the delta was appended to
+	// a warm session, GetDelta absorbs it into the existing partitions
+	// instead of rebuilding them.
 	passes := 0
 	for ; passes < opts.MaxPasses; passes++ {
-		materialize()
+		if err := materialize(); err != nil {
+			return nil, err
+		}
 		// Only violations touching delta tuples matter: the base is
 		// consistent by precondition and never modified.
 		var vs []cfd.Violation
 		for _, c := range set.All() {
-			pli := indexes.Get(work, c.LHS())
+			pli := cache.GetDelta(work, c.LHS())
 			vs = append(vs, cfd.IncDetect(work, c, pli, deltaTIDs)...)
 		}
 		if len(vs) == 0 {
-			res := finish(orig, work, passes+1, opts)
-			// Assert the base is untouched (the algorithm's contract).
-			for _, ch := range res.Changes {
-				if !isDelta[ch.TID] {
-					return nil, fmt.Errorf("repair: internal: IncRepair modified base tuple %d", ch.TID)
-				}
-			}
-			return res, nil
+			return finishDelta(work, orig, deltaTIDs, passes+1, opts), nil
 		}
 		progress := false
 		for _, v := range vs {
@@ -148,13 +201,13 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 						if !work.Get(tid, v.Attr).Identical(bv) {
 							return nil, fmt.Errorf(
 								"repair: base tuples %v disagree on %s under %s — the base must satisfy the set before IncRepair",
-								base, r.Schema().Attr(v.Attr).Name, v.CFD.Name())
+								base, work.Schema().Attr(v.Attr).Name, v.CFD.Name())
 						}
 					}
 					// Bind every delta cell to the base value.
 					for _, tid := range delta {
 						dense := deltaIdx[cellID(tid, v.Attr)]
-						if setConst(dense, bv, r.Schema().Attr(v.Attr).Kind) {
+						if setConst(dense, bv, work.Schema().Attr(v.Attr).Kind) {
 							progress = true
 						}
 					}
@@ -176,7 +229,7 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 					case t1.kind == targetFresh || t2.kind == targetFresh ||
 						(t1.kind == targetConst && t2.kind == targetConst && !t1.value.Identical(t2.value)):
 						freshCounter++
-						targets[root] = cellTarget{targetFresh, freshValue(r.Schema().Attr(v.Attr).Kind, freshCounter)}
+						targets[root] = cellTarget{targetFresh, freshValue(work.Schema().Attr(v.Attr).Kind, freshCounter)}
 					case t1.kind == targetConst:
 						targets[root] = t1
 					case t2.kind == targetConst:
@@ -195,7 +248,7 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 				root := uf.find(dense)
 				t := targets[root]
 				if t.kind == targetUnset || (t.kind == targetConst && t.value.Identical(pat.Constant())) {
-					if setConst(dense, pat.Constant(), r.Schema().Attr(v.Attr).Kind) {
+					if setConst(dense, pat.Constant(), work.Schema().Attr(v.Attr).Kind) {
 						progress = true
 					}
 					continue
@@ -213,7 +266,7 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 						continue
 					}
 					freshCounter++
-					targets[lroot] = cellTarget{targetFresh, freshValue(r.Schema().Attr(lhsAttr).Kind, freshCounter)}
+					targets[lroot] = cellTarget{targetFresh, freshValue(work.Schema().Attr(lhsAttr).Kind, freshCounter)}
 					progress = true
 					break
 				}
@@ -226,9 +279,39 @@ func Inc(r *relation.Relation, set *cfd.Set, deltaTIDs []int, opts Options) (*Re
 	return nil, fmt.Errorf("repair: IncRepair pass limit %d exceeded", opts.MaxPasses)
 }
 
-// AppendAndRepair is the common IncRepair entry point: append the delta
-// tuples to a clean base relation and repair just the delta. It returns
-// the repaired combined relation and the result.
+// finishDelta computes the change list and cost by scanning the delta
+// cells only — IncRepair never modifies base cells, so the scan is
+// exhaustive. Changes come out sorted by (TID, Attr) like finish's.
+func finishDelta(work *relation.Relation, orig func(tid, attr int) relation.Value, deltaTIDs []int, passes int, opts Options) *Result {
+	arity := work.Schema().Arity()
+	tids := append([]int(nil), deltaTIDs...)
+	sort.Ints(tids)
+	var changes []Change
+	cost := 0.0
+	prev := -1
+	for _, tid := range tids {
+		if tid == prev {
+			continue
+		}
+		prev = tid
+		for attr := 0; attr < arity; attr++ {
+			from, to := orig(tid, attr), work.Get(tid, attr)
+			if from.Identical(to) {
+				continue
+			}
+			changes = append(changes, Change{TID: tid, Attr: attr, From: from, To: to})
+			cost += opts.Weights(tid, attr) * valueDistance(from, to)
+		}
+	}
+	return &Result{Repaired: work, Changes: changes, Cost: cost, Passes: passes}
+}
+
+// AppendAndRepair is the one-shot IncRepair entry point: append the
+// delta tuples to a (copy of the) clean base relation and repair just
+// the delta. It returns the repaired combined relation and the result;
+// base is not modified. Long-lived sessions append into their own
+// relation and call IncInPlace instead, which is what keeps their PLI
+// cache warm (engine.Session.Append).
 func AppendAndRepair(base *relation.Relation, delta []relation.Tuple, set *cfd.Set, opts Options) (*Result, error) {
 	combined := base.Clone()
 	deltaTIDs := make([]int, 0, len(delta))
@@ -239,7 +322,7 @@ func AppendAndRepair(base *relation.Relation, delta []relation.Tuple, set *cfd.S
 		}
 		deltaTIDs = append(deltaTIDs, tid)
 	}
-	return Inc(combined, set, deltaTIDs, opts)
+	return IncInPlace(combined, set, deltaTIDs, opts, nil)
 }
 
 // ChangedTIDs extracts the sorted distinct TIDs touched by a result.

@@ -315,15 +315,22 @@ func valueDistance(from, to relation.Value) float64 {
 // minimizing the total weighted distance to all members (exact medoid
 // for small classes, weighted mode for large ones).
 func classValue(orig *relation.Relation, cells []int, arity int, opts Options) relation.Value {
+	return classValueBy(orig.Get, cells, arity, opts)
+}
+
+// classValueBy is classValue over an arbitrary original-value getter —
+// the in-place IncRepair path reads pre-repair values from a delta
+// snapshot instead of a second relation.
+func classValueBy(orig func(tid, attr int) relation.Value, cells []int, arity int, opts Options) relation.Value {
 	if len(cells) <= opts.ExactValueSelection {
 		best := relation.Null()
 		bestCost := -1.0
 		for _, cand := range cells {
-			cv := orig.Get(cand/arity, cand%arity)
+			cv := orig(cand/arity, cand%arity)
 			cost := 0.0
 			for _, cell := range cells {
 				w := opts.Weights(cell/arity, cell%arity)
-				cost += w * valueDistance(orig.Get(cell/arity, cell%arity), cv)
+				cost += w * valueDistance(orig(cell/arity, cell%arity), cv)
 			}
 			if bestCost < 0 || cost < bestCost {
 				best, bestCost = cv, cost
@@ -335,7 +342,7 @@ func classValue(orig *relation.Relation, cells []int, arity int, opts Options) r
 	counts := make(map[string]float64)
 	vals := make(map[string]relation.Value)
 	for _, cell := range cells {
-		v := orig.Get(cell/arity, cell%arity)
+		v := orig(cell/arity, cell%arity)
 		k := string(v.Encode(nil))
 		counts[k] += opts.Weights(cell/arity, cell%arity)
 		vals[k] = v

@@ -124,8 +124,12 @@ type datasetJSON struct {
 	Schema      string `json:"schema"`
 	Constraints int    `json:"constraints"`
 	// IndexCache reports the session's PLI cache counters (shared by
-	// detection and discovery); a healthy steady state shows hits
-	// growing while misses and refines stay flat.
+	// detection, discovery and incremental repair); a healthy steady
+	// state shows hits growing while misses and refines stay flat, and
+	// an append-heavy steady state (POST /v1/repair/incremental) grows
+	// advances — cached partitions extended by the delta in place —
+	// still without rebuilds. evictions moves only under a configured
+	// cache byte budget.
 	IndexCache relation.CacheStats `json:"index_cache"`
 }
 

@@ -230,6 +230,35 @@ func TestRepairIncremental(t *testing.T) {
 		t.Fatalf("post-incremental detect: %d %v", code, body)
 	}
 
+	// A second append on the now-warm session must be served by
+	// advancing the cached partitions, not rebuilding them — the dataset
+	// JSON exposes the advances counter and misses stay frozen.
+	code, body = call(t, ts, "GET", "/v1/datasets/base", nil)
+	if code != http.StatusOK {
+		t.Fatalf("info: %d %v", code, body)
+	}
+	warm := body["index_cache"].(map[string]any)
+	code, body = call(t, ts, "POST", "/v1/repair/incremental", map[string]any{
+		"dataset": "base",
+		"tuples": [][]string{
+			{"44", "131", "131-0000002", "amy", "wrong street", "edi", "EH0 0XX"},
+		},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("second incremental: %d %v", code, body)
+	}
+	code, body = call(t, ts, "GET", "/v1/datasets/base", nil)
+	if code != http.StatusOK {
+		t.Fatalf("info: %d %v", code, body)
+	}
+	after := body["index_cache"].(map[string]any)
+	if after["misses"].(float64) != warm["misses"].(float64) {
+		t.Fatalf("warm incremental append rebuilt partitions: %v -> %v", warm, after)
+	}
+	if after["advances"].(float64) <= warm["advances"].(float64) {
+		t.Fatalf("warm incremental append did not advance partitions: %v -> %v", warm, after)
+	}
+
 	// Arity mismatch is a 400.
 	code, body = call(t, ts, "POST", "/v1/repair/incremental", map[string]any{
 		"dataset": "base",
