@@ -7,7 +7,7 @@ SHELL := /bin/bash
 # real measurements.
 BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-all run-daemon
+.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-all run-daemon
 
 all: check
 
@@ -35,18 +35,21 @@ race:
 
 # race-cache re-runs the packages that share PLI caches across
 # goroutines (discovery through engine sessions, concurrent detection,
-# append-time PLI advancement through incremental repair) with a higher
-# count, so cache-sharing races surface on every push.
+# append-time PLI advancement through incremental repair, and the
+# TID-range-sharded builds racing appends in
+# TestShardedCacheConcurrentBuildAppend) with a higher count, so
+# cache-sharing races surface on every push.
 race-cache:
 	$(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/ ./internal/repair/
 
 # bench runs the perf-trajectory benchmarks CI archives on every run:
 # detection (E1 scale sweep, E13 parallel detector) into
 # BENCH_detect.json, the discovery lattice walk (cold FDs, warm
-# session) into BENCH_discovery.json, and the streaming append→detect
+# session) into BENCH_discovery.json, the streaming append→detect
 # path (incremental PLI advance vs invalidate-and-rebuild) into
-# BENCH_append.json.
-bench: bench-detect bench-discovery bench-append
+# BENCH_append.json, and cold sharded index construction (serial vs
+# TID-range-parallel counting sorts) into BENCH_build.json.
+bench: bench-detect bench-discovery bench-append bench-build
 
 bench-detect:
 	$(GO) test -bench='E1DetectScaleTuples|E13ParallelDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
@@ -59,6 +62,10 @@ bench-discovery:
 bench-append:
 	$(GO) test -bench='AppendDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_append.json
+
+bench-build:
+	$(GO) test -bench='ShardedBuild' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_build.json
 
 # bench-all smoke-runs every benchmark once.
 bench-all:

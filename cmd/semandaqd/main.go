@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	semandaqd [-addr :8080] [-workers 0] [-preload 0] [-index-budget-mb 0]
+//	semandaqd [-addr :8080] [-workers 0] [-shards 0] [-preload 0] [-index-budget-mb 0]
 //
 // -workers sizes the per-dataset detection worker pool (0 = NumCPU,
-// 1 = serial). -preload N registers a built-in "cust" dataset of N
-// noisy tuples with its planted constraints at startup, which makes the
+// 1 = serial). -shards sets the PLI build fan-out: cold partition
+// builds run as TID-range-parallel counting sorts across this many
+// shards (0 = GOMAXPROCS, 1 = serial; output is byte-identical either
+// way). -preload N registers a built-in "cust" dataset of N noisy
+// tuples with its planted constraints at startup, which makes the
 // quickstart in README.md work with curl alone. -index-budget-mb caps
 // each dataset's PLI cache (discovery lattices evict before detection
 // partitions); 0 keeps every partition resident.
@@ -36,11 +39,12 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "detection worker pool size (0 = NumCPU, 1 = serial)")
+	shards := flag.Int("shards", 0, "PLI build shard fan-out (0 = GOMAXPROCS, 1 = serial)")
 	preload := flag.Int("preload", 0, "preload a noisy 'cust' dataset of this many tuples")
 	indexBudgetMB := flag.Int64("index-budget-mb", 0, "per-dataset PLI cache budget in MiB (0 = unlimited)")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, IndexBudgetBytes: *indexBudgetMB << 20})
+	eng := engine.New(engine.Options{Workers: *workers, Shards: *shards, IndexBudgetBytes: *indexBudgetMB << 20})
 	if *preload > 0 {
 		if err := preloadCust(eng, *preload); err != nil {
 			log.Fatalf("semandaqd: preload: %v", err)

@@ -21,7 +21,11 @@ import (
 // path: workers only read the relation and write disjoint result slots.
 // PLI acquisition for the different CFDs runs concurrently too, through
 // the detector's index cache (which is concurrency-safe), so a warm
-// cache skips the partition phase entirely.
+// cache skips the partition phase entirely. On a sharded cache
+// (relation.IndexCache.SetShards — the engine session default) each
+// cold acquisition additionally fans its own counting sort across
+// TID-range shards, so even a single-CFD cold scan uses the whole
+// machine instead of one core per constraint.
 func (d *Detector) DetectParallel(r *relation.Relation, workers int) ([]Violation, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()

@@ -48,6 +48,13 @@ type Options struct {
 	// engine.Session.Discover defaults this to the session's worker
 	// pool (runtime.NumCPU()).
 	Workers int
+	// Shards is the PLI build fan-out applied to the PRIVATE cache a
+	// nil Cache creates: each cold partition build or refinement of the
+	// lattice walk runs as a TID-range-parallel counting sort across
+	// this many shards (relation.IndexCache.SetShards; byte-identical
+	// to serial). A caller-supplied Cache keeps its own setting — an
+	// engine session's cache is configured by the session.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +66,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Cache == nil {
 		o.Cache = relation.NewIndexCache()
+		if o.Shards != 0 {
+			o.Cache.SetShards(o.Shards)
+		}
 	}
 	if o.Workers <= 0 {
 		o.Workers = 1

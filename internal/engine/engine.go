@@ -29,6 +29,12 @@ type Options struct {
 	// Workers is the detection worker-pool size handed to every
 	// session: 0 means runtime.NumCPU(), 1 forces serial detection.
 	Workers int
+	// Shards is the PLI build fan-out handed to every session's index
+	// cache: cold partition builds and refinements split their
+	// counting-sort passes across this many TID-range shards
+	// (byte-identical output; see relation.BuildPLISharded). 0 means
+	// runtime.GOMAXPROCS(0), 1 forces serial builds.
+	Shards int
 	// IndexBudgetBytes caps every session's PLI cache at this resident
 	// byte estimate (0 = unlimited). Discovery lattices otherwise pin
 	// C(arity, MaxLHS+1) partitions per dataset for the session's
@@ -47,6 +53,7 @@ type Engine struct {
 	sessions    map[string]*Session
 	setCache    map[string]*cfd.Set
 	workers     int
+	shards      int
 	indexBudget int64
 }
 
@@ -56,6 +63,7 @@ func New(opts Options) *Engine {
 		sessions:    map[string]*Session{},
 		setCache:    map[string]*cfd.Set{},
 		workers:     opts.Workers,
+		shards:      opts.Shards,
 		indexBudget: opts.IndexBudgetBytes,
 	}
 }
@@ -71,6 +79,7 @@ func (e *Engine) Register(name string, data *relation.Relation) (*Session, error
 	if err != nil {
 		return nil, err
 	}
+	s.SetShards(e.shards)
 	if e.indexBudget > 0 {
 		s.SetIndexBudget(e.indexBudget)
 	}

@@ -367,6 +367,103 @@ func TestSessionAppendAdvancesNotRebuilds(t *testing.T) {
 	}
 }
 
+// TestAppendKeepsViolationCacheOnCleanBase is the incremental
+// violation-maintenance acceptance check: once a session has a validly
+// cached EMPTY violation list (a clean base), Session.Append keeps the
+// cache valid — IncInPlace repairs the delta onto the clean base, so
+// the relation stays violation-free and the next Violations() answers
+// from the cache with ZERO detection work, asserted by the PLI cache
+// counters not moving at all. Dirty deltas are repaired clean and keep
+// the property; a cell Edit still invalidates.
+func TestAppendKeepsViolationCacheOnCleanBase(t *testing.T) {
+	base := datagen.Cust(3_000, 43)
+	s, err := NewSession("clean-append", base, datagen.CustConstraints(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := s.Violations() // primes the cache; clean data has none
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("generated base has %d violations", len(vs))
+	}
+
+	schema := base.Schema()
+	mkClean := func(round int) []relation.Tuple {
+		out := make([]relation.Tuple, 25)
+		for i := range out {
+			out[i] = base.Tuple((round*25 + i*17) % base.Len()).Clone()
+		}
+		return out
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := s.Append(mkClean(round)); err != nil {
+			t.Fatal(err)
+		}
+		after := s.IndexStats()
+		vs, err := s.Violations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vs) != 0 {
+			t.Fatalf("round %d: %d violations after clean append", round, len(vs))
+		}
+		if got := s.IndexStats(); got != after {
+			t.Fatalf("round %d: Violations() re-detected after a clean append: %+v -> %+v", round, after, got)
+		}
+	}
+
+	// A dirty delta is repaired onto the clean base — still violation-
+	// free afterwards, still no re-detection on the read path.
+	dirtyDelta, _ := noise.Dirty(datagen.Cust(40, 47), noise.Options{
+		Rate:  0.4,
+		Attrs: []int{schema.MustIndex("STR"), schema.MustIndex("CT")},
+		Seed:  53,
+	})
+	tuples := make([]relation.Tuple, dirtyDelta.Len())
+	for i := range tuples {
+		tuples[i] = dirtyDelta.Tuple(i).Clone()
+	}
+	res, err := s.Append(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.IndexStats()
+	vs, err = s.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("%d violations after repaired dirty append (%d changes)", len(vs), len(res.Changes))
+	}
+	if got := s.IndexStats(); got != after {
+		t.Fatalf("Violations() re-detected after a repaired append: %+v -> %+v", after, got)
+	}
+
+	// Ground truth: a from-scratch serial detection agrees.
+	direct, err := s.DetectSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != 0 {
+		t.Fatalf("cached-clean session actually has %d violations", len(direct))
+	}
+
+	// Mutations other than Append still invalidate: an Edit forces the
+	// next Violations() to re-detect.
+	before := s.IndexStats()
+	if err := s.Edit(0, schema.MustIndex("STR"), relation.String("edited-street")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Violations(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.IndexStats(); got == before {
+		t.Fatal("Violations() after an Edit did no detection work")
+	}
+}
+
 // TestSessionAppendRollback checks the failure path: an arity-bad tuple
 // mid-batch rolls the whole append back, leaving length, violations and
 // subsequent detection exactly as before.

@@ -63,7 +63,9 @@ type Session struct {
 // NewSession opens a session over a private clone of data. The
 // constraint set must match the data's schema and be satisfiable (an
 // unsatisfiable set cannot be repaired to). workers configures parallel
-// detection: 0 means runtime.NumCPU(), 1 forces serial.
+// detection: 0 means runtime.NumCPU(), 1 forces serial. The PLI build
+// fan-out of the session's index cache mirrors the pool (0 = NumCPU,
+// 1 = serial); SetShards overrides it independently.
 func NewSession(name string, data *relation.Relation, set *cfd.Set, workers int) (*Session, error) {
 	if set == nil {
 		set = cfd.NewSet(data.Schema())
@@ -71,14 +73,16 @@ func NewSession(name string, data *relation.Relation, set *cfd.Set, workers int)
 	if err := checkConstraints(data.Schema(), set); err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		name:      name,
 		data:      data.Clone(),
 		set:       set,
 		workers:   workers,
 		indexes:   relation.NewIndexCache(),
 		confirmed: map[[2]int]bool{},
-	}, nil
+	}
+	s.indexes.SetShards(workers)
+	return s, nil
 }
 
 func checkConstraints(schema *relation.Schema, set *cfd.Set) error {
@@ -211,6 +215,13 @@ func (s *Session) IndexStats() relation.CacheStats {
 // Deep discovery-lattice partitions are evicted before the shallow
 // detection partitions the service reuses on every request.
 func (s *Session) SetIndexBudget(bytes int64) { s.indexes.SetBudget(bytes) }
+
+// SetShards sets the PLI build fan-out of the session's index cache:
+// cold partition builds and refinements run as TID-range-parallel
+// counting sorts across this many shards, byte-identical to serial
+// (relation.IndexCache.SetShards). 0 means runtime.GOMAXPROCS(0), 1
+// forces serial builds.
+func (s *Session) SetShards(n int) { s.indexes.SetShards(n) }
 
 // Violations returns the cached violation list, recomputing it if the
 // data or constraints changed since the last Detect.
@@ -362,6 +373,15 @@ func (s *Session) ConfirmedCells() [][2]int {
 func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// A validly cached EMPTY violation list survives the append: the
+	// base is then known clean, and IncInPlace's contract is that a
+	// delta repaired onto a clean base leaves the whole relation
+	// violation-free — so the empty list still describes the grown
+	// relation exactly and the next Violations() is O(1), no
+	// re-detection (asserted via cache counters in the engine tests). A
+	// non-empty cached list is NOT carried over: its violations name
+	// X-groups whose membership the delta may have changed.
+	cleanBase := s.vioValid && len(s.violations) == 0
 	base := s.data.Len()
 	deltaTIDs := make([]int, 0, len(tuples))
 	for _, t := range tuples {
@@ -378,6 +398,9 @@ func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 		return nil, err
 	}
 	s.mutated()
+	if cleanBase {
+		s.vioValid = true // still violation-free; s.violations stays empty
+	}
 	return res, nil
 }
 

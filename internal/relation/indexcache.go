@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -26,6 +27,11 @@ type CacheStats struct {
 	// Evictions counts entries dropped to keep the cache inside its
 	// byte budget (SetBudget).
 	Evictions uint64 `json:"evictions"`
+	// ShardBuilds counts the builds and refines that actually ran the
+	// TID-range-parallel counting sort (SetShards > 1 AND a relation
+	// large enough to feed the fan-out) — the observability hook for
+	// "cold builds use the worker pool, warm traffic builds nothing".
+	ShardBuilds uint64 `json:"shard_builds"`
 }
 
 // cacheEntry wraps a cached PLI with its recency tick and last-measured
@@ -64,12 +70,19 @@ type IndexCache struct {
 	budget   atomic.Int64
 	resident int64
 
-	tick      atomic.Uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	refines   atomic.Uint64
-	advances  atomic.Uint64
-	evictions atomic.Uint64
+	// shards is the fan-out every from-scratch build and refinement of
+	// this cache runs with (BuildPLISharded/IntersectSharded); 1 (the
+	// default) is the serial path. Atomic so SetShards never contends
+	// with the lookup fast path.
+	shards atomic.Int32
+
+	tick        atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	refines     atomic.Uint64
+	advances    atomic.Uint64
+	evictions   atomic.Uint64
+	shardBuilds atomic.Uint64
 }
 
 // NewIndexCache creates an empty cache with no byte budget.
@@ -86,6 +99,50 @@ func NewIndexCache() *IndexCache {
 // shallow detection partitions a service session reuses forever.
 func (c *IndexCache) SetBudget(bytes int64) {
 	c.budget.Store(bytes)
+}
+
+// SetShards sets the shard fan-out of the cache's index builds: every
+// cache miss (BuildPLISharded) and refinement (IntersectSharded) splits
+// its counting-sort passes across up to n workers, with byte-identical
+// output to the serial build. n <= 0 means runtime.GOMAXPROCS(0), 1
+// (the default) forces the serial path. Relations too small to feed the
+// fan-out fall back to serial regardless (see effectiveShards), so the
+// knob is safe to leave at NumCPU for mixed dataset sizes.
+func (c *IndexCache) SetShards(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	c.shards.Store(int32(n))
+}
+
+// buildShards returns the configured fan-out (1 when unset).
+func (c *IndexCache) buildShards() int {
+	if s := c.shards.Load(); s > 1 {
+		return int(s)
+	}
+	return 1
+}
+
+// build runs a from-scratch sharded build, counting it as a shard build
+// when the fan-out actually engaged.
+func (c *IndexCache) build(r *Relation, attrs []int) *PLI {
+	s := c.buildShards()
+	if effectiveShards(r.Len(), s) > 1 {
+		c.shardBuilds.Add(1)
+	}
+	return BuildPLISharded(r, attrs, s)
+}
+
+// refine runs a sharded parent refinement, counting it as a shard build
+// when the fan-out actually engaged. The caller guarantees the parent
+// is fresh for r (GetVia catches it up first), so r.Len() is the
+// parent's row count.
+func (c *IndexCache) refine(r *Relation, parent *PLI, y int) *PLI {
+	s := c.buildShards()
+	if effectiveShards(r.Len(), s) > 1 {
+		c.shardBuilds.Add(1)
+	}
+	return parent.IntersectSharded(y, s)
 }
 
 func attrsKey(attrs []int) string {
@@ -133,7 +190,7 @@ func (c *IndexCache) lookup(r *Relation, attrs []int, compact bool) *PLI {
 			return e.pli
 		}
 	}
-	p := BuildPLI(r, attrs)
+	p := c.build(r, attrs)
 	c.misses.Add(1)
 	c.store(r, key, p)
 	return p
@@ -196,12 +253,12 @@ func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 				c.advances.Add(1)
 			}
 			parent.lastUse.Store(c.tick.Add(1))
-			p = parent.pli.Intersect(attrs[len(attrs)-1])
+			p = c.refine(r, parent.pli, attrs[len(attrs)-1])
 			c.refines.Add(1)
 		}
 	}
 	if p == nil {
-		p = BuildPLI(r, attrs)
+		p = c.build(r, attrs)
 		c.misses.Add(1)
 	}
 	c.store(r, key, p)
@@ -278,11 +335,12 @@ func (c *IndexCache) enforceBudgetLocked(keepKey string) {
 // Stats returns the cache's counters.
 func (c *IndexCache) Stats() CacheStats {
 	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Refines:   c.refines.Load(),
-		Advances:  c.advances.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Refines:     c.refines.Load(),
+		Advances:    c.advances.Load(),
+		Evictions:   c.evictions.Load(),
+		ShardBuilds: c.shardBuilds.Load(),
 	}
 }
 

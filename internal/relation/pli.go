@@ -36,6 +36,18 @@ type PLI struct {
 	offsets  []int32 // base group g occupies tids[offsets[g]:offsets[g+1]]
 	tidGroup []int32 // tid -> group index (provisional for tailed new groups)
 
+	// TID-range shard layout with per-shard append watermarks: shard i
+	// covers TIDs [shardEnds[i-1], shardEnds[i]) (from 0 for shard 0),
+	// fixed at shardWidth rows per shard by the build (serial builds
+	// are one shard spanning the relation; shardWidth 0 means a single
+	// unbounded shard). Advance moves ONLY the tail entries — the
+	// watermark of every filled shard is immutable across appends,
+	// which is the granularity future per-shard spill and delta-aware
+	// invalidation key on. Guarded by mu like the rest of the mutable
+	// state (see shard.go).
+	shardWidth int
+	shardEnds  []int
+
 	// mu serializes Advance and Compact — the mutating catch-up path the
 	// IndexCache drives. Plain reads (Group, GroupOf, Lookup, ...) stay
 	// lock-free; they must not overlap an Advance/Compact of the same
@@ -85,39 +97,11 @@ type deltaGroup struct {
 // component decides the concatenated string comparison as well —
 // component-wise order IS the sorted order of HashIndex.Keys(). Tests
 // assert this on randomized relations.
+//
+// BuildPLI is the serial build; BuildPLISharded (shard.go) fans the
+// counting-sort passes over a worker pool with byte-identical output.
 func BuildPLI(r *Relation, attrs []int) *PLI {
-	p := &PLI{
-		rel:     r,
-		attrs:   append([]int(nil), attrs...),
-		colVers: make([]uint64, len(attrs)),
-		n:       r.Len(),
-	}
-	for i, a := range attrs {
-		p.colVers[i] = r.ColumnVersion(a)
-	}
-	n := r.Len()
-	p.tidGroup = make([]int32, n)
-	if n == 0 {
-		p.offsets = []int32{0}
-		return p
-	}
-
-	cur := make([]int, n)
-	for i := range cur {
-		cur[i] = i
-	}
-	next := make([]int, n)
-	bounds := []int32{0, int32(n)}
-
-	for _, a := range attrs {
-		bounds = refineBy(r, a, cur, next, bounds)
-		cur, next = next, cur
-	}
-
-	p.tids = cur
-	p.offsets = bounds
-	p.fillTIDGroups()
-	return p
+	return buildPLI(r, attrs, 1)
 }
 
 // refineBy sub-partitions (cur, bounds) by attribute a's codes, writing
@@ -126,12 +110,22 @@ func BuildPLI(r *Relation, attrs []int) *PLI {
 // by Intersect. cur is never written, so callers may pass shared
 // storage (Intersect hands in the parent PLI's tids directly).
 func refineBy(r *Relation, a int, cur, next []int, bounds []int32) []int32 {
-	codes := r.ColumnCodes(a)
-	ranks := r.codeRanks(a)
 	count := make([]int32, r.DistinctCodes(a))
-	var touched []int32
 	newBounds := make([]int32, 1, len(bounds))
-	for gi := 0; gi+1 < len(bounds); gi++ {
+	return refineGroups(r.ColumnCodes(a), r.codeRanks(a), count, cur, next, bounds,
+		0, len(bounds)-1, newBounds)
+}
+
+// refineGroups is the group loop of refineBy restricted to the group
+// index range [gLo, gHi): it writes the refined order of exactly those
+// groups' members into next (the regions are disjoint per group, so
+// concurrent calls over disjoint ranges never collide) and appends each
+// refined sub-group's end position to newBounds. count is caller-owned
+// scratch of DistinctCodes size, zeroed on entry and on return — one
+// per worker in the chunked parallel refinement (shard.go).
+func refineGroups(codes, ranks, count []int32, cur, next []int, bounds []int32, gLo, gHi int, newBounds []int32) []int32 {
+	var touched []int32
+	for gi := gLo; gi < gHi; gi++ {
 		lo, hi := int(bounds[gi]), int(bounds[gi+1])
 		if hi-lo == 1 {
 			next[lo] = cur[lo]
@@ -195,29 +189,11 @@ func (p *PLI) fillTIDGroups() {
 //
 // The receiver must still describe its relation (Fresh after the
 // compaction); IndexCache.GetVia catches the parent up before refining.
+//
+// Intersect refines serially; IntersectSharded (shard.go) fans the
+// refinement over a worker pool with byte-identical output.
 func (p *PLI) Intersect(y int) *PLI {
-	p.Compact()
-	r := p.rel
-	out := &PLI{
-		rel:     r,
-		attrs:   append(append([]int(nil), p.attrs...), y),
-		colVers: make([]uint64, len(p.attrs)+1),
-		n:       p.n,
-	}
-	copy(out.colVers, p.colVers)
-	out.colVers[len(p.attrs)] = r.ColumnVersion(y)
-	out.tidGroup = make([]int32, p.n)
-	if p.n == 0 {
-		out.offsets = []int32{0}
-		return out
-	}
-	// refineBy only reads cur, so the parent's TID storage is shared
-	// directly instead of copied.
-	next := make([]int, p.n)
-	out.offsets = refineBy(r, y, p.tids, next, p.offsets)
-	out.tids = next
-	out.fillTIDGroups()
-	return out
+	return p.IntersectSharded(y, 1)
 }
 
 // Attrs returns the indexed attribute positions.
@@ -414,6 +390,7 @@ func (p *PLI) advanceLocked(r *Relation) bool {
 		p.tailLen++
 	}
 	p.n = n
+	p.advanceShardEnds(n)
 	if p.tailLen*8 > p.n {
 		p.compactLocked()
 	}
@@ -565,7 +542,7 @@ func (p *PLI) MemSize() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	sz := int64(len(p.tids))*8 + int64(len(p.offsets))*4 + int64(len(p.tidGroup))*4
-	sz += int64(p.tailLen) * 16
+	sz += int64(p.tailLen)*16 + int64(len(p.shardEnds))*8
 	p.lookupMu.Lock()
 	sz += int64(len(p.lookup)) * (16 + int64(len(p.attrs))*4)
 	p.lookupMu.Unlock()

@@ -129,7 +129,8 @@ type datasetJSON struct {
 	// an append-heavy steady state (POST /v1/repair/incremental) grows
 	// advances — cached partitions extended by the delta in place —
 	// still without rebuilds. evictions moves only under a configured
-	// cache byte budget.
+	// cache byte budget, and shard_builds counts the cold builds that
+	// ran the TID-range-parallel counting sort (-shards).
 	IndexCache relation.CacheStats `json:"index_cache"`
 }
 
