@@ -7,7 +7,7 @@ SHELL := /bin/bash
 # real measurements.
 BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-all run-daemon
+.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-all run-daemon
 
 all: check
 
@@ -35,21 +35,28 @@ race:
 
 # race-cache re-runs the packages that share PLI caches across
 # goroutines (discovery through engine sessions, concurrent detection,
-# append-time PLI advancement through incremental repair, and the
+# append-time PLI advancement through incremental repair, the
 # TID-range-sharded builds racing appends in
-# TestShardedCacheConcurrentBuildAppend) with a higher count, so
-# cache-sharing races surface on every push.
+# TestShardedCacheConcurrentBuildAppend, and DC detection racing
+# appends and discovery on one shared session cache in
+# TestConcurrentDCDetectAppendDiscover) with a higher count, so
+# cache-sharing races surface on every push. GOMAXPROCS is forced up so
+# the scheduler actually interleaves the readers even on small CI boxes
+# — the Get/GetDelta compaction race stayed hidden on a 1-core host
+# until the fan-out was pinned.
 race-cache:
-	$(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/ ./internal/repair/
+	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/ ./internal/repair/ ./internal/dc/
 
 # bench runs the perf-trajectory benchmarks CI archives on every run:
 # detection (E1 scale sweep, E13 parallel detector) into
 # BENCH_detect.json, the discovery lattice walk (cold FDs, warm
 # session) into BENCH_discovery.json, the streaming append→detect
 # path (incremental PLI advance vs invalidate-and-rebuild) into
-# BENCH_append.json, and cold sharded index construction (serial vs
-# TID-range-parallel counting sorts) into BENCH_build.json.
-bench: bench-detect bench-discovery bench-append bench-build
+# BENCH_append.json, cold sharded index construction (serial vs
+# TID-range-parallel counting sorts) into BENCH_build.json, and
+# denial-constraint detection (PLI-partitioned dominance sweep vs
+# all-pairs naive) into BENCH_dc.json.
+bench: bench-detect bench-discovery bench-append bench-build bench-dc
 
 bench-detect:
 	$(GO) test -bench='E1DetectScaleTuples|E13ParallelDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
@@ -66,6 +73,10 @@ bench-append:
 bench-build:
 	$(GO) test -bench='ShardedBuild' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_build.json
+
+bench-dc:
+	$(GO) test -bench='DCDetect|DCRelax' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_dc.json
 
 # bench-all smoke-runs every benchmark once.
 bench-all:

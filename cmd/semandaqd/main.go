@@ -11,11 +11,14 @@
 // 1 = serial). -shards sets the PLI build fan-out: cold partition
 // builds run as TID-range-parallel counting sorts across this many
 // shards (0 = GOMAXPROCS, 1 = serial; output is byte-identical either
-// way). -preload N registers a built-in "cust" dataset of N noisy
-// tuples with its planted constraints at startup, which makes the
-// quickstart in README.md work with curl alone. -index-budget-mb caps
-// each dataset's PLI cache (discovery lattices evict before detection
-// partitions); 0 keeps every partition resident.
+// way). -preload N registers two built-in datasets at startup, which
+// makes the quickstart in README.md work with curl alone: "cust", N
+// noisy tuples with its planted CFDs plus the street-determination rule
+// restated as a denial constraint, and "emp", N/10 tuples with planted
+// pay inversions and the pay-scale DC (the demo target for POST
+// /v1/dc/detect and /v1/dc/relax). -index-budget-mb caps each dataset's
+// PLI cache (discovery lattices evict before detection partitions);
+// 0 keeps every partition resident.
 package main
 
 import (
@@ -50,6 +53,10 @@ func main() {
 			log.Fatalf("semandaqd: preload: %v", err)
 		}
 		log.Printf("preloaded dataset %q with %d tuples and planted constraints", "cust", *preload)
+		if err := preloadEmp(eng, (*preload+9)/10); err != nil {
+			log.Fatalf("semandaqd: preload emp: %v", err)
+		}
+		log.Printf("preloaded dataset %q with %d tuples and the pay-scale denial constraint", "emp", (*preload+9)/10)
 	}
 
 	srv := &http.Server{
@@ -95,7 +102,30 @@ func preloadCust(eng *engine.Engine, n int) error {
 	if err != nil {
 		return err
 	}
-	return sess.SetConstraints(datagen.CustConstraints())
+	if err := sess.SetConstraints(datagen.CustConstraints()); err != nil {
+		return err
+	}
+	// The planted (CC, ZIP) → STR rule restated as a denial constraint:
+	// same country and zip must not name different streets. Detecting it
+	// reuses the {CC, ZIP} partition the CFD detector already cached.
+	_, err = eng.InstallDCs("cust", "dc zipstr: !( t.CC = u.CC & t.ZIP = u.ZIP & t.STR != u.STR )")
+	return err
+}
+
+// preloadEmp registers the denial-constraint demo workload: an emp
+// relation with ~1% planted pay inversions and the pay-scale DC, so
+// /v1/dc/detect finds violations and /v1/dc/relax has weakenings to
+// rank right after startup.
+func preloadEmp(eng *engine.Engine, n int) error {
+	violations := n / 100
+	if violations == 0 {
+		violations = 1
+	}
+	if _, err := eng.Register("emp", datagen.Emp(n, violations, 3)); err != nil {
+		return err
+	}
+	_, err := eng.InstallDCs("emp", datagen.EmpDCText())
+	return err
 }
 
 // logRequests is a minimal access-log middleware.

@@ -1,0 +1,81 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"semandaq/internal/relation"
+)
+
+// EmpSchema returns the emp(EID, DEPT, LEVEL, SAL) schema backing the
+// denial-constraint workloads: numeric LEVEL and SAL columns carry the
+// order predicates no string-only schema can.
+func EmpSchema() *relation.Schema {
+	s, err := relation.NewSchema("emp",
+		relation.Attribute{Name: "EID", Kind: relation.KindInt},
+		relation.Attribute{Name: "DEPT", Kind: relation.KindString},
+		relation.Attribute{Name: "LEVEL", Kind: relation.KindInt},
+		relation.Attribute{Name: "SAL", Kind: relation.KindFloat},
+	)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// EmpDCText is the planted pay-scale denial constraint in the grammar
+// of internal/dc: within a department, a lower-level employee never
+// out-earns a higher-level one. (Returned as text so datagen stays a
+// leaf package; callers parse it against EmpSchema.)
+func EmpDCText() string {
+	return "dc pay: !( t.DEPT = u.DEPT & t.LEVEL < u.LEVEL & t.SAL > u.SAL )"
+}
+
+var empDepts = []string{
+	"eng", "ops", "hr", "fin", "mkt", "sales", "legal", "it", "rnd", "supp",
+}
+
+// Emp generates n employee tuples over EmpSchema satisfying EmpDCText
+// by construction — salary is level*1000 plus noise below the level
+// step, so level strictly orders pay within every department — and then
+// plants `violations` pay inversions: a tuple's SAL is raised just past
+// a same-department colleague's one level up. Each planted inversion
+// violates the DC for at least that pair while staying bounded (the
+// raised salary still undercuts levels further up). Deterministic in
+// seed; planting is best-effort, capped by the plantable pairs actually
+// present (relevant only for tiny n or extreme violation counts).
+func Emp(n, violations int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(EmpSchema())
+	deptZipf := rand.NewZipf(rng, 1.2, 1, uint64(len(empDepts)-1))
+	type key struct {
+		dept  string
+		level int
+	}
+	byKey := map[key][]int{}
+	for i := 0; i < n; i++ {
+		dept := empDepts[deptZipf.Uint64()]
+		level := 1 + rng.Intn(8)
+		sal := float64(level*1000 + rng.Intn(900))
+		tid := r.MustInsert(relation.Tuple{
+			relation.Int(int64(i)),
+			relation.String(dept),
+			relation.Int(int64(level)),
+			relation.Float(sal),
+		})
+		byKey[key{dept, level}] = append(byKey[key{dept, level}], tid)
+	}
+	planted := 0
+	for attempts := 0; planted < violations && attempts < 50*violations+100; attempts++ {
+		tid := rng.Intn(n)
+		dept := r.Get(tid, 1).Str()
+		level := int(r.Get(tid, 2).IntVal())
+		uppers := byKey[key{dept, level + 1}]
+		if len(uppers) == 0 {
+			continue
+		}
+		up := uppers[rng.Intn(len(uppers))]
+		r.Set(tid, 3, relation.Float(r.Get(up, 3).FloatVal()+1))
+		planted++
+	}
+	return r
+}

@@ -1,0 +1,296 @@
+// Package dc implements denial constraints (DCs) over the interned
+// columnar relations of internal/relation: constraints of the form
+//
+//	¬∃ t, u : P1 ∧ P2 ∧ … ∧ Pk
+//
+// where each predicate compares a tuple attribute against another tuple
+// attribute or a constant with one of =, ≠, <, ≤, >, ≥. DCs subsume the
+// equality-only constraint classes of Fan, Geerts & Jia (CFDs are DCs
+// whose predicates are all equalities) and add the order predicates that
+// real cleaning rules need — "a manager's salary is not below their
+// report's", "discharge date ≥ admission date" — which no CFD can say.
+//
+// Detection (Detect) leans on the columnar core: equality predicates
+// partition the candidate pair space through the cached PLIs
+// (relation.IndexCache.GetVia — the same partitions CFD detection and
+// discovery reuse), and order predicates are evaluated by a rank-sorted
+// sweep within each partition group, exploiting that Value.Encode is
+// order-preserving for numeric kinds and Relation.CodeRanks therefore
+// ranks numeric columns in exact value order. DetectNaive is the
+// all-pairs reference implementation; the two are byte-identical by
+// construction and by property test.
+//
+// Repair (Relax) follows Giannakopoulou et al., "Cleaning Denial
+// Constraint Violations through Relaxation": instead of always mutating
+// data, minimally weaken the violated constraint — tighten ≤ to < (the
+// DC then forbids less), shift a constant past the violating witnesses,
+// or drop the DC outright — ranked by how many of the current
+// violations each weakening resolves. Value repair of the violating
+// tuples (the existing repair path) remains the alternative resolution;
+// ViolatingTIDs feeds it.
+package dc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"semandaq/internal/relation"
+)
+
+// Op is a DC predicate operator.
+type Op uint8
+
+// The six predicate operators. Order operators (Lt..Ge) are restricted
+// to numeric columns by the compiler: the rank-sweep detector needs the
+// column's code-rank order to coincide with value order, which the
+// order-preserving numeric Encode guarantees (and the string encoding
+// deliberately does not).
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the canonical operator spelling.
+func (op Op) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// IsOrder reports whether op is an order comparison (<, ≤, >, ≥).
+func (op Op) IsOrder() bool { return op >= OpLt }
+
+// Ref names one tuple operand of a predicate: an attribute of the first
+// tuple variable t, or (U set) of the second tuple variable u.
+type Ref struct {
+	U    bool
+	Attr int
+}
+
+// Pred is one conjunct of a DC: Left op Right, or Left op Const when
+// HasConst is set (Right is then unused).
+type Pred struct {
+	Left     Ref
+	Op       Op
+	Right    Ref
+	Const    relation.Value
+	HasConst bool
+}
+
+// crossSide reports whether the predicate relates the two tuple
+// variables (one operand on t, the other on u).
+func (p Pred) crossSide() bool {
+	return !p.HasConst && p.Left.U != p.Right.U
+}
+
+// DC is a compiled denial constraint: ¬∃ t[,u]: preds. A DC referencing
+// only t is single-tuple (its violations are single tuples, reported as
+// pairs with T == U); one referencing both t and u quantifies over
+// ordered pairs of distinct tuples.
+type DC struct {
+	name     string
+	schema   *relation.Schema
+	preds    []Pred
+	twoTuple bool
+}
+
+// New compiles a DC from its parts, validating every predicate against
+// the schema (see Set for the grammar front end):
+//   - attributes must exist and at least one predicate is required;
+//   - order operators require numeric columns (and numeric constants);
+//   - equality operators require comparable kinds (string against
+//     string, numeric against numeric);
+//   - a DC referencing u must reference t as well.
+func New(name string, schema *relation.Schema, preds []Pred) (*DC, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dc: constraint name must be non-empty")
+	}
+	if len(preds) == 0 {
+		return nil, fmt.Errorf("dc %s: at least one predicate is required", name)
+	}
+	usesT, usesU := false, false
+	note := func(r Ref) { usesT = usesT || !r.U; usesU = usesU || r.U }
+	kindOf := func(a int) (relation.Kind, error) {
+		if a < 0 || a >= schema.Arity() {
+			return relation.KindNull, fmt.Errorf("dc %s: attribute %d out of range for schema %s", name, a, schema.Name())
+		}
+		return schema.Attr(a).Kind, nil
+	}
+	numeric := func(k relation.Kind) bool { return k == relation.KindInt || k == relation.KindFloat }
+	for i, p := range preds {
+		lk, err := kindOf(p.Left.Attr)
+		if err != nil {
+			return nil, err
+		}
+		note(p.Left)
+		var rk relation.Kind
+		if p.HasConst {
+			if p.Const.IsNull() {
+				return nil, fmt.Errorf("dc %s: predicate %d compares against NULL (never satisfied)", name, i+1)
+			}
+			rk = p.Const.Kind()
+		} else {
+			if rk, err = kindOf(p.Right.Attr); err != nil {
+				return nil, err
+			}
+			note(p.Right)
+		}
+		if p.Op.IsOrder() {
+			if !numeric(lk) || !numeric(rk) {
+				return nil, fmt.Errorf("dc %s: predicate %d: order operator %s requires numeric operands (got %v %s %v); order sweeps run on the numeric code-rank order",
+					name, i+1, p.Op, lk, p.Op, rk)
+			}
+		} else if (lk == relation.KindString) != (rk == relation.KindString) {
+			return nil, fmt.Errorf("dc %s: predicate %d: %v %s %v never holds (incomparable kinds)",
+				name, i+1, lk, p.Op, rk)
+		}
+	}
+	if usesU && !usesT {
+		return nil, fmt.Errorf("dc %s: references only tuple variable u; use t for single-tuple constraints", name)
+	}
+	return &DC{
+		name:     name,
+		schema:   schema,
+		preds:    append([]Pred(nil), preds...),
+		twoTuple: usesU,
+	}, nil
+}
+
+// Name returns the constraint name.
+func (d *DC) Name() string { return d.name }
+
+// Schema returns the schema the DC was compiled against.
+func (d *DC) Schema() *relation.Schema { return d.schema }
+
+// Preds returns a copy of the predicate list.
+func (d *DC) Preds() []Pred { return append([]Pred(nil), d.preds...) }
+
+// TwoTuple reports whether the DC quantifies over tuple pairs (it
+// references both t and u) rather than single tuples.
+func (d *DC) TwoTuple() bool { return d.twoTuple }
+
+// refString renders one operand in the grammar's concrete syntax.
+func (d *DC) refString(r Ref) string {
+	v := "t"
+	if r.U {
+		v = "u"
+	}
+	return v + "." + d.schema.Attr(r.Attr).Name
+}
+
+func constString(v relation.Value) string {
+	if v.Kind() == relation.KindString {
+		return "'" + v.Str() + "'"
+	}
+	return v.String()
+}
+
+// predString renders one predicate in the grammar's concrete syntax.
+func (d *DC) predString(p Pred) string {
+	right := ""
+	if p.HasConst {
+		right = constString(p.Const)
+	} else {
+		right = d.refString(p.Right)
+	}
+	return d.refString(p.Left) + " " + p.Op.String() + " " + right
+}
+
+// String renders the DC in the grammar ParseSet accepts, so
+// String→ParseSet round-trips.
+func (d *DC) String() string {
+	parts := make([]string, len(d.preds))
+	for i, p := range d.preds {
+		parts[i] = d.predString(p)
+	}
+	return fmt.Sprintf("dc %s: !( %s )", d.name, strings.Join(parts, " & "))
+}
+
+// Set is a named collection of DCs over one schema — the per-dataset DC
+// registry an engine session installs and serves detection from.
+type Set struct {
+	schema *relation.Schema
+	dcs    []*DC
+	byName map[string]*DC
+}
+
+// NewSet creates an empty DC set over schema.
+func NewSet(schema *relation.Schema) *Set {
+	return &Set{schema: schema, byName: map[string]*DC{}}
+}
+
+// Schema returns the set's schema.
+func (s *Set) Schema() *relation.Schema { return s.schema }
+
+// Len returns the number of constraints.
+func (s *Set) Len() int { return len(s.dcs) }
+
+// All returns the constraints in installation order. The slice is a
+// copy; the DCs themselves are immutable once compiled.
+func (s *Set) All() []*DC { return append([]*DC(nil), s.dcs...) }
+
+// Get returns the named constraint.
+func (s *Set) Get(name string) (*DC, bool) {
+	d, ok := s.byName[name]
+	return d, ok
+}
+
+// Add appends a compiled DC; names are unique and the DC's schema must
+// equal the set's.
+func (s *Set) Add(d *DC) error {
+	if !d.schema.Equal(s.schema) {
+		return fmt.Errorf("dc: constraint %s is over schema %s, set is over %s",
+			d.name, d.schema.Name(), s.schema.Name())
+	}
+	if _, dup := s.byName[d.name]; dup {
+		return fmt.Errorf("dc: duplicate constraint name %q", d.name)
+	}
+	s.dcs = append(s.dcs, d)
+	s.byName[d.name] = d
+	return nil
+}
+
+// String renders the whole set, one constraint per line.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, d := range s.dcs {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// equalityAttrs returns the sorted distinct attributes compared for
+// equality ACROSS the two tuple variables on the SAME attribute
+// (t.A = u.A) — the attribute set whose cached PLI partitions the
+// candidate pair space.
+func (d *DC) equalityAttrs() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range d.preds {
+		if p.Op == OpEq && p.crossSide() && p.Left.Attr == p.Right.Attr && !seen[p.Left.Attr] {
+			seen[p.Left.Attr] = true
+			out = append(out, p.Left.Attr)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

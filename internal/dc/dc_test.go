@@ -1,0 +1,375 @@
+package dc
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+func testSchema(t *testing.T) *relation.Schema {
+	t.Helper()
+	s, err := relation.NewSchema("emp",
+		relation.Attribute{Name: "DEPT", Kind: relation.KindString},
+		relation.Attribute{Name: "LEVEL", Kind: relation.KindInt},
+		relation.Attribute{Name: "SAL", Kind: relation.KindFloat},
+		relation.Attribute{Name: "CITY", Kind: relation.KindString},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	schema := testSchema(t)
+	lines := []string{
+		"dc pay: !( t.DEPT = u.DEPT & t.LEVEL < u.LEVEL & t.SAL > u.SAL )",
+		"dc cap: !( t.SAL >= 90000 )",
+		"dc city: !( t.DEPT = u.DEPT & t.CITY != u.CITY )",
+		"dc floor: !( t.LEVEL <= 0 & t.CITY = 'berlin' )",
+	}
+	set, err := ParseSet(strings.Join(lines, "\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != len(lines) {
+		t.Fatalf("parsed %d DCs, want %d", set.Len(), len(lines))
+	}
+	// String() must re-parse to the same rendering (fixpoint).
+	for _, d := range set.All() {
+		again, err := Parse(d.String(), schema)
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", d.String(), err)
+		}
+		if again.String() != d.String() {
+			t.Fatalf("round trip: %q became %q", d.String(), again.String())
+		}
+		if !reflect.DeepEqual(again.Preds(), d.Preds()) {
+			t.Fatalf("round trip of %q changed predicates", d.String())
+		}
+	}
+}
+
+func TestParseSyntaxVariants(t *testing.T) {
+	schema := testSchema(t)
+	variants := []string{
+		"dc pay: !( t.DEPT = u.DEPT & t.LEVEL < u.LEVEL )",
+		"pay: ¬( t.DEPT == u.DEPT ∧ t.LEVEL < u.LEVEL )",
+		"pay: !(t.DEPT=u.DEPT&t.LEVEL<u.LEVEL)",
+		"dc pay: !( u.DEPT = t.DEPT & u.LEVEL > t.LEVEL )", // flipped operands, same meaning
+	}
+	want := ""
+	for i, v := range variants {
+		d, err := Parse(v, schema)
+		if err != nil {
+			t.Fatalf("variant %d %q: %v", i, v, err)
+		}
+		vios := DetectNaive(tinyEmp(t, schema), d)
+		if i == 0 {
+			want = d.String()
+			if len(vios) == 0 {
+				t.Fatal("baseline variant should find violations on tinyEmp")
+			}
+			continue
+		}
+		got := DetectNaive(tinyEmp(t, schema), d)
+		if !reflect.DeepEqual(got, vios) {
+			t.Errorf("variant %d %q: violations differ from %q", i, v, want)
+		}
+	}
+
+	// Constant on the left is normalized to the right with a flipped op.
+	d, err := Parse("!( 18 > t.LEVEL )", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.String(), "dc dc1: !( t.LEVEL < 18 )"; got != want {
+		t.Fatalf("const-left normalization: got %q, want %q", got, want)
+	}
+}
+
+func TestParseAndCompileErrors(t *testing.T) {
+	schema := testSchema(t)
+	bad := []string{
+		"",                                  // no negation
+		"dc x: ( t.LEVEL < 3 )",             // missing !
+		"dc x: !( )",                        // empty conjunction
+		"dc x: !( t.NOPE = 'a' )",           // unknown attribute
+		"dc x: !( t.DEPT < u.DEPT )",        // order op on string column
+		"dc x: !( t.LEVEL < 'abc' )",        // order op against string const
+		"dc x: !( t.DEPT = 3 )",             // string column vs numeric const
+		"dc x: !( 'a' = 'b' )",              // two constants
+		"dc x: !( t.LEVEL << 3 )",           // bad operator
+		"dc x: !( t.LEVEL < 3 extra )",      // trailing garbage
+		"dc x: !( t.LEVEL = 3.5 )",          // fractional const on int column
+		"dc x: !( u.LEVEL < 3 )",            // references only u
+		"dc x: !( t.CITY = 'unterminated )", // unterminated string
+	}
+	for _, s := range bad {
+		if _, err := Parse(s, schema); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+	// Duplicate names are rejected at the set level.
+	if _, err := ParseSet("dc a: !( t.LEVEL < 0 )\ndc a: !( t.LEVEL > 9 )", schema); err == nil {
+		t.Error("ParseSet with duplicate names should fail")
+	}
+	// Comments and blank lines are skipped.
+	set, err := ParseSet("# header\n\ndc a: !( t.LEVEL < 0 )\n", schema)
+	if err != nil || set.Len() != 1 {
+		t.Fatalf("comment handling: set=%v err=%v", set, err)
+	}
+}
+
+// tinyEmp is a fixed relation with known pay-inversion violations.
+func tinyEmp(t *testing.T, schema *relation.Schema) *relation.Relation {
+	t.Helper()
+	r := relation.New(schema)
+	rows := []relation.Tuple{
+		{relation.String("eng"), relation.Int(1), relation.Float(1000), relation.String("nyc")},
+		{relation.String("eng"), relation.Int(2), relation.Float(900), relation.String("nyc")}, // inverted vs tid 0
+		{relation.String("eng"), relation.Int(3), relation.Float(3000), relation.String("sfo")},
+		{relation.String("ops"), relation.Int(1), relation.Float(800), relation.String("nyc")},
+		{relation.String("ops"), relation.Int(2), relation.Float(700), relation.String("nyc")}, // inverted vs tid 3
+	}
+	for _, row := range rows {
+		r.MustInsert(row)
+	}
+	return r
+}
+
+func TestDetectKnownViolations(t *testing.T) {
+	schema := testSchema(t)
+	r := tinyEmp(t, schema)
+	d, err := Parse("dc pay: !( t.DEPT = u.DEPT & t.LEVEL < u.LEVEL & t.SAL > u.SAL )", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Violation{{T: 0, U: 1}, {T: 3, U: 4}}
+	for _, got := range [][]Violation{
+		Detect(r, d, Options{}),
+		Detect(r, d, Options{Cache: relation.NewIndexCache()}),
+		DetectNaive(r, d),
+	} {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("violations = %v, want %v", got, want)
+		}
+	}
+	if got := Detect(r, d, Options{MaxViolations: 1}); !reflect.DeepEqual(got, want[:1]) {
+		t.Fatalf("truncated violations = %v, want %v", got, want[:1])
+	}
+	if got := ViolatingTIDs(want); !reflect.DeepEqual(got, []int{0, 1, 3, 4}) {
+		t.Fatalf("ViolatingTIDs = %v", got)
+	}
+}
+
+func TestDetectSingleTuple(t *testing.T) {
+	schema := testSchema(t)
+	r := tinyEmp(t, schema)
+	d, err := Parse("dc cap: !( t.SAL >= 2000 & t.CITY = 'sfo' )", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Violation{{T: 2, U: 2}}
+	if got := Detect(r, d, Options{}); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Detect = %v, want %v", got, want)
+	}
+	if got := DetectNaive(r, d); !reflect.DeepEqual(got, want) {
+		t.Fatalf("DetectNaive = %v, want %v", got, want)
+	}
+}
+
+// randomRelation builds a relation over the test schema with NULLs,
+// duplicates, and salary collisions to exercise run grouping.
+func randomRelation(schema *relation.Schema, rng *rand.Rand, n int) *relation.Relation {
+	r := relation.New(schema)
+	depts := []string{"eng", "ops", "hr"}
+	cities := []string{"nyc", "sfo", "ber"}
+	for i := 0; i < n; i++ {
+		tup := relation.Tuple{relation.Null(), relation.Null(), relation.Null(), relation.Null()}
+		if rng.Intn(12) > 0 {
+			tup[0] = relation.String(depts[rng.Intn(len(depts))])
+		}
+		if rng.Intn(12) > 0 {
+			tup[1] = relation.Int(int64(rng.Intn(6)))
+		}
+		if rng.Intn(12) > 0 {
+			tup[2] = relation.Float(float64(rng.Intn(40)) * 250)
+		}
+		if rng.Intn(12) > 0 {
+			tup[3] = relation.String(cities[rng.Intn(len(cities))])
+		}
+		r.MustInsert(tup)
+	}
+	return r
+}
+
+// TestDetectMatchesNaiveRandomized is the byte-identity property from
+// the package contract: on randomized relations (NULLs included) and a
+// grammar-spanning set of DCs, Detect — cached and uncached — equals
+// DetectNaive exactly.
+func TestDetectMatchesNaiveRandomized(t *testing.T) {
+	schema := testSchema(t)
+	dcsText := strings.Join([]string{
+		"dc pay: !( t.DEPT = u.DEPT & t.LEVEL < u.LEVEL & t.SAL > u.SAL )",
+		"dc flat: !( t.LEVEL < u.LEVEL & t.SAL > u.SAL )", // no equality partition
+		"dc city: !( t.DEPT = u.DEPT & t.CITY != u.CITY )",
+		"dc tie: !( t.DEPT = u.DEPT & t.LEVEL = u.LEVEL & t.SAL != u.SAL )",
+		"dc dom: !( t.SAL >= u.SAL & t.LEVEL <= u.LEVEL & t.CITY = 'sfo' )",
+		"dc cross: !( t.LEVEL >= u.SAL )", // int against float column
+		"dc cap: !( t.SAL > 8000 & t.DEPT = 'eng' )",
+		"dc selfo: !( t.LEVEL < t.SAL & u.LEVEL > 2 )", // side preds on both variables
+	}, "\n")
+	set, err := ParseSet(dcsText, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 8; round++ {
+		r := randomRelation(schema, rng, 40+rng.Intn(120))
+		cache := relation.NewIndexCache()
+		for _, d := range set.All() {
+			want := DetectNaive(r, d)
+			if got := Detect(r, d, Options{Cache: cache}); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d, %s: Detect(cache) = %v, naive = %v", round, d.Name(), got, want)
+			}
+			if got := Detect(r, d, Options{}); !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d, %s: Detect(no cache) = %v, naive = %v", round, d.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestDetectMatchesNaiveExtremeNumerics pins the exact-comparison
+// contract where float64 rounding would lie: int64s beyond 2^53 and
+// the extremes of both kinds.
+func TestDetectMatchesNaiveExtremeNumerics(t *testing.T) {
+	schema, err := relation.NewSchema("x",
+		relation.Attribute{Name: "I", Kind: relation.KindInt},
+		relation.Attribute{Name: "F", Kind: relation.KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(schema)
+	big := int64(1) << 60
+	for _, row := range []relation.Tuple{
+		{relation.Int(big), relation.Float(float64(big))},
+		{relation.Int(big + 1), relation.Float(float64(big))}, // float64 can't see the +1
+		{relation.Int(-big - 1), relation.Float(-float64(big))},
+		{relation.Int(9223372036854775807), relation.Float(9.2e18)},
+		{relation.Int(0), relation.Null()},
+		{relation.Null(), relation.Float(0)},
+	} {
+		r.MustInsert(row)
+	}
+	for _, text := range []string{
+		"dc a: !( t.I < u.I )",
+		"dc b: !( t.I <= u.F )",
+		"dc c: !( t.F >= u.I )",
+		"dc d: !( t.I = u.I & t.F != u.F )",
+	} {
+		d, err := Parse(text, schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DetectNaive(r, d)
+		if got := Detect(r, d, Options{}); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: Detect = %v, naive = %v", d.Name(), got, want)
+		}
+	}
+}
+
+func TestRelaxResolvesViolations(t *testing.T) {
+	schema := testSchema(t)
+	r := tinyEmp(t, schema)
+	set, err := ParseSet(strings.Join([]string{
+		"dc pay: !( t.DEPT = u.DEPT & t.LEVEL < u.LEVEL & t.SAL > u.SAL )",
+		"dc cap: !( t.SAL >= 2000 )",
+		"dc tie: !( t.DEPT = u.DEPT & t.LEVEL <= u.LEVEL & t.SAL > u.SAL )",
+	}, "\n"), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range set.All() {
+		vios := Detect(r, d, Options{})
+		if len(vios) == 0 {
+			t.Fatalf("%s: expected violations on tinyEmp", d.Name())
+		}
+		weaks := Relax(r, d, vios, Options{})
+		if len(weaks) == 0 {
+			t.Fatalf("%s: no weakenings proposed", d.Name())
+		}
+		consistent := 0
+		for _, w := range weaks {
+			if w.Total != len(vios) || w.Resolved < 1 || w.Resolved > w.Total {
+				t.Fatalf("%s: malformed weakening %+v", d.Name(), w)
+			}
+			if w.Kind == WeakenDrop {
+				if w.Weakened != nil || !w.Consistent {
+					t.Fatalf("%s: drop weakening %+v", d.Name(), w)
+				}
+				consistent++
+				continue
+			}
+			// Verify the Consistent flag against ground truth.
+			left := Detect(r, w.Weakened, Options{})
+			if w.Consistent != (len(left) == 0) {
+				t.Fatalf("%s: %s claims Consistent=%v but re-detection found %d",
+					d.Name(), w.Desc, w.Consistent, len(left))
+			}
+			// Weakening contract: violations shrink, never grow.
+			if len(left) > len(vios)-w.Resolved {
+				t.Fatalf("%s: %s left %d violations, resolved claims %d of %d",
+					d.Name(), w.Desc, len(left), w.Resolved, w.Total)
+			}
+			if w.Consistent {
+				consistent++
+			}
+		}
+		if consistent == 0 {
+			t.Fatalf("%s: no weakening makes the dataset consistent", d.Name())
+		}
+		// Ranking: no later weakening resolves strictly more than an earlier one.
+		for i := 1; i < len(weaks); i++ {
+			if weaks[i].Resolved > weaks[i-1].Resolved {
+				t.Fatalf("%s: ranking broken at %d: %+v after %+v",
+					d.Name(), i, weaks[i], weaks[i-1])
+			}
+		}
+	}
+}
+
+func TestRelaxShiftConstIsConsistent(t *testing.T) {
+	schema := testSchema(t)
+	r := tinyEmp(t, schema)
+	d, err := Parse("dc cap: !( t.SAL >= 2000 )", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vios := Detect(r, d, Options{})
+	weaks := Relax(r, d, vios, Options{})
+	var shift *Weakening
+	for i := range weaks {
+		if weaks[i].Kind == WeakenShiftConst {
+			shift = &weaks[i]
+			break
+		}
+	}
+	if shift == nil {
+		t.Fatal("no shift-const weakening for a constant order predicate")
+	}
+	if !shift.Consistent || shift.Resolved != shift.Total {
+		t.Fatalf("shift-const must fully resolve: %+v", shift)
+	}
+	// The shifted bound sits just past the extreme witness (max SAL 3000).
+	if got, want := shift.Weakened.String(), "dc cap: !( t.SAL > 3000 )"; got != want {
+		t.Fatalf("shifted DC = %q, want %q", got, want)
+	}
+	if len(Relax(r, d, nil, Options{})) != 0 {
+		t.Fatal("Relax with no violations should propose nothing")
+	}
+}

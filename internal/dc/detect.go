@@ -1,0 +1,604 @@
+package dc
+
+import (
+	"sort"
+
+	"semandaq/internal/relation"
+)
+
+// Violation is one witness of a DC: the ordered tuple pair (T, U) that
+// jointly satisfies every predicate. Single-tuple constraints report
+// T == U.
+type Violation struct {
+	T int `json:"t"`
+	U int `json:"u"`
+}
+
+// Options configures Detect.
+type Options struct {
+	// Cache supplies (and is warmed with) the PLIs over the DC's
+	// equality-join attributes. Nil builds throwaway partitions.
+	Cache *relation.IndexCache
+
+	// MaxViolations truncates the (T,U)-sorted result to its first k
+	// entries; 0 keeps everything. Truncation happens after the full
+	// deterministic sort, so the reported prefix is stable.
+	MaxViolations int
+}
+
+// ViolatingTIDs flattens violations to the sorted distinct TIDs they
+// involve — the input the value-repair path takes as an alternative to
+// relaxing the constraint.
+func ViolatingTIDs(vios []Violation) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range vios {
+		for _, tid := range [2]int{v.T, v.U} {
+			if !seen[tid] {
+				seen[tid] = true
+				out = append(out, tid)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// --- shared predicate semantics (Detect and DetectNaive) -------------
+//
+// Equality follows PLI grouping: NULL = NULL holds, NaN = NaN holds
+// (they intern to one code). ≠ requires both sides non-NULL. Order
+// predicates require both sides non-NULL and non-NaN and compare
+// EXACTLY — exactNumCmp below, not Value.Compare, whose float64 detour
+// collapses distinct int64s above 2^53. Exactness is what lets the
+// sweep use integer code ranks interchangeably with value comparisons.
+
+func valueEq(a, b relation.Value) bool {
+	return a.Identical(b) || (a.IsNaN() && b.IsNaN())
+}
+
+// exactNumCmp orders two non-NULL, non-NaN numeric values exactly.
+// Same-kind pairs compare natively; an int64/float64 pair compares in
+// float64 first and breaks float-precision ties in the integer domain.
+func exactNumCmp(a, b relation.Value) int {
+	if a.Kind() == b.Kind() {
+		if a.Kind() == relation.KindInt {
+			return cmp64(a.IntVal(), b.IntVal())
+		}
+		x, y := a.FloatVal(), b.FloatVal()
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.Kind() == relation.KindFloat {
+		return -exactNumCmp(b, a)
+	}
+	n, f := a.IntVal(), b.FloatVal()
+	nf := float64(n)
+	switch {
+	case nf < f:
+		return -1
+	case nf > f:
+		return 1
+	}
+	// Tied at float64 precision: f equals float64(n), so f is integral.
+	// f == 2^63 (float64(MaxInt64) rounds up to it) exceeds every
+	// int64; otherwise f converts back to int64 exactly.
+	if f >= 1<<63 {
+		return -1
+	}
+	return cmp64(n, int64(f))
+}
+
+func cmp64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// opHolds evaluates a op b under the semantics above.
+func opHolds(op Op, a, b relation.Value) bool {
+	switch op {
+	case OpEq:
+		return valueEq(a, b)
+	case OpNe:
+		return !a.IsNull() && !b.IsNull() && !valueEq(a, b)
+	}
+	if a.IsNull() || b.IsNull() || a.IsNaN() || b.IsNaN() {
+		return false
+	}
+	c := exactNumCmp(a, b)
+	switch op {
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	default: // OpGe
+		return c >= 0
+	}
+}
+
+// operandValue resolves one predicate operand for the pair (t, u).
+func operandValue(r *relation.Relation, ref Ref, t, u int) relation.Value {
+	tid := t
+	if ref.U {
+		tid = u
+	}
+	return r.Get(tid, ref.Attr)
+}
+
+// predHolds evaluates one predicate for the pair (t, u).
+func predHolds(r *relation.Relation, p Pred, t, u int) bool {
+	lv := operandValue(r, p.Left, t, u)
+	rv := p.Const
+	if !p.HasConst {
+		rv = operandValue(r, p.Right, t, u)
+	}
+	return opHolds(p.Op, lv, rv)
+}
+
+// pairViolates reports whether (t, u) satisfies every listed predicate.
+func pairViolates(r *relation.Relation, preds []Pred, t, u int) bool {
+	for _, p := range preds {
+		if !predHolds(r, p, t, u) {
+			return false
+		}
+	}
+	return true
+}
+
+// DetectNaive is the all-pairs reference detector: every ordered pair
+// of distinct tuples (every single tuple for a single-tuple DC) against
+// every predicate. O(n²·k), kept as the executable specification that
+// Detect is property-tested byte-identical against.
+func DetectNaive(r *relation.Relation, d *DC) []Violation {
+	n := r.Len()
+	var out []Violation
+	if !d.twoTuple {
+		for t := 0; t < n; t++ {
+			if pairViolates(r, d.preds, t, t) {
+				out = append(out, Violation{T: t, U: t})
+			}
+		}
+		return out
+	}
+	for t := 0; t < n; t++ {
+		for u := 0; u < n; u++ {
+			if t != u && pairViolates(r, d.preds, t, u) {
+				out = append(out, Violation{T: t, U: u})
+			}
+		}
+	}
+	return out
+}
+
+// plan is the predicate decomposition Detect executes:
+//
+//	eqAttrs  — cross-side t.A = u.A predicates, consumed by partitioning
+//	           candidate pairs through the cached PLI over eqAttrs;
+//	tSide    — predicates referencing only t (incl. constants), consumed
+//	           by a per-TID mask before any pairing;
+//	uSide    — likewise for u;
+//	sweep    — the first cross-side order predicate, consumed by the
+//	           rank-sorted sweep within each partition group;
+//	sweep2   — the second cross-side order predicate if any, consumed
+//	           by the sweep's sorted prefix index (dominance sweep), so
+//	           inversion-style DCs (LEVEL < … ∧ SAL > …) enumerate only
+//	           pairs satisfying BOTH order predicates;
+//	residual — everything else, checked per surviving candidate pair.
+type plan struct {
+	eqAttrs   []int
+	tSide     []Pred
+	uSide     []Pred
+	sweep     Pred
+	hasSweep  bool
+	sweep2    Pred
+	hasSweep2 bool
+	residual  []Pred
+}
+
+func (d *DC) plan() plan {
+	pl := plan{eqAttrs: d.equalityAttrs()}
+	for _, p := range d.preds {
+		switch {
+		case !p.crossSide():
+			// Left.U == Right.U for same-side preds, so Left names the side.
+			if p.Left.U {
+				pl.uSide = append(pl.uSide, p)
+			} else {
+				pl.tSide = append(pl.tSide, p)
+			}
+		case p.Op == OpEq && p.Left.Attr == p.Right.Attr:
+			// consumed by the eqAttrs partition
+		case p.Op.IsOrder() && !(pl.hasSweep && pl.hasSweep2):
+			// Normalize the sweep predicates to "t.<la> op u.<ra>".
+			sp := p
+			if sp.Left.U {
+				sp.Left, sp.Right = sp.Right, sp.Left
+				sp.Op = flip(sp.Op)
+			}
+			if !pl.hasSweep {
+				pl.sweep, pl.hasSweep = sp, true
+			} else {
+				pl.sweep2, pl.hasSweep2 = sp, true
+			}
+		default:
+			pl.residual = append(pl.residual, p)
+		}
+	}
+	return pl
+}
+
+// Detect finds all violations of d in r, byte-identical to DetectNaive
+// (before MaxViolations truncation) but evaluated through the columnar
+// indexes: equality predicates via the cached PLI partition over the
+// DC's equality-join attributes, one order predicate via a rank-sorted
+// sweep inside each partition group, side predicates via per-TID masks,
+// and only the surviving candidate pairs pay the residual predicate
+// checks. Violations are sorted by (T, U).
+func Detect(r *relation.Relation, d *DC, opts Options) []Violation {
+	n := r.Len()
+	pl := d.plan()
+
+	if !d.twoTuple {
+		var out []Violation
+		for t := 0; t < n; t++ {
+			if pairViolates(r, pl.tSide, t, t) {
+				out = append(out, Violation{T: t, U: t})
+			}
+		}
+		return truncate(out, opts.MaxViolations)
+	}
+
+	tMask := sideMask(r, pl.tSide, n)
+	uMask := sideMask(r, pl.uSide, n)
+
+	var groups groupSource
+	if len(pl.eqAttrs) > 0 {
+		cache := opts.Cache
+		if cache == nil {
+			cache = relation.NewIndexCache()
+		}
+		groups = pliGroups{cache.GetVia(r, pl.eqAttrs)}
+	} else {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		groups = singleGroup{all}
+	}
+
+	var out []Violation
+	emit := func(t, u int) {
+		if t != u && pairViolates(r, pl.residual, t, u) {
+			out = append(out, Violation{T: t, U: u})
+		}
+	}
+	for g := 0; g < groups.numGroups(); g++ {
+		members := groups.group(g)
+		ts := filterMask(members, tMask)
+		us := filterMask(members, uMask)
+		if len(ts) == 0 || len(us) == 0 {
+			continue
+		}
+		if pl.hasSweep {
+			var sweep2 *Pred
+			if pl.hasSweep2 {
+				sweep2 = &pl.sweep2
+			}
+			sweepGroup(r, pl.sweep, sweep2, ts, us, emit)
+		} else {
+			for _, t := range ts {
+				for _, u := range us {
+					emit(t, u)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].U < out[j].U
+	})
+	return truncate(out, opts.MaxViolations)
+}
+
+// groupSource abstracts "the partition of candidate pairs": a real PLI
+// when the DC has equality-join attributes, one all-TID group otherwise.
+type groupSource interface {
+	numGroups() int
+	group(g int) []int
+}
+
+type pliGroups struct{ p *relation.PLI }
+
+func (s pliGroups) numGroups() int    { return s.p.NumGroups() }
+func (s pliGroups) group(g int) []int { return s.p.Group(g) }
+
+type singleGroup struct{ tids []int }
+
+func (s singleGroup) numGroups() int  { return 1 }
+func (s singleGroup) group(int) []int { return s.tids }
+
+// sideMask evaluates the one-variable predicates per TID. nil means
+// "no side predicates" (every TID passes) and lets filterMask alias the
+// group slice instead of copying.
+func sideMask(r *relation.Relation, preds []Pred, n int) []bool {
+	if len(preds) == 0 {
+		return nil
+	}
+	mask := make([]bool, n)
+	for tid := 0; tid < n; tid++ {
+		mask[tid] = pairViolates(r, preds, tid, tid)
+	}
+	return mask
+}
+
+func filterMask(tids []int, mask []bool) []int {
+	if mask == nil {
+		return tids
+	}
+	out := make([]int, 0, len(tids))
+	for _, tid := range tids {
+		if mask[tid] {
+			out = append(out, tid)
+		}
+	}
+	return out
+}
+
+// valueRun is one distinct value of a sweep column within a group: the
+// group representative the sweep compares, carrying the TIDs holding
+// that value.
+type valueRun struct {
+	val  relation.Value
+	tids []int
+}
+
+// columnRuns sub-groups tids by their code on attr, in ascending value
+// order, dropping NULL and NaN rows (an order predicate can never hold
+// for them). Sorting is by integer code rank — exact value order for
+// numeric columns per the Encode order-preservation guarantee — so no
+// value comparisons happen until the cross-column sweep boundary.
+func columnRuns(r *relation.Relation, attr int, tids []int) []valueRun {
+	codes := r.ColumnCodes(attr)
+	ranks := r.CodeRanks(attr)
+	sorted := append([]int(nil), tids...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := codes[sorted[i]], codes[sorted[j]]
+		if a != b {
+			return ranks[a] < ranks[b]
+		}
+		return sorted[i] < sorted[j]
+	})
+	var runs []valueRun
+	for i := 0; i < len(sorted); {
+		code := codes[sorted[i]]
+		j := i
+		for j < len(sorted) && codes[sorted[j]] == code {
+			j++
+		}
+		v := r.CodeValue(attr, code)
+		if !v.IsNull() && !v.IsNaN() {
+			runs = append(runs, valueRun{val: v, tids: sorted[i:j]})
+		}
+		i = j
+	}
+	return runs
+}
+
+// sweepGroup enumerates the (t, u) pairs of one partition group that
+// satisfy the normalized sweep predicate t.A op u.B — and, when sp2 is
+// non-nil, the second order predicate t.C op2 u.D as well — by a merge
+// sweep over the two columns' value runs. Both sides are sorted
+// ascending by code rank; for each probe run the satisfying runs of
+// the other side form a prefix whose boundary advances monotonically,
+// so work is O(|g| log |g|) for the sorts plus one exact comparison
+// per boundary advance plus the enumerated pairs themselves — never
+// the full |ts|×|us| grid the naive detector pays.
+//
+// With sp2 the enumerated pairs shrink further: the accumulated prefix
+// is kept sorted by the SECOND predicate's column, so each probe tuple
+// binary-searches the prefix and touches only tuples satisfying both
+// order predicates (a sort-and-search dominance/inversion join). For
+// the canonical pay-inversion DC this is what turns "all same-dept
+// level-ordered pairs" into "just the planted inversions".
+func sweepGroup(r *relation.Relation, sp Pred, sp2 *Pred, ts, us []int, emit func(t, u int)) {
+	tRuns := columnRuns(r, sp.Left.Attr, ts)
+	uRuns := columnRuns(r, sp.Right.Attr, us)
+	if len(tRuns) == 0 || len(uRuns) == 0 {
+		return
+	}
+	// Reduce > and ≥ to < and ≤ by flipping which side accumulates:
+	// t.A > u.B selects, per t-run probe, the prefix of u-runs with
+	// u.B < t.A.
+	var lower, upper []valueRun
+	var strict, lowerIsT bool
+	switch sp.Op {
+	case OpLt, OpLe:
+		lower, upper, lowerIsT, strict = tRuns, uRuns, true, sp.Op == OpLt
+	default: // OpGt, OpGe
+		lower, upper, lowerIsT, strict = uRuns, tRuns, false, sp.Op == OpGt
+	}
+	orient := func(lo, hi int) (int, int) {
+		if lowerIsT {
+			return lo, hi
+		}
+		return hi, lo
+	}
+
+	if sp2 == nil {
+		prefixSweep(lower, upper, strict, func(lo, hi valueRun) {
+			for _, l := range lo.tids {
+				for _, h := range hi.tids {
+					emit(orient(l, h))
+				}
+			}
+		})
+		return
+	}
+
+	// Second-predicate index: prefix tuples sorted by their column of
+	// sp2, probes binary-search it. Resolve which side of sp2 each
+	// sweep side reads and the direction of the match range:
+	// matchAbove means qualifying prefix tuples have sp2-values
+	// strictly/weakly ABOVE the probe's (a suffix of the sorted
+	// prefix); otherwise below (a prefix of it).
+	loAttr, hiAttr := sp2.Left.Attr, sp2.Right.Attr
+	op2 := sp2.Op
+	if !lowerIsT {
+		loAttr, hiAttr = hiAttr, loAttr
+		op2 = flip(op2)
+	}
+	matchAbove := op2 == OpGt || op2 == OpGe
+	strict2 := op2 == OpGt || op2 == OpLt
+
+	prefix := newSecIndex(r, loAttr)
+	end := 0
+	for _, hi := range upper {
+		for end < len(lower) {
+			c := exactNumCmp(lower[end].val, hi.val)
+			if c < 0 || (!strict && c == 0) {
+				prefix.add(lower[end].tids)
+				end++
+			} else {
+				break
+			}
+		}
+		for _, h := range hi.tids {
+			q := r.Get(h, hiAttr)
+			if q.IsNull() || q.IsNaN() {
+				continue
+			}
+			for _, l := range prefix.match(q, matchAbove, strict2) {
+				emit(orient(l.tid, h))
+			}
+		}
+	}
+}
+
+// prefixSweep calls pair(lo, hi) for every lo in `lower`, hi in `upper`
+// with lo.val < hi.val (strict) or lo.val ≤ hi.val. Both slices are in
+// ascending value order, so the qualifying lower runs form a prefix
+// whose end only grows as hi advances.
+func prefixSweep(lower, upper []valueRun, strict bool, pair func(lo, hi valueRun)) {
+	end := 0
+	for _, hi := range upper {
+		for end < len(lower) {
+			c := exactNumCmp(lower[end].val, hi.val)
+			if c < 0 || (!strict && c == 0) {
+				end++
+			} else {
+				break
+			}
+		}
+		for _, lo := range lower[:end] {
+			pair(lo, hi)
+		}
+	}
+}
+
+// secIndex is the sorted prefix of a dominance sweep: the accumulated
+// tuples ordered by one column's value (exactly — by code rank), with
+// batch inserts merged in and range queries answered by binary search.
+type secIndex struct {
+	rel   *relation.Relation
+	attr  int
+	codes []int32
+	ranks []int32
+	items []secItem // ascending by rank (== ascending by value)
+	merge []secItem // scratch for batch merges
+}
+
+type secItem struct {
+	rank int32
+	tid  int
+	val  relation.Value
+}
+
+func newSecIndex(r *relation.Relation, attr int) *secIndex {
+	return &secIndex{rel: r, attr: attr, codes: r.ColumnCodes(attr), ranks: r.CodeRanks(attr)}
+}
+
+// add merges a batch of TIDs into the index, dropping NULL/NaN rows
+// (they satisfy no order predicate). Each batch is one primary-value
+// run; total merge work is O(#runs × |prefix|), dominated by the
+// primary sort for realistic run counts.
+func (x *secIndex) add(tids []int) {
+	batch := make([]secItem, 0, len(tids))
+	for _, tid := range tids {
+		v := x.rel.CodeValue(x.attr, x.codes[tid])
+		if v.IsNull() || v.IsNaN() {
+			continue
+		}
+		batch = append(batch, secItem{rank: x.ranks[x.codes[tid]], tid: tid, val: v})
+	}
+	if len(batch) == 0 {
+		return
+	}
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].rank != batch[j].rank {
+			return batch[i].rank < batch[j].rank
+		}
+		return batch[i].tid < batch[j].tid
+	})
+	if len(x.items) == 0 {
+		x.items = batch
+		return
+	}
+	merged := x.merge[:0]
+	i, j := 0, 0
+	for i < len(x.items) && j < len(batch) {
+		if x.items[i].rank <= batch[j].rank {
+			merged = append(merged, x.items[i])
+			i++
+		} else {
+			merged = append(merged, batch[j])
+			j++
+		}
+	}
+	merged = append(merged, x.items[i:]...)
+	merged = append(merged, batch[j:]...)
+	x.merge = x.items[:0] // recycle the old backing array as next scratch
+	x.items = merged
+}
+
+// match returns the items whose value is above (or below) q, strictly
+// or weakly: a suffix (resp. prefix) of the rank-sorted items, located
+// by binary search with exact cross-column comparison.
+func (x *secIndex) match(q relation.Value, above, strict bool) []secItem {
+	if above {
+		// First item with val > q (strict) or ≥ q.
+		i := sort.Search(len(x.items), func(i int) bool {
+			c := exactNumCmp(x.items[i].val, q)
+			return c > 0 || (!strict && c == 0)
+		})
+		return x.items[i:]
+	}
+	// Items before the first with val ≥ q (strict: val < q) or > q.
+	i := sort.Search(len(x.items), func(i int) bool {
+		c := exactNumCmp(x.items[i].val, q)
+		return c > 0 || (strict && c == 0)
+	})
+	return x.items[:i]
+}
+
+func truncate(vios []Violation, max int) []Violation {
+	if max > 0 && len(vios) > max {
+		return vios[:max]
+	}
+	return vios
+}

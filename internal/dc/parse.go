@@ -1,0 +1,293 @@
+package dc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"semandaq/internal/relation"
+)
+
+// The compact text grammar, one constraint per line:
+//
+//	dc <name>: !( <pred> & <pred> & ... )
+//
+//	<pred>    ::= <operand> <op> <operand>
+//	<operand> ::= t.<attr> | u.<attr> | '<string>' | "<string>" | <number>
+//	<op>      ::= = | == | != | <> | ≠ | < | <= | ≤ | > | >= | ≥
+//
+// "dc" and the name are optional (anonymous constraints are named
+// dc1, dc2, … by position); "¬(...)" is accepted for "!(...)" and "∧"
+// for "&". Lines starting with # are comments. The left operand of each
+// predicate must be a tuple reference (constants go on the right; a
+// constraint with a constant left operand is rewritten by flipping the
+// operator). Examples:
+//
+//	dc pay:   !( t.DEPT = u.DEPT & t.LEVEL < u.LEVEL & t.SAL > u.SAL )
+//	dc adult: !( t.AGE < 18 & t.STATUS = 'employed' )
+//	!( t.CC = u.CC & t.ZIP = u.ZIP & t.STR != u.STR )
+
+// ParseSet parses a multi-line DC set against a schema.
+func ParseSet(text string, schema *relation.Schema) (*Set, error) {
+	set := NewSet(schema)
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := parseDC(line, schema, fmt.Sprintf("dc%d", set.Len()+1))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if err := set.Add(d); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	return set, nil
+}
+
+// Parse parses a single DC (one line of the grammar).
+func Parse(text string, schema *relation.Schema) (*DC, error) {
+	return parseDC(strings.TrimSpace(text), schema, "dc1")
+}
+
+func parseDC(line string, schema *relation.Schema, defaultName string) (*DC, error) {
+	s := strings.TrimSpace(strings.TrimPrefix(line, "dc "))
+	name := defaultName
+	// A name ends at the first ':' that precedes the negation marker.
+	if i := strings.IndexAny(s, ":!¬"); i >= 0 && s[i] == ':' {
+		name = strings.TrimSpace(s[:i])
+		if name == "" {
+			return nil, fmt.Errorf("dc: empty constraint name")
+		}
+		s = strings.TrimSpace(s[i+1:])
+	}
+	switch {
+	case strings.HasPrefix(s, "!"):
+		s = strings.TrimSpace(s[1:])
+	case strings.HasPrefix(s, "¬"):
+		s = strings.TrimSpace(s[len("¬"):])
+	default:
+		return nil, fmt.Errorf("dc %s: expected !( ... ), got %q", name, s)
+	}
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("dc %s: expected parenthesized conjunction, got %q", name, s)
+	}
+	body := s[1 : len(s)-1]
+	parts, err := splitConjuncts(body)
+	if err != nil {
+		return nil, fmt.Errorf("dc %s: %w", name, err)
+	}
+	preds := make([]Pred, 0, len(parts))
+	for _, part := range parts {
+		p, err := parsePred(part, schema)
+		if err != nil {
+			return nil, fmt.Errorf("dc %s: %w", name, err)
+		}
+		preds = append(preds, p)
+	}
+	return New(name, schema, preds)
+}
+
+// splitConjuncts splits the conjunction body on & / ∧, respecting
+// quoted string constants.
+func splitConjuncts(body string) ([]string, error) {
+	var parts []string
+	var cur strings.Builder
+	var quote byte
+	flush := func() error {
+		p := strings.TrimSpace(cur.String())
+		if p == "" {
+			return fmt.Errorf("empty predicate in conjunction")
+		}
+		parts = append(parts, p)
+		cur.Reset()
+		return nil
+	}
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+			cur.WriteByte(c)
+		case c == '\'' || c == '"':
+			quote = c
+			cur.WriteByte(c)
+		case c == '&':
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(body[i:], "∧"):
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			i += len("∧") - 1
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if quote != 0 {
+		return nil, fmt.Errorf("unterminated string constant")
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// operand is one parsed predicate side before operator resolution.
+type operand struct {
+	ref     Ref
+	isRef   bool
+	con     relation.Value
+	literal string // raw numeric literal, coerced against the peer column
+}
+
+// parsePred parses "<operand> <op> <operand>".
+func parsePred(s string, schema *relation.Schema) (Pred, error) {
+	left, rest, err := parseOperand(s, schema)
+	if err != nil {
+		return Pred{}, err
+	}
+	op, rest, err := parseOp(rest)
+	if err != nil {
+		return Pred{}, fmt.Errorf("in %q: %w", s, err)
+	}
+	right, rest, err := parseOperand(rest, schema)
+	if err != nil {
+		return Pred{}, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return Pred{}, fmt.Errorf("trailing input %q in predicate %q", strings.TrimSpace(rest), s)
+	}
+	if !left.isRef && !right.isRef {
+		return Pred{}, fmt.Errorf("predicate %q compares two constants", s)
+	}
+	// Normalize constants to the right (flip the operator if needed).
+	if !left.isRef {
+		left, right = right, left
+		op = flip(op)
+	}
+	p := Pred{Left: left.ref, Op: op}
+	if right.isRef {
+		p.Right = right.ref
+		return p, nil
+	}
+	con, err := coerceConst(right, schema.Attr(left.ref.Attr).Kind)
+	if err != nil {
+		return Pred{}, fmt.Errorf("in %q: %w", s, err)
+	}
+	p.Const, p.HasConst = con, true
+	return p, nil
+}
+
+// flip mirrors an operator across its operands (a op b ⇔ b flip(op) a).
+func flip(op Op) Op {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}
+
+// coerceConst types a constant against the column it is compared to:
+// integer literals become floats for float columns (mirroring
+// relation.Insert's coercion), and numeric literals keep exact int64
+// form for int columns when they have no fractional syntax.
+func coerceConst(o operand, kind relation.Kind) (relation.Value, error) {
+	if o.literal == "" {
+		return o.con, nil // quoted string constant
+	}
+	switch kind {
+	case relation.KindInt:
+		if n, err := strconv.ParseInt(o.literal, 10, 64); err == nil {
+			return relation.Int(n), nil
+		}
+	case relation.KindFloat:
+	default:
+		return relation.Null(), fmt.Errorf("numeric constant %q compared to %v column", o.literal, kind)
+	}
+	f, err := strconv.ParseFloat(o.literal, 64)
+	if err != nil {
+		return relation.Null(), fmt.Errorf("bad numeric constant %q", o.literal)
+	}
+	if kind == relation.KindInt {
+		return relation.Null(), fmt.Errorf("constant %q has no exact int form for an int column", o.literal)
+	}
+	return relation.Float(f), nil
+}
+
+// parseOperand consumes one operand from the front of s.
+func parseOperand(s string, schema *relation.Schema) (operand, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, "", fmt.Errorf("missing operand")
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		end := strings.IndexByte(s[1:], s[0])
+		if end < 0 {
+			return operand{}, "", fmt.Errorf("unterminated string constant in %q", s)
+		}
+		return operand{con: relation.String(s[1 : 1+end])}, s[end+2:], nil
+	}
+	if (strings.HasPrefix(s, "t.") || strings.HasPrefix(s, "u.")) && len(s) > 2 {
+		end := 2
+		for end < len(s) && isAttrChar(s[end]) {
+			end++
+		}
+		attrName := s[2:end]
+		attr, ok := schema.Index(attrName)
+		if !ok {
+			return operand{}, "", fmt.Errorf("schema %s has no attribute %q", schema.Name(), attrName)
+		}
+		return operand{ref: Ref{U: s[0] == 'u', Attr: attr}, isRef: true}, s[end:], nil
+	}
+	// Numeric literal: digits, sign, dot, exponent.
+	end := 0
+	for end < len(s) && isNumChar(s[end]) {
+		end++
+	}
+	if end == 0 {
+		return operand{}, "", fmt.Errorf("bad operand at %q (expected t.<attr>, u.<attr>, quoted string, or number)", s)
+	}
+	lit := s[:end]
+	if _, err := strconv.ParseFloat(lit, 64); err != nil {
+		return operand{}, "", fmt.Errorf("bad numeric constant %q", lit)
+	}
+	return operand{literal: lit}, s[end:], nil
+}
+
+func isAttrChar(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+func isNumChar(c byte) bool {
+	return c == '+' || c == '-' || c == '.' || c == 'e' || c == 'E' || ('0' <= c && c <= '9')
+}
+
+// parseOp consumes the operator from the front of s.
+func parseOp(s string) (Op, string, error) {
+	s = strings.TrimSpace(s)
+	for _, cand := range []struct {
+		tok string
+		op  Op
+	}{
+		{"<=", OpLe}, {">=", OpGe}, {"!=", OpNe}, {"<>", OpNe}, {"==", OpEq},
+		{"≤", OpLe}, {"≥", OpGe}, {"≠", OpNe},
+		{"=", OpEq}, {"<", OpLt}, {">", OpGt},
+	} {
+		if strings.HasPrefix(s, cand.tok) {
+			return cand.op, s[len(cand.tok):], nil
+		}
+	}
+	return OpEq, s, fmt.Errorf("expected operator at %q", s)
+}

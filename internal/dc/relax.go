@@ -1,0 +1,148 @@
+package dc
+
+import (
+	"fmt"
+	"sort"
+
+	"semandaq/internal/relation"
+)
+
+// Weakening kinds, in preference order: a tightened operator keeps the
+// most of the original rule, a shifted constant keeps its shape, and
+// dropping the constraint is the weakening of last resort.
+const (
+	WeakenTightenOp  = "tighten-op"
+	WeakenShiftConst = "shift-const"
+	WeakenDrop       = "drop"
+)
+
+// Weakening is one candidate relaxation of a violated DC: a constraint
+// whose violation set is a strict subset of the original's (the data
+// did not change; the rule admits more of it). Kind WeakenDrop has a
+// nil Weakened DC.
+type Weakening struct {
+	Kind     string // WeakenTightenOp, WeakenShiftConst or WeakenDrop
+	Pred     int    // index of the weakened predicate; -1 for drop
+	Weakened *DC    // the relaxed constraint, same name as the original
+	Desc     string // human-readable account of the change
+
+	Resolved   int  // of the Total current violations, how many this resolves
+	Total      int  // violations of the original DC that were handed in
+	Consistent bool // re-detection of Weakened found zero violations
+}
+
+// Relax proposes minimal weakenings of a violated DC, following the
+// relaxation view of repair: instead of mutating tuples, weaken the
+// rule until the data is consistent with it. Candidates, ranked by
+// (unresolved violations ascending, kind preference, predicate index):
+//
+//   - tighten-op: ≤ → < and ≥ → > on an order predicate, resolving
+//     exactly the violations that held with equality on it;
+//   - shift-const: move an order predicate's constant past every
+//     current witness (t.A < c becomes t.A < min witness; t.A > c
+//     becomes t.A > max witness), resolving all current violations;
+//   - drop: retire the constraint (always consistent, always last).
+//
+// Every predicate-level candidate strictly shrinks the conjunction's
+// satisfaction set, so a weakened DC's violations are a subset of the
+// original's; Consistent is nevertheless verified by re-running Detect
+// on the weakened constraint rather than assumed. vios must be the
+// current (untruncated) violation set of d, as returned by Detect.
+// Value repair of ViolatingTIDs(vios) remains the alternative when the
+// rule should stand and the data should move.
+func Relax(r *relation.Relation, d *DC, vios []Violation, opts Options) []Weakening {
+	if len(vios) == 0 {
+		return nil
+	}
+	total := len(vios)
+	var out []Weakening
+
+	consider := func(kind string, predIdx int, preds []Pred, desc string) {
+		wd, err := New(d.name, d.schema, preds)
+		if err != nil {
+			return // a weakening can never invalidate a valid DC; defensive
+		}
+		resolved := 0
+		for _, v := range vios {
+			if !pairViolates(r, wd.preds, v.T, v.U) {
+				resolved++
+			}
+		}
+		if resolved == 0 {
+			return // not a useful weakening for the data at hand
+		}
+		check := opts
+		check.MaxViolations = 1 // emptiness test only
+		out = append(out, Weakening{
+			Kind:       kind,
+			Pred:       predIdx,
+			Weakened:   wd,
+			Desc:       desc,
+			Resolved:   resolved,
+			Total:      total,
+			Consistent: len(Detect(r, wd, check)) == 0,
+		})
+	}
+
+	for i, p := range d.preds {
+		if !p.Op.IsOrder() {
+			continue
+		}
+		if p.Op == OpLe || p.Op == OpGe {
+			preds := d.Preds()
+			tightened := OpLt
+			if p.Op == OpGe {
+				tightened = OpGt
+			}
+			preds[i].Op = tightened
+			consider(WeakenTightenOp, i,
+				preds, fmt.Sprintf("tighten %s to %s", d.predString(p), d.predString(preds[i])))
+		}
+		if p.HasConst {
+			// The witnesses' left-operand values all satisfy the
+			// predicate now; move the constant to their extreme and
+			// make the operator strict, so every one of them fails it.
+			bound := operandValue(r, p.Left, vios[0].T, vios[0].U)
+			for _, v := range vios[1:] {
+				w := operandValue(r, p.Left, v.T, v.U)
+				c := exactNumCmp(w, bound)
+				if (p.Op == OpLt || p.Op == OpLe) && c < 0 {
+					bound = w
+				} else if (p.Op == OpGt || p.Op == OpGe) && c > 0 {
+					bound = w
+				}
+			}
+			preds := d.Preds()
+			if p.Op == OpLt || p.Op == OpLe {
+				preds[i].Op = OpLt
+			} else {
+				preds[i].Op = OpGt
+			}
+			preds[i].Const = bound
+			consider(WeakenShiftConst, i,
+				preds, fmt.Sprintf("shift %s to %s", d.predString(p), d.predString(preds[i])))
+		}
+	}
+
+	out = append(out, Weakening{
+		Kind:       WeakenDrop,
+		Pred:       -1,
+		Desc:       fmt.Sprintf("drop constraint %s", d.name),
+		Resolved:   total,
+		Total:      total,
+		Consistent: true,
+	})
+
+	rank := map[string]int{WeakenTightenOp: 0, WeakenShiftConst: 1, WeakenDrop: 2}
+	sort.SliceStable(out, func(i, j int) bool {
+		ui, uj := out[i].Total-out[i].Resolved, out[j].Total-out[j].Resolved
+		if ui != uj {
+			return ui < uj
+		}
+		if rank[out[i].Kind] != rank[out[j].Kind] {
+			return rank[out[i].Kind] < rank[out[j].Kind]
+		}
+		return out[i].Pred < out[j].Pred
+	})
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"semandaq/internal/cfd"
+	"semandaq/internal/dc"
 	"semandaq/internal/relation"
 )
 
@@ -52,6 +53,7 @@ type Engine struct {
 	mu          sync.RWMutex
 	sessions    map[string]*Session
 	setCache    map[string]*cfd.Set
+	dcCache     map[string]*dc.Set
 	workers     int
 	shards      int
 	indexBudget int64
@@ -62,6 +64,7 @@ func New(opts Options) *Engine {
 	return &Engine{
 		sessions:    map[string]*Session{},
 		setCache:    map[string]*cfd.Set{},
+		dcCache:     map[string]*dc.Set{},
 		workers:     opts.Workers,
 		shards:      opts.Shards,
 		indexBudget: opts.IndexBudgetBytes,

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"semandaq/internal/cfd"
+	"semandaq/internal/dc"
 	"semandaq/internal/discovery"
 	"semandaq/internal/relation"
 	"semandaq/internal/repair"
@@ -40,6 +41,7 @@ type Session struct {
 	name    string
 	data    *relation.Relation
 	set     *cfd.Set
+	dcs     *dc.Set
 	workers int
 
 	// indexes caches the X-partition PLIs of the session's dataset keyed
@@ -77,6 +79,7 @@ func NewSession(name string, data *relation.Relation, set *cfd.Set, workers int)
 		name:      name,
 		data:      data.Clone(),
 		set:       set,
+		dcs:       dc.NewSet(data.Schema()),
 		workers:   workers,
 		indexes:   relation.NewIndexCache(),
 		confirmed: map[[2]int]bool{},

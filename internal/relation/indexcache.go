@@ -53,9 +53,12 @@ type cacheEntry struct {
 // only — callers hand it the current relation on every Get and the
 // cache validates the stored snapshot against it — so an engine session
 // keeps one cache across Accept data swaps, and a repair run keeps one
-// across materialize passes. Catch-up mutations (advance/compact) are
-// serialized per entry; the session-level locking discipline (appends
-// are exclusive) keeps them from overlapping lock-free readers.
+// across materialize passes. Catch-up mutations are serialized per
+// entry; advances never overlap lock-free readers because appends are
+// exclusive at the session level and readers re-fetch per shared-lock
+// window, and compacting an entry a GetDelta reader may still be
+// iterating is done copy-on-write with the slot republished (see
+// PLI.catchUp), so Get and GetDelta interleave safely on one entry.
 type IndexCache struct {
 	mu      sync.RWMutex
 	entries map[string]*cacheEntry
@@ -155,10 +158,12 @@ func attrsKey(attrs []int) string {
 }
 
 // Get returns a canonical PLI of r over attrs: a cached entry that is
-// fresh (or stale only by appends, which Get absorbs and compacts in
-// place) is reused; otherwise the index is rebuilt and re-cached.
-// Concurrent readers may race to rebuild the same stale entry; both get
-// a correct index and one of them wins the cache slot.
+// fresh (or stale only by appends, which Get absorbs and compacts) is
+// reused; otherwise the index is rebuilt and re-cached. A fresh entry
+// still carrying a delta tail (left by GetDelta) is compacted
+// copy-on-write and the slot republished. Concurrent readers may race
+// to rebuild the same stale entry; both get a correct index and one of
+// them wins the cache slot.
 func (c *IndexCache) Get(r *Relation, attrs []int) *PLI {
 	return c.lookup(r, attrs, true)
 }
@@ -179,7 +184,7 @@ func (c *IndexCache) lookup(r *Relation, attrs []int, compact bool) *PLI {
 	e := c.entries[key]
 	c.mu.RUnlock()
 	if e != nil {
-		if ok, advanced := e.pli.catchUp(r, compact); ok {
+		if pli, advanced := e.pli.catchUp(r, compact); pli != nil {
 			e.lastUse.Store(c.tick.Add(1))
 			if advanced {
 				c.advances.Add(1)
@@ -187,13 +192,36 @@ func (c *IndexCache) lookup(r *Relation, attrs []int, compact bool) *PLI {
 			} else {
 				c.hits.Add(1)
 			}
-			return e.pli
+			if pli != e.pli {
+				c.replaceEntry(key, e.pli, pli)
+			}
+			return pli
 		}
 	}
 	p := c.build(r, attrs)
 	c.misses.Add(1)
 	c.store(r, key, p)
 	return p
+}
+
+// replaceEntry publishes the copy-on-write compaction of a tailed entry
+// (see PLI.catchUp): subsequent lookups get the compacted index while
+// readers still iterating the old tailed one keep their consistent
+// snapshot. No-op if the slot no longer holds the PLI the copy was made
+// from (a concurrent rebuild or eviction won).
+func (c *IndexCache) replaceEntry(key string, old, compacted *PLI) {
+	tick := c.tick.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prior := c.entries[key]
+	if prior == nil || prior.pli != old {
+		return
+	}
+	e := &cacheEntry{pli: compacted, bytes: compacted.MemSize()}
+	e.lastUse.Store(tick)
+	c.resident += e.bytes - prior.bytes
+	c.entries[key] = e
+	c.enforceBudgetLocked(key)
 }
 
 // enforceBudget applies the byte budget outside store — the steady-state
@@ -227,15 +255,17 @@ func (c *IndexCache) enforceBudget(keepKey string) {
 // set.
 func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 	key := attrsKey(attrs)
+	var parentKey string
 	c.mu.RLock()
 	e := c.entries[key]
 	var parent *cacheEntry
 	if len(attrs) > 1 {
-		parent = c.entries[attrsKey(attrs[:len(attrs)-1])]
+		parentKey = attrsKey(attrs[:len(attrs)-1])
+		parent = c.entries[parentKey]
 	}
 	c.mu.RUnlock()
 	if e != nil {
-		if ok, advanced := e.pli.catchUp(r, true); ok {
+		if pli, advanced := e.pli.catchUp(r, true); pli != nil {
 			e.lastUse.Store(c.tick.Add(1))
 			if advanced {
 				c.advances.Add(1)
@@ -243,17 +273,23 @@ func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 			} else {
 				c.hits.Add(1)
 			}
-			return e.pli
+			if pli != e.pli {
+				c.replaceEntry(key, e.pli, pli)
+			}
+			return pli
 		}
 	}
 	var p *PLI
 	if parent != nil {
-		if ok, advanced := parent.pli.catchUp(r, true); ok {
+		if ppli, advanced := parent.pli.catchUp(r, true); ppli != nil {
 			if advanced {
 				c.advances.Add(1)
 			}
 			parent.lastUse.Store(c.tick.Add(1))
-			p = c.refine(r, parent.pli, attrs[len(attrs)-1])
+			if ppli != parent.pli {
+				c.replaceEntry(parentKey, parent.pli, ppli)
+			}
+			p = c.refine(r, ppli, attrs[len(attrs)-1])
 			c.refines.Add(1)
 		}
 	}

@@ -51,9 +51,13 @@ type PLI struct {
 	// mu serializes Advance and Compact — the mutating catch-up path the
 	// IndexCache drives. Plain reads (Group, GroupOf, Lookup, ...) stay
 	// lock-free; they must not overlap an Advance/Compact of the same
-	// PLI, which holds in practice because appends only happen under an
-	// exclusive writer (the engine session's write lock) and the cache
-	// finishes catching an entry up before handing it to the reader.
+	// PLI. Advances are covered by the session discipline: appends only
+	// happen under an exclusive writer, and readers re-fetch entries
+	// inside every shared-lock window, so a stale entry has no live
+	// readers when its first post-append lookup advances it. Compaction
+	// of an already-fresh tailed entry has no such guarantee (a GetDelta
+	// reader may be iterating the tail), so that case goes copy-on-write
+	// (catchUp/compactedCopyLocked) instead of mutating in place.
 	mu sync.Mutex
 
 	// Delta tail: rows absorbed by Advance but not yet merged into the
@@ -340,8 +344,10 @@ func (p *PLI) AdvanceableTo(r *Relation) bool {
 //
 // Advance and Compact mutate the index and are serialized against each
 // other (PLI.mu), but must not overlap lock-free readers of the same
-// PLI; callers guarantee that by appending only under an exclusive
-// writer, as engine sessions do.
+// PLI; direct callers guarantee that by appending only under an
+// exclusive writer, as engine sessions do. (The IndexCache's catch-up
+// path compacts shared tailed entries copy-on-write instead — see
+// catchUp.)
 func (p *PLI) Advance(r *Relation) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -517,23 +523,64 @@ func (p *PLI) compactLocked() {
 
 // catchUp is IndexCache's entry-revalidation hook: under the PLI's
 // mutex, absorb any appended rows and — for order-sensitive callers —
-// compact the delta tail. ok reports whether the entry now exactly
-// describes r; advanced reports whether rows were absorbed (an
-// "advance" in cache stats, as opposed to a pure hit).
-func (p *PLI) catchUp(r *Relation, compact bool) (ok, advanced bool) {
+// compact the delta tail. out is nil when the entry cannot describe r
+// (an indexed column mutated, the relation was reordered/truncated, or
+// it is a different relation); otherwise out is the PLI to hand to the
+// caller, and advanced reports whether rows were absorbed (an "advance"
+// in cache stats, as opposed to a pure hit).
+//
+// out is usually the receiver. The exception is compacting a FRESH
+// entry that still carries a delta tail: a delta-tolerant reader
+// (GetDelta) may be iterating that tail lock-free right now, so the
+// merge happens copy-on-write into a fresh PLI (out != p) and the
+// cache republishes it — the tailed original is never mutated again.
+// Compacting right after an advance stays in place: staleness implies
+// an exclusive append since the last lookup, which implies no reader
+// still holds this PLI (readers re-Get inside every shared-lock
+// window).
+func (p *PLI) catchUp(r *Relation, compact bool) (out *PLI, advanced bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.AdvanceableTo(r) {
-		return false, false
+		return nil, false
 	}
-	advanced = p.n < r.Len()
-	if advanced {
+	if p.n < r.Len() {
 		p.advanceLocked(r)
+		if compact {
+			p.compactLocked()
+		}
+		return p, true
 	}
-	if compact {
-		p.compactLocked()
+	if compact && p.tailLen > 0 {
+		return p.compactedCopyLocked(), false
 	}
-	return true, advanced
+	return p, false
+}
+
+// compactedCopyLocked returns a compacted PLI equivalent to the
+// receiver without mutating any state a lock-free reader of the
+// receiver can observe: the flat storage and tail maps are only read,
+// and everything compaction rewrites (tids, offsets, tidGroup, the
+// provisional-group order, the Lookup maps) is private to the copy.
+// Called with p.mu held and p.tailLen > 0.
+func (p *PLI) compactedCopyLocked() *PLI {
+	q := &PLI{
+		rel:        p.rel,
+		attrs:      p.attrs,
+		colVers:    p.colVers,
+		n:          p.n,
+		tids:       p.tids,    // read-only input; compaction emits fresh slices
+		offsets:    p.offsets, // "
+		tidGroup:   append([]int32(nil), p.tidGroup...),
+		shardWidth: p.shardWidth,
+		shardEnds:  append([]int(nil), p.shardEnds...),
+		tails:      p.tails, // read-only input
+		newGroups:  append([]deltaGroup(nil), p.newGroups...),
+		newLookup:  nil, // compaction drops it; Lookup rebuilds lazily
+		tailLen:    p.tailLen,
+	}
+	q.compactLocked()
+	return q
 }
 
 // MemSize estimates the index's resident bytes (flat storage plus delta

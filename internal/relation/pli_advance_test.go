@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -238,17 +239,106 @@ func TestGetDeltaKeepsTail(t *testing.T) {
 		t.Fatalf("stats after GetDelta advance: %+v", s)
 	}
 
+	// Get on the fresh-but-tailed entry compacts copy-on-write: a
+	// GetDelta reader may still be iterating p's tail, so p must keep it
+	// while the cache slot switches to a canonical compacted copy.
 	got2 := cache.Get(r, []int{0, 2})
-	if got2 != p {
-		t.Fatal("Get rebuilt a tailed entry instead of compacting it")
+	if got2 == p {
+		t.Fatal("Get compacted a shared tailed entry in place")
 	}
 	if got2.TailLen() != 0 {
 		t.Fatal("Get must hand out canonical (compacted) indexes")
 	}
+	if p.TailLen() == 0 {
+		t.Fatal("copy-on-write compaction mutated the tailed original")
+	}
 	if s := cache.Stats(); s.Misses != 1 || s.Advances != 1 || s.Hits != 1 {
 		t.Fatalf("stats after compacting Get: %+v", s)
 	}
+	sameFlat(t, "GetDelta→Get compacted copy", got2, BuildPLI(r, []int{0, 2}))
 	samePLI(t, "GetDelta→Get", r, got2, BuildPLI(r, []int{0, 2}))
+
+	// The old tailed snapshot still answers reads consistently...
+	n := 0
+	for g := 0; g < p.NumGroups(); g++ {
+		n += len(p.Group(g))
+	}
+	if n != r.Len() {
+		t.Fatalf("tailed snapshot covers %d of %d tuples after the copy", n, r.Len())
+	}
+	// ...and the compacted copy owns the slot: later lookups are stable.
+	if got3 := cache.Get(r, []int{0, 2}); got3 != got2 {
+		t.Fatal("compacted copy was not republished in the cache slot")
+	}
+	if got4 := cache.GetDelta(r, []int{0, 2}); got4 != got2 {
+		t.Fatal("GetDelta should reuse the republished compacted entry")
+	}
+}
+
+// TestCacheCompactCopyOnWriteConcurrent pins the Get/GetDelta
+// interleaving the copy-on-write compaction exists for: under a shared
+// lock, one reader iterates the delta tail a GetDelta handed out while
+// another reader's Get compacts the same entry. Before compaction went
+// copy-on-write this raced (the in-place merge rewrote tids/offsets and
+// re-sorted the provisional groups under the iterating reader); run
+// under -race (make race-cache).
+func TestCacheCompactCopyOnWriteConcurrent(t *testing.T) {
+	r := randomMixedRelation(t, 21, 400)
+	cache := NewIndexCache()
+	attrs := []int{0, 2}
+	var relMu sync.RWMutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: exclusive appends keep re-creating delta tails
+		defer wg.Done()
+		defer close(stop)
+		rng := rand.New(rand.NewSource(22))
+		for round := 0; round < 25; round++ {
+			relMu.Lock()
+			appendRandomRows(t, r, rng, 8)
+			relMu.Unlock()
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i > 20 {
+						return
+					}
+				default:
+				}
+				relMu.RLock()
+				var pli *PLI
+				if (w+i)%2 == 0 {
+					pli = cache.GetDelta(r, attrs)
+				} else {
+					pli = cache.Get(r, attrs)
+				}
+				n := 0
+				for g := 0; g < pli.NumGroups(); g++ {
+					n += len(pli.Group(g))
+				}
+				if n != r.Len() {
+					t.Errorf("worker %d: partition covers %d of %d tuples", w, n, r.Len())
+					relMu.RUnlock()
+					return
+				}
+				relMu.RUnlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got := cache.Get(r, attrs)
+	if !got.Fresh(r) || got.TailLen() != 0 {
+		t.Fatal("cache entry not canonical after quiescence")
+	}
+	sameFlat(t, "post-concurrency", got, BuildPLI(r, attrs))
 }
 
 // TestGetViaAdvancesParent checks that refinement parents are caught up

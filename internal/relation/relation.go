@@ -369,6 +369,20 @@ func (r *Relation) codeRanks(attr int) []int32 {
 	return ranks
 }
 
+// CodeRanks returns, for column attr, the rank of every code under the
+// lexicographic order of the codes' Encode keys (ranks[code] is the
+// code's position; see codeRanks for the caching and merge behavior).
+// Because Encode is order-preserving for NULL and the numeric kinds, a
+// kind-uniform null-or-numeric column's ranks agree exactly with
+// Value.Compare order of the coded values — the order index the
+// denial-constraint inequality sweeps (internal/dc) run on, guaranteed
+// by TestCodeRankOrderMatchesValueOrder. For string columns the rank
+// order is the length-prefixed encoding order, NOT lexicographic string
+// order. The returned slice is immutable and safe to read concurrently;
+// it describes the dictionary as of the call (appends interning unseen
+// values extend the ranking on the next call).
+func (r *Relation) CodeRanks(attr int) []int32 { return r.codeRanks(attr) }
+
 // Clone returns a deep copy of the relation (same schema pointer; the
 // schema is immutable). Dictionaries and code columns are copied, so the
 // clone's interning evolves independently.

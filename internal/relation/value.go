@@ -10,6 +10,7 @@ package relation
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -218,11 +219,24 @@ func (v Value) String() string {
 // the residual mixed-kind case (unchecked Set writes) explicitly.
 //
 // Prefix-freedom (strings are length-prefixed with a ':' delimiter that
-// can never be a length digit; numbers end in a ';' terminator that can
-// never appear in a rendered number; the kind byte leads) guarantees
-// that comparing concatenated keys lexicographically equals comparing
-// them component-wise, which BuildPLI relies on to order groups without
-// materializing keys.
+// can never be a length digit; numbers are fixed-width 8-byte payloads;
+// the kind byte leads) guarantees that comparing concatenated keys
+// lexicographically equals comparing them component-wise, which BuildPLI
+// relies on to order groups without materializing keys.
+//
+// For numeric kinds the encoding is additionally ORDER-PRESERVING: for
+// two values of one numeric kind, lexicographic byte order of the
+// encodings equals numeric order (ints via big-endian two's complement
+// with the sign bit flipped; floats via the IEEE 754 total-order bit
+// trick, with Float's -0 → +0 normalization keeping the map injective,
+// and NaN sorting after +Inf). NULL's lone kind byte 0 sorts before
+// every non-NULL encoding, matching Value.Compare. Relation.codeRanks
+// therefore ranks null-or-numeric columns in exact value order — the
+// guarantee the denial-constraint inequality sweeps (internal/dc) build
+// on, property-tested by TestCodeRankOrderMatchesValueOrder. String
+// encodings are NOT order-preserving (the length prefix trades order
+// for cheap prefix-freedom), which is why the DC compiler restricts
+// order predicates to numeric columns.
 func (v Value) Encode(dst []byte) []byte {
 	dst = append(dst, byte(v.kind))
 	switch v.kind {
@@ -231,13 +245,25 @@ func (v Value) Encode(dst []byte) []byte {
 		dst = append(dst, ':')
 		dst = append(dst, v.s...)
 	case KindInt:
-		dst = strconv.AppendInt(dst, v.n, 10)
-		dst = append(dst, ';')
+		dst = appendOrdered64(dst, uint64(v.n)^(1<<63))
 	case KindFloat:
-		dst = strconv.AppendFloat(dst, v.f, 'g', -1, 64)
-		dst = append(dst, ';')
+		bits := math.Float64bits(v.f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negatives: reverse order, below positives
+		} else {
+			bits |= 1 << 63 // positives: above all negatives
+		}
+		dst = appendOrdered64(dst, bits)
 	}
 	return dst
+}
+
+// appendOrdered64 appends x big-endian, so byte-lexicographic order of
+// the encodings equals numeric order of the (order-mapped) payloads.
+func appendOrdered64(dst []byte, x uint64) []byte {
+	return append(dst,
+		byte(x>>56), byte(x>>48), byte(x>>40), byte(x>>32),
+		byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
 }
 
 // ParseValue parses s into a value of the requested kind. The empty

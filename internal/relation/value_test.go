@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -130,6 +131,136 @@ func TestValueEncodeInjective(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestValueEncodeOrderPreservingNumeric is the rank-order guarantee the
+// DC inequality sweeps depend on: for NULL and the numeric kinds,
+// byte-lexicographic order of Encode keys must equal Value.Compare
+// order. (Int vs Float cross-kind pairs are exempt — columns are
+// kind-uniform — and NaN is exempt: Compare treats it as unordered,
+// while Encode gives it a definite slot after +Inf.)
+func TestValueEncodeOrderPreservingNumeric(t *testing.T) {
+	numeric := func(r *rand.Rand) Value {
+		switch r.Intn(5) {
+		case 0:
+			return Null()
+		case 1:
+			return Int(int64(r.Uint64()))
+		case 2:
+			return Int(int64(r.Intn(200) - 100))
+		case 3:
+			return Float((r.Float64() - 0.5) * 1e6)
+		default:
+			return Float(float64(r.Intn(40)-20) / 4)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		a, b := numeric(rng), numeric(rng)
+		if a.Kind() != b.Kind() && !a.IsNull() && !b.IsNull() {
+			continue
+		}
+		ea, eb := string(a.Encode(nil)), string(b.Encode(nil))
+		cmp := a.Compare(b)
+		var enc int
+		switch {
+		case ea < eb:
+			enc = -1
+		case ea > eb:
+			enc = 1
+		}
+		if cmp != enc {
+			t.Fatalf("Encode order disagrees with Compare: %v vs %v (cmp=%d enc=%d)", a, b, cmp, enc)
+		}
+	}
+	// Boundary cases the random sweep is unlikely to hit.
+	ordered := []Value{
+		Int(math.MinInt64), Int(-1), Int(0), Int(1), Int(math.MaxInt64),
+	}
+	for i := 0; i+1 < len(ordered); i++ {
+		if string(ordered[i].Encode(nil)) >= string(ordered[i+1].Encode(nil)) {
+			t.Fatalf("int encode order broken at %v < %v", ordered[i], ordered[i+1])
+		}
+	}
+	forder := []Value{
+		Float(math.Inf(-1)), Float(-math.MaxFloat64), Float(-1), Float(0),
+		Float(math.SmallestNonzeroFloat64), Float(1), Float(math.MaxFloat64), Float(math.Inf(1)),
+	}
+	for i := 0; i+1 < len(forder); i++ {
+		if string(forder[i].Encode(nil)) >= string(forder[i+1].Encode(nil)) {
+			t.Fatalf("float encode order broken at %v < %v", forder[i], forder[i+1])
+		}
+	}
+	if string(Float(0).Encode(nil)) != string(Float(math.Copysign(0, -1)).Encode(nil)) {
+		t.Fatal("-0 and +0 must share one encoding (Float normalizes)")
+	}
+	if string(Float(math.NaN()).Encode(nil)) <= string(Float(math.Inf(1)).Encode(nil)) {
+		t.Fatal("NaN must encode after +Inf (a definite slot, never mid-range)")
+	}
+}
+
+// TestCodeRankOrderMatchesValueOrder is the relation-level property the
+// DC detector consumes: on randomized relations with mixed-kind columns
+// (string, int, float, NULLs everywhere), CodeRanks of every
+// null-or-numeric column must rank codes in exactly Value.Compare order
+// of their representative values. String columns are exercised too, but
+// only for rank validity (a permutation), not value order.
+func TestCodeRankOrderMatchesValueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	schema, err := NewSchema("mixed",
+		Attribute{Name: "S", Kind: KindString},
+		Attribute{Name: "I", Kind: KindInt},
+		Attribute{Name: "F", Kind: KindFloat},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 30; round++ {
+		r := New(schema)
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			tup := Tuple{Null(), Null(), Null()}
+			if rng.Intn(10) > 0 {
+				b := make([]byte, rng.Intn(6))
+				for j := range b {
+					b[j] = byte('a' + rng.Intn(4))
+				}
+				tup[0] = String(string(b))
+			}
+			if rng.Intn(10) > 0 {
+				tup[1] = Int(int64(rng.Intn(60) - 30))
+			}
+			if rng.Intn(10) > 0 {
+				tup[2] = Float(float64(rng.Intn(50)-25) / 4)
+			}
+			r.MustInsert(tup)
+		}
+		for attr := 0; attr < schema.Arity(); attr++ {
+			ranks := r.CodeRanks(attr)
+			d := r.DistinctCodes(attr)
+			if len(ranks) != d {
+				t.Fatalf("attr %d: %d ranks for %d codes", attr, len(ranks), d)
+			}
+			order := make([]int32, d) // rank -> code
+			seen := make([]bool, d)
+			for code, rk := range ranks {
+				if seen[rk] {
+					t.Fatalf("attr %d: duplicate rank %d", attr, rk)
+				}
+				seen[rk] = true
+				order[rk] = int32(code)
+			}
+			if attr == 0 {
+				continue // string column: permutation checked, order not guaranteed
+			}
+			for i := 0; i+1 < d; i++ {
+				a, b := r.CodeValue(attr, order[i]), r.CodeValue(attr, order[i+1])
+				if a.Compare(b) >= 0 {
+					t.Fatalf("attr %d: rank order %v before %v disagrees with value order", attr, a, b)
+				}
+			}
+		}
 	}
 }
 

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"semandaq/internal/datagen"
+)
+
+// registerEmp registers a generated emp dataset with planted pay
+// inversions and installs the pay-scale DC.
+func registerEmp(t *testing.T, ts *httptest.Server, name string, n int, rate float64) {
+	t.Helper()
+	code, body := call(t, ts, "POST", "/v1/datasets", map[string]any{
+		"name":     name,
+		"generate": map[string]any{"kind": "emp", "n": n, "rate": rate, "seed": 5},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	code, body = call(t, ts, "POST", "/v1/dcs", map[string]any{
+		"dataset": name, "dcs": datagen.EmpDCText(),
+	})
+	if code != http.StatusOK || body["installed"].(float64) != 1 {
+		t.Fatalf("install dcs: %d %v", code, body)
+	}
+}
+
+func TestDCDetectRelaxFlow(t *testing.T) {
+	ts := newTestServer(t)
+	registerEmp(t, ts, "emp", 400, 0.02)
+
+	// Dataset info counts the installed DCs.
+	code, info := call(t, ts, "GET", "/v1/datasets/emp", nil)
+	if code != http.StatusOK || info["dcs"].(float64) != 1 {
+		t.Fatalf("info: %d %v", code, info)
+	}
+	code, list := call(t, ts, "GET", "/v1/datasets/emp/dcs", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list dcs: %d %v", code, list)
+	}
+	if dcs := list["dcs"].([]any); len(dcs) != 1 ||
+		dcs[0].(map[string]any)["name"].(string) != "pay" {
+		t.Fatalf("dc list = %v", list)
+	}
+
+	code, det := call(t, ts, "POST", "/v1/dc/detect", map[string]any{"dataset": "emp"})
+	if code != http.StatusOK {
+		t.Fatalf("dc detect: %d %v", code, det)
+	}
+	total := det["count"].(float64)
+	if total == 0 {
+		t.Fatalf("planted violations not detected: %v", det)
+	}
+	rep := det["reports"].([]any)[0].(map[string]any)
+	if rep["name"].(string) != "pay" || rep["count"].(float64) != total {
+		t.Fatalf("report = %v", rep)
+	}
+	if len(rep["tids"].([]any)) == 0 || len(rep["violations"].([]any)) == 0 {
+		t.Fatalf("report missing witnesses: %v", rep)
+	}
+
+	// Truncation keeps count honest and flags the cut.
+	code, det = call(t, ts, "POST", "/v1/dc/detect", map[string]any{"dataset": "emp", "limit": 1})
+	rep = det["reports"].([]any)[0].(map[string]any)
+	if code != http.StatusOK || len(rep["violations"].([]any)) != 1 || rep["truncated"].(bool) != true {
+		t.Fatalf("limited detect: %d %v", code, det)
+	}
+
+	code, relax := call(t, ts, "POST", "/v1/dc/relax", map[string]any{"dataset": "emp", "dc": "pay"})
+	if code != http.StatusOK {
+		t.Fatalf("dc relax: %d %v", code, relax)
+	}
+	if relax["violations"].(float64) != total || len(relax["tids"].([]any)) == 0 {
+		t.Fatalf("relax response = %v", relax)
+	}
+	weaks := relax["weakenings"].([]any)
+	if len(weaks) == 0 {
+		t.Fatalf("no weakenings proposed: %v", relax)
+	}
+	sawConsistent := false
+	for _, w := range weaks {
+		wk := w.(map[string]any)
+		if wk["consistent"].(bool) {
+			sawConsistent = true
+		}
+		if wk["kind"].(string) != "drop" && wk["constraint"].(string) == "" {
+			t.Fatalf("non-drop weakening without constraint text: %v", wk)
+		}
+	}
+	if !sawConsistent {
+		t.Fatalf("no consistent weakening in %v", weaks)
+	}
+}
+
+func TestDCErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+	registerEmp(t, ts, "emp", 100, 0)
+
+	if code, _ := call(t, ts, "POST", "/v1/dcs",
+		map[string]any{"dataset": "nope", "dcs": datagen.EmpDCText()}); code != http.StatusNotFound {
+		t.Errorf("install on unknown dataset: %d", code)
+	}
+	if code, _ := call(t, ts, "POST", "/v1/dcs",
+		map[string]any{"dataset": "emp", "dcs": "dc bad: !( t.NOPE < 3 )"}); code != http.StatusBadRequest {
+		t.Errorf("install invalid dc: %d", code)
+	}
+	if code, _ := call(t, ts, "POST", "/v1/dc/detect",
+		map[string]any{"dataset": "nope"}); code != http.StatusNotFound {
+		t.Errorf("detect on unknown dataset: %d", code)
+	}
+	if code, _ := call(t, ts, "POST", "/v1/dc/relax",
+		map[string]any{"dataset": "emp", "dc": "nope"}); code != http.StatusNotFound {
+		t.Errorf("relax unknown dc: %d", code)
+	}
+	if code, _ := call(t, ts, "POST", "/v1/dc/relax",
+		map[string]any{"dataset": "emp"}); code != http.StatusBadRequest {
+		t.Errorf("relax without dc name: %d", code)
+	}
+	// A clean dataset relaxes to nothing.
+	code, relax := call(t, ts, "POST", "/v1/dc/relax", map[string]any{"dataset": "emp", "dc": "pay"})
+	if code != http.StatusOK || relax["violations"].(float64) != 0 || len(relax["weakenings"].([]any)) != 0 {
+		t.Errorf("relax on clean data: %d %v", code, relax)
+	}
+}

@@ -18,6 +18,10 @@
 //	POST   /v1/repair/incremental          append tuples, repair only them (repair.Inc)
 //	POST   /v1/discover                    profile the data for CFDs
 //	POST   /v1/edit                        set/confirm a cell (interactive loop)
+//	POST   /v1/dcs                         compile + install a denial-constraint set
+//	GET    /v1/datasets/{name}/dcs         list installed denial constraints
+//	POST   /v1/dc/detect                   detect DC violations (rank-sweep over PLIs)
+//	POST   /v1/dc/relax                    propose relaxations of a violated DC
 package server
 
 import (
@@ -61,6 +65,10 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("POST /v1/repair/incremental", s.handleRepairIncremental)
 	s.mux.HandleFunc("POST /v1/discover", s.handleDiscover)
 	s.mux.HandleFunc("POST /v1/edit", s.handleEdit)
+	s.mux.HandleFunc("POST /v1/dcs", s.handleDCs)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/dcs", s.handleDCList)
+	s.mux.HandleFunc("POST /v1/dc/detect", s.handleDCDetect)
+	s.mux.HandleFunc("POST /v1/dc/relax", s.handleDCRelax)
 	return s
 }
 
@@ -123,6 +131,7 @@ type datasetJSON struct {
 	Tuples      int    `json:"tuples"`
 	Schema      string `json:"schema"`
 	Constraints int    `json:"constraints"`
+	DCs         int    `json:"dcs"`
 	// IndexCache reports the session's PLI cache counters (shared by
 	// detection, discovery and incremental repair); a healthy steady
 	// state shows hits growing while misses and refines stay flat, and
@@ -194,6 +203,7 @@ func datasetInfo(sess *engine.Session) datasetJSON {
 		Tuples:      sess.Len(),
 		Schema:      sess.Schema().String(),
 		Constraints: sess.Constraints().Len(),
+		DCs:         sess.DCs().Len(),
 		IndexCache:  sess.IndexStats(),
 	}
 }
@@ -219,9 +229,9 @@ type schemaJSON struct {
 }
 
 type generateJSON struct {
-	Kind string  `json:"kind"` // cust | hosp
+	Kind string  `json:"kind"` // cust | hosp | emp
 	N    int     `json:"n"`
-	Rate float64 `json:"rate"` // noise rate, 0 = clean
+	Rate float64 `json:"rate"` // noise rate (planted DC violations for emp), 0 = clean
 	Seed int64   `json:"seed"`
 }
 
@@ -261,8 +271,13 @@ func buildRelation(req registerRequest) (*relation.Relation, error) {
 			data = datagen.Cust(g.N, g.Seed)
 		case "hosp":
 			data = datagen.Hosp(g.N, g.Seed)
+		case "emp":
+			// The numeric DC workload. Rate plants targeted pay
+			// inversions (violations of datagen.EmpDCText) instead of
+			// the random cell noise of the string generators.
+			return datagen.Emp(g.N, int(g.Rate*float64(g.N)), g.Seed), nil
 		default:
-			return nil, fmt.Errorf("generate: unknown kind %q (cust, hosp)", g.Kind)
+			return nil, fmt.Errorf("generate: unknown kind %q (cust, hosp, emp)", g.Kind)
 		}
 		if g.Rate > 0 {
 			data, _ = noise.Dirty(data, noise.Options{Rate: g.Rate, Seed: g.Seed + 1})
