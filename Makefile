@@ -7,7 +7,7 @@ SHELL := /bin/bash
 # real measurements.
 BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-all run-daemon
+.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-repair bench-all run-daemon
 
 all: check
 
@@ -55,8 +55,11 @@ race-cache:
 # BENCH_append.json, cold sharded index construction (serial vs
 # TID-range-parallel counting sorts) into BENCH_build.json, and
 # denial-constraint detection (PLI-partitioned dominance sweep vs
-# all-pairs naive) into BENCH_dc.json.
-bench: bench-detect bench-discovery bench-append bench-build bench-dc
+# all-pairs naive) into BENCH_dc.json, and the dirty streaming
+# append→repair→detect path (per-cell PLI patching vs
+# invalidate-and-rebuild, on a chained constraint set where repair
+# writes hit a cached detection partition) into BENCH_repair.json.
+bench: bench-detect bench-discovery bench-append bench-build bench-dc bench-repair
 
 bench-detect:
 	$(GO) test -bench='E1DetectScaleTuples|E13ParallelDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
@@ -77,6 +80,10 @@ bench-build:
 bench-dc:
 	$(GO) test -bench='DCDetect|DCRelax' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_dc.json
+
+bench-repair:
+	$(GO) test -bench='RepairPatch' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_repair.json
 
 # bench-all smoke-runs every benchmark once.
 bench-all:

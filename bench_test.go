@@ -505,6 +505,90 @@ func BenchmarkAppendDetect(b *testing.B) {
 	})
 }
 
+// BenchmarkRepairPatch measures the DIRTY streaming steady state:
+// append a small corrupted delta to a warm 100k-tuple session, let the
+// incremental repair fix the delta cells, and re-detect. The constraint
+// set is deliberately chained — psi1 repairs CT from the (CC, AC)
+// region tableau while psi2 keys a detection partition on (CT, ZIP) —
+// so every repair write lands in the patch journal of a column a cached
+// partition depends on. The incremental path drains those journals into
+// the cached PLIs per cell (PLI.Patch — zero rebuilds, asserted below
+// via CacheStats); the rebuild baseline reproduces the pre-patch
+// architecture, where any Set hard-invalidated its column and the next
+// detect counting-sorted the affected partitions from scratch. This is
+// the perf gate for per-cell PLI patching (BENCH_repair.json).
+func BenchmarkRepairPatch(b *testing.B) {
+	const n, deltaSize = 100_000, 100
+	schema := datagen.CustSchema()
+	set, err := cfd.ParseSet(`
+cfd psi1: cust([CC, AC] -> [CT]) { ('44', '131' || 'edi'), ('44', '141' || 'gla'), ('44', '20' || 'ldn'), ('01', '908' || 'mh'), ('01', '212' || 'nyc'), ('01', '650' || 'mtv') }
+cfd psi2: cust([CT, ZIP] -> [STR])
+`, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := datagen.Cust(n, 103)
+	ct := schema.MustIndex("CT")
+	// Deltas are clones of base rows with every third CT corrupted: the
+	// repair re-derives the city from psi1's tableau, and each fix is a
+	// per-cell patch into psi2's cached (CT, ZIP) partition.
+	mkDelta := func(i int) []relation.Tuple {
+		out := make([]relation.Tuple, deltaSize)
+		for j := range out {
+			out[j] = base.Tuple((i*deltaSize + j*37) % base.Len()).Clone()
+			if j%3 == 0 {
+				out[j][ct] = relation.String("zzz-corrupt")
+			}
+		}
+		return out
+	}
+	b.Run(fmt.Sprintf("incremental/n=%d/delta=%d", n, deltaSize), func(b *testing.B) {
+		s, err := engine.NewSession("bench-repair", base, set, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Detect(); err != nil {
+			b.Fatal(err)
+		}
+		warm := s.IndexStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Append(mkDelta(i)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Detect(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		after := s.IndexStats()
+		if after.Misses != warm.Misses || after.Refines != warm.Refines {
+			b.Fatalf("incremental path rebuilt partitions: %+v -> %+v", warm, after)
+		}
+		if after.Patches == warm.Patches {
+			b.Fatalf("incremental path drained no patches: %+v -> %+v", warm, after)
+		}
+	})
+	b.Run(fmt.Sprintf("rebuild/n=%d/delta=%d", n, deltaSize), func(b *testing.B) {
+		cur := base.Clone()
+		d := cfd.NewDetector(set)
+		if _, err := d.Detect(cur); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := repair.AppendAndRepair(cur, mkDelta(i), set, repair.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur = res.Repaired
+			if _, err := d.Detect(cur); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkShardedBuild measures cold partition-index construction,
 // serial vs TID-range-sharded (relation.BuildPLISharded): the
 // first-touch latency of a freshly registered dataset, which the

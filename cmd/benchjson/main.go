@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -35,6 +36,13 @@ type Report struct {
 
 func main() {
 	rep := Report{Meta: map[string]string{}, Results: []Result{}}
+	// Host context the bench text omits, so archived BENCH_*.json files
+	// from differently-shaped runners stay comparable. benchjson runs in
+	// the same environment as the benchmark process it pipes from, so
+	// its own runtime answers match.
+	rep.Meta["goversion"] = runtime.Version()
+	rep.Meta["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+	rep.Meta["numcpu"] = strconv.Itoa(runtime.NumCPU())
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

@@ -367,24 +367,36 @@ func (s *Session) ConfirmedCells() [][2]int {
 //
 // Unlike the one-shot repair.AppendAndRepair, nothing is cloned and the
 // relation keeps its identity: the session's PLI cache survives the
-// append, and the incremental detection inside the repair absorbs the
-// delta into the cached partitions (PLI.Advance via IndexCache.GetDelta)
-// instead of rebuilding them — the steady-state append cost is "extend
-// each partition by the delta", not "re-partition the dataset". On
-// failure the appended rows (and any partial delta repairs) are rolled
-// back with Truncate, leaving the session exactly as before.
+// append, the incremental detection inside the repair absorbs the delta
+// into the cached partitions (PLI.Advance via IndexCache.GetDelta)
+// instead of rebuilding them, and the repair's own cell writes come
+// back as journaled patches drained into those same partitions in
+// O(group) per write (PLI.Patch via the cache's catch-up) — so even a
+// DIRTY append (delta cells rewritten by the repair) leaves every
+// cached index warm: the steady-state cost is "extend each partition by
+// the delta, re-home the repaired cells", not "re-partition the
+// dataset". On failure the appended rows (and any partial delta
+// repairs) are rolled back with Truncate, leaving the session exactly
+// as before.
 func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// A validly cached EMPTY violation list survives the append: the
-	// base is then known clean, and IncInPlace's contract is that a
-	// delta repaired onto a clean base leaves the whole relation
-	// violation-free — so the empty list still describes the grown
-	// relation exactly and the next Violations() is O(1), no
-	// re-detection (asserted via cache counters in the engine tests). A
-	// non-empty cached list is NOT carried over: its violations name
-	// X-groups whose membership the delta may have changed.
-	cleanBase := s.vioValid && len(s.violations) == 0
+	// A validly cached violation list — empty OR non-empty — survives
+	// the append. Empty: the base is known clean, and IncInPlace's
+	// contract is that a delta repaired onto a clean base leaves the
+	// whole relation violation-free. Non-empty: IncInPlace's
+	// postcondition is that the repaired delta introduces no violation
+	// of its own (a delta tuple landing in a base-conflicted group makes
+	// the repair error out and the append roll back instead), base cells
+	// are never written, and appends can neither create nor fix a
+	// base-only violation — so the cached list still names exactly the
+	// grown relation's violations and the next Violations() is O(1), no
+	// re-detection (asserted via cache counters in the engine tests).
+	// The non-empty carry-over is re-verified by re-checking only the
+	// delta tuples' groups (deltaClean — O(delta), on the same cached
+	// partitions the repair just advanced/patched); a non-empty residue
+	// there is never expected and falls back to plain invalidation.
+	hadVio, cached := s.vioValid, s.violations
 	base := s.data.Len()
 	deltaTIDs := make([]int, 0, len(tuples))
 	for _, t := range tuples {
@@ -401,10 +413,26 @@ func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 		return nil, err
 	}
 	s.mutated()
-	if cleanBase {
-		s.vioValid = true // still violation-free; s.violations stays empty
+	if hadVio && (len(cached) == 0 || s.deltaClean(deltaTIDs)) {
+		s.violations, s.vioValid = cached, true
 	}
 	return res, nil
+}
+
+// deltaClean re-checks only the given (just-repaired) delta tuples'
+// groups against every CFD and reports whether they are violation-free
+// — the defensive half of Append's non-empty violation-list carry-over.
+// Runs on the session's warm PLI cache with delta-tolerant lookups, so
+// the cost is O(delta groups), never a rebuild. Caller holds the write
+// lock.
+func (s *Session) deltaClean(deltaTIDs []int) bool {
+	for _, c := range s.set.All() {
+		pli := s.indexes.GetDelta(s.data, c.LHS())
+		if len(cfd.IncDetect(s.data, c, pli, deltaTIDs)) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Discover profiles the current data for CFDs. If install is true the

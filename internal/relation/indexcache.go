@@ -24,6 +24,12 @@ type CacheStats struct {
 	// the steady-state append→detect path builds nothing, so
 	// Misses+Refines stay constant while Advances grows.
 	Advances uint64 `json:"advances"`
+	// Patches counts lookups answered by draining the per-column cell-
+	// patch journal into the cached PLI (PLI re-homes the patched TIDs
+	// between groups in O(group)) instead of rebuilding it — the
+	// append→repair→detect path keeps every index warm, so
+	// Misses+Refines stay constant while Patches grows.
+	Patches uint64 `json:"patches"`
 	// Evictions counts entries dropped to keep the cache inside its
 	// byte budget (SetBudget).
 	Evictions uint64 `json:"evictions"`
@@ -43,11 +49,16 @@ type cacheEntry struct {
 }
 
 // IndexCache memoizes PLIs per attribute set for one logical dataset.
-// Entries carry their build-time column versions and length watermark,
-// so a lookup after a mutation does the minimum work: cell edits
-// invalidate only PLIs mentioning the edited column, appends are
-// absorbed in place (PLI.Advance — no rebuild at all), and relation
-// swaps invalidate everything.
+// Entries carry their build-time column versions, patch-journal
+// watermarks and length watermark, so a lookup after a mutation does
+// the minimum work: cell edits are drained from the per-column patch
+// journal into the PLIs mentioning the edited column (each patched TID
+// re-homed in O(group) — see PLI.catchUp; only journal overflow,
+// reorders and truncation still invalidate), appends are absorbed in
+// place (PLI.Advance — no rebuild at all), and relation swaps
+// invalidate everything. A large pending patch set falls back to a
+// rebuild when that is cheaper, under the same byte budget as any
+// other store.
 //
 // The cache is safe for concurrent use. It is keyed by attribute set
 // only — callers hand it the current relation on every Get and the
@@ -84,6 +95,7 @@ type IndexCache struct {
 	misses      atomic.Uint64
 	refines     atomic.Uint64
 	advances    atomic.Uint64
+	patches     atomic.Uint64
 	evictions   atomic.Uint64
 	shardBuilds atomic.Uint64
 }
@@ -184,10 +196,15 @@ func (c *IndexCache) lookup(r *Relation, attrs []int, compact bool) *PLI {
 	e := c.entries[key]
 	c.mu.RUnlock()
 	if e != nil {
-		if pli, advanced := e.pli.catchUp(r, compact); pli != nil {
+		if pli, advanced, patched := e.pli.catchUp(r, compact); pli != nil {
 			e.lastUse.Store(c.tick.Add(1))
+			if patched {
+				c.patches.Add(1)
+			}
 			if advanced {
 				c.advances.Add(1)
+			}
+			if advanced || patched {
 				c.enforceBudget(key)
 			} else {
 				c.hits.Add(1)
@@ -265,10 +282,15 @@ func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 	}
 	c.mu.RUnlock()
 	if e != nil {
-		if pli, advanced := e.pli.catchUp(r, true); pli != nil {
+		if pli, advanced, patched := e.pli.catchUp(r, true); pli != nil {
 			e.lastUse.Store(c.tick.Add(1))
+			if patched {
+				c.patches.Add(1)
+			}
 			if advanced {
 				c.advances.Add(1)
+			}
+			if advanced || patched {
 				c.enforceBudget(key)
 			} else {
 				c.hits.Add(1)
@@ -281,7 +303,10 @@ func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 	}
 	var p *PLI
 	if parent != nil {
-		if ppli, advanced := parent.pli.catchUp(r, true); ppli != nil {
+		if ppli, advanced, patched := parent.pli.catchUp(r, true); ppli != nil {
+			if patched {
+				c.patches.Add(1)
+			}
 			if advanced {
 				c.advances.Add(1)
 			}
@@ -375,6 +400,7 @@ func (c *IndexCache) Stats() CacheStats {
 		Misses:      c.misses.Load(),
 		Refines:     c.refines.Load(),
 		Advances:    c.advances.Load(),
+		Patches:     c.patches.Load(),
 		Evictions:   c.evictions.Load(),
 		ShardBuilds: c.shardBuilds.Load(),
 	}

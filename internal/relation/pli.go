@@ -28,13 +28,29 @@ import (
 // sensitive readers); after compaction the index is byte-identical to a
 // from-scratch build over the grown relation (property-tested).
 type PLI struct {
-	rel      *Relation
-	attrs    []int
-	colVers  []uint64
-	n        int
-	tids     []int   // concatenation of all base groups; ascending within each
-	offsets  []int32 // base group g occupies tids[offsets[g]:offsets[g+1]]
-	tidGroup []int32 // tid -> group index (provisional for tailed new groups)
+	rel       *Relation
+	attrs     []int
+	colVers   []uint64
+	patchVers []uint64 // per-attr patch-journal watermarks (Relation.PatchVersion)
+	n         int
+	tids      []int   // concatenation of all base groups; ascending within each
+	offsets   []int32 // base group g occupies tids[offsets[g]:offsets[g+1]]
+	tidGroup  []int32 // tid -> group index (provisional for tailed new groups)
+
+	// Patch state: cell patches (Relation.Set journal records) re-home
+	// individual TIDs between groups in O(group) without rebuilding.
+	// Removing a TID from a base group shifts only that group's span and
+	// leaves a hole at the span's end (holes[g] counts them; group g's
+	// live members are tids[offsets[g] : offsets[g+1]-holes[g]]), and
+	// the TID re-enters its target group through the delta-tail
+	// machinery (tails / newGroups), inserted in sorted position. dirty
+	// records that some patch broke the pure-append tail discipline
+	// (tail TIDs no longer all exceed base TIDs, groups may have been
+	// patched empty), which routes Group reads through a sorted merge
+	// and Compact through the canonical patched rebuild.
+	holes   map[int32]int32
+	holeCnt int
+	dirty   bool
 
 	// TID-range shard layout with per-shard append watermarks: shard i
 	// covers TIDs [shardEnds[i-1], shardEnds[i]) (from 0 for shard 0),
@@ -207,17 +223,29 @@ func (p *PLI) Attrs() []int { return p.attrs }
 // provisional new groups included.
 func (p *PLI) NumGroups() int { return len(p.offsets) - 1 + len(p.newGroups) }
 
+// hole returns the number of patched-out slots at the end of base group
+// g's span (0 for unpatched indexes).
+func (p *PLI) hole(g int32) int32 {
+	if p.holes == nil {
+		return 0
+	}
+	return p.holes[g]
+}
+
 // Group returns the TIDs of group g in ascending order. For an index
 // without a delta tail the slice aliases index storage; a tailed base
 // group is returned as a fresh merged slice (base members, then the
 // appended tail — still ascending, since appended TIDs exceed all base
-// TIDs), and provisional new groups alias the tail storage.
+// TIDs; when a cell patch re-homed a TID into the tail the two runs are
+// merge-sorted instead), and provisional new groups alias the tail
+// storage. A group patched empty comes back as an empty slice until the
+// next Compact drops it.
 func (p *PLI) Group(g int) []int {
 	nb := len(p.offsets) - 1
 	if g >= nb {
 		return p.newGroups[g-nb].tids
 	}
-	base := p.tids[p.offsets[g]:p.offsets[g+1]]
+	base := p.tids[p.offsets[g] : p.offsets[g+1]-p.hole(int32(g))]
 	if p.tailLen == 0 {
 		return base
 	}
@@ -225,8 +253,28 @@ func (p *PLI) Group(g int) []int {
 	if len(tail) == 0 {
 		return base
 	}
-	out := make([]int, 0, len(base)+len(tail))
-	return append(append(out, base...), tail...)
+	if !p.dirty {
+		out := make([]int, 0, len(base)+len(tail))
+		return append(append(out, base...), tail...)
+	}
+	return mergeSortedTIDs(base, tail)
+}
+
+// mergeSortedTIDs merges two ascending TID runs into a fresh ascending
+// slice.
+func mergeSortedTIDs(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return append(append(out, a[i:]...), b[j:]...)
 }
 
 // GroupOf returns the index of the group containing tid (a provisional
@@ -272,18 +320,41 @@ func (p *PLI) Lookup(vals []Value) []int {
 }
 
 // baseLookup returns the composite-code -> base-group map, materializing
-// it from each group's representative TID on first use.
+// it from each group's representative TID on first use. Representatives
+// are live members (hole-aware, falling back to the group's tail when
+// patches emptied the base span); groups patched fully empty get no
+// entry, so a later patch or advance interning their key opens a
+// provisional group that Compact splices back at the same rank.
 func (p *PLI) baseLookup() map[string]int32 {
+	return p.baseLookupWith(func(tid, i int) int32 {
+		return p.rel.cols[p.attrs[i]].codes[tid]
+	})
+}
+
+// baseLookupWith is baseLookup with the representative codes read
+// through codeAt — the patch-drain path supplies pre-patch codes for
+// TIDs whose cells already changed but have not been re-homed yet, so a
+// lookup map materialized mid-drain still keys every group correctly.
+func (p *PLI) baseLookupWith(codeAt func(tid, i int) int32) map[string]int32 {
 	p.lookupMu.Lock()
 	defer p.lookupMu.Unlock()
 	if p.lookup == nil {
 		m := make(map[string]int32, len(p.offsets)-1)
 		key := make([]byte, 0, 8*len(p.attrs))
 		for g := 0; g+1 < len(p.offsets); g++ {
-			rep := p.tids[p.offsets[g]]
+			lo, hi := p.offsets[g], p.offsets[g+1]-p.hole(int32(g))
+			var rep int
+			switch {
+			case hi > lo:
+				rep = p.tids[lo]
+			case len(p.tails[int32(g)]) > 0:
+				rep = p.tails[int32(g)][0]
+			default:
+				continue // patched empty: key unreachable until compact
+			}
 			key = key[:0]
-			for _, a := range p.attrs {
-				key = appendCode(key, p.rel.cols[a].codes[rep])
+			for i := range p.attrs {
+				key = appendCode(key, codeAt(rep, i))
 			}
 			m[string(key)] = int32(g)
 		}
@@ -298,12 +369,30 @@ func appendCode(b []byte, c int32) []byte {
 
 // Fresh reports whether the index still describes r: it was built from
 // this relation, the relation has not grown, shrunk or been reordered,
-// and none of the indexed columns changed since the build (or last
-// Advance). A PLI over untouched columns survives edits to other
-// columns. Fresh does not imply canonical group order — an advanced
-// index may still carry a delta tail until Compact.
+// none of the indexed columns was hard-invalidated, and every journaled
+// cell patch on the indexed columns has been applied (see catchUp). A
+// PLI over untouched columns survives edits to other columns. Fresh
+// does not imply canonical group order — an advanced or patched index
+// may still carry a delta tail (or patch holes) until Compact.
 func (p *PLI) Fresh(r *Relation) bool {
-	if p.rel != r || p.n != r.Len() {
+	return p.patchableTo(r) && p.n == r.Len() && p.patchesCurrent(r)
+}
+
+// AdvanceableTo reports whether the index describes a stale-only-by-
+// appends snapshot of r: built from this relation, no indexed column
+// hard-invalidated and no cell patch pending (no un-drained Set on it,
+// no reorder, no Truncate) since the build, and the relation is at
+// least as long. A fresh index is trivially advanceable.
+func (p *PLI) AdvanceableTo(r *Relation) bool {
+	return p.patchableTo(r) && p.patchesCurrent(r)
+}
+
+// patchableTo reports the weakest reachable state: the index can be
+// caught up to r by applying journaled cell patches and absorbing
+// appended rows — no indexed column was hard-invalidated (reorder,
+// Truncate, journal overflow) and the relation did not shrink.
+func (p *PLI) patchableTo(r *Relation) bool {
+	if p.rel != r || p.n > r.Len() {
 		return false
 	}
 	for i, a := range p.attrs {
@@ -314,17 +403,11 @@ func (p *PLI) Fresh(r *Relation) bool {
 	return true
 }
 
-// AdvanceableTo reports whether the index describes a stale-only-by-
-// appends snapshot of r: built from this relation, no indexed column's
-// codes mutated (no Set on it, no reorder, no Truncate) since the
-// build, and the relation is at least as long. A fresh index is
-// trivially advanceable.
-func (p *PLI) AdvanceableTo(r *Relation) bool {
-	if p.rel != r || p.n > r.Len() {
-		return false
-	}
+// patchesCurrent reports whether every indexed column's patch journal
+// has been fully drained into the index.
+func (p *PLI) patchesCurrent(r *Relation) bool {
 	for i, a := range p.attrs {
-		if p.colVers[i] != r.ColumnVersion(a) {
+		if p.patchVers[i] != r.PatchVersion(a) {
 			return false
 		}
 	}
@@ -403,6 +486,243 @@ func (p *PLI) advanceLocked(r *Relation) bool {
 	return true
 }
 
+// Patch applies one journaled cell patch to the index: cell (tid, attr)
+// of the underlying relation changed oldCode -> newCode (a
+// relation.CellPatch emitted by Relation.Set), and the TID is re-homed
+// to the group matching its current codes — an O(group) move (binary
+// search plus an intra-group shift on removal, a sorted tail insert on
+// arrival; a multi-attribute index recomputes the composite key from
+// the current column codes), never a rebuild. TIDs the index has not
+// absorbed yet (tid >= the index's length watermark) are no-ops: the
+// next Advance reads their post-patch codes anyway. Patch advances the
+// index's patch watermark for attr by one record, so callers must apply
+// journal records exactly once and in journal order (the discipline the
+// IndexCache's catch-up path follows); attr must be one of the indexed
+// attributes. Reports whether the TID actually moved groups.
+//
+// Like Advance, Patch mutates the index and must not overlap lock-free
+// readers of the same PLI; a Set implies an exclusive writer, which is
+// what guarantees no reader still holds the index when its first
+// post-Set lookup patches it.
+func (p *PLI) Patch(tid, attr int, oldCode, newCode int32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx := -1
+	for i, a := range p.attrs {
+		if a == attr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	// If the lookup map is not materialized yet, build it under a
+	// pre-patch overlay of EVERY still-pending journal record (this one
+	// included — the watermark has not moved yet): any pending TID may be
+	// a group representative whose cell already changed, and keying its
+	// group by the post-patch code would strand the group's true key.
+	p.lookupMu.Lock()
+	needBuild := p.lookup == nil
+	p.lookupMu.Unlock()
+	if needBuild {
+		k := int64(len(p.attrs))
+		_, pre, _ := p.pendingPatchTIDs(p.rel)
+		if pre == nil {
+			pre = make(map[int64]int32, 1)
+		}
+		if _, dup := pre[int64(tid)*k+int64(idx)]; !dup {
+			pre[int64(tid)*k+int64(idx)] = oldCode
+		}
+		p.baseLookupWith(func(t, i int) int32 {
+			if c, ok := pre[int64(t)*k+int64(i)]; ok {
+				return c
+			}
+			return p.rel.cols[p.attrs[i]].codes[t]
+		})
+	}
+	p.patchVers[idx]++
+	if tid >= p.n || oldCode == newCode {
+		return false
+	}
+	moved := p.patchTIDLocked(tid)
+	if moved {
+		p.dirty = true
+		if (p.tailLen+p.holeCnt)*8 > p.n {
+			p.compactLocked()
+		}
+	}
+	return moved
+}
+
+// pendingPatchTIDs collects the distinct TIDs (< p.n, ascending) with
+// journaled patches the index has not applied, plus an overlay of their
+// pre-patch codes per (tid, attr index) — what the TID's current group
+// was keyed on. ok is false when some journal no longer retains the
+// index's suffix (the entry must be rebuilt). Does not mutate the
+// index.
+func (p *PLI) pendingPatchTIDs(r *Relation) (tids []int, pre map[int64]int32, ok bool) {
+	k := int64(len(p.attrs))
+	var seen map[int]struct{}
+	for i, a := range p.attrs {
+		log, retained := r.PatchesSince(a, p.patchVers[i])
+		if !retained {
+			return nil, nil, false
+		}
+		for _, pc := range log {
+			if pc.TID >= p.n {
+				continue // not absorbed yet; Advance reads current codes
+			}
+			if seen == nil {
+				seen = make(map[int]struct{})
+				pre = make(map[int64]int32)
+			}
+			seen[pc.TID] = struct{}{}
+			if key := int64(pc.TID)*k + int64(i); pre != nil {
+				if _, dup := pre[key]; !dup {
+					pre[key] = pc.Old // earliest record holds the pre-drain code
+				}
+			}
+		}
+	}
+	for tid := range seen {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	return tids, pre, true
+}
+
+// applyPatchesLocked drains the pending journal records gathered by
+// pendingPatchTIDs: each patched TID is re-homed to the group matching
+// its current codes, and the index's patch watermarks move to the
+// journals' heads. Called with p.mu held, under the same no-live-reader
+// guarantee as Advance (a pending patch implies a Set under an
+// exclusive writer since the last reader window).
+func (p *PLI) applyPatchesLocked(r *Relation, tids []int, pre map[int64]int32) {
+	k := int64(len(p.attrs))
+	p.baseLookupWith(func(tid, i int) int32 {
+		if c, ok := pre[int64(tid)*k+int64(i)]; ok {
+			return c
+		}
+		return p.rel.cols[p.attrs[i]].codes[tid]
+	})
+	moved := false
+	for _, tid := range tids {
+		if p.patchTIDLocked(tid) {
+			moved = true
+		}
+	}
+	if moved {
+		p.dirty = true
+	}
+	for i, a := range p.attrs {
+		p.patchVers[i] = r.PatchVersion(a)
+	}
+	if (p.tailLen+p.holeCnt)*8 > p.n {
+		p.compactLocked()
+	}
+}
+
+// patchTIDLocked re-homes one TID to the group matching its current
+// codes: it is removed from its recorded group (an O(group) span shift
+// leaving a hole, or a tail extraction) and inserted, in sorted
+// position, into the tail of the matching base group, an existing
+// provisional group, or a freshly opened one — exactly the group
+// Advance would have chosen for a new row with these codes, so Compact
+// restores canonical order. The lookup map must already be
+// materialized. Reports whether the TID changed groups.
+func (p *PLI) patchTIDLocked(tid int) bool {
+	key := make([]byte, 0, 8*len(p.attrs))
+	for _, a := range p.attrs {
+		key = appendCode(key, p.rel.cols[a].codes[tid])
+	}
+	g := int(p.tidGroup[tid])
+	nb := len(p.offsets) - 1
+	target := -1
+	if bg, ok := p.lookup[string(key)]; ok {
+		target = int(bg)
+	} else if gi, ok := p.newLookup[string(key)]; ok {
+		target = nb + int(gi)
+	}
+	if target == g {
+		return false // already home (duplicate or round-trip patches)
+	}
+	p.removeTIDLocked(tid, g)
+	switch {
+	case target < 0:
+		gi := int32(len(p.newGroups))
+		if p.newLookup == nil {
+			p.newLookup = make(map[string]int32)
+		}
+		ks := string(key)
+		p.newLookup[ks] = gi
+		p.newGroups = append(p.newGroups, deltaGroup{key: ks, tids: []int{tid}})
+		p.tidGroup[tid] = int32(nb) + gi
+	case target >= nb:
+		dg := &p.newGroups[target-nb]
+		dg.tids = insertSortedTID(dg.tids, tid)
+		p.tidGroup[tid] = int32(target)
+	default:
+		if p.tails == nil {
+			p.tails = make(map[int32][]int)
+		}
+		p.tails[int32(target)] = insertSortedTID(p.tails[int32(target)], tid)
+		p.tidGroup[tid] = int32(target)
+	}
+	p.tailLen++
+	return true
+}
+
+// removeTIDLocked deletes one TID from group g: provisional groups and
+// delta tails shrink in place; a base-span member is shifted out within
+// its own span, leaving a counted hole at the span's end (holes never
+// move other groups' storage — Compact squeezes them out).
+func (p *PLI) removeTIDLocked(tid, g int) {
+	nb := len(p.offsets) - 1
+	if g >= nb {
+		dg := &p.newGroups[g-nb]
+		dg.tids = removeSortedTID(dg.tids, tid)
+		p.tailLen--
+		return
+	}
+	if tail := p.tails[int32(g)]; len(tail) > 0 {
+		if i := sort.SearchInts(tail, tid); i < len(tail) && tail[i] == tid {
+			tail = append(tail[:i], tail[i+1:]...)
+			if len(tail) == 0 {
+				delete(p.tails, int32(g))
+			} else {
+				p.tails[int32(g)] = tail
+			}
+			p.tailLen--
+			return
+		}
+	}
+	lo, hi := int(p.offsets[g]), int(p.offsets[g+1]-p.hole(int32(g)))
+	span := p.tids[lo:hi]
+	i := sort.SearchInts(span, tid)
+	copy(span[i:], span[i+1:])
+	if p.holes == nil {
+		p.holes = make(map[int32]int32)
+	}
+	p.holes[int32(g)]++
+	p.holeCnt++
+}
+
+// insertSortedTID inserts tid into an ascending TID slice.
+func insertSortedTID(s []int, tid int) []int {
+	i := sort.SearchInts(s, tid)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = tid
+	return s
+}
+
+// removeSortedTID deletes tid from an ascending TID slice.
+func removeSortedTID(s []int, tid int) []int {
+	i := sort.SearchInts(s, tid)
+	return append(s[:i], s[i+1:]...)
+}
+
 // Compact merges the delta tail into canonical order: provisional new
 // groups are sorted by composite key rank and spliced into the sorted
 // group sequence, tailed base groups re-concatenate their members, and
@@ -418,6 +738,10 @@ func (p *PLI) Compact() {
 }
 
 func (p *PLI) compactLocked() {
+	if p.dirty {
+		p.compactPatchedLocked()
+		return
+	}
 	if p.tailLen == 0 {
 		return
 	}
@@ -521,40 +845,163 @@ func (p *PLI) compactLocked() {
 	p.tails, p.newGroups, p.newLookup, p.tailLen = nil, nil, nil, 0
 }
 
+// compactPatchedLocked is Compact for a patch-dirtied index: base
+// groups squeeze out their holes and sort-merge their tails (patches
+// may have re-homed TIDs below the append watermark, so tails are no
+// longer all-greater-than-base), groups patched fully empty are
+// dropped, and surviving provisional groups are spliced in at their
+// canonical code-rank position — one O(n + groups) pass, after which
+// the index is byte-identical to BuildPLI over the patched relation.
+// The Lookup maps are discarded (group numbering may shrink) and
+// rebuilt lazily.
+func (p *PLI) compactPatchedLocked() {
+	r := p.rel
+	k := len(p.attrs)
+	ranks := make([][]int32, k)
+	cols := make([][]int32, k)
+	for i, a := range p.attrs {
+		ranks[i] = r.codeRanks(a)
+		cols[i] = r.ColumnCodes(a)
+	}
+	less := func(repA, repB int) bool {
+		for i := 0; i < k; i++ {
+			ra, rb := ranks[i][cols[i][repA]], ranks[i][cols[i][repB]]
+			if ra != rb {
+				return ra < rb
+			}
+		}
+		return false
+	}
+	ngs := make([]deltaGroup, 0, len(p.newGroups))
+	for _, ng := range p.newGroups {
+		if len(ng.tids) > 0 { // patches can empty provisional groups too
+			ngs = append(ngs, ng)
+		}
+	}
+	sort.Slice(ngs, func(i, j int) bool { return less(ngs[i].tids[0], ngs[j].tids[0]) })
+	nb := len(p.offsets) - 1
+	// baseRep returns a live representative of base group g: its first
+	// surviving span member, else its first tail member.
+	baseRep := func(g int) (int, bool) {
+		lo, hi := int(p.offsets[g]), int(p.offsets[g+1]-p.hole(int32(g)))
+		if hi > lo {
+			return p.tids[lo], true
+		}
+		if t := p.tails[int32(g)]; len(t) > 0 {
+			return t[0], true
+		}
+		return 0, false
+	}
+	tids := make([]int, 0, p.n)
+	offsets := make([]int32, 1, nb+len(ngs)+1)
+	bi, ni := 0, 0
+	for {
+		rep, live := 0, false
+		for bi < nb {
+			if rep, live = baseRep(bi); live {
+				break
+			}
+			bi++ // patched empty: dropped
+		}
+		if !live && ni == len(ngs) {
+			break
+		}
+		if !live || (ni < len(ngs) && less(ngs[ni].tids[0], rep)) {
+			tids = append(tids, ngs[ni].tids...)
+			ni++
+		} else {
+			lo, hi := int(p.offsets[bi]), int(p.offsets[bi+1]-p.hole(int32(bi)))
+			tids = appendMergedTIDs(tids, p.tids[lo:hi], p.tails[int32(bi)])
+			bi++
+		}
+		offsets = append(offsets, int32(len(tids)))
+	}
+	p.tids, p.offsets = tids, offsets
+	if len(p.tidGroup) != p.n {
+		p.tidGroup = make([]int32, p.n)
+	}
+	p.fillTIDGroups()
+	p.lookupMu.Lock()
+	p.lookup = nil
+	p.lookupMu.Unlock()
+	p.tails, p.newGroups, p.newLookup, p.tailLen = nil, nil, nil, 0
+	p.holes, p.holeCnt, p.dirty = nil, 0, false
+}
+
+// appendMergedTIDs appends the sorted merge of two ascending TID runs
+// to dst.
+func appendMergedTIDs(dst, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			dst = append(dst, a[i])
+			i++
+		} else {
+			dst = append(dst, b[j])
+			j++
+		}
+	}
+	return append(append(dst, a[i:]...), b[j:]...)
+}
+
 // catchUp is IndexCache's entry-revalidation hook: under the PLI's
-// mutex, absorb any appended rows and — for order-sensitive callers —
-// compact the delta tail. out is nil when the entry cannot describe r
-// (an indexed column mutated, the relation was reordered/truncated, or
-// it is a different relation); otherwise out is the PLI to hand to the
-// caller, and advanced reports whether rows were absorbed (an "advance"
-// in cache stats, as opposed to a pure hit).
+// mutex, drain any journaled cell patches, absorb any appended rows,
+// and — for order-sensitive callers — compact the delta tail. out is
+// nil when the entry cannot reach r (an indexed column was hard-
+// invalidated, the relation was reordered/truncated, a patch journal
+// was trimmed past this entry's watermark, the pending patch set is
+// large enough that a rebuild is cheaper, or it is a different
+// relation); otherwise out is the PLI to hand to the caller, patched
+// reports whether journal records were applied, and advanced whether
+// rows were absorbed (distinct counters in cache stats, as opposed to
+// a pure hit).
 //
-// out is usually the receiver. The exception is compacting a FRESH
-// entry that still carries a delta tail: a delta-tolerant reader
-// (GetDelta) may be iterating that tail lock-free right now, so the
-// merge happens copy-on-write into a fresh PLI (out != p) and the
-// cache republishes it — the tailed original is never mutated again.
-// Compacting right after an advance stays in place: staleness implies
-// an exclusive append since the last lookup, which implies no reader
-// still holds this PLI (readers re-Get inside every shared-lock
-// window).
-func (p *PLI) catchUp(r *Relation, compact bool) (out *PLI, advanced bool) {
+// out is usually the receiver: staleness of either kind implies an
+// exclusive writer (an append or a Set) since the last lookup, which
+// implies no reader still holds this PLI (readers re-fetch entries
+// inside every shared-lock window), so patching, advancing and the
+// follow-up compaction may mutate in place. The exception is
+// compacting a FRESH entry that still carries a delta tail or patch
+// holes: a delta-tolerant reader (GetDelta) may be iterating it
+// lock-free right now, so the merge happens copy-on-write into a
+// fresh PLI (out != p) and the cache republishes it — the original is
+// never mutated again.
+func (p *PLI) catchUp(r *Relation, compact bool) (out *PLI, advanced, patched bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if !p.AdvanceableTo(r) {
-		return nil, false
+	if !p.patchableTo(r) {
+		return nil, false, false
+	}
+	if !p.patchesCurrent(r) {
+		pending, pre, ok := p.pendingPatchTIDs(r)
+		if !ok || len(pending)*8 > p.n {
+			return nil, false, false // journal trimmed, or rebuild is cheaper
+		}
+		if len(pending) > 0 {
+			p.applyPatchesLocked(r, pending, pre)
+			patched = true
+		} else {
+			// Every journaled record hits the un-absorbed region; the
+			// advance below reads post-patch codes, so just sync.
+			for i, a := range p.attrs {
+				p.patchVers[i] = r.PatchVersion(a)
+			}
+		}
 	}
 	if p.n < r.Len() {
 		p.advanceLocked(r)
+		advanced = true
+	}
+	if advanced || patched {
 		if compact {
 			p.compactLocked()
 		}
-		return p, true
+		return p, advanced, patched
 	}
-	if compact && p.tailLen > 0 {
-		return p.compactedCopyLocked(), false
+	if compact && (p.tailLen > 0 || p.dirty) {
+		return p.compactedCopyLocked(), false, false
 	}
-	return p, false
+	return p, false, false
 }
 
 // compactedCopyLocked returns a compacted PLI equivalent to the
@@ -568,10 +1015,14 @@ func (p *PLI) compactedCopyLocked() *PLI {
 		rel:        p.rel,
 		attrs:      p.attrs,
 		colVers:    p.colVers,
+		patchVers:  append([]uint64(nil), p.patchVers...),
 		n:          p.n,
 		tids:       p.tids,    // read-only input; compaction emits fresh slices
 		offsets:    p.offsets, // "
 		tidGroup:   append([]int32(nil), p.tidGroup...),
+		holes:      p.holes, // read-only input; compaction resets the copy's
+		holeCnt:    p.holeCnt,
+		dirty:      p.dirty,
 		shardWidth: p.shardWidth,
 		shardEnds:  append([]int(nil), p.shardEnds...),
 		tails:      p.tails, // read-only input
@@ -590,6 +1041,7 @@ func (p *PLI) MemSize() int64 {
 	defer p.mu.Unlock()
 	sz := int64(len(p.tids))*8 + int64(len(p.offsets))*4 + int64(len(p.tidGroup))*4
 	sz += int64(p.tailLen)*16 + int64(len(p.shardEnds))*8
+	sz += int64(len(p.holes))*8 + int64(len(p.patchVers))*8
 	p.lookupMu.Lock()
 	sz += int64(len(p.lookup)) * (16 + int64(len(p.attrs))*4)
 	p.lookupMu.Unlock()

@@ -234,16 +234,20 @@ func TestGetViaRefinesAndValidates(t *testing.T) {
 		t.Fatalf("orphan pair should build from scratch: %+v", s)
 	}
 
-	// Edit column 1: {0,1} and {0,1,2} go stale; re-requesting {0,1,2}
-	// must not refine from the stale parent, and the fresh result must
-	// reflect the edit.
+	// Edit column 1: {0,1} and {0,1,2} lag by a journaled cell patch;
+	// re-requesting {0,1,2} drains the patch into the cached PLI in
+	// place — no rebuild — and the patched result reflects the edit.
 	r.Set(3, 1, String("post-edit-value"))
 	if p012.Fresh(r) {
 		t.Fatalf("PLI over edited column claims freshness")
 	}
+	missesBefore := cache.Stats().Misses
 	p012b := cache.GetVia(r, []int{0, 1, 2})
-	if p012b == p012 {
-		t.Fatalf("GetVia served a stale PLI after an edit")
+	if p012b != p012 {
+		t.Fatalf("GetVia rebuilt a patchable PLI instead of patching it")
+	}
+	if s := cache.Stats(); s.Misses != missesBefore || s.Patches == 0 {
+		t.Fatalf("edit should patch, not rebuild: %+v", s)
 	}
 	if !p012b.Fresh(r) {
 		t.Fatalf("post-edit GetVia result does not validate Fresh")
@@ -343,11 +347,12 @@ func TestLookupCode(t *testing.T) {
 	}
 }
 
-// TestVersionsAndInvalidation covers the staleness contract: Set bumps
-// only the touched column, Insert bumps no column version (appends are
-// absorbable, not invalidating), a code-identical Set bumps nothing,
-// and the IndexCache turns each of those into the minimal work — a
-// rebuild only for edited columns, an in-place advance for appends.
+// TestVersionsAndInvalidation covers the staleness contract: Set
+// journals a cell patch on only the touched column (drained into
+// cached PLIs in place, never a rebuild), Insert bumps no column
+// version (appends are absorbable, not invalidating), a code-identical
+// Set journals nothing, and only Truncate-style rollback invalidates
+// wholesale.
 func TestVersionsAndInvalidation(t *testing.T) {
 	r := randomMixedRelation(t, 42, 120)
 	cache := NewIndexCache()
@@ -371,11 +376,16 @@ func TestVersionsAndInvalidation(t *testing.T) {
 		t.Fatalf("code-identical Set bumped versions")
 	}
 
-	// Edit column 0: only indexes mentioning column 0 go stale.
+	// Edit column 0: only indexes mentioning column 0 lag, by a
+	// journaled patch the next lookup drains in place — no rebuild.
 	old := r.Get(7, 0)
+	pv := r.PatchVersion(0)
 	r.Set(7, 0, String("freshly-edited-value"))
-	if r.ColumnVersion(0) == vc {
-		t.Fatalf("Set did not bump the column version")
+	if r.ColumnVersion(0) != vc {
+		t.Fatalf("Set hard-invalidated the column instead of journaling a patch")
+	}
+	if r.PatchVersion(0) != pv+1 {
+		t.Fatalf("Set did not journal a cell patch")
 	}
 	if p01.Fresh(r) {
 		t.Fatalf("PLI over edited column still claims freshness")
@@ -383,14 +393,21 @@ func TestVersionsAndInvalidation(t *testing.T) {
 	if !p23.Fresh(r) {
 		t.Fatalf("PLI over untouched columns was invalidated by an unrelated edit")
 	}
+	editBefore := cache.Stats()
 	p01b := cache.Get(r, []int{0, 1})
-	if p01b == p01 {
-		t.Fatalf("cache served a stale PLI after an edit")
+	if p01b != p01 {
+		t.Fatalf("cache rebuilt a patchable PLI instead of patching it")
+	}
+	if s := cache.Stats(); s.Misses != editBefore.Misses || s.Patches != editBefore.Patches+1 {
+		t.Fatalf("edit should patch, not rebuild: %+v -> %+v", editBefore, s)
+	}
+	if !p01b.Fresh(r) {
+		t.Fatalf("patched PLI does not validate Fresh")
 	}
 	if got := cache.Get(r, []int{2, 3}); got != p23 {
 		t.Fatalf("cache rebuilt an index over untouched columns")
 	}
-	// The rebuilt index reflects the edit: the tuple moved groups.
+	// The patched index reflects the edit: the tuple moved groups.
 	idx := BuildIndex(r, []int{0, 1})
 	keys := idx.Keys()
 	for g, key := range keys {

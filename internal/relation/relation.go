@@ -18,7 +18,22 @@ type column struct {
 	dict    map[string]int32 // Encode key -> code
 	values  []Value          // code -> representative value
 	encs    []string         // code -> Encode key (needed for rank order)
-	version uint64           // bumped whenever any code in the column changes
+	version uint64           // bumped on hard code invalidation (reorder, truncate, journal overflow)
+
+	// Patch journal: every in-place Set that changes this column's code
+	// is appended here as a (TID, old code, new code) record instead of
+	// bumping version, so indexes over the column can catch up by
+	// re-homing exactly the patched TIDs (PLI patching) rather than
+	// rebuilding. patchSeq counts patches ever recorded (the monotone
+	// watermark indexes snapshot); patchLog holds the suffix of records
+	// since the last hard invalidation, so a reader at watermark w drains
+	// patchLog[w-(patchSeq-len(patchLog)):]. When the log outgrows
+	// maxPatchLog the column falls back to the pre-journal behavior —
+	// version is bumped (every index over the column rebuilds) and the
+	// log is cleared — which bounds journal memory without a consumer
+	// registry.
+	patchLog []CellPatch
+	patchSeq uint64
 
 	// Lazily computed rank cache: ranks[code] is the code's position in
 	// the lexicographic order of the encs. Valid while ranksLen equals
@@ -30,17 +45,39 @@ type column struct {
 	ranksLen int
 }
 
+// CellPatch records one in-place cell rewrite: the TID's code in the
+// column changed Old -> New. Journaled by Relation.Set and drained by
+// PLI catch-up (see PLI.Patch / IndexCache).
+type CellPatch struct {
+	TID int
+	Old int32
+	New int32
+}
+
+// maxPatchLogFor bounds a column's patch journal: beyond this many
+// undrained records the journal is worth less than a rebuild, so Set
+// falls back to a hard version bump. Scales with the column so large
+// relations tolerate proportionally larger edit bursts.
+func maxPatchLogFor(n int) int {
+	if n/4 > 1024 {
+		return n / 4
+	}
+	return 1024
+}
+
 func newColumn() *column {
 	return &column{dict: make(map[string]int32)}
 }
 
 func (c *column) clone() *column {
 	out := &column{
-		codes:   append([]int32(nil), c.codes...),
-		dict:    make(map[string]int32, len(c.dict)),
-		values:  append([]Value(nil), c.values...),
-		encs:    append([]string(nil), c.encs...),
-		version: c.version,
+		codes:    append([]int32(nil), c.codes...),
+		dict:     make(map[string]int32, len(c.dict)),
+		values:   append([]Value(nil), c.values...),
+		encs:     append([]string(nil), c.encs...),
+		version:  c.version,
+		patchLog: append([]CellPatch(nil), c.patchLog...),
+		patchSeq: c.patchSeq,
 	}
 	for k, v := range c.dict {
 		out.dict[k] = v
@@ -92,13 +129,17 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // counters) to detect staleness.
 func (r *Relation) Version() uint64 { return r.version }
 
-// ColumnVersion returns the code-mutation counter of a single column.
-// Set bumps only the touched column (so indexes over untouched columns
-// remain valid after a cell edit), and reorders and Truncate bump every
-// column. Insert bumps NO column version: appending rows changes no
-// existing code, so an index can tell "rows appended" (its length
-// watermark lags Len while column versions match — absorbable via
-// PLI.Advance) apart from "codes mutated" (a rebuild).
+// ColumnVersion returns the hard-invalidation counter of a single
+// column. Reorders and Truncate bump every column, and a Set whose
+// patch journal overflows bumps the touched one; an ordinary Set does
+// NOT bump it — the cell rewrite goes into the column's patch journal
+// (PatchVersion/PatchesSince) and indexes re-home the patched TIDs
+// instead of rebuilding. Insert bumps NO column version either:
+// appending rows changes no existing code, so an index distinguishes
+// "rows appended" (length watermark lags Len — absorbable via
+// PLI.Advance), "cells patched" (patch watermark lags PatchVersion —
+// absorbable via PLI patching), and "codes hard-invalidated" (version
+// mismatch — a rebuild).
 func (r *Relation) ColumnVersion(attr int) uint64 { return r.cols[attr].version }
 
 // AppendVersion returns the number of tuples ever appended — the
@@ -195,6 +236,11 @@ func (r *Relation) Truncate(n int) {
 	for _, c := range r.cols {
 		c.codes = c.codes[:n]
 		c.version++
+		// The version bump strands every index watermark, so journaled
+		// patches (including patches against the dropped rows) can be
+		// discarded wholesale — this is what makes Truncate a complete
+		// rollback for an append whose repair already emitted patches.
+		c.patchLog = nil
 	}
 	r.version++
 }
@@ -214,6 +260,16 @@ func (r *Relation) MustInsert(t Tuple) int {
 // does, so columns stay kind-uniform. Writing a value whose code equals
 // the cell's current code (an encode-identical value) is a no-op for
 // versioning: indexes over the column remain valid.
+//
+// A code-changing Set no longer bumps the column version: it appends a
+// (TID, old, new) record to the column's patch journal instead, so a
+// PLI over the column stays reachable — its next cache lookup re-homes
+// exactly the patched TIDs (O(group) per patch) instead of rebuilding
+// the partition. Only when the journal outgrows its cap does Set fall
+// back to the hard version bump. Truncate and reorders still bump every
+// column version unconditionally, which is what keeps the
+// append-rollback path (engine.Session.Append) correct: rolled-back
+// patches can never be mistaken for applicable ones.
 func (r *Relation) Set(tid, attr int, v Value) {
 	v = r.coerce(attr, v)
 	code := r.intern(attr, v)
@@ -222,9 +278,41 @@ func (r *Relation) Set(tid, attr int, v Value) {
 	if c.codes[tid] == code {
 		return
 	}
+	old := c.codes[tid]
 	c.codes[tid] = code
-	c.version++
+	if len(c.patchLog) >= maxPatchLogFor(len(c.codes)) {
+		// Journal overflow: too many undrained patches to be worth
+		// replaying. Invalidate the column the old way and start a fresh
+		// journal epoch (the version mismatch makes stale watermarks
+		// unreachable, so the log can be dropped).
+		c.version++
+		c.patchLog = c.patchLog[:0]
+	} else {
+		c.patchLog = append(c.patchLog, CellPatch{TID: tid, Old: old, New: code})
+		c.patchSeq++
+	}
 	r.version++
+}
+
+// PatchVersion returns the column's patch-journal watermark: the count
+// of code-changing Sets ever journaled on attr. An index snapshots it
+// at build time and drains PatchesSince(attr, snapshot) to catch up.
+func (r *Relation) PatchVersion(attr int) uint64 { return r.cols[attr].patchSeq }
+
+// PatchesSince returns the column's journaled patches with sequence
+// numbers >= since, in application order, and whether the journal still
+// retains that suffix (false after a hard invalidation discarded it —
+// the caller must rebuild; the accompanying version bump makes that
+// case visible to Fresh/AdvanceableTo as well). The returned slice
+// aliases the journal: callers must drain it before releasing whatever
+// exclusion kept Set away (the session write-lock discipline).
+func (r *Relation) PatchesSince(attr int, since uint64) ([]CellPatch, bool) {
+	c := r.cols[attr]
+	base := c.patchSeq - uint64(len(c.patchLog))
+	if since < base {
+		return nil, false
+	}
+	return c.patchLog[since-base:], true
 }
 
 // Get reads a single cell.
@@ -440,6 +528,7 @@ func (r *Relation) applyPermutation(perm []int) {
 		}
 		c.codes = codes
 		c.version++
+		c.patchLog = nil // TIDs renumbered; journaled patches are meaningless
 	}
 	r.version++
 }

@@ -69,13 +69,16 @@ func (p *PLI) IntersectSharded(y, shards int) *PLI {
 	p.Compact()
 	r := p.rel
 	out := &PLI{
-		rel:     r,
-		attrs:   append(append([]int(nil), p.attrs...), y),
-		colVers: make([]uint64, len(p.attrs)+1),
-		n:       p.n,
+		rel:       r,
+		attrs:     append(append([]int(nil), p.attrs...), y),
+		colVers:   make([]uint64, len(p.attrs)+1),
+		patchVers: make([]uint64, len(p.attrs)+1),
+		n:         p.n,
 	}
 	copy(out.colVers, p.colVers)
 	out.colVers[len(p.attrs)] = r.ColumnVersion(y)
+	copy(out.patchVers, p.patchVers)
+	out.patchVers[len(p.attrs)] = r.PatchVersion(y)
 	out.tidGroup = make([]int32, p.n)
 	out.initShardEnds(effectiveShards(p.n, shards))
 	if p.n == 0 {
@@ -102,13 +105,15 @@ func (p *PLI) IntersectSharded(y, shards int) *PLI {
 // effectiveShards clamp would reject (empty shards, shards > n).
 func buildPLI(r *Relation, attrs []int, shards int) *PLI {
 	p := &PLI{
-		rel:     r,
-		attrs:   append([]int(nil), attrs...),
-		colVers: make([]uint64, len(attrs)),
-		n:       r.Len(),
+		rel:       r,
+		attrs:     append([]int(nil), attrs...),
+		colVers:   make([]uint64, len(attrs)),
+		patchVers: make([]uint64, len(attrs)),
+		n:         r.Len(),
 	}
 	for i, a := range attrs {
 		p.colVers[i] = r.ColumnVersion(a)
+		p.patchVers[i] = r.PatchVersion(a)
 	}
 	n := r.Len()
 	p.tidGroup = make([]int32, n)

@@ -162,7 +162,12 @@ func incRun(work *relation.Relation, orig func(tid, attr int) relation.Value, se
 	// cells whose value actually changes, so X-partitions over columns the
 	// repair never touches stay fresh — and when the delta was appended to
 	// a warm session, GetDelta absorbs it into the existing partitions
-	// instead of rebuilding them.
+	// instead of rebuilding them. Even a partition keyed on a column the
+	// repair DOES write (chained constraints, where one rule's RHS is
+	// another's LHS) survives: each Set lands in the column's patch
+	// journal and the next GetDelta drains it into the cached PLI as a
+	// per-cell group move (PLI.Patch), so multi-pass repairs never
+	// counting-sort anything from scratch.
 	passes := 0
 	for ; passes < opts.MaxPasses; passes++ {
 		if err := materialize(); err != nil {

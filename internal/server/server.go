@@ -137,9 +137,12 @@ type datasetJSON struct {
 	// state shows hits growing while misses and refines stay flat, and
 	// an append-heavy steady state (POST /v1/repair/incremental) grows
 	// advances — cached partitions extended by the delta in place —
-	// still without rebuilds. evictions moves only under a configured
-	// cache byte budget, and shard_builds counts the cold builds that
-	// ran the TID-range-parallel counting sort (-shards).
+	// still without rebuilds. When those appends are dirty, the repair's
+	// cell writes drain into cached partitions as per-cell patches and
+	// grow patches instead of invalidating anything. evictions moves
+	// only under a configured cache byte budget, and shard_builds counts
+	// the cold builds that ran the TID-range-parallel counting sort
+	// (-shards).
 	IndexCache relation.CacheStats `json:"index_cache"`
 }
 

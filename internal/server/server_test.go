@@ -269,6 +269,70 @@ func TestRepairIncremental(t *testing.T) {
 	}
 }
 
+// TestIncrementalRepairPatchCounter pins the patches counter in the
+// per-dataset JSON: on a chained constraint set — psi1 repairs CT from
+// the region tableau, psi2 keys a detection partition on (CT, ZIP) —
+// a dirty incremental append drains the repair's CT write into the
+// warm (CT, ZIP) partition as a per-cell patch instead of rebuilding
+// it, and the dataset stats show it.
+func TestIncrementalRepairPatchCounter(t *testing.T) {
+	ts := newTestServer(t)
+	code, body := call(t, ts, "POST", "/v1/datasets", map[string]any{
+		"name":     "base",
+		"generate": map[string]any{"kind": "cust", "n": 400, "rate": 0, "seed": 5},
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("register: %d %v", code, body)
+	}
+	code, body = call(t, ts, "POST", "/v1/constraints", map[string]any{
+		"dataset": "base",
+		"cfds": "cfd psi1: cust([CC, AC] -> [CT]) { ('44', '131' || 'edi') }\n" +
+			"cfd psi2: cust([CT, ZIP] -> [STR])",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("constraints: %d %v", code, body)
+	}
+	// Warm the detection partitions, then snapshot the cache counters.
+	if code, body = call(t, ts, "POST", "/v1/detect", map[string]any{"dataset": "base"}); code != http.StatusOK {
+		t.Fatalf("warm detect: %d %v", code, body)
+	}
+	code, body = call(t, ts, "GET", "/v1/datasets/base", nil)
+	if code != http.StatusOK {
+		t.Fatalf("info: %d %v", code, body)
+	}
+	warm := body["index_cache"].(map[string]any)
+	// A delta tuple with a corrupted CT: psi1's tableau repairs it back
+	// to "edi", and that Set is a per-cell patch into psi2's cached
+	// (CT, ZIP) partition.
+	code, body = call(t, ts, "POST", "/v1/repair/incremental", map[string]any{
+		"dataset": "base",
+		"tuples": [][]string{
+			{"44", "131", "131-0000009", "ian", "edi street 0", "zzz", "EH0 0XX"},
+		},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("dirty incremental: %d %v", code, body)
+	}
+	if rep := body["repair"].(map[string]any); len(rep["changes"].([]any)) == 0 {
+		t.Fatalf("corrupted delta repaired no cells: %v", body)
+	}
+	code, body = call(t, ts, "GET", "/v1/datasets/base", nil)
+	if code != http.StatusOK {
+		t.Fatalf("info: %d %v", code, body)
+	}
+	after := body["index_cache"].(map[string]any)
+	if after["misses"].(float64) != warm["misses"].(float64) {
+		t.Fatalf("dirty incremental append rebuilt partitions: %v -> %v", warm, after)
+	}
+	if after["patches"].(float64) <= warm["patches"].(float64) {
+		t.Fatalf("repair write did not patch the cached partition: %v -> %v", warm, after)
+	}
+	code, body = call(t, ts, "POST", "/v1/detect", map[string]any{"dataset": "base"})
+	if code != http.StatusOK || body["count"].(float64) != 0 {
+		t.Fatalf("post-repair detect: %d %v", code, body)
+	}
+}
+
 func TestDiscover(t *testing.T) {
 	ts := newTestServer(t)
 	code, body := call(t, ts, "POST", "/v1/datasets", map[string]any{
