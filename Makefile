@@ -7,7 +7,7 @@ SHELL := /bin/bash
 # real measurements.
 BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-repair bench-all run-daemon
+.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-repair bench-spill bench-all run-daemon
 
 all: check
 
@@ -37,9 +37,12 @@ race:
 # goroutines (discovery through engine sessions, concurrent detection,
 # append-time PLI advancement through incremental repair, the
 # TID-range-sharded builds racing appends in
-# TestShardedCacheConcurrentBuildAppend, and DC detection racing
+# TestShardedCacheConcurrentBuildAppend, DC detection racing
 # appends and discovery on one shared session cache in
-# TestConcurrentDCDetectAppendDiscover) with a higher count, so
+# TestConcurrentDCDetectAppendDiscover, and tiered-storage demotions
+# and mmap page-ins racing dirty appends with pending cell patches in
+# TestSpillDemotePageInConcurrent and
+# TestConcurrentSpillDemoteDirtyAppend) with a higher count, so
 # cache-sharing races surface on every push. GOMAXPROCS is forced up so
 # the scheduler actually interleaves the readers even on small CI boxes
 # — the Get/GetDelta compaction race stayed hidden on a 1-core host
@@ -58,8 +61,11 @@ race-cache:
 # all-pairs naive) into BENCH_dc.json, and the dirty streaming
 # append→repair→detect path (per-cell PLI patching vs
 # invalidate-and-rebuild, on a chained constraint set where repair
-# writes hit a cached detection partition) into BENCH_repair.json.
-bench: bench-detect bench-discovery bench-append bench-build bench-dc bench-repair
+# writes hit a cached detection partition) into BENCH_repair.json, and
+# tiered index storage (warm 1M-row detection under a budget of an
+# eighth of the resident working set, rebuild-free via segment-file
+# demotions and mmap page-ins) into BENCH_spill.json.
+bench: bench-detect bench-discovery bench-append bench-build bench-dc bench-repair bench-spill
 
 bench-detect:
 	$(GO) test -bench='E1DetectScaleTuples|E13ParallelDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
@@ -84,6 +90,10 @@ bench-dc:
 bench-repair:
 	$(GO) test -bench='RepairPatch' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_repair.json
+
+bench-spill:
+	$(GO) test -bench='SpillDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_spill.json
 
 # bench-all smoke-runs every benchmark once.
 bench-all:

@@ -1,0 +1,47 @@
+// TestMain for the root benchmark package: after the benchmarks run it
+// prints the process's memory high-water marks as `benchmeta` lines,
+// which cmd/benchjson folds into the meta block of every BENCH_*.json.
+// Peak RSS is what the tiered-storage work actually optimizes — ns/op
+// alone cannot show that a budgeted run held a fraction of the resident
+// set — and recording it for every benchmark keeps the archived JSON
+// comparable across runs and runners.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("benchmeta heap_alloc_bytes %d\n", ms.HeapAlloc)
+	if hwm := vmHWMBytes(); hwm > 0 {
+		fmt.Printf("benchmeta peak_rss_bytes %d\n", hwm)
+	}
+	os.Exit(code)
+}
+
+// vmHWMBytes returns the process's peak resident set size in bytes from
+// /proc/self/status (VmHWM), or 0 where /proc is unavailable.
+func vmHWMBytes() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		var kb int64
+		if _, err := fmt.Sscanf(line, "VmHWM: %d kB", &kb); err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -26,6 +26,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. resident-MB from
+	// BenchmarkSpillDetect) keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the emitted document.
@@ -54,6 +57,15 @@ func main() {
 			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
 			k, v, _ := strings.Cut(line, ":")
 			rep.Meta[k] = strings.TrimSpace(v)
+			continue
+		case strings.HasPrefix(line, "benchmeta "):
+			// Benchmarks report facts the result lines cannot carry —
+			// notably peak RSS and final heap from the bench process's
+			// TestMain (see bench_meta_test.go) — as `benchmeta <key>
+			// <value>` lines.
+			if kv := strings.Fields(line); len(kv) >= 3 {
+				rep.Meta[kv[1]] = strings.Join(kv[2:], " ")
+			}
 			continue
 		case strings.HasPrefix(line, "Benchmark"):
 			if r, ok := parseLine(line); ok {
@@ -109,6 +121,13 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.AllocsPerOp = n
+			}
+		default:
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[unit] = f
 			}
 		}
 	}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkSpillDetect/unlimited/n=1000000-8  2  80697766 ns/op  28505592 B/op  27665 allocs/op  49.54 resident-MB")
+	if !ok {
+		t.Fatal("parseLine rejected a valid line")
+	}
+	if r.Name != "BenchmarkSpillDetect/unlimited/n=1000000" || r.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", r.Name, r.Procs)
+	}
+	if r.Iterations != 2 || r.NsPerOp != 80697766 || r.BytesPerOp != 28505592 || r.AllocsPerOp != 27665 {
+		t.Fatalf("core fields: %+v", r)
+	}
+	if r.Extra["resident-MB"] != 49.54 {
+		t.Fatalf("custom metric lost: %+v", r.Extra)
+	}
+	if _, ok := parseLine("not a benchmark"); ok {
+		t.Fatal("parseLine accepted garbage")
+	}
+}

@@ -18,7 +18,13 @@
 // pay inversions and the pay-scale DC (the demo target for POST
 // /v1/dc/detect and /v1/dc/relax). -index-budget-mb caps each dataset's
 // PLI cache (discovery lattices evict before detection partitions);
-// 0 keeps every partition resident.
+// 0 keeps every partition resident, and the default -1 derives a budget
+// from the process memory ceiling: GOMEMLIMIT/4 when a limit is set,
+// else MemTotal/8 from /proc/meminfo, else unlimited. -spill-dir turns
+// budget evictions into tiered demotions: clean partitions are written
+// as segment files under the directory and paged back in via read-only
+// mmap instead of rebuilt (see the "Tiered storage" section of
+// README.md); empty keeps the discard-on-evict behavior.
 package main
 
 import (
@@ -27,9 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime/debug"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,10 +54,21 @@ func main() {
 	workers := flag.Int("workers", 0, "detection worker pool size (0 = NumCPU, 1 = serial)")
 	shards := flag.Int("shards", 0, "PLI build shard fan-out (0 = GOMAXPROCS, 1 = serial)")
 	preload := flag.Int("preload", 0, "preload a noisy 'cust' dataset of this many tuples")
-	indexBudgetMB := flag.Int64("index-budget-mb", 0, "per-dataset PLI cache budget in MiB (0 = unlimited)")
+	indexBudgetMB := flag.Int64("index-budget-mb", -1, "per-dataset PLI cache budget in MiB (0 = unlimited, -1 = derive from GOMEMLIMIT or total memory)")
+	spillDir := flag.String("spill-dir", "", "directory for tiered index storage: evicted partitions spill to segment files here instead of being discarded (empty = disabled)")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{Workers: *workers, Shards: *shards, IndexBudgetBytes: *indexBudgetMB << 20})
+	budget := *indexBudgetMB << 20
+	if *indexBudgetMB < 0 {
+		budget = deriveIndexBudget()
+		if budget > 0 {
+			log.Printf("index budget derived from memory ceiling: %d MiB per dataset (override with -index-budget-mb)", budget>>20)
+		}
+	}
+	eng := engine.New(engine.Options{Workers: *workers, Shards: *shards, IndexBudgetBytes: budget, SpillDir: *spillDir})
+	if *spillDir != "" {
+		log.Printf("tiered index storage under %s", *spillDir)
+	}
 	if *preload > 0 {
 		if err := preloadCust(eng, *preload); err != nil {
 			log.Fatalf("semandaqd: preload: %v", err)
@@ -86,6 +107,50 @@ func main() {
 			log.Fatalf("semandaqd: shutdown: %v", err)
 		}
 	}
+}
+
+// deriveIndexBudget picks a default per-dataset index budget from the
+// process memory ceiling when -index-budget-mb is left unset: a quarter
+// of GOMEMLIMIT when the operator set one (the daemon still needs room
+// for the relations themselves, request handling and GC headroom), else
+// an eighth of the machine's MemTotal from /proc/meminfo, else 0
+// (unlimited — no ceiling is knowable). The divisors are deliberately
+// conservative: the budget is per dataset, and a fleet of registered
+// datasets shares the same process.
+func deriveIndexBudget() int64 {
+	// SetMemoryLimit(-1) is the documented way to read the current limit
+	// without changing it; math.MaxInt64 means "no limit set".
+	if limit := debug.SetMemoryLimit(-1); limit > 0 && limit < math.MaxInt64 {
+		return limit / 4
+	}
+	if total := readMemTotal("/proc/meminfo"); total > 0 {
+		return total / 8
+	}
+	return 0
+}
+
+// readMemTotal parses the MemTotal line of a /proc/meminfo-format file,
+// returning bytes (the kernel reports kB), or 0 if unavailable.
+func readMemTotal(path string) int64 {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "MemTotal:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
 }
 
 // preloadCust registers the benchmark workload: a noisy cust relation

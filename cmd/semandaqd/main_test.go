@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadMemTotal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meminfo")
+	content := "MemTotal:       16384256 kB\nMemFree:         1234 kB\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := readMemTotal(path), int64(16384256)<<10; got != want {
+		t.Fatalf("readMemTotal = %d, want %d", got, want)
+	}
+	if got := readMemTotal(filepath.Join(dir, "missing")); got != 0 {
+		t.Fatalf("missing file: got %d, want 0", got)
+	}
+	if err := os.WriteFile(path, []byte("MemTotal: junk kB\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := readMemTotal(path); got != 0 {
+		t.Fatalf("malformed line: got %d, want 0", got)
+	}
+}
+
+func TestDeriveIndexBudgetNonNegative(t *testing.T) {
+	// Whatever the environment (GOMEMLIMIT set or not, /proc readable or
+	// not), the derived budget must be usable as-is: never negative, and
+	// zero only when no ceiling is knowable.
+	if b := deriveIndexBudget(); b < 0 {
+		t.Fatalf("deriveIndexBudget = %d", b)
+	}
+}

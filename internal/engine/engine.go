@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
@@ -42,6 +43,14 @@ type Options struct {
 	// lifetime; see relation.IndexCache.SetBudget for the eviction
 	// policy.
 	IndexBudgetBytes int64
+	// SpillDir, when non-empty, turns budget evictions into tiered
+	// demotions: every registered dataset gets a private subdirectory
+	// where clean evicted PLIs are written as segment files and paged
+	// back in via read-only mmap instead of rebuilt (see
+	// relation.IndexCache.SetSpill). Removed with the dataset on Drop.
+	// Empty (the default) keeps the pre-tiered behavior: evictions
+	// discard.
+	SpillDir string
 }
 
 // Engine is the dataset registry: named sessions behind an RWMutex so
@@ -57,6 +66,7 @@ type Engine struct {
 	workers     int
 	shards      int
 	indexBudget int64
+	spillDir    string
 }
 
 // New creates an empty engine.
@@ -68,6 +78,7 @@ func New(opts Options) *Engine {
 		workers:     opts.Workers,
 		shards:      opts.Shards,
 		indexBudget: opts.IndexBudgetBytes,
+		spillDir:    opts.SpillDir,
 	}
 }
 
@@ -85,6 +96,24 @@ func (e *Engine) Register(name string, data *relation.Relation) (*Session, error
 	s.SetShards(e.shards)
 	if e.indexBudget > 0 {
 		s.SetIndexBudget(e.indexBudget)
+	}
+	if e.spillDir != "" {
+		// Each dataset gets a private directory so Drop can remove its
+		// segment files wholesale; MkdirTemp keeps re-registrations of a
+		// reused name from colliding with files still mapped by in-flight
+		// requests on the dropped session.
+		if err := os.MkdirAll(e.spillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("engine: spill dir: %w", err)
+		}
+		dir, err := os.MkdirTemp(e.spillDir, "ds-")
+		if err != nil {
+			return nil, fmt.Errorf("engine: spill dir: %w", err)
+		}
+		store, err := relation.NewSpillStore(dir)
+		if err != nil {
+			return nil, fmt.Errorf("engine: spill dir: %w", err)
+		}
+		s.SetSpill(store)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -104,12 +133,21 @@ func (e *Engine) Get(name string) (*Session, bool) {
 }
 
 // Drop removes the named session from the registry and reports whether
-// it existed. In-flight requests holding the session finish normally.
+// it existed. In-flight requests holding the session finish normally —
+// the session's spill directory is unlinked here, which on Linux leaves
+// already-mapped segment files readable until their last reference
+// drops (a straggler page-in of an unlinked file just falls back to a
+// rebuild).
 func (e *Engine) Drop(name string) bool {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	_, ok := e.sessions[name]
+	s, ok := e.sessions[name]
 	delete(e.sessions, name)
+	e.mu.Unlock()
+	if ok {
+		if dir := s.SpillDir(); dir != "" {
+			os.RemoveAll(dir)
+		}
+	}
 	return ok
 }
 

@@ -52,6 +52,12 @@ type Session struct {
 	// indexes over the touched column.
 	indexes *relation.IndexCache
 
+	// spill, when set, is the session's tiered-storage home: the index
+	// cache demotes budget-evicted PLIs into it (SetSpill) and
+	// SpillColumns demotes the dataset's code columns. Owned by the
+	// engine, which removes the directory when the dataset is dropped.
+	spill *relation.SpillStore
+
 	confirmed map[[2]int]bool
 	candidate *repair.Result
 
@@ -225,6 +231,47 @@ func (s *Session) SetIndexBudget(bytes int64) { s.indexes.SetBudget(bytes) }
 // (relation.IndexCache.SetShards). 0 means runtime.GOMAXPROCS(0), 1
 // forces serial builds.
 func (s *Session) SetShards(n int) { s.indexes.SetShards(n) }
+
+// SetSpill attaches a spill store to the session: budget evictions of
+// clean cached PLIs demote to segment files in it and page back in via
+// read-only mmap instead of rebuilding (relation.IndexCache.SetSpill),
+// and SpillColumns demotes the dataset's code columns there. Attach
+// right after NewSession, before the session serves traffic.
+func (s *Session) SetSpill(store *relation.SpillStore) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spill = store
+	s.indexes.SetSpill(store)
+}
+
+// SpillDir returns the session's spill directory ("" when spilling is
+// not configured). The engine removes it on Drop.
+func (s *Session) SpillDir() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.spill == nil {
+		return ""
+	}
+	return s.spill.Dir()
+}
+
+// SpillColumns demotes the dataset's int32 code columns to mapped
+// segment files, freeing their heap copies; reads are untouched and the
+// next Edit/Append transparently re-materializes the written column
+// (relation.Relation.SpillColumns). Returns the heap bytes released.
+func (s *Session) SpillColumns() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spill == nil {
+		return 0, fmt.Errorf("engine: session %q has no spill store configured", s.name)
+	}
+	return s.data.SpillColumns(s.spill)
+}
+
+// IndexResidentBytes returns the heap bytes currently pinned by the
+// session's PLI cache — what the index budget caps; paged-in mapped
+// entries contribute (almost) nothing.
+func (s *Session) IndexResidentBytes() int64 { return s.indexes.ResidentBytes() }
 
 // Violations returns the cached violation list, recomputing it if the
 // data or constraints changed since the last Detect.

@@ -30,9 +30,21 @@ type CacheStats struct {
 	// append→repair→detect path keeps every index warm, so
 	// Misses+Refines stay constant while Patches grows.
 	Patches uint64 `json:"patches"`
-	// Evictions counts entries dropped to keep the cache inside its
-	// byte budget (SetBudget).
+	// Evictions counts entries dropped outright to keep the cache inside
+	// its byte budget (SetBudget) — the fallback when no spill store is
+	// attached or the victim has no reusable on-disk snapshot.
 	Evictions uint64 `json:"evictions"`
+	// Spills counts budget victims demoted to a segment file instead of
+	// discarded (SetSpill): the heap arrays are dropped, the entry's
+	// watermarks and file live on, and the next lookup pages it back in
+	// without a rebuild.
+	Spills uint64 `json:"spills"`
+	// Pageins counts lookups answered by re-mapping a demoted entry's
+	// segment file (zero-copy mmap on linux, a plain read elsewhere) —
+	// on a budget-constrained warm path Pageins grow while Misses and
+	// Refines stay flat, which is the "paging, not thrashing" assertion
+	// BenchmarkSpillDetect makes.
+	Pageins uint64 `json:"pageins"`
 	// ShardBuilds counts the builds and refines that actually ran the
 	// TID-range-parallel counting sort (SetShards > 1 AND a relation
 	// large enough to feed the fan-out) — the observability hook for
@@ -42,10 +54,14 @@ type CacheStats struct {
 
 // cacheEntry wraps a cached PLI with its recency tick and last-measured
 // resident size (bytes is guarded by IndexCache.mu) for eviction.
+// onDisk, when non-nil, is the entry's last written spill snapshot: a
+// paged-in entry keeps the record it came from, so demoting it again
+// while unchanged reuses the file instead of rewriting it.
 type cacheEntry struct {
 	pli     *PLI
 	lastUse atomic.Uint64
 	bytes   int64
+	onDisk  *spillRecord
 }
 
 // IndexCache memoizes PLIs per attribute set for one logical dataset.
@@ -84,6 +100,13 @@ type IndexCache struct {
 	budget   atomic.Int64
 	resident int64
 
+	// spill, when set, turns budget eviction into tiered demotion: clean
+	// victims are written to (or keep) a segment file and move to the
+	// spilled map, from which lookups page them back in via read-only
+	// mmap instead of rebuilding. Both fields are guarded by mu.
+	spill   *SpillStore
+	spilled map[string]*spillRecord
+
 	// shards is the fan-out every from-scratch build and refinement of
 	// this cache runs with (BuildPLISharded/IntersectSharded); 1 (the
 	// default) is the serial path. Atomic so SetShards never contends
@@ -97,12 +120,33 @@ type IndexCache struct {
 	advances    atomic.Uint64
 	patches     atomic.Uint64
 	evictions   atomic.Uint64
+	spills      atomic.Uint64
+	pageins     atomic.Uint64
 	shardBuilds atomic.Uint64
 }
 
 // NewIndexCache creates an empty cache with no byte budget.
 func NewIndexCache() *IndexCache {
-	return &IndexCache{entries: make(map[string]*cacheEntry)}
+	return &IndexCache{
+		entries: make(map[string]*cacheEntry),
+		spilled: make(map[string]*spillRecord),
+	}
+}
+
+// SetSpill attaches a spill store, repointing the byte budget from
+// existence to residency: a clean entry evicted under budget pressure
+// is demoted to a segment file in the store (heap arrays dropped) and
+// the next Get/GetVia pages it back in as zero-copy mapped views
+// instead of rebuilding — mapped storage is pageable OS memory, so it
+// costs the budget (a heap-residency cap) almost nothing. Entries that
+// are NOT clean — carrying a delta tail, patch holes or a dirty flag —
+// never spill in that state; they stay pinned heap-resident until
+// compaction, falling back to their last clean snapshot (plus catchUp)
+// or to a plain eviction. Attach before concurrent use.
+func (c *IndexCache) SetSpill(store *SpillStore) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spill = store
 }
 
 // SetBudget caps the cache's resident PLI bytes (0 = unlimited, the
@@ -194,7 +238,11 @@ func (c *IndexCache) lookup(r *Relation, attrs []int, compact bool) *PLI {
 	key := attrsKey(attrs)
 	c.mu.RLock()
 	e := c.entries[key]
+	hasSpilled := len(c.spilled) > 0
 	c.mu.RUnlock()
+	if e == nil && hasSpilled {
+		e = c.pageIn(r, key)
+	}
 	if e != nil {
 		if pli, advanced, patched := e.pli.catchUp(r, compact); pli != nil {
 			e.lastUse.Store(c.tick.Add(1))
@@ -234,7 +282,10 @@ func (c *IndexCache) replaceEntry(key string, old, compacted *PLI) {
 	if prior == nil || prior.pli != old {
 		return
 	}
-	e := &cacheEntry{pli: compacted, bytes: compacted.MemSize()}
+	// The compacted copy holds the same logical content at the same
+	// watermarks, so the prior entry's spill snapshot (if any) remains
+	// its snapshot — carried over, revalidated at the next demote.
+	e := &cacheEntry{pli: compacted, bytes: compacted.MemSize(), onDisk: prior.onDisk}
 	e.lastUse.Store(tick)
 	c.resident += e.bytes - prior.bytes
 	c.entries[key] = e
@@ -280,7 +331,11 @@ func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 		parentKey = attrsKey(attrs[:len(attrs)-1])
 		parent = c.entries[parentKey]
 	}
+	hasSpilled := len(c.spilled) > 0
 	c.mu.RUnlock()
+	if e == nil && hasSpilled {
+		e = c.pageIn(r, key)
+	}
 	if e != nil {
 		if pli, advanced, patched := e.pli.catchUp(r, true); pli != nil {
 			e.lastUse.Store(c.tick.Add(1))
@@ -302,6 +357,11 @@ func (c *IndexCache) GetVia(r *Relation, attrs []int) *PLI {
 		}
 	}
 	var p *PLI
+	if parent == nil && parentKey != "" && hasSpilled {
+		// A demoted parent is still one refinement away from the answer:
+		// page it in rather than fall back to a full build.
+		parent = c.pageIn(r, parentKey)
+	}
 	if parent != nil {
 		if ppli, advanced, patched := parent.pli.catchUp(r, true); ppli != nil {
 			if patched {
@@ -339,11 +399,19 @@ func (c *IndexCache) store(r *Relation, key string, p *PLI) {
 		// PLIs pin the relation they were built from; drop every entry
 		// still referencing another relation so the cache never keeps a
 		// replaced dataset alive — including entries under attribute
-		// sets the caller no longer asks for.
+		// sets the caller no longer asks for. Spill records pin it the
+		// same way (page-in hands back PLIs over rec.rel), so they and
+		// their files go too.
 		for k, e := range c.entries {
 			if e.pli.rel != r {
 				c.resident -= e.bytes
+				c.dropEntryFileLocked(e)
 				delete(c.entries, k)
+			}
+		}
+		for k, rec := range c.spilled {
+			if rec.rel != r {
+				c.dropRecordLocked(k, rec)
 			}
 		}
 		c.rel = r
@@ -353,6 +421,11 @@ func (c *IndexCache) store(r *Relation, key string, p *PLI) {
 		e.lastUse.Store(tick)
 		if prior != nil {
 			c.resident -= prior.bytes
+			c.dropEntryFileLocked(prior)
+		}
+		if rec := c.spilled[key]; rec != nil {
+			// A fresh build supersedes whatever snapshot was on disk.
+			c.dropRecordLocked(key, rec)
 		}
 		c.resident += e.bytes
 		c.entries[key] = e
@@ -360,12 +433,71 @@ func (c *IndexCache) store(r *Relation, key string, p *PLI) {
 	c.enforceBudgetLocked(key)
 }
 
-// enforceBudgetLocked evicts entries until the running resident total
-// fits the budget: deepest attribute sets first, least-recently-used
-// among equals. The entry just touched under keepKey survives even when
-// it alone exceeds the budget (evicting what the caller is about to use
-// would only thrash). The victim scan runs only while actually over
-// budget; the in-budget steady state pays nothing.
+// dropEntryFileLocked unlinks a discarded entry's spill snapshot, if it
+// has one that is not also registered in the spilled map (records own
+// their files once registered).
+func (c *IndexCache) dropEntryFileLocked(e *cacheEntry) {
+	if e.onDisk != nil && c.spill != nil && c.spilled[attrsKey(e.onDisk.attrs)] != e.onDisk {
+		c.spill.Remove(e.onDisk.path)
+	}
+}
+
+// dropRecordLocked forgets a spill record and unlinks its file.
+func (c *IndexCache) dropRecordLocked(key string, rec *spillRecord) {
+	delete(c.spilled, key)
+	if c.spill != nil {
+		c.spill.Remove(rec.path)
+	}
+}
+
+// pageIn revives a demoted entry: its segment file is re-opened as
+// zero-copy mapped views (a plain heap decode on platforms without the
+// mmap fast path) and republished as a resident entry carrying the
+// snapshot's watermarks — the caller's catchUp then absorbs anything
+// that happened since the demote (appends, journaled patches) exactly
+// as if the entry had stayed resident. Stale records (relation swapped,
+// column hard-invalidated, truncated) and unreadable files are
+// discarded so the caller falls through to a rebuild. Returns nil when
+// there is nothing to page in.
+func (c *IndexCache) pageIn(r *Relation, key string) *cacheEntry {
+	tick := c.tick.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[key]; e != nil {
+		return e // lost a race with another page-in or a rebuild
+	}
+	rec := c.spilled[key]
+	if rec == nil {
+		return nil
+	}
+	if !rec.validFor(r) {
+		c.dropRecordLocked(key, rec)
+		return nil
+	}
+	p, err := loadPLISegment(rec)
+	if err != nil {
+		c.dropRecordLocked(key, rec)
+		return nil
+	}
+	e := &cacheEntry{pli: p, bytes: p.MemSize(), onDisk: rec}
+	e.lastUse.Store(tick)
+	c.resident += e.bytes
+	c.entries[key] = e
+	delete(c.spilled, key)
+	c.pageins.Add(1)
+	c.enforceBudgetLocked(key)
+	return e
+}
+
+// enforceBudgetLocked demotes or evicts entries until the running
+// resident total fits the budget: deepest attribute sets first,
+// least-recently-used among equals. The entry just touched under
+// keepKey survives even when it alone exceeds the budget (evicting what
+// the caller is about to use would only thrash). Every iteration
+// removes a map entry (demoted or evicted), so the loop terminates even
+// when paged-in entries contribute almost nothing to residency. The
+// victim scan runs only while actually over budget; the in-budget
+// steady state pays nothing.
 func (c *IndexCache) enforceBudgetLocked(keepKey string) {
 	budget := c.budget.Load()
 	if budget <= 0 {
@@ -376,7 +508,7 @@ func (c *IndexCache) enforceBudgetLocked(keepKey string) {
 		vDepth := -1
 		var vUse uint64
 		for k, e := range c.entries {
-			if k == keepKey {
+			if k == keepKey || e.bytes <= 0 {
 				continue
 			}
 			depth, use := len(e.pli.attrs), e.lastUse.Load()
@@ -387,10 +519,41 @@ func (c *IndexCache) enforceBudgetLocked(keepKey string) {
 		if victim == "" {
 			return
 		}
-		c.resident -= c.entries[victim].bytes
+		e := c.entries[victim]
+		c.resident -= e.bytes
 		delete(c.entries, victim)
-		c.evictions.Add(1)
+		if c.demoteLocked(victim, e) {
+			c.spills.Add(1)
+		} else {
+			c.dropEntryFileLocked(e)
+			c.evictions.Add(1)
+		}
 	}
+}
+
+// demoteLocked tries to turn an eviction into a demotion: a clean
+// victim is snapshotted to a segment file (or keeps its still-current
+// one) and registered for page-in; an unclean victim (delta tail, patch
+// holes, dirty) falls back to its last clean snapshot when one exists —
+// page-in plus catchUp re-derives the current state from it — and
+// otherwise reports false for a plain eviction. Called with c.mu held;
+// takes p.mu inside (the established c.mu → p.mu order).
+func (c *IndexCache) demoteLocked(key string, e *cacheEntry) bool {
+	if c.spill == nil {
+		return false
+	}
+	if rec, ok := e.pli.spillSnapshot(c.spill, e.onDisk); ok {
+		if e.onDisk != nil && e.onDisk != rec {
+			c.spill.Remove(e.onDisk.path)
+		}
+		c.spilled[key] = rec
+		return true
+	}
+	if e.onDisk != nil {
+		c.spilled[key] = e.onDisk
+		return true
+	}
+	return false
 }
 
 // Stats returns the cache's counters.
@@ -402,8 +565,19 @@ func (c *IndexCache) Stats() CacheStats {
 		Advances:    c.advances.Load(),
 		Patches:     c.patches.Load(),
 		Evictions:   c.evictions.Load(),
+		Spills:      c.spills.Load(),
+		Pageins:     c.pageins.Load(),
 		ShardBuilds: c.shardBuilds.Load(),
 	}
+}
+
+// ResidentBytes returns the running total of cached entries' heap bytes
+// — the quantity the byte budget caps. Mapped (paged-in) storage is
+// excluded by construction (see PLI.MemSize).
+func (c *IndexCache) ResidentBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.resident
 }
 
 // Len returns the number of cached attribute sets.
@@ -413,11 +587,19 @@ func (c *IndexCache) Len() int {
 	return len(c.entries)
 }
 
-// Reset drops every entry (counters are preserved).
+// Reset drops every entry and spill record, unlinking the segment
+// files (counters are preserved).
 func (c *IndexCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		c.dropEntryFileLocked(e)
+	}
 	c.entries = make(map[string]*cacheEntry)
+	for k, rec := range c.spilled {
+		c.dropRecordLocked(k, rec)
+	}
+	c.spilled = make(map[string]*spillRecord)
 	c.rel = nil
 	c.resident = 0
 }

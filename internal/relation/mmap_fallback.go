@@ -1,0 +1,30 @@
+//go:build !linux || !(amd64 || arm64)
+
+package relation
+
+// Mapping is a no-op stand-in on platforms without the zero-copy mmap
+// path (see mmap_linux.go): segments are decoded onto the heap with
+// plain reads, so no array is ever a view into mapped memory and the
+// holds* probes are constant false. Spill/page-in still works — a
+// demoted index costs a file read instead of a rebuild — it just
+// re-enters the byte budget at full heap size.
+type Mapping struct{}
+
+// mmapSupported reports whether this build reads segments zero-copy.
+const mmapSupported = false
+
+func (m *Mapping) holdsInt(s []int) bool     { return false }
+func (m *Mapping) holdsInt32(s []int32) bool { return false }
+
+// openPLISegment decodes a PLI segment onto the heap.
+func openPLISegment(path string) (*pliSegData, error) {
+	return readPLISegmentHeap(path)
+}
+
+// openColumnSegment decodes a column segment onto the heap. The nil
+// mapping tells Relation.SpillColumns there is nothing to gain from
+// swapping the resident codes for the decoded copy.
+func openColumnSegment(path string) ([]int32, *Mapping, error) {
+	codes, err := readColumnSegmentHeap(path)
+	return codes, nil, err
+}

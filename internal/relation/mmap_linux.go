@@ -1,0 +1,150 @@
+//go:build linux && (amd64 || arm64)
+
+package relation
+
+import (
+	"os"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// Mapping is a read-only mmap of a segment file. The int/int32 views
+// handed out by openPLISegment/openColumnSegment point straight into
+// the mapped pages — no copy, no decode — which is what makes paging a
+// demoted index back in O(1): the kernel faults pages lazily and may
+// reclaim them under memory pressure, so a mapped index costs page
+// cache, not Go heap. Writing through the views would fault (PROT_READ)
+// — any mutation path (patch drains, appends into spans) must
+// materialize heap copies first (PLI.materializeLocked, column
+// materialize).
+//
+// Lifetime: the mapping is unmapped by a finalizer once nothing
+// references it. Views into the mapping do NOT keep it alive on their
+// own (mapped pages are not Go heap, so the GC does not trace them);
+// the adopting PLI/column keeps the *Mapping in a field, and readers
+// keep the PLI/relation alive for as long as they hold slices from it —
+// the documented aliasing rule for Group/Lookup results already
+// requires exactly that. Unlinking a mapped file is safe on Linux: the
+// pages stay valid until the last munmap.
+type Mapping struct {
+	data     []byte
+	unmapped atomic.Bool
+}
+
+// mmapSupported reports whether this build reads segments zero-copy.
+const mmapSupported = true
+
+// mapFile maps path read-only.
+func mapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mapping{data: data}
+	runtime.SetFinalizer(m, (*Mapping).unmap)
+	return m, nil
+}
+
+func (m *Mapping) unmap() {
+	if m.unmapped.CompareAndSwap(false, true) {
+		syscall.Munmap(m.data)
+	}
+}
+
+// holdsInt reports whether s points into the mapping (i.e. is a
+// zero-copy view rather than a heap array). Used by the residency
+// accounting: mapped arrays are pageable OS memory, not Go heap, so
+// the cache byte budget skips them.
+func (m *Mapping) holdsInt(s []int) bool {
+	if m == nil || len(s) == 0 || len(m.data) == 0 {
+		return false
+	}
+	p := uintptr(unsafe.Pointer(&s[0]))
+	base := uintptr(unsafe.Pointer(&m.data[0]))
+	return p >= base && p < base+uintptr(len(m.data))
+}
+
+// holdsInt32 is holdsInt for int32 views.
+func (m *Mapping) holdsInt32(s []int32) bool {
+	if m == nil || len(s) == 0 || len(m.data) == 0 {
+		return false
+	}
+	p := uintptr(unsafe.Pointer(&s[0]))
+	base := uintptr(unsafe.Pointer(&m.data[0]))
+	return p >= base && p < base+uintptr(len(m.data))
+}
+
+// castInts reinterprets the 8-aligned little-endian int64 section at
+// [off, off+8*count) as []int in place. Safe on this build's platforms:
+// 64-bit little-endian, and the segment layout keeps every int64
+// section 8-aligned (mmap bases are page-aligned).
+func castInts(b []byte, off, count int64) []int {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int)(unsafe.Pointer(&b[off])), count)
+}
+
+// castInt32s reinterprets the 4-aligned int32 section at [off,
+// off+4*count) as []int32 in place.
+func castInt32s(b []byte, off, count int64) []int32 {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[off])), count)
+}
+
+// openPLISegment opens a PLI segment with zero-copy mapped views of the
+// large sections (tids/offsets/tidGroup). shardEnds is decoded to heap
+// — advanceShardEnds mutates it in place on the next append. Falls back
+// to the heap decode if the file cannot be mapped.
+func openPLISegment(path string) (*pliSegData, error) {
+	m, err := mapFile(path)
+	if err != nil {
+		return readPLISegmentHeap(path)
+	}
+	h, err := parsePLISegHeader(m.data)
+	if err != nil {
+		return nil, err
+	}
+	seOff, tOff, oOff, gOff := h.sectionOffsets()
+	return &pliSegData{
+		n:          int(h.n),
+		tids:       castInts(m.data, tOff, h.lenTids),
+		offsets:    castInt32s(m.data, oOff, h.numOffsets),
+		tidGroup:   castInt32s(m.data, gOff, h.lenTidGrp),
+		shardWidth: int(h.shardWidth),
+		shardEnds:  decodeIntSection(m.data, seOff, h.numShards),
+		seg:        m,
+	}, nil
+}
+
+// openColumnSegment opens a column segment with a zero-copy mapped view
+// of the code array. A nil mapping return (only on the fallback build)
+// tells the caller spilling gains nothing on this platform.
+func openColumnSegment(path string) ([]int32, *Mapping, error) {
+	m, err := mapFile(path)
+	if err != nil {
+		codes, rerr := readColumnSegmentHeap(path)
+		return codes, nil, rerr
+	}
+	n, err := parseColSegHeader(m.data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return castInt32s(m.data, colSegHeaderSize, n), m, nil
+}

@@ -64,6 +64,17 @@ type PLI struct {
 	shardWidth int
 	shardEnds  []int
 
+	// seg is non-nil while the flat storage (tids/offsets/tidGroup) is a
+	// zero-copy view into a read-only mapped segment file — the paged-in
+	// state of a demoted cache entry (see spill.go). Mapped arrays are
+	// immutable: every in-place mutation path materializes heap copies
+	// first (materializeLocked), and appends are naturally safe because
+	// mapped views are built with cap == len, so the first append
+	// reallocates onto the heap. The field also anchors the mapping's
+	// lifetime: views do not keep the mmap alive by themselves, the PLI
+	// does. Guarded by mu.
+	seg *Mapping
+
 	// mu serializes Advance and Compact — the mutating catch-up path the
 	// IndexCache drives. Plain reads (Group, GroupOf, Lookup, ...) stay
 	// lock-free; they must not overlap an Advance/Compact of the same
@@ -545,6 +556,7 @@ func (p *PLI) Patch(tid, attr int, oldCode, newCode int32) bool {
 	if tid >= p.n || oldCode == newCode {
 		return false
 	}
+	p.materializeLocked() // span shifts write in place; never into a mapping
 	moved := p.patchTIDLocked(tid)
 	if moved {
 		p.dirty = true
@@ -606,6 +618,7 @@ func (p *PLI) applyPatchesLocked(r *Relation, tids []int, pre map[int64]int32) {
 		}
 		return p.rel.cols[p.attrs[i]].codes[tid]
 	})
+	p.materializeLocked() // span shifts write in place; never into a mapping
 	moved := false
 	for _, tid := range tids {
 		if p.patchTIDLocked(tid) {
@@ -780,6 +793,9 @@ func (p *PLI) compactLocked() {
 		}
 		p.tids, p.offsets = tids, offsets
 		p.tails, p.tailLen = nil, 0
+		if !p.seg.holdsInt32(p.tidGroup) {
+			p.seg = nil // compaction rewrote every mapped section
+		}
 		return
 	}
 	r := p.rel
@@ -828,9 +844,10 @@ func (p *PLI) compactLocked() {
 		offsets = append(offsets, int32(len(tids)))
 	}
 	p.tids, p.offsets = tids, offsets
-	if len(p.tidGroup) != p.n {
+	if len(p.tidGroup) != p.n || p.seg.holdsInt32(p.tidGroup) {
 		p.tidGroup = make([]int32, p.n)
 	}
+	p.seg = nil
 	p.fillTIDGroups()
 	p.lookupMu.Lock()
 	if p.lookup != nil {
@@ -917,9 +934,10 @@ func (p *PLI) compactPatchedLocked() {
 		offsets = append(offsets, int32(len(tids)))
 	}
 	p.tids, p.offsets = tids, offsets
-	if len(p.tidGroup) != p.n {
+	if len(p.tidGroup) != p.n || p.seg.holdsInt32(p.tidGroup) {
 		p.tidGroup = make([]int32, p.n)
 	}
+	p.seg = nil
 	p.fillTIDGroups()
 	p.lookupMu.Lock()
 	p.lookup = nil
@@ -1034,12 +1052,51 @@ func (p *PLI) compactedCopyLocked() *PLI {
 	return q
 }
 
-// MemSize estimates the index's resident bytes (flat storage plus delta
-// tail and lookup map) — the unit of IndexCache's byte budget.
+// materializeLocked replaces any mapped flat-storage views with heap
+// copies and drops the mapping anchor — the gate every in-place
+// mutation of a paged-in index goes through (patch drains shift group
+// spans in place; writing through a PROT_READ mapping would fault).
+// Appends need no gate: mapped views carry cap == len, so the first
+// append reallocates onto the heap by itself. Called with p.mu held
+// under the usual no-live-reader mutation guarantee — a reader still
+// iterating the mapped arrays would otherwise lose the object keeping
+// the mmap alive.
+func (p *PLI) materializeLocked() {
+	if p.seg == nil {
+		return
+	}
+	if p.seg.holdsInt(p.tids) {
+		p.tids = append([]int(nil), p.tids...)
+	}
+	if p.seg.holdsInt32(p.offsets) {
+		p.offsets = append([]int32(nil), p.offsets...)
+	}
+	if p.seg.holdsInt32(p.tidGroup) {
+		p.tidGroup = append([]int32(nil), p.tidGroup...)
+	}
+	p.seg = nil // unmapped by the mapping finalizer once unreferenced
+}
+
+// MemSize estimates the index's resident heap bytes (flat storage plus
+// delta tail and lookup map) — the unit of IndexCache's byte budget.
+// Flat arrays that are zero-copy views into a mapped segment file are
+// excluded: they live in pageable OS memory the kernel reclaims under
+// pressure, not on the Go heap, which is exactly the existence →
+// residency repointing that lets a paged-in index stay cached at
+// near-zero budget cost.
 func (p *PLI) MemSize() int64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	sz := int64(len(p.tids))*8 + int64(len(p.offsets))*4 + int64(len(p.tidGroup))*4
+	var sz int64
+	if !p.seg.holdsInt(p.tids) {
+		sz += int64(len(p.tids)) * 8
+	}
+	if !p.seg.holdsInt32(p.offsets) {
+		sz += int64(len(p.offsets)) * 4
+	}
+	if !p.seg.holdsInt32(p.tidGroup) {
+		sz += int64(len(p.tidGroup)) * 4
+	}
 	sz += int64(p.tailLen)*16 + int64(len(p.shardEnds))*8
 	sz += int64(len(p.holes))*8 + int64(len(p.patchVers))*8
 	p.lookupMu.Lock()

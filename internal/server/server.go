@@ -142,8 +142,16 @@ type datasetJSON struct {
 	// grow patches instead of invalidating anything. evictions moves
 	// only under a configured cache byte budget, and shard_builds counts
 	// the cold builds that ran the TID-range-parallel counting sort
-	// (-shards).
+	// (-shards). Under tiered storage (-spill-dir) spills counts
+	// demotions of clean partitions to segment files in place of
+	// evictions, and pageins counts the mmap-backed revivals that made
+	// the next touch rebuild-free.
 	IndexCache relation.CacheStats `json:"index_cache"`
+	// IndexResidentBytes is the cache's current heap-resident byte
+	// estimate — the quantity the -index-budget-mb budget bounds. Paged-
+	// in (mmap-backed) partitions cost almost nothing here; the gap
+	// between this and the logical index size is what tiering bought.
+	IndexResidentBytes int64 `json:"index_resident_bytes"`
 }
 
 type violationJSON struct {
@@ -208,6 +216,8 @@ func datasetInfo(sess *engine.Session) datasetJSON {
 		Constraints: sess.Constraints().Len(),
 		DCs:         sess.DCs().Len(),
 		IndexCache:  sess.IndexStats(),
+
+		IndexResidentBytes: sess.IndexResidentBytes(),
 	}
 }
 

@@ -370,6 +370,16 @@ func TestDiscover(t *testing.T) {
 	if cacheStats["misses"].(float64) == 0 {
 		t.Fatalf("expected some full partition builds: %v", cacheStats)
 	}
+	// The tiered-storage counters are part of the JSON contract even
+	// when no spill store is configured (both flat at zero here).
+	for _, k := range []string{"spills", "pageins"} {
+		if _, ok := cacheStats[k]; !ok {
+			t.Fatalf("index_cache missing %q: %v", k, cacheStats)
+		}
+	}
+	if _, ok := body["index_resident_bytes"].(float64); !ok {
+		t.Fatalf("dataset JSON missing index_resident_bytes: %v", body)
+	}
 }
 
 func TestEditAndConfirm(t *testing.T) {
