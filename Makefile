@@ -7,7 +7,7 @@ SHELL := /bin/bash
 # real measurements.
 BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-repair bench-spill bench-all run-daemon
+.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-repair bench-spill bench-service bench-all run-daemon
 
 all: check
 
@@ -48,7 +48,7 @@ race:
 # — the Get/GetDelta compaction race stayed hidden on a 1-core host
 # until the fan-out was pinned.
 race-cache:
-	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/ ./internal/repair/ ./internal/dc/
+	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/ ./internal/repair/ ./internal/dc/ ./internal/server/
 
 # bench runs the perf-trajectory benchmarks CI archives on every run:
 # detection (E1 scale sweep, E13 parallel detector) into
@@ -94,6 +94,26 @@ bench-repair:
 bench-spill:
 	$(GO) test -bench='SpillDetect' -benchmem -benchtime=$(BENCHTIME) -run '^$$' . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_spill.json
+
+# bench-service drives the closed-loop HTTP load harness: for each
+# worker count in LOAD_SWEEP it spawns that many `semandaqd -worker`
+# processes plus a coordinator preloaded with LOAD_N tuples, runs the
+# mixed append/detect/violations/discover loop for LOAD_DUR per run,
+# and writes throughput + p50/p95/p99 + the boundary-group residual
+# fraction to BENCH_service.json. The defaults are the measurement
+# setting; CI overrides them down to a smoke (see ci.yml).
+LOAD_N ?= 5000
+LOAD_DUR ?= 5s
+LOAD_SWEEP ?= 1,2,4
+LOAD_CLIENTS ?= 8
+
+bench-service:
+	mkdir -p bin
+	$(GO) build -o bin/semandaqd ./cmd/semandaqd
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	./bin/loadgen -bin bin/semandaqd -sweep '$(LOAD_SWEEP)' -n $(LOAD_N) \
+		-clients $(LOAD_CLIENTS) -duration $(LOAD_DUR) -out BENCH_service.json
+	cat BENCH_service.json
 
 # bench-all smoke-runs every benchmark once.
 bench-all:

@@ -1,0 +1,371 @@
+// Command loadgen is a closed-loop HTTP load generator for semandaqd:
+// a fixed fleet of clients each keeps exactly one request in flight,
+// drawing the next operation from a weighted mix of append, detect,
+// violations and discover traffic, so measured latency reflects
+// service time under a bounded concurrency level rather than an
+// open-loop arrival storm.
+//
+// With -addr it drives an already-running server. Without it, loadgen
+// runs the full harness (`make bench-service`): for each worker count
+// in -sweep it boots that many `semandaqd -worker` processes plus a
+// `-cluster` coordinator preloaded with -n tuples, waits for health,
+// drives the mix for -duration, and reports throughput, p50/p95/p99
+// latency and the boundary-group residual fraction of a fresh detect.
+// Output is a benchjson-shaped document (BENCH_service.json in CI), so
+// archived service numbers live alongside the library benchmarks.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "", "drive an already-running server at this base URL instead of spawning a cluster")
+	bin := flag.String("bin", "bin/semandaqd", "semandaqd binary for spawned clusters")
+	sweep := flag.String("sweep", "1,2,4", "comma-separated worker counts to benchmark")
+	portBase := flag.Int("port-base", 18080, "coordinator listens here; workers on the following ports")
+	n := flag.Int("n", 5000, "preloaded cust dataset size")
+	clients := flag.Int("clients", 8, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window per run")
+	mix := flag.String("mix", "detect=2,violations=5,append=2,discover=0.2", "weighted operation mix")
+	seed := flag.Int64("seed", 1, "per-client RNG seed base")
+	out := flag.String("out", "", "output JSON path (empty = stdout)")
+	flag.Parse()
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	rep := report{Meta: map[string]string{
+		"goversion":  runtime.Version(),
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"numcpu":     strconv.Itoa(runtime.NumCPU()),
+		"mix":        *mix,
+		"clients":    strconv.Itoa(*clients),
+		"duration":   duration.String(),
+		"preload-n":  strconv.Itoa(*n),
+	}}
+
+	if *addr != "" {
+		res := runLoad(*addr, *clients, *duration, weights, *seed)
+		res.Name = "LoadgenMixed/external"
+		rep.Results = append(rep.Results, res)
+	} else {
+		for _, field := range strings.Split(*sweep, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || w < 1 {
+				log.Fatalf("loadgen: bad -sweep entry %q", field)
+			}
+			res, err := runCluster(*bin, *portBase, w, *n, *clients, *duration, weights, *seed)
+			if err != nil {
+				log.Fatalf("loadgen: workers=%d: %v", w, err)
+			}
+			res.Name = fmt.Sprintf("LoadgenMixed/workers=%d", w)
+			rep.Results = append(rep.Results, res)
+			log.Printf("%s: %.1f req/s, p50 %.2fms p95 %.2fms p99 %.2fms, residual %.4f",
+				res.Name, res.Extra["req/s"], res.Extra["p50-ms"], res.Extra["p95-ms"],
+				res.Extra["p99-ms"], res.Extra["boundary-fraction"])
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+}
+
+// report mirrors cmd/benchjson's document shape so BENCH_service.json
+// is directly comparable with the other archived BENCH_*.json files.
+type report struct {
+	Meta    map[string]string `json:"meta,omitempty"`
+	Results []result          `json:"results"`
+}
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// parseMix parses "op=weight,op=weight" into positive weights for the
+// known operations (append, detect, violations, discover).
+func parseMix(s string) (map[string]float64, error) {
+	known := map[string]bool{"append": true, "detect": true, "violations": true, "discover": true}
+	weights := map[string]float64{}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not op=weight", field)
+		}
+		name = strings.TrimSpace(name)
+		if !known[name] {
+			return nil, fmt.Errorf("unknown operation %q in mix", name)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad weight in mix entry %q", field)
+		}
+		if w > 0 {
+			weights[name] = w
+		}
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("mix %q selects no operations", s)
+	}
+	return weights, nil
+}
+
+// pickOp draws an operation from the weighted mix. Iteration order over
+// a map is random, so the cumulative walk uses sorted keys to stay
+// deterministic for a given RNG stream.
+func pickOp(rng *rand.Rand, weights map[string]float64) string {
+	names := make([]string, 0, len(weights))
+	total := 0.0
+	for name, w := range weights {
+		names = append(names, name)
+		total += w
+	}
+	sort.Strings(names)
+	x := rng.Float64() * total
+	for _, name := range names {
+		x -= weights[name]
+		if x < 0 {
+			return name
+		}
+	}
+	return names[len(names)-1]
+}
+
+// percentile returns the p-th percentile (0..100) of sorted durations
+// by nearest-rank.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// runCluster boots workers + coordinator, runs the load, tears down.
+func runCluster(bin string, portBase, workers, n, clients int, duration time.Duration, weights map[string]float64, seed int64) (result, error) {
+	var procs []*exec.Cmd
+	stopAll := func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Signal(os.Interrupt)
+			}
+		}
+		for _, p := range procs {
+			p.Wait()
+		}
+	}
+	defer stopAll()
+
+	var workerURLs []string
+	for i := 0; i < workers; i++ {
+		port := portBase + 1 + i
+		url := fmt.Sprintf("http://127.0.0.1:%d", port)
+		cmd := exec.Command(bin, "-worker", "-addr", fmt.Sprintf("127.0.0.1:%d", port))
+		cmd.Stdout = io.Discard
+		cmd.Stderr = io.Discard
+		if err := cmd.Start(); err != nil {
+			return result{}, fmt.Errorf("start worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+		workerURLs = append(workerURLs, url)
+	}
+	for _, url := range workerURLs {
+		if err := waitHealthy(url, 30*time.Second); err != nil {
+			return result{}, err
+		}
+	}
+	coordURL := fmt.Sprintf("http://127.0.0.1:%d", portBase)
+	cmd := exec.Command(bin,
+		"-cluster", strings.Join(workerURLs, ","),
+		"-addr", fmt.Sprintf("127.0.0.1:%d", portBase),
+		"-preload", strconv.Itoa(n))
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return result{}, fmt.Errorf("start coordinator: %w", err)
+	}
+	procs = append(procs, cmd)
+	if err := waitHealthy(coordURL, 60*time.Second); err != nil {
+		return result{}, err
+	}
+
+	res := runLoad(coordURL, clients, duration, weights, seed)
+	res.Extra["workers"] = float64(workers)
+	return res, nil
+}
+
+func waitHealthy(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("%s did not become healthy within %s", url, timeout)
+}
+
+// runLoad drives the closed loop and aggregates latency + throughput.
+func runLoad(base string, clients int, duration time.Duration, weights map[string]float64, seed int64) result {
+	type sample struct {
+		d  time.Duration
+		ok bool
+	}
+	perClient := make([][]sample, clients)
+	var wg sync.WaitGroup
+	stop := time.Now().Add(duration)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			hc := &http.Client{Timeout: 2 * time.Minute}
+			for seq := 0; time.Now().Before(stop); seq++ {
+				op := pickOp(rng, weights)
+				start := time.Now()
+				ok := doOp(hc, base, op, c, seq)
+				perClient[c] = append(perClient[c], sample{d: time.Since(start), ok: ok})
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var lat []time.Duration
+	var total, errs int64
+	var sum time.Duration
+	for _, samples := range perClient {
+		for _, s := range samples {
+			total++
+			sum += s.d
+			lat = append(lat, s.d)
+			if !s.ok {
+				errs++
+			}
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res := result{Iterations: total, Extra: map[string]float64{
+		"req/s":  float64(total) / duration.Seconds(),
+		"p50-ms": ms(percentile(lat, 50)),
+		"p95-ms": ms(percentile(lat, 95)),
+		"p99-ms": ms(percentile(lat, 99)),
+		"errors": float64(errs),
+	}}
+	if total > 0 {
+		res.NsPerOp = float64(sum.Nanoseconds()) / float64(total)
+	}
+	if frac, ok := residualFraction(base); ok {
+		res.Extra["boundary-fraction"] = frac
+	}
+	return res
+}
+
+// doOp issues one request of the given kind; false marks an error
+// response. Appends are phi3-consistent ('01','908' -> 'mh') with
+// unique phones so the worker's incremental repair path accepts them.
+func doOp(hc *http.Client, base, op string, client, seq int) bool {
+	switch op {
+	case "append":
+		tuple := []string{
+			"01", "908", fmt.Sprintf("908-9%02d%04d", client%100, seq%10000),
+			fmt.Sprintf("lg%d", client), "Load Ln", "mh", "07974",
+		}
+		return post(hc, base+"/v1/repair/incremental",
+			map[string]any{"dataset": "cust", "tuples": [][]string{tuple}})
+	case "detect":
+		return post(hc, base+"/v1/detect", map[string]any{"dataset": "cust"})
+	case "violations":
+		resp, err := hc.Get(base + "/v1/datasets/cust/violations")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode < 400
+	case "discover":
+		return post(hc, base+"/v1/discover",
+			map[string]any{"dataset": "cust", "min_support": 50, "max_lhs": 1})
+	}
+	return false
+}
+
+func post(hc *http.Client, url string, body any) bool {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return false
+	}
+	resp, err := hc.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode < 400
+}
+
+// residualFraction runs one quiescent detect and reads the merge's
+// boundary-group residual fraction (absent on a single-process server).
+func residualFraction(base string) (float64, bool) {
+	buf, _ := json.Marshal(map[string]any{"dataset": "cust"})
+	resp, err := http.Post(base+"/v1/detect", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Residual *struct {
+			BoundaryFraction float64 `json:"boundary_fraction"`
+		} `json:"residual"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) != nil || body.Residual == nil {
+		return 0, false
+	}
+	return body.Residual.BoundaryFraction, true
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

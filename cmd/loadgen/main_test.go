@@ -1,0 +1,73 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	weights, err := parseMix("detect=2,violations=5,append=2,discover=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 4 || weights["violations"] != 5 || weights["discover"] != 0.2 {
+		t.Fatalf("weights = %v", weights)
+	}
+	// Zero weights drop the operation entirely.
+	weights, err = parseMix("detect=1,append=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 1 || weights["detect"] != 1 {
+		t.Fatalf("weights = %v", weights)
+	}
+	for _, bad := range []string{"", "detect", "repair=1", "detect=-1", "detect=x"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickOpRespectsWeights(t *testing.T) {
+	weights := map[string]float64{"detect": 1, "violations": 9}
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pickOp(rng, weights)]++
+	}
+	if counts["detect"]+counts["violations"] != 10000 {
+		t.Fatalf("unexpected ops: %v", counts)
+	}
+	frac := float64(counts["violations"]) / 10000
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("violations fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var sorted []time.Duration
+	for i := 1; i <= 100; i++ {
+		sorted = append(sorted, time.Duration(i)*time.Millisecond)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{50, 50 * time.Millisecond},
+		{95, 95 * time.Millisecond},
+		{99, 99 * time.Millisecond},
+		{100, 100 * time.Millisecond},
+	} {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("p%v = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	one := []time.Duration{3 * time.Millisecond}
+	if got := percentile(one, 1); got != 3*time.Millisecond {
+		t.Errorf("single-sample percentile = %v", got)
+	}
+}

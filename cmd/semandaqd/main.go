@@ -25,6 +25,19 @@
 // as segment files under the directory and paged back in via read-only
 // mmap instead of rebuilt (see the "Tiered storage" section of
 // README.md); empty keeps the discard-on-evict behavior.
+//
+// Cluster mode (see the "Scatter-gather cluster" section of README.md):
+//
+//	semandaqd -worker -addr :8091          # worker owning a TID-range slice
+//	semandaqd -cluster http://h1,http://h2 # coordinator fronting workers
+//
+// -worker only changes startup logging — every semandaqd mounts the
+// /v1/shard/* protocol — but names the role for operators. -cluster
+// takes a comma-separated worker URL list and serves the coordinator
+// surface instead: registration range-partitions datasets across the
+// fleet, detect/discover fan out and merge byte-identically to a
+// single process, and appends route to the tail worker. -preload works
+// in both modes (the coordinator registers through the fleet).
 package main
 
 import (
@@ -56,7 +69,17 @@ func main() {
 	preload := flag.Int("preload", 0, "preload a noisy 'cust' dataset of this many tuples")
 	indexBudgetMB := flag.Int64("index-budget-mb", -1, "per-dataset PLI cache budget in MiB (0 = unlimited, -1 = derive from GOMEMLIMIT or total memory)")
 	spillDir := flag.String("spill-dir", "", "directory for tiered index storage: evicted partitions spill to segment files here instead of being discarded (empty = disabled)")
+	workerMode := flag.Bool("worker", false, "run as a cluster worker owning a TID-range slice (logging only; the shard protocol is always mounted)")
+	cluster := flag.String("cluster", "", "comma-separated worker base URLs; serve the scatter-gather coordinator surface instead of a local engine")
 	flag.Parse()
+
+	if *cluster != "" {
+		if *workerMode {
+			log.Fatal("semandaqd: -worker and -cluster are mutually exclusive")
+		}
+		runCoordinator(*addr, *cluster, *preload)
+		return
+	}
 
 	budget := *indexBudgetMB << 20
 	if *indexBudgetMB < 0 {
@@ -86,11 +109,15 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	role := "semandaqd"
+	if *workerMode {
+		role = "semandaqd worker"
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("semandaqd listening on %s", *addr)
+		log.Printf("%s listening on %s", role, *addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -100,13 +127,95 @@ func main() {
 			log.Fatalf("semandaqd: %v", err)
 		}
 	case <-ctx.Done():
-		log.Print("semandaqd: shutting down")
+		log.Printf("%s: shutting down", role)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("semandaqd: shutdown: %v", err)
+		}
+		// Drop every dataset so per-dataset spill directories (MkdirTemp
+		// under -spill-dir) are removed, not leaked across restarts.
+		eng.Close()
+	}
+}
+
+// runCoordinator serves the cluster coordinator: the public API backed
+// by the worker fleet at the given comma-separated base URLs.
+func runCoordinator(addr, workerList string, preload int) {
+	var clients []engine.ShardClient
+	for _, u := range strings.Split(workerList, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		clients = append(clients, server.NewShardClient(u, 5*time.Minute))
+	}
+	coord, err := engine.NewCoordinator(clients)
+	if err != nil {
+		log.Fatalf("semandaqd: %v", err)
+	}
+	if preload > 0 {
+		if err := preloadCluster(coord, preload); err != nil {
+			log.Fatalf("semandaqd: preload: %v", err)
+		}
+		log.Printf("preloaded datasets %q and %q across %d workers", "cust", "emp", len(clients))
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           logRequests(server.NewCoordinator(coord)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("semandaqd coordinator for %d workers listening on %s", len(clients), addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("semandaqd: %v", err)
+		}
+	case <-ctx.Done():
+		log.Print("semandaqd coordinator: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Fatalf("semandaqd: shutdown: %v", err)
 		}
 	}
+}
+
+// preloadCluster registers the same demo datasets as single-process
+// preload, range-partitioned across the fleet via the coordinator.
+func preloadCluster(coord *engine.Coordinator, n int) error {
+	clean := datagen.Cust(n, 1)
+	schema := clean.Schema()
+	dirty, _ := noise.Dirty(clean, noise.Options{
+		Rate:  0.05,
+		Attrs: []int{schema.MustIndex("STR"), schema.MustIndex("CT")},
+		Seed:  2,
+	})
+	if _, err := coord.Register("cust", dirty); err != nil {
+		return err
+	}
+	if _, err := coord.InstallConstraints("cust", datagen.CustConstraints().String()); err != nil {
+		return err
+	}
+	if _, err := coord.InstallDCs("cust", "dc zipstr: !( t.CC = u.CC & t.ZIP = u.ZIP & t.STR != u.STR )"); err != nil {
+		return err
+	}
+	nEmp := (n + 9) / 10
+	violations := nEmp / 100
+	if violations == 0 {
+		violations = 1
+	}
+	if _, err := coord.Register("emp", datagen.Emp(nEmp, violations, 3)); err != nil {
+		return err
+	}
+	_, err := coord.InstallDCs("emp", datagen.EmpDCText())
+	return err
 }
 
 // deriveIndexBudget picks a default per-dataset index budget from the

@@ -1,0 +1,415 @@
+package cfd
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"semandaq/internal/relation"
+)
+
+// Scatter-gather detection across shard relations.
+//
+// A dataset is range-partitioned into W shard relations (contiguous TID
+// slices, shard w owning global TIDs [offset[w], offset[w]+len_w)).
+// Each shard detects locally and reports, per CFD, ALL of its X-groups
+// in PLI order — keyed by the group's composite Value.Encode key
+// (relation.AppendGroupKey) — with the shard-local violations attached
+// to their groups. The coordinator merges the per-shard group streams:
+//
+//   - PLI group order IS lexicographic key order (relation.BuildPLI), so
+//     per-shard streams are key-sorted and a k-way merge by raw key
+//     bytes reproduces the single-process group traversal exactly.
+//   - A group present in exactly one shard is complete there: its local
+//     violations, TID-translated, are the global ones verbatim (all
+//     constant-RHS checks are per-tuple, and variable-RHS checks only
+//     see the group's members — all local).
+//   - A group present in two or more shards (a BOUNDARY group, the one
+//     place the range cut crosses a partition class) is replayed at the
+//     coordinator from the shards' shipped members: constant checks are
+//     per-tuple pattern matches on the shipped values, and variable
+//     (wildcard-RHS) checks run the exact groupVarConflict semantics
+//     over the concatenated membership. Local violations of boundary
+//     groups are discarded — a shard's view of such a group is wrong in
+//     both directions for wildcard RHS (a locally-agreeing group can
+//     disagree globally, and a reported conflict carries a truncated
+//     TID list).
+//
+// The result is byte-identical to single-process Detect over the
+// unpartitioned relation (property-tested in scatter_test.go), and only
+// the boundary groups' member values cross the wire — MergeStats
+// reports that residual fraction.
+
+// ShardGroup is one X-group of one CFD on one shard.
+type ShardGroup struct {
+	// Key is the composite Encode key of the group (raw bytes in a
+	// string, NOT printable) — the cross-shard group identity and merge
+	// order.
+	Key string
+	// N is the group's member count on this shard.
+	N int
+	// Vios are the shard-local violations of this group, in the exact
+	// emission order of detectGroupsPrepared, with shard-LOCAL TIDs.
+	Vios []Violation
+}
+
+// ShardResult is one CFD's group stream on one shard, in PLI (= key)
+// order.
+type ShardResult struct {
+	Groups []ShardGroup
+}
+
+// DetectShards runs shard-local detection of every CFD in set over r,
+// returning one ShardResult per CFD in set order. It is Detect
+// restructured to keep per-group attribution: same PLIs (through cache),
+// same prepared fast paths, same emission order within each group.
+// workers parallelizes the group scan like DetectParallel (0 = NumCPU).
+func DetectShards(r *relation.Relation, set *Set, cache *relation.IndexCache, workers int) ([]ShardResult, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if cache == nil {
+		cache = relation.NewIndexCache()
+	}
+	out := make([]ShardResult, len(set.cfds))
+	for i, c := range set.cfds {
+		if !r.Schema().Equal(c.schema) {
+			return nil, fmt.Errorf("cfd: detecting %s over relation %s with schema %s",
+				c.name, r.Schema().Name(), c.schema.Name())
+		}
+		pli := cache.Get(r, c.lhs)
+		prep := newPrep(r, c)
+		n := pli.NumGroups()
+		chunks := workers
+		if chunks > n {
+			chunks = n
+		}
+		if chunks <= 1 {
+			out[i] = ShardResult{Groups: scanGroups(r, c, pli, 0, n, prep)}
+			continue
+		}
+		parts := make([][]ShardGroup, chunks)
+		size, rem := n/chunks, n%chunks
+		var wg sync.WaitGroup
+		lo := 0
+		for k := 0; k < chunks; k++ {
+			hi := lo + size
+			if k < rem {
+				hi++
+			}
+			wg.Add(1)
+			go func(k, lo, hi int) {
+				defer wg.Done()
+				parts[k] = scanGroups(r, c, pli, lo, hi, prep)
+			}(k, lo, hi)
+			lo = hi
+		}
+		wg.Wait()
+		var groups []ShardGroup
+		for _, p := range parts {
+			groups = append(groups, p...)
+		}
+		out[i] = ShardResult{Groups: groups}
+	}
+	return out, nil
+}
+
+// scanGroups walks the PLI groups in [lo, hi), emitting one ShardGroup
+// per non-empty group with the group's violations attached
+// (detectGroupsPrepared restricted to a single group preserves the
+// serial emission order exactly).
+func scanGroups(r *relation.Relation, c *CFD, pli *relation.PLI, lo, hi int, prep cfdPrep) []ShardGroup {
+	var out []ShardGroup
+	var key []byte
+	for g := lo; g < hi; g++ {
+		tids := pli.Group(g)
+		if len(tids) == 0 {
+			continue
+		}
+		key = r.AppendGroupKey(key[:0], tids[0], c.lhs)
+		out = append(out, ShardGroup{
+			Key:  string(key),
+			N:    len(tids),
+			Vios: detectGroupsPrepared(r, c, pli, g, g+1, prep),
+		})
+	}
+	return out
+}
+
+// BoundaryGroup is the shipped membership of one boundary group on one
+// shard: global TIDs (ascending) and, per member, a full-arity tuple
+// with (at least) the CFD's LHS and RHS attributes populated.
+type BoundaryGroup struct {
+	TIDs []int
+	Rows []relation.Tuple
+}
+
+// BoundaryFetcher retrieves boundary-group members for CFD cfdIdx: for
+// each requested key, the per-worker memberships (result[w][k] for
+// worker w, key k; empty TIDs where the worker has no such group —
+// tolerated, since a racing append can shift membership between the
+// detect and fetch phases).
+type BoundaryFetcher func(cfdIdx int, keys []string) ([][]BoundaryGroup, error)
+
+// MergeStats quantifies the residual pass: how much of the partition
+// straddled the range cuts and had to ship member values.
+type MergeStats struct {
+	// Groups counts distinct (CFD, group) pairs across the cluster;
+	// BoundaryGroups the subset present on 2+ shards.
+	Groups         int `json:"groups"`
+	BoundaryGroups int `json:"boundary_groups"`
+	// BoundaryTuples counts the member rows shipped for the replay.
+	BoundaryTuples int `json:"boundary_tuples"`
+}
+
+// BoundaryFraction is BoundaryGroups/Groups — the residual fraction the
+// load reports commit.
+func (m MergeStats) BoundaryFraction() float64 {
+	if m.Groups == 0 {
+		return 0
+	}
+	return float64(m.BoundaryGroups) / float64(m.Groups)
+}
+
+// CollectGroups is the worker-side half of the boundary fetch: for each
+// requested composite key over partAttrs, the matching group's local
+// TIDs plus per-member full-arity tuples populated on valAttrs. Keys
+// with no matching group return empty entries.
+func CollectGroups(r *relation.Relation, cache *relation.IndexCache, partAttrs, valAttrs []int, keys []string) []BoundaryGroup {
+	if cache == nil {
+		cache = relation.NewIndexCache()
+	}
+	pli := cache.Get(r, partAttrs)
+	want := make(map[string]int, len(keys))
+	for i, k := range keys {
+		want[k] = i
+	}
+	out := make([]BoundaryGroup, len(keys))
+	var key []byte
+	arity := r.Schema().Arity()
+	for g, n := 0, pli.NumGroups(); g < n; g++ {
+		tids := pli.Group(g)
+		if len(tids) == 0 {
+			continue
+		}
+		key = r.AppendGroupKey(key[:0], tids[0], partAttrs)
+		i, ok := want[string(key)]
+		if !ok {
+			continue
+		}
+		bg := BoundaryGroup{TIDs: append([]int(nil), tids...), Rows: make([]relation.Tuple, len(tids))}
+		for m, tid := range tids {
+			row := make(relation.Tuple, arity)
+			for _, a := range valAttrs {
+				row[a] = r.Get(tid, a)
+			}
+			bg.Rows[m] = row
+		}
+		out[i] = bg
+	}
+	return out
+}
+
+// LHSRHSAttrs returns the sorted union of a CFD's X and Y attribute
+// positions — the value attributes a boundary replay needs shipped.
+func (c *CFD) LHSRHSAttrs() []int {
+	out := append(append([]int(nil), c.lhs...), c.rhs...)
+	sort.Ints(out)
+	return out
+}
+
+// MergeShards merges per-shard detection results into the global
+// violation list, byte-identical to single-process Detect over the
+// union relation. offsets[w] is worker w's global TID offset (workers
+// in ascending TID-range order); shards[w] is worker w's DetectShards
+// output. fetch supplies boundary-group members on demand; it is called
+// at most once per CFD (with all of that CFD's boundary keys) and never
+// when no group straddles a cut.
+func MergeShards(set *Set, offsets []int, shards [][]ShardResult, fetch BoundaryFetcher) ([]Violation, MergeStats, error) {
+	var out []Violation
+	var stats MergeStats
+	for w, sr := range shards {
+		if len(sr) != len(set.cfds) {
+			return nil, stats, fmt.Errorf("cfd: shard %d returned %d CFD results, set has %d", w, len(sr), len(set.cfds))
+		}
+	}
+	for ci, c := range set.cfds {
+		merged, err := mergeCFD(c, ci, offsets, shards, fetch, &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		out = append(out, merged...)
+	}
+	return out, stats, nil
+}
+
+// mergeCFD runs the k-way key merge for one CFD.
+func mergeCFD(c *CFD, ci int, offsets []int, shards [][]ShardResult, fetch BoundaryFetcher, stats *MergeStats) ([]Violation, error) {
+	W := len(shards)
+	streams := make([][]ShardGroup, W)
+	pos := make([]int, W)
+	for w := range shards {
+		streams[w] = shards[w][ci].Groups
+	}
+
+	// Pass 1: k-way merge the key-sorted streams into the global group
+	// order, partitioning into sole-owner groups (emit local violations
+	// verbatim) and boundary groups (collect keys for the residual
+	// fetch). mergeUnit remembers, per global group in order, how to
+	// produce its violations in pass 2.
+	type mergeUnit struct {
+		soleWorker int // -1 for boundary groups
+		soleGroup  *ShardGroup
+		boundary   int // index into boundaryKeys
+	}
+	var units []mergeUnit
+	var boundaryKeys []string
+	for {
+		minKey := ""
+		found := false
+		for w := 0; w < W; w++ {
+			if pos[w] < len(streams[w]) {
+				k := streams[w][pos[w]].Key
+				if !found || k < minKey {
+					minKey, found = k, true
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		var holders []int
+		for w := 0; w < W; w++ {
+			if pos[w] < len(streams[w]) && streams[w][pos[w]].Key == minKey {
+				holders = append(holders, w)
+			}
+		}
+		stats.Groups++
+		if len(holders) == 1 {
+			w := holders[0]
+			units = append(units, mergeUnit{soleWorker: w, soleGroup: &streams[w][pos[w]]})
+		} else {
+			units = append(units, mergeUnit{soleWorker: -1, boundary: len(boundaryKeys)})
+			boundaryKeys = append(boundaryKeys, minKey)
+			stats.BoundaryGroups++
+		}
+		for _, w := range holders {
+			pos[w]++
+		}
+	}
+
+	// Residual fetch: the boundary groups' members, per worker.
+	var members [][]BoundaryGroup
+	if len(boundaryKeys) > 0 {
+		if fetch == nil {
+			return nil, fmt.Errorf("cfd: %d boundary groups for %s but no fetcher configured", len(boundaryKeys), c.name)
+		}
+		var err error
+		members, err = fetch(ci, boundaryKeys)
+		if err != nil {
+			return nil, fmt.Errorf("cfd: fetching boundary groups for %s: %w", c.name, err)
+		}
+		if len(members) != len(shards) {
+			return nil, fmt.Errorf("cfd: boundary fetch for %s returned %d workers, want %d", c.name, len(members), len(shards))
+		}
+	}
+
+	// Pass 2: emit in global group order.
+	var out []Violation
+	for _, u := range units {
+		if u.soleWorker >= 0 {
+			out = appendTranslated(out, c, u.soleGroup.Vios, offsets[u.soleWorker])
+			continue
+		}
+		// Concatenate the shipped memberships in worker order: ranges
+		// are contiguous and ascending, so this is ascending global TID
+		// order — the single-process group membership.
+		var tids []int
+		var rows []relation.Tuple
+		for w := 0; w < W; w++ {
+			bg := members[w][u.boundary]
+			if len(bg.TIDs) != len(bg.Rows) {
+				return nil, fmt.Errorf("cfd: boundary group of %s: %d TIDs but %d rows from worker %d",
+					c.name, len(bg.TIDs), len(bg.Rows), w)
+			}
+			tids = append(tids, bg.TIDs...)
+			rows = append(rows, bg.Rows...)
+		}
+		stats.BoundaryTuples += len(tids)
+		out = append(out, replayGroup(c, tids, rows)...)
+	}
+	return out, nil
+}
+
+// appendTranslated appends vs with every TID shifted by off — the
+// local→global translation for a sole-owner group.
+func appendTranslated(dst []Violation, c *CFD, vs []Violation, off int) []Violation {
+	for _, v := range vs {
+		tids := make([]int, len(v.TIDs))
+		for i, tid := range v.TIDs {
+			tids[i] = tid + off
+		}
+		dst = append(dst, Violation{CFD: c, Row: v.Row, Kind: v.Kind, Attr: v.Attr, TIDs: tids})
+	}
+	return dst
+}
+
+// replayGroup re-runs the single-group detection of detectGroupsPrepared
+// on a shipped membership, value-exactly. Row matching, constant checks
+// and wildcard conflicts depend only on the members' values (code fast
+// paths are extensionally pattern/Identical checks — see the
+// detectGroupsPrepared documentation), so evaluating the exact semantics
+// directly on the shipped rows reproduces the emission byte for byte:
+// rows outer, RHS attributes inner, constant violations per member in
+// TID order, variable violations once per conflicting group.
+func replayGroup(c *CFD, tids []int, rows []relation.Tuple) []Violation {
+	if len(tids) == 0 {
+		return nil
+	}
+	var out []Violation
+	nl := len(c.lhs)
+	rep := rows[0]
+	for rowIdx, row := range c.tableau {
+		if !row[:nl].Matches(rep, c.lhs) {
+			continue
+		}
+		for j, attr := range c.rhs {
+			p := row[nl+j]
+			if p.IsConst() {
+				for m, tid := range tids {
+					if !p.Matches(rows[m][attr]) {
+						out = append(out, Violation{
+							CFD: c, Row: rowIdx, Kind: ConstViolation,
+							Attr: attr, TIDs: []int{tid},
+						})
+					}
+				}
+				continue
+			}
+			if len(tids) < 2 {
+				continue
+			}
+			// groupVarConflict semantics: disagree iff some member is
+			// not Identical to the FIRST member's value (NaN is never
+			// Identical to itself, NULL is Identical to NULL).
+			first := rep[attr]
+			conflict := false
+			for m := 1; m < len(rows); m++ {
+				if !rows[m][attr].Identical(first) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				group := append([]int(nil), tids...)
+				sort.Ints(group)
+				out = append(out, Violation{
+					CFD: c, Row: rowIdx, Kind: VarViolation,
+					Attr: attr, TIDs: group,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package cfd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+// splitRelation range-partitions r into w contiguous shard relations
+// (the coordinator's registration-time partitioning: sizes n/w with the
+// remainder spread over the leading shards), reproducing every tuple
+// bit-exactly via InsertUnchecked. Returns the shards and their global
+// TID offsets.
+func splitRelation(r *relation.Relation, w int) ([]*relation.Relation, []int) {
+	n := r.Len()
+	size, rem := n/w, n%w
+	shards := make([]*relation.Relation, w)
+	offsets := make([]int, w)
+	tid := 0
+	for i := 0; i < w; i++ {
+		hi := tid + size
+		if i < rem {
+			hi++
+		}
+		offsets[i] = tid
+		s := relation.New(r.Schema())
+		for ; tid < hi; tid++ {
+			s.InsertUnchecked(r.Tuple(tid).Clone())
+		}
+		shards[i] = s
+	}
+	return shards, offsets
+}
+
+// localFetcher is the in-process BoundaryFetcher: it reads boundary
+// group members straight off the shard relations with CollectGroups,
+// translating shard-local TIDs to global ones — exactly what the worker
+// /v1/shard/groups endpoint plus the coordinator client do over HTTP.
+func localFetcher(set *Set, shards []*relation.Relation, offsets []int, caches []*relation.IndexCache) BoundaryFetcher {
+	return func(cfdIdx int, keys []string) ([][]BoundaryGroup, error) {
+		c := set.All()[cfdIdx]
+		valAttrs := c.LHSRHSAttrs()
+		out := make([][]BoundaryGroup, len(shards))
+		for w, s := range shards {
+			groups := CollectGroups(s, caches[w], c.LHS(), valAttrs, keys)
+			for i := range groups {
+				for m := range groups[i].TIDs {
+					groups[i].TIDs[m] += offsets[w]
+				}
+			}
+			out[w] = groups
+		}
+		return out, nil
+	}
+}
+
+// TestScatterGatherMatchesDetect is the tentpole acceptance property:
+// on randomized mixed-kind relations (kind-mismatched cells included),
+// range-partitioned detection merged with MergeShards is byte-identical
+// to single-process Detect, for every shard count — with cross-shard
+// groups actually present (the generator's tiny domains guarantee that,
+// and the test asserts it).
+func TestScatterGatherMatchesDetect(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		r, set := mixedRelationAndSet(t, seed, 400)
+		want, err := NewDetector(set).Detect(r)
+		if err != nil {
+			t.Fatalf("Detect: %v", err)
+		}
+		for _, w := range []int{1, 2, 3, 4} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, w), func(t *testing.T) {
+				shards, offsets := splitRelation(r, w)
+				caches := make([]*relation.IndexCache, w)
+				results := make([][]ShardResult, w)
+				for i, s := range shards {
+					caches[i] = relation.NewIndexCache()
+					sr, err := DetectShards(s, set, caches[i], 2)
+					if err != nil {
+						t.Fatalf("DetectShards(shard %d): %v", i, err)
+					}
+					results[i] = sr
+				}
+				got, stats, err := MergeShards(set, offsets, results, localFetcher(set, shards, offsets, caches))
+				if err != nil {
+					t.Fatalf("MergeShards: %v", err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("merged violations diverge from single-process Detect:\n got %d violations\nwant %d violations\n got: %v\nwant: %v",
+						len(got), len(want), got, want)
+				}
+				if w >= 2 && stats.BoundaryGroups == 0 {
+					t.Fatal("no boundary groups at workers >= 2 — the residual pass went unexercised")
+				}
+				if w == 1 && stats.BoundaryGroups != 0 {
+					t.Fatalf("single shard reported %d boundary groups", stats.BoundaryGroups)
+				}
+				if stats.Groups < stats.BoundaryGroups {
+					t.Fatalf("stats inconsistent: %+v", stats)
+				}
+				if f := stats.BoundaryFraction(); f < 0 || f > 1 {
+					t.Fatalf("boundary fraction %v out of range", f)
+				}
+			})
+		}
+	}
+}
+
+// TestDetectShardsGroupOrder pins the per-CFD group stream as key-sorted
+// — the invariant the k-way merge in MergeShards relies on.
+func TestDetectShardsGroupOrder(t *testing.T) {
+	r, set := mixedRelationAndSet(t, 42, 300)
+	results, err := DetectShards(r, set, relation.NewIndexCache(), 3)
+	if err != nil {
+		t.Fatalf("DetectShards: %v", err)
+	}
+	if len(results) != set.Len() {
+		t.Fatalf("got %d CFD results, want %d", len(results), set.Len())
+	}
+	for ci, sr := range results {
+		if len(sr.Groups) == 0 {
+			t.Fatalf("CFD %d produced no groups", ci)
+		}
+		for i := 1; i < len(sr.Groups); i++ {
+			if sr.Groups[i-1].Key >= sr.Groups[i].Key {
+				t.Fatalf("CFD %d groups out of key order at %d", ci, i)
+			}
+		}
+	}
+}
+
+// TestMergeShardsErrors pins the structured failures: mismatched result
+// shapes and a missing fetcher when boundary groups exist.
+func TestMergeShardsErrors(t *testing.T) {
+	r, set := mixedRelationAndSet(t, 7, 120)
+	shards, offsets := splitRelation(r, 2)
+	results := make([][]ShardResult, 2)
+	for i, s := range shards {
+		sr, err := DetectShards(s, set, nil, 1)
+		if err != nil {
+			t.Fatalf("DetectShards: %v", err)
+		}
+		results[i] = sr
+	}
+	if _, _, err := MergeShards(set, offsets, results, nil); err == nil {
+		t.Fatal("MergeShards with boundary groups and nil fetcher succeeded")
+	}
+	short := [][]ShardResult{results[0], results[1][:1]}
+	if _, _, err := MergeShards(set, offsets, short, nil); err == nil {
+		t.Fatal("MergeShards with a short shard result succeeded")
+	}
+	bad := func(cfdIdx int, keys []string) ([][]BoundaryGroup, error) {
+		return nil, fmt.Errorf("worker unreachable")
+	}
+	if _, _, err := MergeShards(set, offsets, results, bad); err == nil {
+		t.Fatal("MergeShards with a failing fetcher succeeded")
+	}
+}

@@ -1,0 +1,233 @@
+package dc
+
+import (
+	"fmt"
+	"sort"
+
+	"semandaq/internal/relation"
+)
+
+// Scatter-gather DC detection across TID-range shards, mirroring the
+// CFD path (internal/cfd/scatter.go): Detect already confines a
+// two-tuple DC's violating pairs to the PLI groups of its cross-side
+// equality attributes, so a range partition splits the pair space into
+//
+//   - shard-local pairs: both tuples on one shard, found by the shard's
+//     own Detect (all predicate evaluation is per-pair, so a local pair
+//     violates locally iff it violates globally), and
+//   - cross-shard pairs: the two tuples in the same equality group but
+//     on different shards — possible only in groups that straddle a
+//     range cut (boundary groups).
+//
+// Each shard ships its violations plus its group keys over the
+// equality attributes (relation.AppendGroupKey — the cross-shard group
+// identity, matching the PLI's code classes exactly since interning is
+// injective on Value.Encode). The coordinator intersects key sets,
+// fetches the boundary groups' members, enumerates the cross-shard
+// ordered pairs with PairViolates on the shipped tuples, and merges
+// with the translated local pairs under the global (T, U) sort.
+// MaxViolations truncation moves to the coordinator so the reported
+// prefix equals the single-process one.
+//
+// Single-tuple DCs never pair tuples and are purely local. A two-tuple
+// DC with NO cross-side equality predicate has an unpartitionable pair
+// space (every cross-shard pair is a candidate); MergeShards rejects it
+// in multi-shard mode rather than silently dropping cross-shard
+// witnesses.
+
+// EqualityAttrs exposes the DC's cross-side equality attributes (sorted,
+// distinct) — the shard partition key of scatter-gather detection.
+func (d *DC) EqualityAttrs() []int { return d.equalityAttrs() }
+
+// ReferencedAttrs returns the sorted distinct attribute positions any
+// predicate reads — the value attributes a boundary-pair replay needs
+// shipped.
+func (d *DC) ReferencedAttrs() []int {
+	seen := map[int]bool{}
+	for _, p := range d.preds {
+		seen[p.Left.Attr] = true
+		if !p.HasConst {
+			seen[p.Right.Attr] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PairViolates evaluates the DC's predicates on materialized tuples —
+// the coordinator-side residual check for cross-shard pairs, using the
+// exact opHolds semantics of Detect. t and u must have the DC's
+// ReferencedAttrs populated; for a single-tuple DC pass the tuple as
+// both.
+func (d *DC) PairViolates(t, u relation.Tuple) bool {
+	for _, p := range d.preds {
+		lv := tupleOperand(p.Left, t, u)
+		rv := p.Const
+		if !p.HasConst {
+			rv = tupleOperand(p.Right, t, u)
+		}
+		if !opHolds(p.Op, lv, rv) {
+			return false
+		}
+	}
+	return true
+}
+
+func tupleOperand(ref Ref, t, u relation.Tuple) relation.Value {
+	if ref.U {
+		return u[ref.Attr]
+	}
+	return t[ref.Attr]
+}
+
+// ShardResult is one shard's contribution to distributed detection of
+// one DC.
+type ShardResult struct {
+	// Vios are the shard-local violations (shard-local TIDs), sorted by
+	// (T, U), UNtruncated — the coordinator owns truncation.
+	Vios []Violation
+	// Keys are the shard's sorted group keys over EqualityAttrs (raw
+	// composite Encode bytes in strings). Nil for single-tuple DCs and
+	// for two-tuple DCs without equality attributes.
+	Keys []string
+}
+
+// DetectShard runs shard-local detection of d over r and collects the
+// shard's equality-group keys for the coordinator's boundary
+// intersection.
+func DetectShard(r *relation.Relation, d *DC, cache *relation.IndexCache) ShardResult {
+	if cache == nil {
+		cache = relation.NewIndexCache()
+	}
+	res := ShardResult{Vios: Detect(r, d, Options{Cache: cache})}
+	eq := d.equalityAttrs()
+	if !d.twoTuple || len(eq) == 0 {
+		return res
+	}
+	pli := cache.GetVia(r, eq)
+	var key []byte
+	for g, n := 0, pli.NumGroups(); g < n; g++ {
+		tids := pli.Group(g)
+		if len(tids) == 0 {
+			continue
+		}
+		key = r.AppendGroupKey(key[:0], tids[0], eq)
+		res.Keys = append(res.Keys, string(key))
+	}
+	sort.Strings(res.Keys)
+	return res
+}
+
+// BoundaryTuples is one boundary group's membership on one shard:
+// global TIDs (ascending) with per-member tuples populated on the DC's
+// ReferencedAttrs.
+type BoundaryTuples struct {
+	TIDs []int
+	Rows []relation.Tuple
+}
+
+// BoundaryFetcher retrieves boundary-group members: result[w][k] is
+// worker w's membership of the k-th requested key (empty where the
+// worker has no such group).
+type BoundaryFetcher func(keys []string) ([][]BoundaryTuples, error)
+
+// MergeStats quantifies the residual pass of one DC's merge.
+type MergeStats struct {
+	Groups         int `json:"groups"`
+	BoundaryGroups int `json:"boundary_groups"`
+	BoundaryTuples int `json:"boundary_tuples"`
+}
+
+// BoundaryFraction is BoundaryGroups/Groups.
+func (m MergeStats) BoundaryFraction() float64 {
+	if m.Groups == 0 {
+		return 0
+	}
+	return float64(m.BoundaryGroups) / float64(m.Groups)
+}
+
+// MergeShards combines per-shard results into the global violation
+// list, identical to single-process Detect over the union relation
+// (before truncation; maxViolations then truncates the (T,U)-sorted
+// list exactly like Options.MaxViolations). offsets[w] is worker w's
+// global TID offset.
+func MergeShards(d *DC, offsets []int, shards []ShardResult, fetch BoundaryFetcher, maxViolations int) ([]Violation, MergeStats, error) {
+	var stats MergeStats
+	var out []Violation
+	for w, sr := range shards {
+		off := offsets[w]
+		for _, v := range sr.Vios {
+			out = append(out, Violation{T: v.T + off, U: v.U + off})
+		}
+	}
+
+	if d.twoTuple && len(shards) > 1 {
+		if len(d.equalityAttrs()) == 0 {
+			return nil, stats, fmt.Errorf("dc: %s has no cross-side equality predicate; its pair space cannot be range-partitioned", d.name)
+		}
+		// Boundary keys: present on two or more shards.
+		count := map[string]int{}
+		for _, sr := range shards {
+			for _, k := range sr.Keys {
+				count[k]++
+			}
+		}
+		var boundary []string
+		for k, c := range count {
+			stats.Groups++
+			if c >= 2 {
+				boundary = append(boundary, k)
+			}
+		}
+		sort.Strings(boundary)
+		stats.BoundaryGroups = len(boundary)
+
+		if len(boundary) > 0 {
+			if fetch == nil {
+				return nil, stats, fmt.Errorf("dc: %d boundary groups for %s but no fetcher configured", len(boundary), d.name)
+			}
+			members, err := fetch(boundary)
+			if err != nil {
+				return nil, stats, fmt.Errorf("dc: fetching boundary groups for %s: %w", d.name, err)
+			}
+			if len(members) != len(shards) {
+				return nil, stats, fmt.Errorf("dc: boundary fetch for %s returned %d workers, want %d", d.name, len(members), len(shards))
+			}
+			for ki := range boundary {
+				for wi := range shards {
+					a := members[wi][ki]
+					if len(a.TIDs) != len(a.Rows) {
+						return nil, stats, fmt.Errorf("dc: boundary group of %s: %d TIDs but %d rows from worker %d",
+							d.name, len(a.TIDs), len(a.Rows), wi)
+					}
+					stats.BoundaryTuples += len(a.TIDs)
+					for wj := range shards {
+						if wi == wj {
+							continue
+						}
+						b := members[wj][ki]
+						for ti, t := range a.TIDs {
+							for ui, u := range b.TIDs {
+								if d.PairViolates(a.Rows[ti], b.Rows[ui]) {
+									out = append(out, Violation{T: t, U: u})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].U < out[j].U
+	})
+	return truncate(out, maxViolations), stats, nil
+}

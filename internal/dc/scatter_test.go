@@ -1,0 +1,146 @@
+package dc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"semandaq/internal/relation"
+)
+
+// splitShards range-partitions r into w contiguous shard relations via
+// the exact-reproduction ingest path (InsertUnchecked), returning the
+// shards and their global TID offsets.
+func splitShards(r *relation.Relation, w int) ([]*relation.Relation, []int) {
+	n := r.Len()
+	size, rem := n/w, n%w
+	shards := make([]*relation.Relation, w)
+	offsets := make([]int, w)
+	tid := 0
+	for i := 0; i < w; i++ {
+		hi := tid + size
+		if i < rem {
+			hi++
+		}
+		offsets[i] = tid
+		s := relation.New(r.Schema())
+		for ; tid < hi; tid++ {
+			s.InsertUnchecked(r.Tuple(tid).Clone())
+		}
+		shards[i] = s
+	}
+	return shards, offsets
+}
+
+// testFetcher reads boundary-group members straight off the shard
+// relations — the in-process stand-in for the worker groups endpoint.
+func testFetcher(d *DC, shards []*relation.Relation, offsets []int) BoundaryFetcher {
+	eq := d.EqualityAttrs()
+	ref := d.ReferencedAttrs()
+	return func(keys []string) ([][]BoundaryTuples, error) {
+		want := map[string]int{}
+		for i, k := range keys {
+			want[k] = i
+		}
+		out := make([][]BoundaryTuples, len(shards))
+		for w, s := range shards {
+			groups := make([]BoundaryTuples, len(keys))
+			var key []byte
+			for tid := 0; tid < s.Len(); tid++ {
+				key = s.AppendGroupKey(key[:0], tid, eq)
+				i, ok := want[string(key)]
+				if !ok {
+					continue
+				}
+				row := make(relation.Tuple, s.Schema().Arity())
+				for _, a := range ref {
+					row[a] = s.Get(tid, a)
+				}
+				groups[i].TIDs = append(groups[i].TIDs, tid+offsets[w])
+				groups[i].Rows = append(groups[i].Rows, row)
+			}
+			out[w] = groups
+		}
+		return out, nil
+	}
+}
+
+// TestDCScatterMatchesDetect: distributed detection of partitionable
+// DCs (cross-side equality present, or single-tuple) merged with
+// MergeShards equals single-process Detect on randomized relations with
+// NULLs, for every shard count — with cross-shard pairs actually found.
+func TestDCScatterMatchesDetect(t *testing.T) {
+	schema := testSchema(t)
+	set, err := ParseSet(
+		"dc pay: !( t.DEPT = u.DEPT & t.LEVEL < u.LEVEL & t.SAL > u.SAL )\n"+
+			"dc city: !( t.DEPT = u.DEPT & t.CITY != u.CITY )\n"+
+			"dc tie: !( t.DEPT = u.DEPT & t.LEVEL = u.LEVEL & t.SAL != u.SAL )\n"+
+			"dc cap: !( t.SAL > 8000 & t.DEPT = 'eng' )", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 4; round++ {
+		r := randomRelation(schema, rng, 60+rng.Intn(100))
+		for _, d := range set.All() {
+			want := Detect(r, d, Options{})
+			for _, w := range []int{1, 2, 3} {
+				shards, offsets := splitShards(r, w)
+				results := make([]ShardResult, w)
+				for i, s := range shards {
+					results[i] = DetectShard(s, d, nil)
+				}
+				got, stats, err := MergeShards(d, offsets, results, testFetcher(d, shards, offsets), 0)
+				if err != nil {
+					t.Fatalf("%s/workers=%d: MergeShards: %v", d.Name(), w, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s/workers=%d: merged = %v, want %v", d.Name(), w, got, want)
+				}
+				if w >= 2 && d.TwoTuple() && stats.BoundaryGroups == 0 {
+					t.Fatalf("%s/workers=%d: no boundary groups — cross-shard pairs unexercised", d.Name(), w)
+				}
+				// Coordinator-side truncation matches Options.MaxViolations.
+				if len(want) > 1 {
+					k := len(want) / 2
+					trunc, _, err := MergeShards(d, offsets, results, testFetcher(d, shards, offsets), k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(trunc, want[:k]) {
+						t.Fatalf("%s/workers=%d: truncated merge = %v, want %v", d.Name(), w, trunc, want[:k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDCScatterRejectsUnpartitionable: a two-tuple DC without a
+// cross-side equality predicate cannot be range-partitioned and must be
+// rejected in multi-shard mode (and still work single-shard).
+func TestDCScatterRejectsUnpartitionable(t *testing.T) {
+	schema := testSchema(t)
+	d, err := Parse("dc flat: !( t.LEVEL < u.LEVEL & t.SAL > u.SAL )", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	r := randomRelation(schema, rng, 50)
+	want := Detect(r, d, Options{})
+
+	shards, offsets := splitShards(r, 2)
+	results := []ShardResult{DetectShard(shards[0], d, nil), DetectShard(shards[1], d, nil)}
+	if _, _, err := MergeShards(d, offsets, results, nil, 0); err == nil {
+		t.Fatal("MergeShards accepted an equality-free two-tuple DC across 2 shards")
+	}
+
+	one, off1 := splitShards(r, 1)
+	got, _, err := MergeShards(d, off1, []ShardResult{DetectShard(one[0], d, nil)}, nil, 0)
+	if err != nil {
+		t.Fatalf("single-shard merge: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-shard merge = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,626 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/dc"
+	"semandaq/internal/relation"
+)
+
+// ErrWorker tags failures of a worker RPC so the HTTP layer can answer
+// 502 (upstream worker unreachable or misbehaving) instead of 500.
+var ErrWorker = errors.New("worker error")
+
+// ShardClient is the coordinator's view of one worker process. The HTTP
+// implementation lives in internal/server; tests use in-process fakes.
+// TIDs in every result are shard-LOCAL — the coordinator owns the
+// global translation.
+type ShardClient interface {
+	// URL identifies the worker in stats and errors.
+	URL() string
+	// Register creates the worker's slice of a dataset from exact
+	// tuples (the worker ingests via RegisterExact).
+	Register(dataset string, schema *relation.Schema, tuples []relation.Tuple) error
+	// Drop removes the worker's slice; dropping an unknown dataset is
+	// not an error.
+	Drop(dataset string) error
+	// InstallConstraints installs CFD text on the worker's slice.
+	InstallConstraints(dataset, cfds string) error
+	// InstallDCs installs denial-constraint text on the worker's slice.
+	InstallDCs(dataset, dcs string) error
+	// ShardDetect runs shard-local detection. set carries the
+	// coordinator's compiled CFDs (same text, same order as installed on
+	// the worker) so returned violations reference the coordinator's CFD
+	// pointers; cfds is the text to detect when it differs from the
+	// installed set ("" = installed).
+	ShardDetect(dataset, cfds string, set *cfd.Set) ([]cfd.ShardResult, error)
+	// ShardGroups fetches boundary-group members (local TIDs).
+	ShardGroups(dataset string, partAttrs, valAttrs []int, keys []string) ([]cfd.BoundaryGroup, error)
+	// ShardDCs runs shard-local DC detection for every installed DC,
+	// keyed by DC name.
+	ShardDCs(dataset string) (map[string]dc.ShardResult, error)
+	// Append routes raw tuple fields to the worker's incremental repair
+	// path and returns the number appended.
+	Append(dataset string, tuples [][]string) (int, error)
+	// Discover profiles the worker's slice and returns the discovered
+	// CFDs' canonical strings.
+	Discover(dataset string, minSupport, maxLHS int) ([]string, error)
+}
+
+// WorkerCall is one worker's share of a fan-out, for latency reporting.
+type WorkerCall struct {
+	URL       string  `json:"url"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// WorkerTotals is a worker's cumulative fan-out accounting in /v1/stats.
+type WorkerTotals struct {
+	Calls   uint64  `json:"calls"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// ClusterDataset is the coordinator's record of one range-partitioned
+// dataset: worker w owns global TIDs [offset(w), offset(w)+counts[w]).
+// The coordinator holds NO tuple data — only the schema, the compiled
+// constraint sets (for the merge), and the per-worker counts.
+type ClusterDataset struct {
+	mu      sync.RWMutex
+	name    string
+	schema  *relation.Schema
+	counts  []int
+	cfds    *cfd.Set
+	cfdText string
+	dcs     *dc.Set
+
+	violations []cfd.Violation
+	stats      cfd.MergeStats
+	vioValid   bool
+}
+
+// Name returns the dataset name.
+func (cd *ClusterDataset) Name() string { return cd.name }
+
+// Schema returns the dataset schema.
+func (cd *ClusterDataset) Schema() *relation.Schema { return cd.schema }
+
+// Len returns the cluster-wide tuple count.
+func (cd *ClusterDataset) Len() int {
+	cd.mu.RLock()
+	defer cd.mu.RUnlock()
+	n := 0
+	for _, c := range cd.counts {
+		n += c
+	}
+	return n
+}
+
+// Counts returns the per-worker tuple counts.
+func (cd *ClusterDataset) Counts() []int {
+	cd.mu.RLock()
+	defer cd.mu.RUnlock()
+	return append([]int(nil), cd.counts...)
+}
+
+// Constraints returns the coordinator's compiled CFD set.
+func (cd *ClusterDataset) Constraints() *cfd.Set {
+	cd.mu.RLock()
+	defer cd.mu.RUnlock()
+	return cd.cfds
+}
+
+// DCs returns the coordinator's compiled DC set.
+func (cd *ClusterDataset) DCs() *dc.Set {
+	cd.mu.RLock()
+	defer cd.mu.RUnlock()
+	return cd.dcs
+}
+
+func (cd *ClusterDataset) offsets() []int {
+	out := make([]int, len(cd.counts))
+	off := 0
+	for i, c := range cd.counts {
+		out[i] = off
+		off += c
+	}
+	return out
+}
+
+// Coordinator fans requests out to worker processes and merges their
+// shard-local results into globally exact answers (cfd.MergeShards /
+// dc.MergeShards). It is the cluster-mode counterpart of Engine.
+type Coordinator struct {
+	clients []ShardClient
+
+	mu       sync.RWMutex
+	datasets map[string]*ClusterDataset
+	workerNS map[string]*WorkerTotals
+}
+
+// NewCoordinator builds a coordinator over the given workers (at least
+// one).
+func NewCoordinator(clients []ShardClient) (*Coordinator, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("engine: coordinator needs at least one worker")
+	}
+	return &Coordinator{
+		clients:  clients,
+		datasets: map[string]*ClusterDataset{},
+		workerNS: map[string]*WorkerTotals{},
+	}, nil
+}
+
+// Workers returns the worker URLs in shard order.
+func (c *Coordinator) Workers() []string {
+	out := make([]string, len(c.clients))
+	for i, cl := range c.clients {
+		out[i] = cl.URL()
+	}
+	return out
+}
+
+// WorkerStats returns each worker's cumulative fan-out call count and
+// latency — the coordinator side of GET /v1/stats.
+func (c *Coordinator) WorkerStats() map[string]WorkerTotals {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]WorkerTotals, len(c.workerNS))
+	for url, t := range c.workerNS {
+		out[url] = *t
+	}
+	return out
+}
+
+func (c *Coordinator) recordWorker(url string, d time.Duration) {
+	c.mu.Lock()
+	t := c.workerNS[url]
+	if t == nil {
+		t = &WorkerTotals{}
+		c.workerNS[url] = t
+	}
+	t.Calls++
+	t.TotalMS += float64(d.Microseconds()) / 1000
+	c.mu.Unlock()
+}
+
+// fanOut runs fn(w, client) for every worker concurrently, recording
+// per-worker latency, and returns the calls' timings. The first error
+// wins (tagged ErrWorker unless already tagged).
+func (c *Coordinator) fanOut(fn func(w int, cl ShardClient) error) ([]WorkerCall, error) {
+	calls := make([]WorkerCall, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for w, cl := range c.clients {
+		wg.Add(1)
+		go func(w int, cl ShardClient) {
+			defer wg.Done()
+			start := time.Now()
+			errs[w] = fn(w, cl)
+			elapsed := time.Since(start)
+			calls[w] = WorkerCall{URL: cl.URL(), ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+			c.recordWorker(cl.URL(), elapsed)
+		}(w, cl)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			if errors.Is(err, ErrWorker) {
+				return calls, err
+			}
+			return calls, fmt.Errorf("%w: %s: %v", ErrWorker, c.clients[w].URL(), err)
+		}
+	}
+	return calls, nil
+}
+
+// Register range-partitions data across the workers (even slices,
+// remainder on the leading shards) and registers each slice. On any
+// failure the already-registered slices are dropped.
+func (c *Coordinator) Register(name string, data *relation.Relation) (*ClusterDataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("engine: dataset name must be non-empty")
+	}
+	c.mu.Lock()
+	if _, dup := c.datasets[name]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("engine: dataset %q: %w", name, ErrDuplicate)
+	}
+	// Reserve the name so concurrent registrations don't double-ship.
+	c.datasets[name] = nil
+	c.mu.Unlock()
+
+	schema := data.Schema()
+	n := data.Len()
+	w := len(c.clients)
+	size, rem := n/w, n%w
+	counts := make([]int, w)
+	slices := make([][]relation.Tuple, w)
+	tid := 0
+	for i := 0; i < w; i++ {
+		hi := tid + size
+		if i < rem {
+			hi++
+		}
+		counts[i] = hi - tid
+		rows := make([]relation.Tuple, 0, hi-tid)
+		for ; tid < hi; tid++ {
+			rows = append(rows, data.Tuple(tid).Clone())
+		}
+		slices[i] = rows
+	}
+	_, err := c.fanOut(func(w int, cl ShardClient) error {
+		return cl.Register(name, schema, slices[w])
+	})
+	if err != nil {
+		for _, cl := range c.clients {
+			_ = cl.Drop(name)
+		}
+		c.mu.Lock()
+		delete(c.datasets, name)
+		c.mu.Unlock()
+		return nil, err
+	}
+	cd := &ClusterDataset{
+		name:   name,
+		schema: schema,
+		counts: counts,
+		cfds:   cfd.NewSet(schema),
+		dcs:    dc.NewSet(schema),
+	}
+	c.mu.Lock()
+	c.datasets[name] = cd
+	c.mu.Unlock()
+	return cd, nil
+}
+
+// Get returns the named cluster dataset.
+func (c *Coordinator) Get(name string) (*ClusterDataset, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cd, ok := c.datasets[name]
+	if !ok || cd == nil {
+		return nil, false
+	}
+	return cd, true
+}
+
+// List returns the registered dataset names, sorted.
+func (c *Coordinator) List() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.datasets))
+	for name, cd := range c.datasets {
+		if cd != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes the dataset cluster-wide and reports whether it existed.
+func (c *Coordinator) Drop(name string) bool {
+	c.mu.Lock()
+	cd, ok := c.datasets[name]
+	delete(c.datasets, name)
+	c.mu.Unlock()
+	if !ok || cd == nil {
+		return false
+	}
+	_, _ = c.fanOut(func(_ int, cl ShardClient) error { return cl.Drop(name) })
+	return true
+}
+
+// InstallConstraints compiles CFD text locally (the coordinator's merge
+// needs the set) and installs the same text on every worker's slice.
+func (c *Coordinator) InstallConstraints(name, text string) (*cfd.Set, error) {
+	cd, ok := c.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	set, err := cfd.ParseSet(text, cd.schema)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.fanOut(func(_ int, cl ShardClient) error {
+		return cl.InstallConstraints(name, text)
+	}); err != nil {
+		return nil, err
+	}
+	cd.mu.Lock()
+	cd.cfds, cd.cfdText = set, text
+	cd.violations, cd.vioValid = nil, false
+	cd.mu.Unlock()
+	return set, nil
+}
+
+// InstallDCs compiles DC text locally and installs it on every worker.
+func (c *Coordinator) InstallDCs(name, text string) (*dc.Set, error) {
+	cd, ok := c.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	set, err := dc.ParseSet(text, cd.schema)
+	if err != nil {
+		return nil, err
+	}
+	// Reject unpartitionable DCs at install time, not mid-detect.
+	if len(c.clients) > 1 {
+		for _, d := range set.All() {
+			if d.TwoTuple() && len(d.EqualityAttrs()) == 0 {
+				return nil, fmt.Errorf("engine: DC %s has no cross-side equality predicate; it cannot be detected across %d workers", d.Name(), len(c.clients))
+			}
+		}
+	}
+	if _, err := c.fanOut(func(_ int, cl ShardClient) error {
+		return cl.InstallDCs(name, text)
+	}); err != nil {
+		return nil, err
+	}
+	cd.mu.Lock()
+	cd.dcs = set
+	cd.mu.Unlock()
+	return set, nil
+}
+
+// DetectResult is one scatter-gather detection outcome.
+type DetectResult struct {
+	Violations []cfd.Violation
+	Stats      cfd.MergeStats
+	// Workers are the per-worker shard-detect latencies of this call.
+	Workers []WorkerCall
+}
+
+// Detect fans detection of the installed constraints out to the
+// workers and merges the shard results into the single-process-exact
+// global violation list (cfd.MergeShards), caching it like
+// Session.Detect does.
+func (c *Coordinator) Detect(name string) (*DetectResult, error) {
+	cd, ok := c.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	cd.mu.RLock()
+	set, offsets := cd.cfds, cd.offsets()
+	cd.mu.RUnlock()
+	res, err := c.detectSet(name, "", set, offsets)
+	if err != nil {
+		return nil, err
+	}
+	cd.mu.Lock()
+	// Racing installs swap cd.cfds; only cache what matches.
+	if cd.cfds == set {
+		cd.violations = append([]cfd.Violation(nil), res.Violations...)
+		cd.stats = res.Stats
+		cd.vioValid = true
+	}
+	cd.mu.Unlock()
+	return res, nil
+}
+
+// detectSet is the two-phase scatter-gather core: fan out shard
+// detection of set (cfds = the set's text when it differs from the
+// installed one, "" otherwise), then merge with boundary-group fetches.
+// A racing append can shift shard state between the two phases; the
+// merge tolerates short or missing groups, and exactness is guaranteed
+// for quiescent data (the property the tests pin).
+func (c *Coordinator) detectSet(name, cfds string, set *cfd.Set, offsets []int) (*DetectResult, error) {
+	results := make([][]cfd.ShardResult, len(c.clients))
+	calls, err := c.fanOut(func(w int, cl ShardClient) error {
+		sr, err := cl.ShardDetect(name, cfds, set)
+		results[w] = sr
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	fetch := func(cfdIdx int, keys []string) ([][]cfd.BoundaryGroup, error) {
+		cc := set.All()[cfdIdx]
+		part, vals := cc.LHS(), cc.LHSRHSAttrs()
+		members := make([][]cfd.BoundaryGroup, len(c.clients))
+		_, ferr := c.fanOut(func(w int, cl ShardClient) error {
+			groups, err := cl.ShardGroups(name, part, vals, keys)
+			if err != nil {
+				return err
+			}
+			for i := range groups {
+				for m := range groups[i].TIDs {
+					groups[i].TIDs[m] += offsets[w]
+				}
+			}
+			members[w] = groups
+			return nil
+		})
+		return members, ferr
+	}
+	vios, stats, err := cfd.MergeShards(set, offsets, results, fetch)
+	if err != nil {
+		return nil, err
+	}
+	return &DetectResult{Violations: vios, Stats: stats, Workers: calls}, nil
+}
+
+// Violations returns the cached violation list, re-detecting if stale.
+func (c *Coordinator) Violations(name string) (*DetectResult, error) {
+	cd, ok := c.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	cd.mu.RLock()
+	if cd.vioValid {
+		res := &DetectResult{
+			Violations: append([]cfd.Violation(nil), cd.violations...),
+			Stats:      cd.stats,
+		}
+		cd.mu.RUnlock()
+		return res, nil
+	}
+	cd.mu.RUnlock()
+	return c.Detect(name)
+}
+
+// Append routes new tuples (raw positional fields) to the tail worker —
+// the owner of the growing end of the TID space — and invalidates the
+// violation cache. Shard-local incremental repair runs on that worker;
+// cross-shard effects of the repaired delta surface at the next
+// distributed detect.
+func (c *Coordinator) Append(name string, tuples [][]string) (int, error) {
+	cd, ok := c.Get(name)
+	if !ok {
+		return 0, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	last := len(c.clients) - 1
+	start := time.Now()
+	n, err := c.clients[last].Append(name, tuples)
+	c.recordWorker(c.clients[last].URL(), time.Since(start))
+	if err != nil {
+		return 0, err
+	}
+	cd.mu.Lock()
+	cd.counts[last] += n
+	cd.violations, cd.vioValid = nil, false
+	cd.mu.Unlock()
+	return n, nil
+}
+
+// Discover fans discovery out to the workers, keeps the candidates
+// every shard agrees on (intersection by canonical CFD string — a CFD
+// holding globally holds on every slice, so the intersection is a
+// superset of the global result modulo per-shard min-support skew),
+// then verifies each candidate with a distributed detect: candidates
+// with zero global violations hold. install replaces the installed set
+// cluster-wide with the verified survivors.
+func (c *Coordinator) Discover(name string, minSupport, maxLHS int, install bool) ([]string, error) {
+	cd, ok := c.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	found := make([][]string, len(c.clients))
+	if _, err := c.fanOut(func(w int, cl ShardClient) error {
+		fs, err := cl.Discover(name, minSupport, maxLHS)
+		found[w] = fs
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	counts := map[string]int{}
+	for _, fs := range found {
+		for _, f := range fs {
+			counts[f]++
+		}
+	}
+	var candidates []string
+	for _, f := range found[0] {
+		if counts[f] == len(c.clients) {
+			candidates = append(candidates, f)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+	text := ""
+	for _, f := range candidates {
+		text += f + "\n"
+	}
+	candSet, err := cfd.ParseSet(text, cd.schema)
+	if err != nil {
+		return nil, fmt.Errorf("engine: compiling discovery candidates: %w", err)
+	}
+	cd.mu.RLock()
+	offsets := cd.offsets()
+	cd.mu.RUnlock()
+	res, err := c.detectSet(name, text, candSet, offsets)
+	if err != nil {
+		return nil, err
+	}
+	violated := map[*cfd.CFD]bool{}
+	for _, v := range res.Violations {
+		violated[v.CFD] = true
+	}
+	var holds []string
+	for _, cc := range candSet.All() {
+		if !violated[cc] {
+			holds = append(holds, cc.String())
+		}
+	}
+	if install && len(holds) > 0 {
+		keep := ""
+		for _, h := range holds {
+			keep += h + "\n"
+		}
+		if _, err := c.InstallConstraints(name, keep); err != nil {
+			return nil, err
+		}
+	}
+	return holds, nil
+}
+
+// DetectDCs fans DC detection out to the workers and merges each DC's
+// shard results (dc.MergeShards), truncating each DC's (T,U)-sorted
+// list at limit like Session.DetectDCs.
+func (c *Coordinator) DetectDCs(name string, limit int) ([]DCReport, []dc.MergeStats, error) {
+	cd, ok := c.Get(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	cd.mu.RLock()
+	set, offsets := cd.dcs, cd.offsets()
+	cd.mu.RUnlock()
+	all := set.All()
+	if len(all) == 0 {
+		return []DCReport{}, nil, nil
+	}
+	shardRes := make([]map[string]dc.ShardResult, len(c.clients))
+	if _, err := c.fanOut(func(w int, cl ShardClient) error {
+		m, err := cl.ShardDCs(name)
+		shardRes[w] = m
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+	reports := make([]DCReport, 0, len(all))
+	allStats := make([]dc.MergeStats, 0, len(all))
+	for _, d := range all {
+		perShard := make([]dc.ShardResult, len(c.clients))
+		for w := range c.clients {
+			perShard[w] = shardRes[w][d.Name()]
+		}
+		fetch := func(keys []string) ([][]dc.BoundaryTuples, error) {
+			eq, ref := d.EqualityAttrs(), d.ReferencedAttrs()
+			members := make([][]dc.BoundaryTuples, len(c.clients))
+			_, ferr := c.fanOut(func(w int, cl ShardClient) error {
+				groups, err := cl.ShardGroups(name, eq, ref, keys)
+				if err != nil {
+					return err
+				}
+				bts := make([]dc.BoundaryTuples, len(groups))
+				for i, g := range groups {
+					tids := make([]int, len(g.TIDs))
+					for m, tid := range g.TIDs {
+						tids[m] = tid + offsets[w]
+					}
+					bts[i] = dc.BoundaryTuples{TIDs: tids, Rows: g.Rows}
+				}
+				members[w] = bts
+				return nil
+			})
+			return members, ferr
+		}
+		vios, stats, err := dc.MergeShards(d, offsets, perShard, fetch, limit)
+		if err != nil {
+			return nil, nil, err
+		}
+		reports = append(reports, DCReport{
+			Name:       d.Name(),
+			Constraint: d.String(),
+			Violations: vios,
+			Truncated:  limit > 0 && len(vios) == limit,
+		})
+		allStats = append(allStats, stats)
+	}
+	return reports, allStats, nil
+}

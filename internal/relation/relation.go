@@ -266,6 +266,44 @@ func (r *Relation) Truncate(n int) {
 	r.version++
 }
 
+// InsertUnchecked appends a tuple with no kind validation or coercion:
+// every value is stored exactly as given, mirroring Set's historical
+// unchecked write semantics. It exists for shard ingest — a worker
+// reconstructing its TID-range slice from exact-encoded rows
+// (EncodeTuple/DecodeTuple) must reproduce the source relation's cells
+// bit for bit, including kind-mismatched cells an unchecked Set put
+// there, or its dictionary codes (and therefore its group keys) would
+// diverge from the coordinator's. The tuple must have the schema's
+// arity; everything else is the caller's contract.
+func (r *Relation) InsertUnchecked(t Tuple) int {
+	tid := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for i, v := range t {
+		c := r.cols[i]
+		c.materialize()
+		c.codes = append(c.codes, r.intern(i, v))
+	}
+	r.version++
+	r.appends++
+	return tid
+}
+
+// AppendGroupKey appends the concatenated Encode keys of tid's values on
+// the listed attributes — the composite grouping key of the PLI over
+// those attributes, materialized. Two TIDs (of this or ANY relation over
+// compatible columns) share a key exactly when they agree under the
+// code-grouping notion on every listed attribute, and PLI group order is
+// the lexicographic order of these keys (see BuildPLI), which makes the
+// key the global merge identity AND merge order for scatter-gather
+// detection across shard relations.
+func (r *Relation) AppendGroupKey(dst []byte, tid int, attrs []int) []byte {
+	for _, a := range attrs {
+		c := r.cols[a]
+		dst = append(dst, c.encs[c.codes[tid]]...)
+	}
+	return dst
+}
+
 // MustInsert inserts a tuple and panics on validation failure. Intended
 // for tests and generators where the tuple shape is statically correct.
 func (r *Relation) MustInsert(t Tuple) int {

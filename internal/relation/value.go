@@ -266,6 +266,94 @@ func appendOrdered64(dst []byte, x uint64) []byte {
 		byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
 }
 
+// DecodeValue inverts Value.Encode: it reads one encoded value from the
+// front of b and returns it together with the number of bytes consumed.
+// Because the encoding is prefix-free and injective (for values as
+// normalized by the constructors — Float's -0 → +0), Encode→DecodeValue
+// round-trips exactly, including NaN bit patterns and int64s beyond
+// float64 precision. This is what the scatter-gather wire format builds
+// on: shipping rows and boundary-group members as concatenated Encode
+// keys transports values with no JSON float64 or string-parse loss.
+func DecodeValue(b []byte) (Value, int, error) {
+	if len(b) == 0 {
+		return Null(), 0, fmt.Errorf("relation: decoding value from empty input")
+	}
+	switch Kind(b[0]) {
+	case KindNull:
+		return Null(), 1, nil
+	case KindString:
+		i := 1
+		for i < len(b) && b[i] != ':' {
+			i++
+		}
+		if i == len(b) {
+			return Null(), 0, fmt.Errorf("relation: string encoding missing length delimiter")
+		}
+		n, err := strconv.Atoi(string(b[1:i]))
+		if err != nil || n < 0 {
+			return Null(), 0, fmt.Errorf("relation: bad string length %q", b[1:i])
+		}
+		if len(b) < i+1+n {
+			return Null(), 0, fmt.Errorf("relation: string encoding truncated: need %d payload bytes, have %d", n, len(b)-i-1)
+		}
+		return String(string(b[i+1 : i+1+n])), i + 1 + n, nil
+	case KindInt:
+		if len(b) < 9 {
+			return Null(), 0, fmt.Errorf("relation: int encoding truncated")
+		}
+		return Int(int64(readOrdered64(b[1:]) ^ (1 << 63))), 9, nil
+	case KindFloat:
+		if len(b) < 9 {
+			return Null(), 0, fmt.Errorf("relation: float encoding truncated")
+		}
+		bits := readOrdered64(b[1:])
+		if bits&(1<<63) != 0 {
+			bits ^= 1 << 63 // positives: clear the forced sign bit
+		} else {
+			bits = ^bits // negatives: undo the full complement
+		}
+		// Bypass Float()'s -0 normalization: the encoder only ever sees
+		// already-normalized payloads, so bit-exact reconstruction (NaN
+		// payloads included) is the correct inverse.
+		return Value{kind: KindFloat, f: math.Float64frombits(bits)}, 9, nil
+	default:
+		return Null(), 0, fmt.Errorf("relation: unknown value kind byte %d", b[0])
+	}
+}
+
+func readOrdered64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// EncodeTuple appends the concatenated Encode keys of all values of t —
+// the wire form of one row for shard transport (decode with
+// DecodeTuple). Prefix-freedom makes the concatenation self-delimiting.
+func EncodeTuple(dst []byte, t Tuple) []byte {
+	for _, v := range t {
+		dst = v.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeTuple inverts EncodeTuple for a tuple of the given arity,
+// requiring the input to be fully consumed.
+func DecodeTuple(b []byte, arity int) (Tuple, error) {
+	t := make(Tuple, arity)
+	for i := 0; i < arity; i++ {
+		v, n, err := DecodeValue(b)
+		if err != nil {
+			return nil, fmt.Errorf("relation: decoding tuple value %d: %w", i, err)
+		}
+		t[i] = v
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("relation: %d trailing bytes after decoding %d-ary tuple", len(b), arity)
+	}
+	return t, nil
+}
+
 // ParseValue parses s into a value of the requested kind. The empty
 // string parses as NULL for every kind.
 func ParseValue(s string, kind Kind) (Value, error) {

@@ -1,0 +1,288 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/dc"
+	"semandaq/internal/engine"
+	"semandaq/internal/relation"
+)
+
+// HTTPShardClient implements engine.ShardClient over a worker's HTTP
+// surface. All failures — transport errors and non-2xx responses alike
+// — come back tagged engine.ErrWorker so the coordinator's handlers
+// answer 502.
+type HTTPShardClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewShardClient builds a client for the worker at baseURL (e.g.
+// "http://127.0.0.1:8091"). timeout bounds each RPC (0 = no timeout).
+func NewShardClient(baseURL string, timeout time.Duration) *HTTPShardClient {
+	return &HTTPShardClient{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: timeout},
+	}
+}
+
+// URL returns the worker's base URL.
+func (c *HTTPShardClient) URL() string { return c.base }
+
+func (c *HTTPShardClient) fail(err error) error {
+	return fmt.Errorf("%w: %s: %v", engine.ErrWorker, c.base, err)
+}
+
+// workerStatusError carries a worker's HTTP status through the
+// coordinator so deliberate 4xx rejections relay as-is.
+type workerStatusError struct {
+	Status int
+	Msg    string
+}
+
+func (e *workerStatusError) Error() string { return e.Msg }
+
+// call POSTs (or DELETEs) a JSON body and decodes the JSON response
+// into out (out nil discards it). Non-2xx responses surface the
+// worker's structured error message.
+func (c *HTTPShardClient) call(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return c.fail(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return c.fail(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return c.fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg := fmt.Sprintf("%s %s: status %d", method, path, resp.StatusCode)
+		var er errorResponse
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = fmt.Sprintf("%s %s: %s", method, path, er.Error)
+		}
+		// Keep the worker's status visible (workerStatusError) so the
+		// coordinator relays a deliberate 4xx — e.g. a repair conflict —
+		// instead of reporting the worker broken with 502.
+		return fmt.Errorf("%w: %s: %w", engine.ErrWorker, c.base, &workerStatusError{Status: resp.StatusCode, Msg: msg})
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// Health checks the worker's liveness probe.
+func (c *HTTPShardClient) Health() error {
+	return c.call(http.MethodGet, "/healthz", nil, nil)
+}
+
+// Register ships a TID-range slice as exact encoded tuples.
+func (c *HTTPShardClient) Register(dataset string, schema *relation.Schema, tuples []relation.Tuple) error {
+	sj := schemaJSON{Name: schema.Name(), Attrs: make([]attrJSON, schema.Arity())}
+	for i := 0; i < schema.Arity(); i++ {
+		a := schema.Attr(i)
+		sj.Attrs[i] = attrJSON{Name: a.Name, Kind: a.Kind.String()}
+	}
+	rows := make([]string, len(tuples))
+	var buf []byte
+	for i, t := range tuples {
+		buf = relation.EncodeTuple(buf[:0], t)
+		rows[i] = base64.StdEncoding.EncodeToString(buf)
+	}
+	return c.call(http.MethodPost, "/v1/shard/register",
+		shardRegisterRequest{Name: dataset, Schema: sj, Rows: rows}, nil)
+}
+
+// Drop removes the worker's slice; an unknown dataset is not an error.
+func (c *HTTPShardClient) Drop(dataset string) error {
+	err := c.call(http.MethodDelete, "/v1/datasets/"+dataset, nil, nil)
+	if err != nil && strings.Contains(err.Error(), "unknown dataset") {
+		return nil
+	}
+	return err
+}
+
+// InstallConstraints installs CFD text on the worker's slice.
+func (c *HTTPShardClient) InstallConstraints(dataset, cfds string) error {
+	return c.call(http.MethodPost, "/v1/constraints",
+		constraintsRequest{Dataset: dataset, CFDs: cfds}, nil)
+}
+
+// InstallDCs installs denial-constraint text on the worker's slice.
+func (c *HTTPShardClient) InstallDCs(dataset, dcs string) error {
+	return c.call(http.MethodPost, "/v1/dcs", dcsRequest{Dataset: dataset, DCs: dcs}, nil)
+}
+
+// ShardDetect runs shard-local detection and rebuilds the results
+// against the coordinator's compiled set (same text, same order), so
+// violation CFD pointers match what cfd.MergeShards emits.
+func (c *HTTPShardClient) ShardDetect(dataset, cfds string, set *cfd.Set) ([]cfd.ShardResult, error) {
+	var resp struct {
+		CFDs []shardCFDJSON `json:"cfds"`
+	}
+	if err := c.call(http.MethodPost, "/v1/shard/detect",
+		shardDetectRequest{Dataset: dataset, CFDs: cfds}, &resp); err != nil {
+		return nil, err
+	}
+	all := set.All()
+	if len(resp.CFDs) != len(all) {
+		return nil, c.fail(fmt.Errorf("shard detect returned %d CFD results, set has %d", len(resp.CFDs), len(all)))
+	}
+	out := make([]cfd.ShardResult, len(resp.CFDs))
+	for ci, cj := range resp.CFDs {
+		groups := make([]cfd.ShardGroup, len(cj.Groups))
+		for gi, gj := range cj.Groups {
+			raw, err := base64.StdEncoding.DecodeString(gj.Key)
+			if err != nil {
+				return nil, c.fail(fmt.Errorf("group key: %w", err))
+			}
+			g := cfd.ShardGroup{Key: string(raw), N: gj.N}
+			for _, vj := range gj.Vios {
+				g.Vios = append(g.Vios, cfd.Violation{
+					CFD:  all[ci],
+					Row:  vj.Row,
+					Kind: cfd.ViolationKind(vj.Kind),
+					Attr: vj.Attr,
+					TIDs: vj.TIDs,
+				})
+			}
+			groups[gi] = g
+		}
+		out[ci] = cfd.ShardResult{Groups: groups}
+	}
+	return out, nil
+}
+
+// ShardGroups fetches boundary-group members: local TIDs plus tuples
+// reconstructed from their exact encoded values over valAttrs.
+func (c *HTTPShardClient) ShardGroups(dataset string, partAttrs, valAttrs []int, keys []string) ([]cfd.BoundaryGroup, error) {
+	req := shardGroupsRequest{
+		Dataset:   dataset,
+		PartAttrs: partAttrs,
+		ValAttrs:  valAttrs,
+		Keys:      make([]string, len(keys)),
+	}
+	for i, k := range keys {
+		req.Keys[i] = base64.StdEncoding.EncodeToString([]byte(k))
+	}
+	var resp struct {
+		Groups []shardMembersJSON `json:"groups"`
+	}
+	if err := c.call(http.MethodPost, "/v1/shard/groups", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Groups) != len(keys) {
+		return nil, c.fail(fmt.Errorf("shard groups returned %d entries for %d keys", len(resp.Groups), len(keys)))
+	}
+	// Replay only reads the shipped attributes, so the reconstructed
+	// tuples need just enough arity to index the largest one.
+	arity := 0
+	for _, a := range valAttrs {
+		if a >= arity {
+			arity = a + 1
+		}
+	}
+	out := make([]cfd.BoundaryGroup, len(resp.Groups))
+	for i, mj := range resp.Groups {
+		if len(mj.TIDs) != len(mj.Rows) {
+			return nil, c.fail(fmt.Errorf("shard group %d: %d TIDs but %d rows", i, len(mj.TIDs), len(mj.Rows)))
+		}
+		bg := cfd.BoundaryGroup{TIDs: mj.TIDs, Rows: make([]relation.Tuple, len(mj.Rows))}
+		for m, enc := range mj.Rows {
+			raw, err := base64.StdEncoding.DecodeString(enc)
+			if err != nil {
+				return nil, c.fail(fmt.Errorf("shard group %d row %d: %w", i, m, err))
+			}
+			row := make(relation.Tuple, arity)
+			pos := 0
+			for _, a := range valAttrs {
+				v, n, err := relation.DecodeValue(raw[pos:])
+				if err != nil {
+					return nil, c.fail(fmt.Errorf("shard group %d row %d attr %d: %w", i, m, a, err))
+				}
+				row[a] = v
+				pos += n
+			}
+			if pos != len(raw) {
+				return nil, c.fail(fmt.Errorf("shard group %d row %d: %d trailing bytes", i, m, len(raw)-pos))
+			}
+			bg.Rows[m] = row
+		}
+		out[i] = bg
+	}
+	return out, nil
+}
+
+// ShardDCs runs shard-local DC detection, keyed by DC name.
+func (c *HTTPShardClient) ShardDCs(dataset string) (map[string]dc.ShardResult, error) {
+	var resp struct {
+		DCs []shardDCJSON `json:"dcs"`
+	}
+	if err := c.call(http.MethodPost, "/v1/shard/dc", shardDCRequest{Dataset: dataset}, &resp); err != nil {
+		return nil, err
+	}
+	out := make(map[string]dc.ShardResult, len(resp.DCs))
+	for _, dj := range resp.DCs {
+		var res dc.ShardResult
+		for _, v := range dj.Vios {
+			res.Vios = append(res.Vios, dc.Violation{T: v.T, U: v.U})
+		}
+		for _, k := range dj.Keys {
+			raw, err := base64.StdEncoding.DecodeString(k)
+			if err != nil {
+				return nil, c.fail(fmt.Errorf("dc group key: %w", err))
+			}
+			res.Keys = append(res.Keys, string(raw))
+		}
+		out[dj.Name] = res
+	}
+	return out, nil
+}
+
+// Append routes raw tuple fields to the worker's incremental repair
+// path. Repair conflicts (HTTP 409) surface as errors.
+func (c *HTTPShardClient) Append(dataset string, tuples [][]string) (int, error) {
+	var resp struct {
+		Appended int `json:"appended"`
+	}
+	if err := c.call(http.MethodPost, "/v1/repair/incremental",
+		incrementalRequest{Dataset: dataset, Tuples: tuples}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Appended, nil
+}
+
+// Discover profiles the worker's slice.
+func (c *HTTPShardClient) Discover(dataset string, minSupport, maxLHS int) ([]string, error) {
+	var resp struct {
+		CFDs []string `json:"cfds"`
+	}
+	if err := c.call(http.MethodPost, "/v1/discover",
+		discoverRequest{Dataset: dataset, MinSupport: minSupport, MaxLHS: maxLHS}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.CFDs, nil
+}

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"semandaq/internal/engine"
+)
+
+// startCluster boots an in-process cluster: n worker servers (each a
+// full semandaqd engine behind httptest) plus a coordinator fronting
+// them over real HTTP through HTTPShardClient.
+func startCluster(t *testing.T, n int) *httptest.Server {
+	t.Helper()
+	clients := make([]engine.ShardClient, n)
+	for i := range clients {
+		eng := engine.New(engine.Options{})
+		ws := httptest.NewServer(New(eng))
+		t.Cleanup(ws.Close)
+		t.Cleanup(eng.Close)
+		clients[i] = NewShardClient(ws.URL, 30*time.Second)
+	}
+	coord, err := engine.NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(NewCoordinator(coord))
+	t.Cleanup(cs.Close)
+	return cs
+}
+
+// TestClusterDetectMatchesSingle is the HTTP-level half of the
+// byte-identity property: the same generated dataset registered on a
+// single-process server and on coordinators with 1..3 workers must
+// produce identical /v1/detect responses — same violations in the same
+// order — with the boundary residual pass actually exercised at w >= 2.
+func TestClusterDetectMatchesSingle(t *testing.T) {
+	single := newTestServer(t)
+	registerCust(t, single, "cust", 400)
+	code, want := call(t, single, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK {
+		t.Fatalf("single detect: %d %v", code, want)
+	}
+
+	for _, w := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			cluster := startCluster(t, w)
+			registerCust(t, cluster, "cust", 400)
+
+			code, info := call(t, cluster, "GET", "/v1/datasets/cust", nil)
+			if code != http.StatusOK {
+				t.Fatalf("info: %d %v", code, info)
+			}
+			shards := info["shards"].([]any)
+			if len(shards) != w {
+				t.Fatalf("shards = %v, want %d entries", shards, w)
+			}
+			total := 0.0
+			for _, s := range shards {
+				total += s.(float64)
+			}
+			if total != 400 {
+				t.Fatalf("shard counts sum to %v, want 400", total)
+			}
+
+			code, got := call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+			if code != http.StatusOK {
+				t.Fatalf("cluster detect: %d %v", code, got)
+			}
+			if got["count"] != want["count"] {
+				t.Fatalf("count = %v, want %v", got["count"], want["count"])
+			}
+			if !reflect.DeepEqual(got["violations"], want["violations"]) {
+				t.Fatalf("violations diverge from single-process detect:\n got %v\nwant %v",
+					got["violations"], want["violations"])
+			}
+			if !reflect.DeepEqual(got["tids"], want["tids"]) {
+				t.Fatalf("tids = %v, want %v", got["tids"], want["tids"])
+			}
+			res := got["residual"].(map[string]any)
+			if w >= 2 && res["boundary_groups"].(float64) == 0 {
+				t.Fatalf("workers=%d: no boundary groups — residual pass untested: %v", w, res)
+			}
+			if w == 1 && res["boundary_groups"].(float64) != 0 {
+				t.Fatalf("workers=1: unexpected boundary groups: %v", res)
+			}
+			if f := res["boundary_fraction"].(float64); f < 0 || f > 1 {
+				t.Fatalf("boundary_fraction = %v", f)
+			}
+			if len(got["workers"].([]any)) != w {
+				t.Fatalf("workers = %v, want %d fan-out calls", got["workers"], w)
+			}
+
+			// The cached-violations path must agree with the fresh detect.
+			code, vio := call(t, cluster, "GET", "/v1/datasets/cust/violations", nil)
+			if code != http.StatusOK {
+				t.Fatalf("violations: %d %v", code, vio)
+			}
+			if !reflect.DeepEqual(vio["violations"], want["violations"]) {
+				t.Fatalf("cached violations diverge from single-process detect")
+			}
+		})
+	}
+}
+
+// TestClusterAppendMatchesSingle routes appends through the coordinator
+// (which owns only the tail worker's slice) and checks the next detect
+// still matches a single process that appended the same tuples.
+func TestClusterAppendMatchesSingle(t *testing.T) {
+	rows := [][]string{
+		{"01", "908", "908-1111111", "amy", "Main Rd", "mh", "07974"},
+		{"44", "131", "131-2222222", "bob", "Elm Ave", "edi", "EH4 1ZZ"},
+		{"44", "131", "131-3333333", "cat", "Oak St", "edi", "EH4 1ZZ"},
+	}
+	single := newTestServer(t)
+	registerCust(t, single, "cust", 300)
+	code, body := call(t, single, "POST", "/v1/repair/incremental", map[string]any{
+		"dataset": "cust", "tuples": rows,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("single append: %d %v", code, body)
+	}
+	code, want := call(t, single, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK {
+		t.Fatal("single detect failed")
+	}
+
+	cluster := startCluster(t, 2)
+	registerCust(t, cluster, "cust", 300)
+	code, body = call(t, cluster, "POST", "/v1/repair/incremental", map[string]any{
+		"dataset": "cust", "tuples": rows,
+	})
+	if code != http.StatusOK || body["appended"].(float64) != 3 {
+		t.Fatalf("cluster append: %d %v", code, body)
+	}
+	if body["tuples"].(float64) != 303 {
+		t.Fatalf("tuples = %v, want 303", body["tuples"])
+	}
+	code, got := call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK {
+		t.Fatalf("cluster detect: %d %v", code, got)
+	}
+	if !reflect.DeepEqual(got["violations"], want["violations"]) {
+		t.Fatalf("post-append violations diverge:\n got %v\nwant %v",
+			got["violations"], want["violations"])
+	}
+}
+
+// TestClusterDCDetectMatchesSingle checks scatter-gather DC detection
+// over HTTP against the single-process answer.
+func TestClusterDCDetectMatchesSingle(t *testing.T) {
+	single := newTestServer(t)
+	registerEmp(t, single, "emp", 200, 0.05)
+	code, want := call(t, single, "POST", "/v1/dc/detect", map[string]any{"dataset": "emp"})
+	if code != http.StatusOK {
+		t.Fatalf("single dc detect: %d %v", code, want)
+	}
+
+	cluster := startCluster(t, 2)
+	registerEmp(t, cluster, "emp", 200, 0.05)
+	code, got := call(t, cluster, "POST", "/v1/dc/detect", map[string]any{"dataset": "emp"})
+	if code != http.StatusOK {
+		t.Fatalf("cluster dc detect: %d %v", code, got)
+	}
+	if got["count"] != want["count"] {
+		t.Fatalf("count = %v, want %v", got["count"], want["count"])
+	}
+	if !reflect.DeepEqual(got["reports"], want["reports"]) {
+		t.Fatalf("dc reports diverge:\n got %v\nwant %v", got["reports"], want["reports"])
+	}
+	if len(got["residual"].([]any)) != len(want["reports"].([]any)) {
+		t.Fatalf("residual = %v", got["residual"])
+	}
+}
+
+// TestClusterDiscover fans discovery out to workers and verifies the
+// intersected candidates hold on the whole dataset.
+func TestClusterDiscover(t *testing.T) {
+	cluster := startCluster(t, 2)
+	registerCust(t, cluster, "cust", 400)
+	code, body := call(t, cluster, "POST", "/v1/discover", map[string]any{
+		"dataset": "cust", "min_support": 20, "max_lhs": 2,
+	})
+	if code != http.StatusOK {
+		t.Fatalf("discover: %d %v", code, body)
+	}
+	found := body["cfds"].([]any)
+	if len(found) == 0 {
+		t.Fatal("distributed discovery found nothing")
+	}
+	// Every surviving candidate was verified violation-free on the whole
+	// dataset, so installing and detecting them must report zero.
+	code, body = call(t, cluster, "POST", "/v1/constraints", map[string]any{
+		"dataset": "cust", "cfds": found[0].(string),
+	})
+	if code != http.StatusOK {
+		t.Fatalf("install discovered: %d %v", code, body)
+	}
+	code, body = call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK || body["count"].(float64) != 0 {
+		t.Fatalf("discovered CFD violated: %d %v", code, body)
+	}
+}
+
+// TestClusterErrorPaths covers the coordinator's structured error
+// responses: malformed JSON, unknown datasets, unsupported endpoints,
+// and a worker fleet that is unreachable (502).
+func TestClusterErrorPaths(t *testing.T) {
+	cluster := startCluster(t, 2)
+
+	resp, err := http.Post(cluster.URL+"/v1/detect", "application/json",
+		bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON = %d, want 400", resp.StatusCode)
+	}
+
+	code, body := call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "ghost"})
+	if code != http.StatusNotFound || body["error"] == "" {
+		t.Fatalf("unknown dataset = %d %v", code, body)
+	}
+	code, _ = call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": ""})
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing dataset = %d", code)
+	}
+	code, _ = call(t, cluster, "GET", "/v1/datasets/ghost", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown info = %d", code)
+	}
+	for _, path := range []string{"/v1/repair", "/v1/edit", "/v1/dc/relax"} {
+		code, body = call(t, cluster, "POST", path, map[string]any{})
+		if code != http.StatusNotImplemented {
+			t.Fatalf("%s = %d, want 501 (%v)", path, code, body)
+		}
+	}
+
+	// A coordinator whose worker is gone answers 502, not a hang or 500.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	coord, err := engine.NewCoordinator([]engine.ShardClient{
+		NewShardClient(deadURL, 2*time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := httptest.NewServer(NewCoordinator(coord))
+	defer orphan.Close()
+	code, body = call(t, orphan, "POST", "/v1/datasets", map[string]any{
+		"name":     "cust",
+		"generate": map[string]any{"kind": "cust", "n": 50},
+	})
+	if code != http.StatusBadGateway {
+		t.Fatalf("dead worker register = %d %v, want 502", code, body)
+	}
+}
+
+// TestClusterStats checks the /v1/stats surface: per-endpoint counters
+// on the coordinator plus cumulative fan-out latency per worker.
+func TestClusterStats(t *testing.T) {
+	cluster := startCluster(t, 2)
+	registerCust(t, cluster, "cust", 200)
+	for i := 0; i < 3; i++ {
+		call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	}
+	call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "ghost"})
+
+	code, body := call(t, cluster, "GET", "/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %v", code, body)
+	}
+	eps := body["endpoints"].(map[string]any)
+	det := eps["POST /v1/detect"].(map[string]any)
+	if det["requests"].(float64) != 4 || det["errors"].(float64) != 1 {
+		t.Fatalf("detect totals = %v", det)
+	}
+	if det["total_ms"].(float64) < 0 || det["avg_ms"].(float64) < 0 {
+		t.Fatalf("latency totals = %v", det)
+	}
+	workers := body["workers"].(map[string]any)
+	if len(workers) != 2 {
+		t.Fatalf("worker stats = %v, want 2 workers", workers)
+	}
+	for url, w := range workers {
+		wt := w.(map[string]any)
+		if wt["calls"].(float64) == 0 {
+			t.Fatalf("worker %s recorded no fan-out calls: %v", url, wt)
+		}
+	}
+
+	// Workers expose the same per-endpoint counters.
+	ws := newTestServer(t)
+	call(t, ws, "GET", "/healthz", nil)
+	code, body = call(t, ws, "GET", "/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("worker stats: %d %v", code, body)
+	}
+	if _, ok := body["endpoints"].(map[string]any)["GET /healthz"]; !ok {
+		t.Fatalf("worker stats missing healthz: %v", body)
+	}
+}
+
+// TestClusterConcurrentTraffic drives loadgen-shaped mixed traffic —
+// appends racing detects racing reads — against a live 2-worker cluster
+// so `go test -race ./internal/server/` exercises the coordinator's
+// locking. Responses may legitimately interleave (detect sees a racing
+// append or not) but nothing may error.
+func TestClusterConcurrentTraffic(t *testing.T) {
+	cluster := startCluster(t, 2)
+	registerCust(t, cluster, "cust", 300)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					code, body := call(t, cluster, "POST", "/v1/repair/incremental", map[string]any{
+						"dataset": "cust",
+						"tuples":  [][]string{{"01", "908", "908-5550000", "raj", "Race St", "mh", "07974"}},
+					})
+					if code != http.StatusOK {
+						errCh <- fmt.Errorf("append: %d %v", code, body)
+					}
+				case 1:
+					code, body := call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+					if code != http.StatusOK {
+						errCh <- fmt.Errorf("detect: %d %v", code, body)
+					}
+				case 2:
+					code, body := call(t, cluster, "GET", "/v1/datasets/cust/violations", nil)
+					if code != http.StatusOK {
+						errCh <- fmt.Errorf("violations: %d %v", code, body)
+					}
+				default:
+					code, body := call(t, cluster, "GET", "/v1/stats", nil)
+					if code != http.StatusOK {
+						errCh <- fmt.Errorf("stats: %d %v", code, body)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Quiescent again: the final state must match a fresh full detect.
+	code, a := call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK {
+		t.Fatalf("final detect: %d %v", code, a)
+	}
+	code, b := call(t, cluster, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK || !reflect.DeepEqual(a["violations"], b["violations"]) {
+		t.Fatalf("detect not stable at quiescence")
+	}
+}

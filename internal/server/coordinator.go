@@ -1,0 +1,386 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/dc"
+	"semandaq/internal/engine"
+)
+
+// Coordinator is the cluster-mode HTTP front end: the same public
+// surface as Server, served by fanning requests out to worker
+// processes through an engine.Coordinator and merging shard results
+// (byte-identical to single-process detection; see
+// internal/cfd/scatter.go). Endpoints that need whole-dataset mutation
+// the shard protocol doesn't cover — batch repair, cell edits, DC
+// relaxation — answer 501 rather than silently computing a
+// shard-incoherent result.
+type Coordinator struct {
+	coord *engine.Coordinator
+	mux   *http.ServeMux
+	stats *serverStats
+}
+
+// NewCoordinator builds the coordinator handler over a worker fleet.
+func NewCoordinator(coord *engine.Coordinator) *Coordinator {
+	s := &Coordinator{coord: coord, mux: http.NewServeMux(), stats: newServerStats()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleList)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleInfo)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDrop)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/violations", s.handleViolations)
+	s.mux.HandleFunc("POST /v1/constraints", s.handleConstraints)
+	s.mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	s.mux.HandleFunc("POST /v1/repair/incremental", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/discover", s.handleDiscover)
+	s.mux.HandleFunc("POST /v1/dcs", s.handleDCs)
+	s.mux.HandleFunc("GET /v1/datasets/{name}/dcs", s.handleDCList)
+	s.mux.HandleFunc("POST /v1/dc/detect", s.handleDCDetect)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/repair", s.handleNotImplemented)
+	s.mux.HandleFunc("POST /v1/edit", s.handleNotImplemented)
+	s.mux.HandleFunc("POST /v1/dc/relax", s.handleNotImplemented)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	serveInstrumented(s.mux, s.stats, w, r)
+}
+
+// writeCoordError maps coordinator/worker failures to status codes: a
+// worker's deliberate 4xx relays as-is, an unreachable or broken worker
+// is 502, unknown datasets 404, duplicates 409; anything else gets
+// fallback.
+func writeCoordError(w http.ResponseWriter, err error, fallback int) {
+	var wse *workerStatusError
+	code := fallback
+	switch {
+	case errors.As(err, &wse) && wse.Status < 500:
+		code = wse.Status
+	case errors.Is(err, engine.ErrWorker):
+		code = http.StatusBadGateway
+	case errors.Is(err, engine.ErrUnknownDataset):
+		code = http.StatusNotFound
+	case errors.Is(err, engine.ErrDuplicate):
+		code = http.StatusConflict
+	}
+	writeError(w, code, err)
+}
+
+func (s *Coordinator) handleNotImplemented(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotImplemented,
+		fmt.Errorf("%s is not available in cluster mode; run a single-process semandaqd for whole-dataset repair and edits", r.URL.Path))
+}
+
+func (s *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"workers":  s.coord.Workers(),
+		"datasets": len(s.coord.List()),
+	})
+}
+
+func (s *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"endpoints": s.stats.snapshot(),
+		"workers":   s.coord.WorkerStats(),
+	})
+}
+
+type clusterDatasetJSON struct {
+	Name        string `json:"name"`
+	Tuples      int    `json:"tuples"`
+	Schema      string `json:"schema"`
+	Constraints int    `json:"constraints"`
+	DCs         int    `json:"dcs"`
+	// Shards are the per-worker tuple counts in TID-range order.
+	Shards []int `json:"shards"`
+}
+
+func clusterInfo(cd *engine.ClusterDataset) clusterDatasetJSON {
+	return clusterDatasetJSON{
+		Name:        cd.Name(),
+		Tuples:      cd.Len(),
+		Schema:      cd.Schema().String(),
+		Constraints: cd.Constraints().Len(),
+		DCs:         cd.DCs().Len(),
+		Shards:      cd.Counts(),
+	}
+}
+
+// dataset resolves the dataset named in a request.
+func (s *Coordinator) dataset(w http.ResponseWriter, name string) (*engine.ClusterDataset, bool) {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing dataset name"))
+		return nil, false
+	}
+	cd, ok := s.coord.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return nil, false
+	}
+	return cd, true
+}
+
+func (s *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	data, err := buildRelation(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cd, err := s.coord.Register(req.Name, data)
+	if err != nil {
+		writeCoordError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusCreated, clusterInfo(cd))
+}
+
+func (s *Coordinator) handleList(w http.ResponseWriter, _ *http.Request) {
+	names := s.coord.List()
+	out := make([]clusterDatasetJSON, 0, len(names))
+	for _, name := range names {
+		if cd, ok := s.coord.Get(name); ok {
+			out = append(out, clusterInfo(cd))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
+	cd, ok := s.dataset(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterInfo(cd))
+}
+
+func (s *Coordinator) handleDrop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.coord.Drop(name) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dropped": name})
+}
+
+func (s *Coordinator) handleConstraints(w http.ResponseWriter, r *http.Request) {
+	var req constraintsRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	set, err := s.coord.InstallConstraints(req.Dataset, req.CFDs)
+	if err != nil {
+		writeCoordError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"installed": set.Len(),
+		"rows":      set.TotalRows(),
+	})
+}
+
+func (s *Coordinator) handleDCs(w http.ResponseWriter, r *http.Request) {
+	var req dcsRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	set, err := s.coord.InstallDCs(req.Dataset, req.DCs)
+	if err != nil {
+		writeCoordError(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"installed": set.Len()})
+}
+
+func (s *Coordinator) handleDCList(w http.ResponseWriter, r *http.Request) {
+	cd, ok := s.dataset(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	all := cd.DCs().All()
+	out := make([]dcJSON, len(all))
+	for i, d := range all {
+		out[i] = dcJSON{Name: d.Name(), Constraint: d.String()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dcs": out})
+}
+
+// residualJSON reports the boundary-group residual pass of a merge —
+// how much of the partition straddled the range cuts.
+type residualJSON struct {
+	Groups           int     `json:"groups"`
+	BoundaryGroups   int     `json:"boundary_groups"`
+	BoundaryTuples   int     `json:"boundary_tuples"`
+	BoundaryFraction float64 `json:"boundary_fraction"`
+}
+
+func residualInfo(st cfd.MergeStats) residualJSON {
+	return residualJSON{
+		Groups:           st.Groups,
+		BoundaryGroups:   st.BoundaryGroups,
+		BoundaryTuples:   st.BoundaryTuples,
+		BoundaryFraction: st.BoundaryFraction(),
+	}
+}
+
+func (s *Coordinator) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req detectRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cd, ok := s.dataset(w, req.Dataset)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	res, err := s.coord.Detect(req.Dataset)
+	if err != nil {
+		writeCoordError(w, err, http.StatusInternalServerError)
+		return
+	}
+	shown := res.Violations
+	if req.Limit > 0 && len(shown) > req.Limit {
+		shown = shown[:req.Limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(res.Violations),
+		"tids":       cfd.ViolatingTIDs(res.Violations),
+		"violations": violationsJSON(cd.Schema(), shown),
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+		"residual":   residualInfo(res.Stats),
+		"workers":    res.Workers,
+	})
+}
+
+func (s *Coordinator) handleViolations(w http.ResponseWriter, r *http.Request) {
+	cd, ok := s.dataset(w, r.PathValue("name"))
+	if !ok {
+		return
+	}
+	res, err := s.coord.Violations(cd.Name())
+	if err != nil {
+		writeCoordError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(res.Violations),
+		"tids":       cfd.ViolatingTIDs(res.Violations),
+		"violations": violationsJSON(cd.Schema(), res.Violations),
+		"residual":   residualInfo(res.Stats),
+	})
+}
+
+func (s *Coordinator) handleAppend(w http.ResponseWriter, r *http.Request) {
+	var req incrementalRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cd, ok := s.dataset(w, req.Dataset)
+	if !ok {
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("no tuples to append"))
+		return
+	}
+	arity := cd.Schema().Arity()
+	for i, fields := range req.Tuples {
+		if len(fields) != arity {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("tuple %d has %d fields, schema %s expects %d", i, len(fields), cd.Schema().Name(), arity))
+			return
+		}
+	}
+	n, err := s.coord.Append(req.Dataset, req.Tuples)
+	if err != nil {
+		writeCoordError(w, err, http.StatusConflict)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"appended": n,
+		"tuples":   cd.Len(),
+	})
+}
+
+func (s *Coordinator) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	var req discoverRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, ok := s.dataset(w, req.Dataset); !ok {
+		return
+	}
+	found, err := s.coord.Discover(req.Dataset, req.MinSupport, req.MaxLHS, req.Install)
+	if err != nil {
+		writeCoordError(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":     len(found),
+		"cfds":      found,
+		"installed": req.Install,
+	})
+}
+
+func (s *Coordinator) handleDCDetect(w http.ResponseWriter, r *http.Request) {
+	var req dcDetectRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, ok := s.dataset(w, req.Dataset); !ok {
+		return
+	}
+	start := time.Now()
+	reports, stats, err := s.coord.DetectDCs(req.Dataset, req.Limit)
+	if err != nil {
+		writeCoordError(w, err, http.StatusInternalServerError)
+		return
+	}
+	out := make([]dcReportJSON, len(reports))
+	residual := make([]residualJSON, len(reports))
+	total := 0
+	for i, rep := range reports {
+		out[i] = dcReportJSON{
+			Name:       rep.Name,
+			Constraint: rep.Constraint,
+			Count:      len(rep.Violations),
+			Truncated:  rep.Truncated,
+			Violations: rep.Violations,
+			TIDs:       dc.ViolatingTIDs(rep.Violations),
+		}
+		total += len(rep.Violations)
+		if i < len(stats) {
+			residual[i] = residualJSON{
+				Groups:           stats[i].Groups,
+				BoundaryGroups:   stats[i].BoundaryGroups,
+				BoundaryTuples:   stats[i].BoundaryTuples,
+				BoundaryFraction: stats[i].BoundaryFraction(),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      total,
+		"reports":    out,
+		"residual":   residual,
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}

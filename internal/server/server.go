@@ -22,6 +22,12 @@
 //	GET    /v1/datasets/{name}/dcs         list installed denial constraints
 //	POST   /v1/dc/detect                   detect DC violations (rank-sweep over PLIs)
 //	POST   /v1/dc/relax                    propose relaxations of a violated DC
+//	GET    /v1/stats                       per-endpoint request counters + latency
+//	POST   /v1/shard/*                     worker half of scatter-gather detection (shard.go)
+//
+// The coordinator handler over a worker fleet is NewCoordinator
+// (coordinator.go); it serves the same public surface by fanning out to
+// these workers and merging.
 package server
 
 import (
@@ -46,13 +52,14 @@ const maxBodyBytes = 64 << 20
 
 // Server is the HTTP front end over an engine.
 type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	stats *serverStats
 }
 
 // New builds the handler around an engine.
 func New(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s := &Server{eng: eng, mux: http.NewServeMux(), stats: newServerStats()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleList)
@@ -69,13 +76,22 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("GET /v1/datasets/{name}/dcs", s.handleDCList)
 	s.mux.HandleFunc("POST /v1/dc/detect", s.handleDCDetect)
 	s.mux.HandleFunc("POST /v1/dc/relax", s.handleDCRelax)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/shard/register", s.handleShardRegister)
+	s.mux.HandleFunc("POST /v1/shard/detect", s.handleShardDetect)
+	s.mux.HandleFunc("POST /v1/shard/groups", s.handleShardGroups)
+	s.mux.HandleFunc("POST /v1/shard/dc", s.handleShardDC)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	s.mux.ServeHTTP(w, r)
+	serveInstrumented(s.mux, s.stats, w, r)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"endpoints": s.stats.snapshot()})
 }
 
 // --- encoding helpers ---

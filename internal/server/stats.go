@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Per-endpoint request accounting, exposed by GET /v1/stats on both the
+// single-process server and the coordinator so load-generator numbers
+// can be cross-checked server-side: request counts, error counts
+// (status >= 400), and cumulative handler latency per route pattern.
+
+type routeTotals struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	TotalMS  float64 `json:"total_ms"`
+	AvgMS    float64 `json:"avg_ms"`
+}
+
+type serverStats struct {
+	mu     sync.Mutex
+	routes map[string]*routeTotals
+}
+
+func newServerStats() *serverStats {
+	return &serverStats{routes: map[string]*routeTotals{}}
+}
+
+func (st *serverStats) record(route string, code int, d time.Duration) {
+	st.mu.Lock()
+	t := st.routes[route]
+	if t == nil {
+		t = &routeTotals{}
+		st.routes[route] = t
+	}
+	t.Requests++
+	if code >= 400 {
+		t.Errors++
+	}
+	t.TotalMS += float64(d.Microseconds()) / 1000
+	st.mu.Unlock()
+}
+
+func (st *serverStats) snapshot() map[string]routeTotals {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]routeTotals, len(st.routes))
+	for route, t := range st.routes {
+		c := *t
+		if c.Requests > 0 {
+			c.AvgMS = c.TotalMS / float64(c.Requests)
+		}
+		out[route] = c
+	}
+	return out
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// serveInstrumented routes r through mux while recording the matched
+// pattern's count, error count and latency into st.
+func serveInstrumented(mux *http.ServeMux, st *serverStats, w http.ResponseWriter, r *http.Request) {
+	// Handler only names the matched pattern; serving must go through
+	// mux.ServeHTTP so wildcard path values get bound on the request.
+	_, pattern := mux.Handler(r)
+	if pattern == "" {
+		pattern = "(unmatched)"
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	mux.ServeHTTP(sw, r)
+	st.record(pattern, sw.code, time.Since(start))
+}
