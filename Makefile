@@ -7,7 +7,7 @@ SHELL := /bin/bash
 # real measurements.
 BENCHTIME ?= 1x
 
-.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-repair bench-spill bench-service bench-all run-daemon
+.PHONY: all check fmt vet build test race race-cache bench bench-detect bench-discovery bench-append bench-build bench-dc bench-repair bench-spill bench-service bench-recovery bench-all run-daemon
 
 all: check
 
@@ -48,7 +48,7 @@ race:
 # — the Get/GetDelta compaction race stayed hidden on a 1-core host
 # until the fan-out was pinned.
 race-cache:
-	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/ ./internal/repair/ ./internal/dc/ ./internal/server/
+	GOMAXPROCS=8 $(GO) test -race -count=2 ./internal/relation/ ./internal/discovery/ ./internal/engine/ ./internal/repair/ ./internal/dc/ ./internal/server/ ./internal/wal/
 
 # bench runs the perf-trajectory benchmarks CI archives on every run:
 # detection (E1 scale sweep, E13 parallel detector) into
@@ -114,6 +114,23 @@ bench-service:
 	./bin/loadgen -bin bin/semandaqd -sweep '$(LOAD_SWEEP)' -n $(LOAD_N) \
 		-clients $(LOAD_CLIENTS) -duration $(LOAD_DUR) -out BENCH_service.json
 	cat BENCH_service.json
+
+# bench-recovery runs the crash-recovery harness: for each acked-append
+# count in RECOVERY_SWEEP it boots a durable daemon (-data-dir on a temp
+# dir, WAL fsync on every write), streams single-row appends, SIGKILLs
+# the process mid-stream, restarts it on the same data dir, and fails
+# unless every acked append survived exactly once with zero re-ingest
+# detection work. BENCH_recovery.json records exec→healthy recovery
+# time against the WAL tail length.
+RECOVERY_SWEEP ?= 200,1000,4000
+RECOVERY_N ?= 2000
+
+bench-recovery:
+	mkdir -p bin
+	$(GO) build -o bin/semandaqd ./cmd/semandaqd
+	$(GO) build -o bin/loadgen ./cmd/loadgen
+	./bin/loadgen -bin bin/semandaqd -recovery '$(RECOVERY_SWEEP)' -n $(RECOVERY_N) -out BENCH_recovery.json
+	cat BENCH_recovery.json
 
 # bench-all smoke-runs every benchmark once.
 bench-all:

@@ -13,6 +13,18 @@
 // latency and the boundary-group residual fraction of a fresh detect.
 // Output is a benchjson-shaped document (BENCH_service.json in CI), so
 // archived service numbers live alongside the library benchmarks.
+//
+// With -recovery the harness runs the crash-recovery sweep instead
+// (`make bench-recovery`): for each acked-append count in the list it
+// boots a durable daemon (-data-dir on a temp dir, WAL fsync on every
+// write), streams single-row appends counting the acks, SIGKILLs the
+// process mid-stream, restarts it on the same data dir, and measures
+// the time from exec to the first healthy /healthz (listen + snapshot
+// load + WAL tail replay). The run fails unless every acked append
+// survived, nothing was ingested twice, and the replayed dataset shows
+// zero index-cache misses — recovery must be raw insertion, not
+// re-detection. BENCH_recovery.json plots recovery time against WAL
+// tail length.
 package main
 
 import (
@@ -26,11 +38,13 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -45,6 +59,7 @@ func main() {
 	mix := flag.String("mix", "detect=2,violations=5,append=2,discover=0.2", "weighted operation mix")
 	seed := flag.Int64("seed", 1, "per-client RNG seed base")
 	out := flag.String("out", "", "output JSON path (empty = stdout)")
+	recovery := flag.String("recovery", "", "comma-separated acked-append counts: run the crash-recovery sweep (SIGKILL mid-append, restart, verify) instead of the load mix")
 	flag.Parse()
 
 	weights, err := parseMix(*mix)
@@ -61,7 +76,22 @@ func main() {
 		"preload-n":  strconv.Itoa(*n),
 	}}
 
-	if *addr != "" {
+	if *recovery != "" {
+		for _, field := range strings.Split(*recovery, ",") {
+			appends, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil || appends < 1 {
+				log.Fatalf("loadgen: bad -recovery entry %q", field)
+			}
+			res, err := runRecovery(*bin, *portBase, *n, appends)
+			if err != nil {
+				log.Fatalf("loadgen: recovery appends=%d: %v", appends, err)
+			}
+			res.Name = fmt.Sprintf("Recovery/appends=%d", appends)
+			rep.Results = append(rep.Results, res)
+			log.Printf("%s: recovered in %.1fms (wal %.0f bytes, %0.f acked appends, 0 lost)",
+				res.Name, res.NsPerOp/1e6, res.Extra["wal-bytes"], res.Extra["acked-appends"])
+		}
+	} else if *addr != "" {
 		res := runLoad(*addr, *clients, *duration, weights, *seed)
 		res.Name = "LoadgenMixed/external"
 		rep.Results = append(rep.Results, res)
@@ -231,6 +261,159 @@ func runCluster(bin string, portBase, workers, n, clients int, duration time.Dur
 	res := runLoad(coordURL, clients, duration, weights, seed)
 	res.Extra["workers"] = float64(workers)
 	return res, nil
+}
+
+// runRecovery is one point of the crash-recovery sweep: boot a durable
+// daemon, stream acked appends, SIGKILL it mid-stream, restart on the
+// same data dir and verify the acked writes — all of them, exactly once
+// — came back without any re-ingest detection work.
+func runRecovery(bin string, portBase, n, appends int) (result, error) {
+	dir, err := os.MkdirTemp("", "semandaq-recovery-")
+	if err != nil {
+		return result{}, err
+	}
+	defer os.RemoveAll(dir)
+	addr := fmt.Sprintf("127.0.0.1:%d", portBase)
+	url := "http://" + addr
+	// -checkpoint-every 0: the whole append stream stays in the WAL
+	// tail, so recovery time scales with the acked-append count.
+	args := []string{"-addr", addr, "-data-dir", dir, "-wal-sync", "always",
+		"-preload", strconv.Itoa(n), "-checkpoint-every", "0"}
+
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		return result{}, fmt.Errorf("start daemon: %w", err)
+	}
+	killed := false
+	defer func() {
+		if !killed && cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	if err := waitHealthy(url, 60*time.Second); err != nil {
+		return result{}, err
+	}
+	baseline, _, err := datasetStats(url, "cust")
+	if err != nil {
+		return result{}, err
+	}
+
+	// Stream single-row acked appends; the kill lands while the stream
+	// is still running, so the final in-flight request may die un-acked
+	// — exactly the window durability must not extend to.
+	var acked atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		hc := &http.Client{Timeout: 30 * time.Second}
+		for seq := 0; ; seq++ {
+			tuple := []string{
+				"01", "908", fmt.Sprintf("908-7%06d", seq),
+				"rec", "Crash Ct", "mh", "07974",
+			}
+			if !post(hc, url+"/v1/repair/incremental",
+				map[string]any{"dataset": "cust", "tuples": [][]string{tuple}}) {
+				return
+			}
+			acked.Add(1)
+		}
+	}()
+	for acked.Load() < int64(appends) {
+		select {
+		case <-done:
+			return result{}, fmt.Errorf("append stream died after %d acks (want %d)", acked.Load(), appends)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cmd.Process.Kill() // SIGKILL: no shutdown checkpoint, no WAL close
+	killed = true
+	cmd.Wait()
+	<-done
+	ackedN := acked.Load()
+	var walBytes int64
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err == nil {
+		walBytes = fi.Size()
+	}
+
+	// Restart on the same data dir and clock exec → first healthy
+	// response; /healthz answers 503 "recovering" until replay is done,
+	// which waitHealthy treats as not-yet-up.
+	restart := time.Now()
+	cmd2 := exec.Command(bin, args...)
+	cmd2.Stdout = io.Discard
+	cmd2.Stderr = io.Discard
+	if err := cmd2.Start(); err != nil {
+		return result{}, fmt.Errorf("restart daemon: %w", err)
+	}
+	defer func() {
+		cmd2.Process.Signal(os.Interrupt)
+		cmd2.Wait()
+	}()
+	if err := waitHealthy(url, 120*time.Second); err != nil {
+		return result{}, fmt.Errorf("after restart: %w", err)
+	}
+	recoveryTime := time.Since(restart)
+
+	tuples, misses, err := datasetStats(url, "cust")
+	if err != nil {
+		return result{}, fmt.Errorf("after restart: %w", err)
+	}
+	lost := baseline + int(ackedN) - tuples
+	if lost > 0 {
+		return result{}, fmt.Errorf("%d acked append(s) lost (have %d tuples, want >= %d)",
+			lost, tuples, baseline+int(ackedN))
+	}
+	// At most the one un-acked in-flight row may have slipped in.
+	if extra := tuples - baseline - int(ackedN); extra > 1 {
+		return result{}, fmt.Errorf("%d extra tuple(s) after recovery — rows ingested twice", extra)
+	}
+	if misses != 0 {
+		return result{}, fmt.Errorf("replay did detection work: %d index-cache misses after recovery", misses)
+	}
+	// The recovered dataset must serve, not just count.
+	hc := &http.Client{Timeout: 2 * time.Minute}
+	if !post(hc, url+"/v1/detect", map[string]any{"dataset": "cust"}) {
+		return result{}, fmt.Errorf("detect failed on recovered dataset")
+	}
+
+	return result{
+		Iterations: ackedN,
+		NsPerOp:    float64(recoveryTime.Nanoseconds()),
+		Extra: map[string]float64{
+			"recovery-ms":    ms(recoveryTime),
+			"wal-bytes":      float64(walBytes),
+			"acked-appends":  float64(ackedN),
+			"tuples":         float64(tuples),
+			"lost-appends":   0,
+			"preload-tuples": float64(baseline),
+		},
+	}, nil
+}
+
+// datasetStats reads a dataset's tuple count and index-cache miss
+// counter from GET /v1/datasets/{name}.
+func datasetStats(base, name string) (tuples, misses int, err error) {
+	resp, err := http.Get(base + "/v1/datasets/" + name)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Tuples     int `json:"tuples"`
+		IndexCache struct {
+			Misses int `json:"misses"`
+		} `json:"index_cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("GET /v1/datasets/%s: %d", name, resp.StatusCode)
+	}
+	return body.Tuples, body.IndexCache.Misses, nil
 }
 
 func waitHealthy(url string, timeout time.Duration) error {

@@ -26,6 +26,27 @@
 // mmap instead of rebuilt (see the "Tiered storage" section of
 // README.md); empty keeps the discard-on-evict behavior.
 //
+// Durability (see the "Durability" section of README.md):
+//
+//	semandaqd -data-dir /var/lib/semandaq [-wal-sync always] [-checkpoint-every 5m]
+//
+// -data-dir names the directory holding the write-ahead log and
+// per-dataset snapshot files; every acked mutation is journaled there
+// before the HTTP response goes out, and startup replays snapshots plus
+// the WAL tail to recover exactly the acked state. While replay runs
+// the daemon is listening but answers 503 — /healthz reports
+// {"status":"recovering"} so probes can tell a recovering daemon from a
+// dead one. -wal-sync picks the fsync policy: "always" (default; an
+// acked write is on stable storage), "interval" (fsync coalesced to a
+// short window; a crash can lose that window), "none" (leave flushing
+// to the OS). -checkpoint-every snapshots every dataset and compacts
+// the WAL on that period (0 = checkpoint only at graceful shutdown).
+// Empty -data-dir keeps the daemon ephemeral. In cluster mode the
+// coordinator journals registrations, constraint installs and appends
+// (full rows — the log doubles as the worker re-feed source) and
+// replays them through the fleet at startup; workers run their own
+// -data-dir independently.
+//
 // Cluster mode (see the "Scatter-gather cluster" section of README.md):
 //
 //	semandaqd -worker -addr :8091          # worker owning a TID-range slice
@@ -47,6 +68,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,6 +82,7 @@ import (
 	"semandaq/internal/engine"
 	"semandaq/internal/noise"
 	"semandaq/internal/server"
+	"semandaq/internal/wal"
 )
 
 func main() {
@@ -71,13 +94,21 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for tiered index storage: evicted partitions spill to segment files here instead of being discarded (empty = disabled)")
 	workerMode := flag.Bool("worker", false, "run as a cluster worker owning a TID-range slice (logging only; the shard protocol is always mounted)")
 	cluster := flag.String("cluster", "", "comma-separated worker base URLs; serve the scatter-gather coordinator surface instead of a local engine")
+	dataDir := flag.String("data-dir", "", "durability directory for the write-ahead log and snapshots (empty = ephemeral, no durability)")
+	walSync := flag.String("wal-sync", "always", "WAL fsync policy: always|interval|none")
+	checkpointEvery := flag.Duration("checkpoint-every", 5*time.Minute, "periodic snapshot + WAL compaction interval when -data-dir is set (0 = only at graceful shutdown)")
 	flag.Parse()
+
+	syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatalf("semandaqd: %v", err)
+	}
 
 	if *cluster != "" {
 		if *workerMode {
 			log.Fatal("semandaqd: -worker and -cluster are mutually exclusive")
 		}
-		runCoordinator(*addr, *cluster, *preload)
+		runCoordinator(*addr, *cluster, *preload, *dataDir, syncPolicy)
 		return
 	}
 
@@ -92,20 +123,10 @@ func main() {
 	if *spillDir != "" {
 		log.Printf("tiered index storage under %s", *spillDir)
 	}
-	if *preload > 0 {
-		if err := preloadCust(eng, *preload); err != nil {
-			log.Fatalf("semandaqd: preload: %v", err)
-		}
-		log.Printf("preloaded dataset %q with %d tuples and planted constraints", "cust", *preload)
-		if err := preloadEmp(eng, (*preload+9)/10); err != nil {
-			log.Fatalf("semandaqd: preload emp: %v", err)
-		}
-		log.Printf("preloaded dataset %q with %d tuples and the pay-scale denial constraint", "emp", (*preload+9)/10)
-	}
 
+	handler := server.New(eng)
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           logRequests(server.New(eng)),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -115,11 +136,61 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Listen before recovery: while WAL replay runs the daemon answers
+	// 503 with /healthz naming the "recovering" phase, so probes see a
+	// starting daemon rather than a dead port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("semandaqd: %v", err)
+	}
+	var mgr *wal.Manager
+	if *dataDir != "" {
+		handler.SetRecovering(true)
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("%s listening on %s", role, *addr)
-		errCh <- srv.ListenAndServe()
+		errCh <- srv.Serve(ln)
 	}()
+
+	if *dataDir != "" {
+		start := time.Now()
+		mgr, err = wal.OpenManager(*dataDir, syncPolicy)
+		if err != nil {
+			log.Fatalf("semandaqd: opening data dir: %v", err)
+		}
+		snaps, replayed, err := mgr.Recover(eng)
+		if err != nil {
+			log.Fatalf("semandaqd: recovery: %v", err)
+		}
+		// Attach the journal only after replay: a journaling replay
+		// would re-log every record.
+		eng.SetJournal(mgr)
+		handler.SetRecovering(false)
+		log.Printf("recovered %d snapshot(s) + %d WAL record(s) from %s in %s (wal-sync=%s)",
+			snaps, replayed, *dataDir, fmtDuration(time.Since(start)), syncPolicy)
+		if *checkpointEvery > 0 {
+			go checkpointLoop(ctx, mgr, eng, *checkpointEvery)
+		}
+	}
+
+	if *preload > 0 {
+		// Skip datasets recovery already restored — the durable state,
+		// not the generator, is authoritative across restarts.
+		if _, ok := eng.Get("cust"); !ok {
+			if err := preloadCust(eng, *preload); err != nil {
+				log.Fatalf("semandaqd: preload: %v", err)
+			}
+			log.Printf("preloaded dataset %q with %d tuples and planted constraints", "cust", *preload)
+		}
+		if _, ok := eng.Get("emp"); !ok {
+			if err := preloadEmp(eng, (*preload+9)/10); err != nil {
+				log.Fatalf("semandaqd: preload emp: %v", err)
+			}
+			log.Printf("preloaded dataset %q with %d tuples and the pay-scale denial constraint", "emp", (*preload+9)/10)
+		}
+	}
 
 	select {
 	case err := <-errCh:
@@ -133,45 +204,115 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Fatalf("semandaqd: shutdown: %v", err)
 		}
+		if mgr != nil {
+			// A final checkpoint makes the next startup a pure
+			// snapshot load with an empty tail.
+			if err := mgr.Checkpoint(eng); err != nil {
+				log.Printf("semandaqd: shutdown checkpoint: %v", err)
+			}
+			if err := mgr.Close(); err != nil {
+				log.Printf("semandaqd: closing wal: %v", err)
+			}
+		}
 		// Drop every dataset so per-dataset spill directories (MkdirTemp
 		// under -spill-dir) are removed, not leaked across restarts.
 		eng.Close()
 	}
 }
 
+// checkpointLoop snapshots every dataset and compacts the WAL on a
+// fixed period, bounding the tail replay a crash recovery pays.
+func checkpointLoop(ctx context.Context, mgr *wal.Manager, src wal.CheckpointSource, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			start := time.Now()
+			if err := mgr.Checkpoint(src); err != nil {
+				log.Printf("semandaqd: checkpoint: %v", err)
+				continue
+			}
+			log.Printf("checkpoint complete in %s (wal now %d bytes)",
+				fmtDuration(time.Since(start)), mgr.LogSize())
+		}
+	}
+}
+
 // runCoordinator serves the cluster coordinator: the public API backed
-// by the worker fleet at the given comma-separated base URLs.
-func runCoordinator(addr, workerList string, preload int) {
+// by the worker fleet at the given comma-separated base URLs. With a
+// data dir the coordinator journals every registry mutation (full rows
+// included) and replays the log through the fleet at startup, re-feeding
+// workers that came back empty.
+func runCoordinator(addr, workerList string, preload int, dataDir string, syncPolicy wal.SyncPolicy) {
 	var clients []engine.ShardClient
 	for _, u := range strings.Split(workerList, ",") {
 		u = strings.TrimSpace(u)
 		if u == "" {
 			continue
 		}
-		clients = append(clients, server.NewShardClient(u, 5*time.Minute))
+		cl := server.NewShardClient(u, 5*time.Minute)
+		// Idempotent fan-out calls (shard detect/groups/dc) retry with
+		// jittered backoff; registration and appends stay at-most-once.
+		cl.SetRetryPolicy(server.DefaultRetryPolicy())
+		clients = append(clients, cl)
 	}
 	coord, err := engine.NewCoordinator(clients)
 	if err != nil {
 		log.Fatalf("semandaqd: %v", err)
 	}
-	if preload > 0 {
-		if err := preloadCluster(coord, preload); err != nil {
-			log.Fatalf("semandaqd: preload: %v", err)
-		}
-		log.Printf("preloaded datasets %q and %q across %d workers", "cust", "emp", len(clients))
-	}
+
+	handler := server.NewCoordinator(coord)
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           logRequests(server.NewCoordinator(coord)),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("semandaqd: %v", err)
+	}
+	var mgr *wal.Manager
+	if dataDir != "" {
+		handler.SetRecovering(true)
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("semandaqd coordinator for %d workers listening on %s", len(clients), addr)
-		errCh <- srv.ListenAndServe()
+		errCh <- srv.Serve(ln)
 	}()
+
+	if dataDir != "" {
+		start := time.Now()
+		mgr, err = wal.OpenManager(dataDir, syncPolicy)
+		if err != nil {
+			log.Fatalf("semandaqd: opening data dir: %v", err)
+		}
+		// The coordinator never checkpoints — its log IS the registry —
+		// so recovery is a pure replay that re-partitions and re-feeds
+		// every dataset through the fleet.
+		_, replayed, err := mgr.Recover(coord)
+		if err != nil {
+			log.Fatalf("semandaqd: cluster recovery: %v", err)
+		}
+		coord.SetJournal(mgr)
+		handler.SetRecovering(false)
+		log.Printf("re-fed %d WAL record(s) through %d workers from %s in %s",
+			replayed, len(clients), dataDir, fmtDuration(time.Since(start)))
+	}
+
+	if preload > 0 {
+		if _, ok := coord.Get("cust"); !ok {
+			if err := preloadCluster(coord, preload); err != nil {
+				log.Fatalf("semandaqd: preload: %v", err)
+			}
+			log.Printf("preloaded datasets %q and %q across %d workers", "cust", "emp", len(clients))
+		}
+	}
+
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -183,6 +324,11 @@ func runCoordinator(addr, workerList string, preload int) {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Fatalf("semandaqd: shutdown: %v", err)
+		}
+		if mgr != nil {
+			if err := mgr.Close(); err != nil {
+				log.Printf("semandaqd: closing wal: %v", err)
+			}
 		}
 	}
 }

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"semandaq/internal/cfd"
+	"semandaq/internal/dc"
+	"semandaq/internal/relation"
+	"semandaq/internal/wal"
+)
+
+// The coordinator's durability model is simpler than the engine's: it
+// holds no tuple data, only a tiny registry (schemas, per-worker
+// counts, constraint text). Its WAL records therefore carry everything
+// needed to rebuild the CLUSTER — register records log the full rows
+// (they double as the worker re-feed source), appends log the raw
+// fields replayed through the same tail-worker path — and recovery is
+// a straight replay that drops whatever stale slices the workers still
+// hold and re-feeds them. The coordinator never checkpoints: its log
+// is the snapshot.
+
+// --- wal.Applier: recovery-side replay. The journal must be detached
+// while these run (SetJournal after Recover).
+
+// ApplySnapshot is unexpected: the coordinator does not checkpoint.
+func (c *Coordinator) ApplySnapshot(name string, _ *wal.DatasetSnapshot) error {
+	return fmt.Errorf("engine: unexpected snapshot for %q in coordinator log", name)
+}
+
+// ApplyRegister replays a cluster registration: any stale slice a
+// worker still holds (it may have survived the coordinator's crash) is
+// dropped, then every worker is re-fed its range partition of the
+// logged rows — the same even-slices split Register performed.
+func (c *Coordinator) ApplyRegister(name string, schema *relation.Schema, rows []relation.Tuple) error {
+	for _, cl := range c.clients {
+		_ = cl.Drop(name)
+	}
+	n := len(rows)
+	w := len(c.clients)
+	size, rem := n/w, n%w
+	counts := make([]int, w)
+	slices := make([][]relation.Tuple, w)
+	tid := 0
+	for i := 0; i < w; i++ {
+		hi := tid + size
+		if i < rem {
+			hi++
+		}
+		counts[i] = hi - tid
+		slices[i] = rows[tid:hi]
+		tid = hi
+	}
+	if _, err := c.fanOut(func(w int, cl ShardClient) error {
+		return cl.Register(name, schema, slices[w])
+	}); err != nil {
+		return err
+	}
+	cd := &ClusterDataset{
+		name:   name,
+		schema: schema,
+		counts: counts,
+		cfds:   cfd.NewSet(schema),
+		dcs:    dc.NewSet(schema),
+	}
+	c.mu.Lock()
+	c.datasets[name] = cd
+	c.mu.Unlock()
+	return nil
+}
+
+// ApplyAppend is unexpected: the coordinator journals raw appends.
+func (c *Coordinator) ApplyAppend(name string, _ []relation.Tuple) error {
+	return fmt.Errorf("engine: unexpected tuple-append record for %q in coordinator log", name)
+}
+
+// ApplyCells is unexpected: cluster mode has no cell-repair path.
+func (c *Coordinator) ApplyCells(name string, _ []wal.CellWrite, _ bool) error {
+	return fmt.Errorf("engine: unexpected cell record for %q in coordinator log", name)
+}
+
+// ApplyConfirm is unexpected: cluster mode has no confirmation path.
+func (c *Coordinator) ApplyConfirm(name string, _, _ int) error {
+	return fmt.Errorf("engine: unexpected confirm record for %q in coordinator log", name)
+}
+
+// ApplyConstraints replays a constraint installation on every worker.
+func (c *Coordinator) ApplyConstraints(name, text string) error {
+	cd, ok := c.Get(name)
+	if !ok {
+		return fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	set, err := cfd.ParseSet(text, cd.schema)
+	if err != nil {
+		return err
+	}
+	if _, err := c.fanOut(func(_ int, cl ShardClient) error {
+		return cl.InstallConstraints(name, text)
+	}); err != nil {
+		return err
+	}
+	cd.mu.Lock()
+	cd.cfds, cd.cfdText = set, text
+	cd.violations, cd.vioValid = nil, false
+	cd.mu.Unlock()
+	return nil
+}
+
+// ApplyDCs replays a denial-constraint installation on every worker.
+func (c *Coordinator) ApplyDCs(name, text string) error {
+	cd, ok := c.Get(name)
+	if !ok {
+		return fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	set, err := dc.ParseSet(text, cd.schema)
+	if err != nil {
+		return err
+	}
+	if _, err := c.fanOut(func(_ int, cl ShardClient) error {
+		return cl.InstallDCs(name, text)
+	}); err != nil {
+		return err
+	}
+	cd.mu.Lock()
+	cd.dcs, cd.dcText = set, text
+	cd.mu.Unlock()
+	return nil
+}
+
+// ApplyDrop replays a dataset drop, tolerating a missing dataset.
+func (c *Coordinator) ApplyDrop(name string) error {
+	c.mu.Lock()
+	delete(c.datasets, name)
+	c.mu.Unlock()
+	for _, cl := range c.clients {
+		_ = cl.Drop(name)
+	}
+	return nil
+}
+
+// ApplyAppendRaw replays an append through the same tail-worker
+// incremental-repair path the original took, so the worker ends with
+// the same repaired delta.
+func (c *Coordinator) ApplyAppendRaw(name string, rows [][]string) error {
+	cd, ok := c.Get(name)
+	if !ok {
+		return fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
+	last := len(c.clients) - 1
+	n, err := c.clients[last].Append(name, rows)
+	if err != nil {
+		return err
+	}
+	cd.mu.Lock()
+	cd.counts[last] += n
+	cd.violations, cd.vioValid = nil, false
+	cd.mu.Unlock()
+	return nil
+}
+
+// DatasetArity resolves the schema arity replay needs to decode rows.
+func (c *Coordinator) DatasetArity(name string) (int, bool) {
+	cd, ok := c.Get(name)
+	if !ok {
+		return 0, false
+	}
+	return cd.schema.Arity(), true
+}
+
+// --- registry mirror.
+
+// RegistryDataset is one dataset's entry in the JSON registry mirror.
+type RegistryDataset struct {
+	Name    string `json:"name"`
+	Schema  string `json:"schema"`
+	Counts  []int  `json:"worker_counts"`
+	CFDText string `json:"cfds,omitempty"`
+	DCText  string `json:"dcs,omitempty"`
+}
+
+// Registry is the coordinator's registry-mirror document.
+type Registry struct {
+	Workers  []string          `json:"workers"`
+	Datasets []RegistryDataset `json:"datasets"`
+}
+
+// mirrorRegistry writes the coordinator's registry as JSON next to the
+// WAL when the journal supports it (wal.Manager does). Informational —
+// an operator-readable description of the cluster; the WAL is the
+// authoritative recovery source — so failures are ignored.
+func (c *Coordinator) mirrorRegistry() {
+	j := c.getJournal()
+	rw, ok := j.(RegistryWriter)
+	if !ok {
+		return
+	}
+	reg := Registry{Workers: c.Workers()}
+	for _, name := range c.List() {
+		cd, ok := c.Get(name)
+		if !ok {
+			continue
+		}
+		cd.mu.RLock()
+		reg.Datasets = append(reg.Datasets, RegistryDataset{
+			Name:    name,
+			Schema:  cd.schema.String(),
+			Counts:  append([]int(nil), cd.counts...),
+			CFDText: cd.cfdText,
+			DCText:  cd.dcText,
+		})
+		cd.mu.RUnlock()
+	}
+	sort.Slice(reg.Datasets, func(i, k int) bool { return reg.Datasets[i].Name < reg.Datasets[k].Name })
+	data, err := json.MarshalIndent(reg, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = rw.WriteRegistry(data)
+}

@@ -16,6 +16,30 @@ import (
 // 502 (upstream worker unreachable or misbehaving) instead of 500.
 var ErrWorker = errors.New("worker error")
 
+// Cause sentinels the shard client attaches under ErrWorker so the
+// per-worker stats can label failures by cause. An ErrWorker without a
+// finer tag counts as a transport error.
+var (
+	// ErrWorkerTimeout tags a worker call that exceeded its deadline.
+	ErrWorkerTimeout = errors.New("worker timeout")
+	// ErrWorkerUpstream tags a worker reply with a 5xx status.
+	ErrWorkerUpstream = errors.New("worker upstream status")
+)
+
+// causeOf labels a worker error for stats and degraded-result reports.
+func causeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrWorkerTimeout):
+		return "timeout"
+	case errors.Is(err, ErrWorkerUpstream):
+		return "http_5xx"
+	default:
+		return "transport"
+	}
+}
+
 // ShardClient is the coordinator's view of one worker process. The HTTP
 // implementation lives in internal/server; tests use in-process fakes.
 // TIDs in every result are shard-LOCAL — the coordinator owns the
@@ -58,10 +82,20 @@ type WorkerCall struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// WorkerTotals is a worker's cumulative fan-out accounting in /v1/stats.
+// WorkerTotals is a worker's cumulative fan-out accounting in
+// /v1/stats. Failed calls are additionally labeled by cause: a
+// deadline overrun (timeouts), a 5xx reply (http_5xx — the worker was
+// reachable but failing, e.g. mid-recovery), or any other transport
+// fault (connection refused/reset).
 type WorkerTotals struct {
-	Calls   uint64  `json:"calls"`
-	TotalMS float64 `json:"total_ms"`
+	Calls      uint64  `json:"calls"`
+	TotalMS    float64 `json:"total_ms"`
+	Errors     uint64  `json:"errors"`
+	Timeouts   uint64  `json:"timeouts"`
+	HTTP5xx    uint64  `json:"http_5xx"`
+	Transport  uint64  `json:"transport_errors"`
+	Retries    uint64  `json:"retries"`
+	LastErrMsg string  `json:"last_error,omitempty"`
 }
 
 // ClusterDataset is the coordinator's record of one range-partitioned
@@ -76,6 +110,14 @@ type ClusterDataset struct {
 	cfds    *cfd.Set
 	cfdText string
 	dcs     *dc.Set
+	dcText  string
+
+	// wm serializes this dataset's mutations (worker apply + journal
+	// append) so the WAL's record order matches the order the cluster
+	// actually applied the mutations in — the invariant replay depends
+	// on. Held across the worker RPC, unlike mu, which only guards the
+	// in-memory fields.
+	wm sync.Mutex
 
 	violations []cfd.Violation
 	stats      cfd.MergeStats
@@ -139,6 +181,27 @@ type Coordinator struct {
 	mu       sync.RWMutex
 	datasets map[string]*ClusterDataset
 	workerNS map[string]*WorkerTotals
+
+	// journal, when attached (SetJournal), records every registry
+	// mutation — register (with full rows: the coordinator holds no
+	// tuple data, so the WAL doubles as the worker re-feed source),
+	// raw appends, constraint/DC text, drops — before the client is
+	// acked. See cluster_durable.go for the recovery side.
+	journal Journal
+}
+
+// SetJournal attaches (or detaches, with nil) the coordinator's
+// durability journal. Attach AFTER recovery has replayed the log.
+func (c *Coordinator) SetJournal(j Journal) {
+	c.mu.Lock()
+	c.journal = j
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) getJournal() Journal {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.journal
 }
 
 // NewCoordinator builds a coordinator over the given workers (at least
@@ -163,19 +226,33 @@ func (c *Coordinator) Workers() []string {
 	return out
 }
 
-// WorkerStats returns each worker's cumulative fan-out call count and
-// latency — the coordinator side of GET /v1/stats.
+// RetryReporter is the optional ShardClient extension that exposes the
+// client's cumulative retry count for /v1/stats.
+type RetryReporter interface {
+	Retries() uint64
+}
+
+// WorkerStats returns each worker's cumulative fan-out call count,
+// latency and cause-labeled error counters — the coordinator side of
+// GET /v1/stats.
 func (c *Coordinator) WorkerStats() map[string]WorkerTotals {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	out := make(map[string]WorkerTotals, len(c.workerNS))
 	for url, t := range c.workerNS {
 		out[url] = *t
 	}
+	c.mu.RUnlock()
+	for _, cl := range c.clients {
+		if rr, ok := cl.(RetryReporter); ok {
+			t := out[cl.URL()]
+			t.Retries = rr.Retries()
+			out[cl.URL()] = t
+		}
+	}
 	return out
 }
 
-func (c *Coordinator) recordWorker(url string, d time.Duration) {
+func (c *Coordinator) recordWorker(url string, d time.Duration, err error) {
 	c.mu.Lock()
 	t := c.workerNS[url]
 	if t == nil {
@@ -184,13 +261,26 @@ func (c *Coordinator) recordWorker(url string, d time.Duration) {
 	}
 	t.Calls++
 	t.TotalMS += float64(d.Microseconds()) / 1000
+	if err != nil {
+		t.Errors++
+		switch causeOf(err) {
+		case "timeout":
+			t.Timeouts++
+		case "http_5xx":
+			t.HTTP5xx++
+		default:
+			t.Transport++
+		}
+		t.LastErrMsg = err.Error()
+	}
 	c.mu.Unlock()
 }
 
-// fanOut runs fn(w, client) for every worker concurrently, recording
-// per-worker latency, and returns the calls' timings. The first error
-// wins (tagged ErrWorker unless already tagged).
-func (c *Coordinator) fanOut(fn func(w int, cl ShardClient) error) ([]WorkerCall, error) {
+// fanOutAll runs fn(w, client) for every worker concurrently,
+// recording per-worker latency and cause-labeled errors, and returns
+// every call's timing plus every worker's (tagged) error — the
+// partial-result primitive degraded detection is built on.
+func (c *Coordinator) fanOutAll(fn func(w int, cl ShardClient) error) ([]WorkerCall, []error) {
 	calls := make([]WorkerCall, len(c.clients))
 	errs := make([]error, len(c.clients))
 	var wg sync.WaitGroup
@@ -199,19 +289,26 @@ func (c *Coordinator) fanOut(fn func(w int, cl ShardClient) error) ([]WorkerCall
 		go func(w int, cl ShardClient) {
 			defer wg.Done()
 			start := time.Now()
-			errs[w] = fn(w, cl)
+			err := fn(w, cl)
+			if err != nil && !errors.Is(err, ErrWorker) {
+				err = fmt.Errorf("%w: %s: %v", ErrWorker, cl.URL(), err)
+			}
+			errs[w] = err
 			elapsed := time.Since(start)
 			calls[w] = WorkerCall{URL: cl.URL(), ElapsedMS: float64(elapsed.Microseconds()) / 1000}
-			c.recordWorker(cl.URL(), elapsed)
+			c.recordWorker(cl.URL(), elapsed, err)
 		}(w, cl)
 	}
 	wg.Wait()
-	for w, err := range errs {
+	return calls, errs
+}
+
+// fanOut is the fail-fast wrapper: the first worker error wins.
+func (c *Coordinator) fanOut(fn func(w int, cl ShardClient) error) ([]WorkerCall, error) {
+	calls, errs := c.fanOutAll(fn)
+	for _, err := range errs {
 		if err != nil {
-			if errors.Is(err, ErrWorker) {
-				return calls, err
-			}
-			return calls, fmt.Errorf("%w: %s: %v", ErrWorker, c.clients[w].URL(), err)
+			return calls, err
 		}
 	}
 	return calls, nil
@@ -252,17 +349,30 @@ func (c *Coordinator) Register(name string, data *relation.Relation) (*ClusterDa
 		}
 		slices[i] = rows
 	}
-	_, err := c.fanOut(func(w int, cl ShardClient) error {
-		return cl.Register(name, schema, slices[w])
-	})
-	if err != nil {
+	undo := func() {
 		for _, cl := range c.clients {
 			_ = cl.Drop(name)
 		}
 		c.mu.Lock()
 		delete(c.datasets, name)
 		c.mu.Unlock()
+	}
+	_, err := c.fanOut(func(w int, cl ShardClient) error {
+		return cl.Register(name, schema, slices[w])
+	})
+	if err != nil {
+		undo()
 		return nil, err
+	}
+	// Journal the FULL rows before publishing: the coordinator keeps no
+	// tuple data, so the register record is what re-feeds the workers
+	// their slices at recovery. A non-durable register is undone (the
+	// workers drop their slices) rather than acked.
+	if j := c.getJournal(); j != nil {
+		if err := j.LogRegister(name, schema, data.Tuples()); err != nil {
+			undo()
+			return nil, fmt.Errorf("engine: journaling register of %q: %w", name, err)
+		}
 	}
 	cd := &ClusterDataset{
 		name:   name,
@@ -274,6 +384,7 @@ func (c *Coordinator) Register(name string, data *relation.Relation) (*ClusterDa
 	c.mu.Lock()
 	c.datasets[name] = cd
 	c.mu.Unlock()
+	c.mirrorRegistry()
 	return cd, nil
 }
 
@@ -302,8 +413,18 @@ func (c *Coordinator) List() []string {
 	return out
 }
 
-// Drop removes the dataset cluster-wide and reports whether it existed.
+// Drop removes the dataset cluster-wide and reports whether it
+// existed. Journal-first, like Engine.Drop: a drop that isn't durable
+// must not be acked, or recovery would resurrect the dataset.
 func (c *Coordinator) Drop(name string) bool {
+	if _, ok := c.Get(name); !ok {
+		return false
+	}
+	if j := c.getJournal(); j != nil {
+		if err := j.LogDrop(name); err != nil {
+			return false
+		}
+	}
 	c.mu.Lock()
 	cd, ok := c.datasets[name]
 	delete(c.datasets, name)
@@ -312,6 +433,7 @@ func (c *Coordinator) Drop(name string) bool {
 		return false
 	}
 	_, _ = c.fanOut(func(_ int, cl ShardClient) error { return cl.Drop(name) })
+	c.mirrorRegistry()
 	return true
 }
 
@@ -326,15 +448,23 @@ func (c *Coordinator) InstallConstraints(name, text string) (*cfd.Set, error) {
 	if err != nil {
 		return nil, err
 	}
+	cd.wm.Lock()
+	defer cd.wm.Unlock()
 	if _, err := c.fanOut(func(_ int, cl ShardClient) error {
 		return cl.InstallConstraints(name, text)
 	}); err != nil {
 		return nil, err
 	}
+	if j := c.getJournal(); j != nil {
+		if err := j.LogConstraints(name, text); err != nil {
+			return nil, fmt.Errorf("engine: journaling constraints for %q: %w", name, err)
+		}
+	}
 	cd.mu.Lock()
 	cd.cfds, cd.cfdText = set, text
 	cd.violations, cd.vioValid = nil, false
 	cd.mu.Unlock()
+	c.mirrorRegistry()
 	return set, nil
 }
 
@@ -356,15 +486,32 @@ func (c *Coordinator) InstallDCs(name, text string) (*dc.Set, error) {
 			}
 		}
 	}
+	cd.wm.Lock()
+	defer cd.wm.Unlock()
 	if _, err := c.fanOut(func(_ int, cl ShardClient) error {
 		return cl.InstallDCs(name, text)
 	}); err != nil {
 		return nil, err
 	}
+	if j := c.getJournal(); j != nil {
+		if err := j.LogDCs(name, text); err != nil {
+			return nil, fmt.Errorf("engine: journaling DCs for %q: %w", name, err)
+		}
+	}
 	cd.mu.Lock()
-	cd.dcs = set
+	cd.dcs, cd.dcText = set, text
 	cd.mu.Unlock()
+	c.mirrorRegistry()
 	return set, nil
+}
+
+// WorkerFailure identifies one worker whose shard results are missing
+// from a degraded detection, with the failure's cause label
+// ("timeout", "http_5xx" or "transport").
+type WorkerFailure struct {
+	URL   string `json:"url"`
+	Cause string `json:"cause"`
+	Err   string `json:"error,omitempty"`
 }
 
 // DetectResult is one scatter-gather detection outcome.
@@ -373,12 +520,22 @@ type DetectResult struct {
 	Stats      cfd.MergeStats
 	// Workers are the per-worker shard-detect latencies of this call.
 	Workers []WorkerCall
+	// Degraded reports that one or more workers failed mid-detect and
+	// their shards are absent from the merge: Violations is a sound
+	// partial answer over the surviving shards, never a silent global
+	// one. Degraded results are not cached.
+	Degraded bool
+	// Failed lists the workers excluded from a degraded merge.
+	Failed []WorkerFailure
 }
 
 // Detect fans detection of the installed constraints out to the
 // workers and merges the shard results into the single-process-exact
 // global violation list (cfd.MergeShards), caching it like
-// Session.Detect does.
+// Session.Detect does. If a worker dies mid-detect the merge degrades
+// gracefully: the result covers the surviving shards and carries
+// Degraded plus the failed workers, instead of a blanket error — only
+// all workers failing is an error.
 func (c *Coordinator) Detect(name string) (*DetectResult, error) {
 	cd, ok := c.Get(name)
 	if !ok {
@@ -387,13 +544,14 @@ func (c *Coordinator) Detect(name string) (*DetectResult, error) {
 	cd.mu.RLock()
 	set, offsets := cd.cfds, cd.offsets()
 	cd.mu.RUnlock()
-	res, err := c.detectSet(name, "", set, offsets)
+	res, err := c.detectSet(name, "", set, offsets, true)
 	if err != nil {
 		return nil, err
 	}
 	cd.mu.Lock()
-	// Racing installs swap cd.cfds; only cache what matches.
-	if cd.cfds == set {
+	// Racing installs swap cd.cfds; only cache what matches — and never
+	// cache a degraded (partial) answer.
+	if cd.cfds == set && !res.Degraded {
 		cd.violations = append([]cfd.Violation(nil), res.Violations...)
 		cd.stats = res.Stats
 		cd.vioValid = true
@@ -408,21 +566,53 @@ func (c *Coordinator) Detect(name string) (*DetectResult, error) {
 // A racing append can shift shard state between the two phases; the
 // merge tolerates short or missing groups, and exactness is guaranteed
 // for quiescent data (the property the tests pin).
-func (c *Coordinator) detectSet(name, cfds string, set *cfd.Set, offsets []int) (*DetectResult, error) {
+//
+// allowPartial turns worker failures into a degraded partial result:
+// a failed worker's shard results are replaced by empty ones (one
+// zero-valued ShardResult per CFD, empty boundary groups), which the
+// merge tolerates, and the worker lands in Failed. Strict callers
+// (Discover's candidate verification — a partial verdict could verify
+// a globally-violated candidate) pass false and get the first error.
+func (c *Coordinator) detectSet(name, cfds string, set *cfd.Set, offsets []int, allowPartial bool) (*DetectResult, error) {
 	results := make([][]cfd.ShardResult, len(c.clients))
-	calls, err := c.fanOut(func(w int, cl ShardClient) error {
+	calls, errs := c.fanOutAll(func(w int, cl ShardClient) error {
 		sr, err := cl.ShardDetect(name, cfds, set)
 		results[w] = sr
 		return err
 	})
-	if err != nil {
-		return nil, err
+	// failed[w] records the worker's first error across both phases;
+	// phase-2 fetches run sequentially from MergeShards, so plain map
+	// writes are safe.
+	failed := make(map[int]error)
+	for w, err := range errs {
+		if err != nil {
+			failed[w] = err
+		}
+	}
+	if len(failed) > 0 {
+		if !allowPartial || len(failed) == len(c.clients) {
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		for w := range failed {
+			// MergeShards requires one ShardResult per CFD per worker; a
+			// zero-valued ShardResult contributes nothing to the merge.
+			results[w] = make([]cfd.ShardResult, len(set.All()))
+		}
 	}
 	fetch := func(cfdIdx int, keys []string) ([][]cfd.BoundaryGroup, error) {
 		cc := set.All()[cfdIdx]
 		part, vals := cc.LHS(), cc.LHSRHSAttrs()
 		members := make([][]cfd.BoundaryGroup, len(c.clients))
-		_, ferr := c.fanOut(func(w int, cl ShardClient) error {
+		_, ferrs := c.fanOutAll(func(w int, cl ShardClient) error {
+			if _, dead := failed[w]; dead {
+				// Already excluded in phase 1 — don't poke a dead worker.
+				members[w] = make([]cfd.BoundaryGroup, len(keys))
+				return nil
+			}
 			groups, err := cl.ShardGroups(name, part, vals, keys)
 			if err != nil {
 				return err
@@ -435,13 +625,44 @@ func (c *Coordinator) detectSet(name, cfds string, set *cfd.Set, offsets []int) 
 			members[w] = groups
 			return nil
 		})
-		return members, ferr
+		for w, err := range ferrs {
+			if err == nil {
+				continue
+			}
+			if !allowPartial {
+				return nil, err
+			}
+			if _, dup := failed[w]; !dup {
+				failed[w] = err
+			}
+			if len(failed) == len(c.clients) {
+				return nil, err
+			}
+			members[w] = make([]cfd.BoundaryGroup, len(keys))
+		}
+		return members, nil
 	}
 	vios, stats, err := cfd.MergeShards(set, offsets, results, fetch)
 	if err != nil {
 		return nil, err
 	}
-	return &DetectResult{Violations: vios, Stats: stats, Workers: calls}, nil
+	res := &DetectResult{Violations: vios, Stats: stats, Workers: calls}
+	if len(failed) > 0 {
+		res.Degraded = true
+		ws := make([]int, 0, len(failed))
+		for w := range failed {
+			ws = append(ws, w)
+		}
+		sort.Ints(ws)
+		for _, w := range ws {
+			res.Failed = append(res.Failed, WorkerFailure{
+				URL:   c.clients[w].URL(),
+				Cause: causeOf(failed[w]),
+				Err:   failed[w].Error(),
+			})
+		}
+	}
+	return res, nil
 }
 
 // Violations returns the cached violation list, re-detecting if stale.
@@ -474,16 +695,33 @@ func (c *Coordinator) Append(name string, tuples [][]string) (int, error) {
 		return 0, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
 	}
 	last := len(c.clients) - 1
+	cd.wm.Lock()
+	defer cd.wm.Unlock()
 	start := time.Now()
 	n, err := c.clients[last].Append(name, tuples)
-	c.recordWorker(c.clients[last].URL(), time.Since(start))
+	c.recordWorker(c.clients[last].URL(), time.Since(start), err)
 	if err != nil {
 		return 0, err
 	}
+	var jerr error
+	if j := c.getJournal(); j != nil {
+		// Journal the RAW fields: the tail worker repairs the delta
+		// locally, so replay re-feeds the same raw rows through the same
+		// worker-side append path.
+		jerr = j.LogAppendRaw(name, tuples)
+	}
+	// The worker already applied the rows, so the counts must advance
+	// even when journaling fails — stale counts would corrupt every
+	// later merge's TID offsets (a silent wrong answer). The error still
+	// reaches the client un-acked; the memory/WAL divergence heals at
+	// the next restart's replay.
 	cd.mu.Lock()
 	cd.counts[last] += n
 	cd.violations, cd.vioValid = nil, false
 	cd.mu.Unlock()
+	if jerr != nil {
+		return 0, fmt.Errorf("engine: journaling append to %q: %w", name, jerr)
+	}
 	return n, nil
 }
 
@@ -533,7 +771,9 @@ func (c *Coordinator) Discover(name string, minSupport, maxLHS int, install bool
 	cd.mu.RLock()
 	offsets := cd.offsets()
 	cd.mu.RUnlock()
-	res, err := c.detectSet(name, text, candSet, offsets)
+	// Strict: verifying a candidate against a partial merge could
+	// install a globally-violated CFD.
+	res, err := c.detectSet(name, text, candSet, offsets, false)
 	if err != nil {
 		return nil, err
 	}

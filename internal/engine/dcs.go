@@ -35,6 +35,11 @@ func (s *Session) SetDCs(set *dc.Set) error {
 		return fmt.Errorf("engine: data schema %s does not match DC schema %s",
 			s.data.Schema().Name(), set.Schema().Name())
 	}
+	if s.journal != nil {
+		if err := s.journal.LogDCs(s.name, set.String()); err != nil {
+			return fmt.Errorf("engine: journaling DCs: %w", err)
+		}
+	}
 	s.dcs = set
 	return nil
 }

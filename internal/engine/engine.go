@@ -61,18 +61,25 @@ type Options struct {
 type Engine struct {
 	mu          sync.RWMutex
 	sessions    map[string]*Session
+	reserved    map[string]bool // names mid-registration (journal write in flight)
 	setCache    map[string]*cfd.Set
 	dcCache     map[string]*dc.Set
 	workers     int
 	shards      int
 	indexBudget int64
 	spillDir    string
+
+	// journal, when attached (SetJournal), makes every mutation durable
+	// before it is acked; nil runs the engine in the historical
+	// memory-only mode. See durable.go.
+	journal Journal
 }
 
 // New creates an empty engine.
 func New(opts Options) *Engine {
 	return &Engine{
 		sessions:    map[string]*Session{},
+		reserved:    map[string]bool{},
 		setCache:    map[string]*cfd.Set{},
 		dcCache:     map[string]*dc.Set{},
 		workers:     opts.Workers,
@@ -115,12 +122,32 @@ func (e *Engine) Register(name string, data *relation.Relation) (*Session, error
 		}
 		s.SetSpill(store)
 	}
+	// Reserve the name, journal the registration, then publish. The
+	// journal write happens BEFORE the session is reachable, so no other
+	// record for this dataset can precede its register record in the
+	// log, and it happens outside e.mu so a slow fsync never blocks
+	// lookups of other datasets.
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, dup := e.sessions[name]; dup {
+	if _, dup := e.sessions[name]; dup || e.reserved[name] {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("engine: dataset %q: %w", name, ErrDuplicate)
 	}
+	e.reserved[name] = true
+	journal := e.journal
+	e.mu.Unlock()
+	if journal != nil {
+		if err := journal.LogRegister(name, s.data.Schema(), s.data.Tuples()); err != nil {
+			e.mu.Lock()
+			delete(e.reserved, name)
+			e.mu.Unlock()
+			return nil, fmt.Errorf("engine: journaling register of %q: %w", name, err)
+		}
+	}
+	s.journal = journal
+	e.mu.Lock()
+	delete(e.reserved, name)
 	e.sessions[name] = s
+	e.mu.Unlock()
 	return s, nil
 }
 
@@ -139,6 +166,18 @@ func (e *Engine) Get(name string) (*Session, bool) {
 // drops (a straggler page-in of an unlinked file just falls back to a
 // rebuild).
 func (e *Engine) Drop(name string) bool {
+	e.mu.RLock()
+	journal := e.journal
+	_, exists := e.sessions[name]
+	e.mu.RUnlock()
+	if exists && journal != nil {
+		// Journal-first: a drop that isn't durable must not be acked, or
+		// recovery would resurrect the dataset. A journal failure leaves
+		// the dataset in place and reports "not dropped".
+		if err := journal.LogDrop(name); err != nil {
+			return false
+		}
+	}
 	e.mu.Lock()
 	s, ok := e.sessions[name]
 	delete(e.sessions, name)

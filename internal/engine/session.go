@@ -22,6 +22,7 @@ import (
 	"semandaq/internal/discovery"
 	"semandaq/internal/relation"
 	"semandaq/internal/repair"
+	"semandaq/internal/wal"
 )
 
 // ConfirmedWeight is the cell weight assigned to user-confirmed values;
@@ -60,6 +61,11 @@ type Session struct {
 
 	confirmed map[[2]int]bool
 	candidate *repair.Result
+
+	// journal, when non-nil, receives every mutation before it is acked
+	// (see durable.go). Set by the engine at registration / SetJournal;
+	// read and written under mu.
+	journal Journal
 
 	// version counts mutations of data/set; caches tagged with an older
 	// version are discarded instead of stored.
@@ -158,6 +164,14 @@ func (s *Session) SetConstraints(set *cfd.Set) error {
 	defer s.mu.Unlock()
 	if err := checkConstraints(s.data.Schema(), set); err != nil {
 		return err
+	}
+	if s.journal != nil {
+		// Canonical text, not the user's: replay recompiles through the
+		// same parser, and canonical text round-trips for every set
+		// (including discovery-installed ones that never had user text).
+		if err := s.journal.LogConstraints(s.name, set.String()); err != nil {
+			return fmt.Errorf("engine: journaling constraints: %w", err)
+		}
 	}
 	s.set = set
 	s.mutated()
@@ -328,9 +342,25 @@ func (s *Session) RepairAccept() (*repair.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.journalChanges(res.Changes); err != nil {
+		return nil, err
+	}
 	s.mutated()
 	s.data = res.Repaired
 	return res, nil
+}
+
+// journalChanges logs a repair's cell-change list (the effect, not the
+// repair computation) before the commit is acked. Caller holds the
+// write lock and must not commit on error.
+func (s *Session) journalChanges(changes []repair.Change) error {
+	if s.journal == nil || len(changes) == 0 {
+		return nil
+	}
+	if err := s.journal.LogCells(s.name, changeCells(changes), false); err != nil {
+		return fmt.Errorf("engine: journaling repair commit: %w", err)
+	}
+	return nil
 }
 
 // Candidate returns the cached candidate repair (nil before Repair or
@@ -348,6 +378,9 @@ func (s *Session) Accept() error {
 	if s.candidate == nil {
 		return fmt.Errorf("engine: no candidate repair; call Repair first")
 	}
+	if err := s.journalChanges(s.candidate.Changes); err != nil {
+		return err
+	}
 	repaired := s.candidate.Repaired
 	s.mutated()
 	s.data = repaired
@@ -363,6 +396,14 @@ func (s *Session) Edit(tid, attr int, v relation.Value) error {
 	if err := s.checkCell(tid, attr); err != nil {
 		return err
 	}
+	if s.journal != nil {
+		// Log-before-apply: the edit is fully determined up front
+		// (replay's Set applies the same kind coercion), so a journal
+		// failure leaves the session untouched.
+		if err := s.journal.LogCells(s.name, []wal.CellWrite{{TID: tid, Attr: attr, Value: v}}, true); err != nil {
+			return fmt.Errorf("engine: journaling edit: %w", err)
+		}
+	}
 	s.data.Set(tid, attr, v)
 	s.confirmed[[2]int{tid, attr}] = true
 	s.mutated()
@@ -376,6 +417,11 @@ func (s *Session) Confirm(tid, attr int) error {
 	defer s.mu.Unlock()
 	if err := s.checkCell(tid, attr); err != nil {
 		return err
+	}
+	if s.journal != nil {
+		if err := s.journal.LogConfirm(s.name, tid, attr); err != nil {
+			return fmt.Errorf("engine: journaling confirm: %w", err)
+		}
 	}
 	s.confirmed[[2]int{tid, attr}] = true
 	return nil
@@ -458,6 +504,22 @@ func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 	if err != nil {
 		s.data.Truncate(base)
 		return nil, err
+	}
+	if s.journal != nil {
+		// Log the delta rows' POST-repair final values, so replay is raw
+		// insertion with zero repair work. A journal failure rolls the
+		// append back with Truncate — the same rollback the repair-failure
+		// path uses — which also invalidates every patch the repair just
+		// journaled into the relation's columns, keeping the in-memory
+		// state and the WAL tail (which never saw this batch) consistent.
+		rows := make([]relation.Tuple, len(deltaTIDs))
+		for i, tid := range deltaTIDs {
+			rows[i] = s.data.Tuple(tid)
+		}
+		if err := s.journal.LogAppend(s.name, rows); err != nil {
+			s.data.Truncate(base)
+			return nil, fmt.Errorf("engine: journaling append: %w", err)
+		}
 	}
 	s.mutated()
 	if hadVio && (len(cached) == 0 || s.deltaClean(deltaTIDs)) {

@@ -4,10 +4,15 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"semandaq/internal/cfd"
@@ -16,28 +21,90 @@ import (
 	"semandaq/internal/relation"
 )
 
+// RetryPolicy bounds the client's retries of IDEMPOTENT worker calls
+// (shard detect, boundary-group fetch, shard DC detect, health).
+// Register, append, install and drop are never retried: their effects
+// are not idempotent (a duplicated append double-ingests), so they
+// stay at-most-once and the coordinator's durability layer owns their
+// recovery.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (1 = no retries).
+	MaxAttempts int
+	// BaseBackoff is the first retry's delay; each further retry
+	// doubles it, capped at MaxBackoff, with full jitter (a uniform
+	// draw from [0, backoff)) so a fleet of retrying coordinators
+	// doesn't stampede a recovering worker.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed seeds the jitter RNG (0 = fixed default), keeping
+	// fault-injection tests deterministic.
+	Seed int64
+}
+
+// DefaultRetryPolicy is the daemon's cluster-mode default: 3 attempts,
+// 50ms base, 1s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseBackoff: 50 * time.Millisecond, MaxBackoff: time.Second}
+}
+
 // HTTPShardClient implements engine.ShardClient over a worker's HTTP
 // surface. All failures — transport errors and non-2xx responses alike
 // — come back tagged engine.ErrWorker so the coordinator's handlers
-// answer 502.
+// answer 502; timeouts and 5xx replies additionally carry
+// engine.ErrWorkerTimeout / engine.ErrWorkerUpstream so per-worker
+// stats and degraded-detect reports can label the cause.
 type HTTPShardClient struct {
 	base string
 	hc   *http.Client
+
+	policy  RetryPolicy
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	retries atomic.Uint64
 }
 
 // NewShardClient builds a client for the worker at baseURL (e.g.
-// "http://127.0.0.1:8091"). timeout bounds each RPC (0 = no timeout).
+// "http://127.0.0.1:8091"). timeout bounds each RPC attempt (0 = no
+// timeout). Retries are off until SetRetryPolicy.
 func NewShardClient(baseURL string, timeout time.Duration) *HTTPShardClient {
 	return &HTTPShardClient{
-		base: strings.TrimRight(baseURL, "/"),
-		hc:   &http.Client{Timeout: timeout},
+		base:   strings.TrimRight(baseURL, "/"),
+		hc:     &http.Client{Timeout: timeout},
+		policy: RetryPolicy{MaxAttempts: 1},
 	}
+}
+
+// SetRetryPolicy enables bounded retries of idempotent calls.
+func (c *HTTPShardClient) SetRetryPolicy(p RetryPolicy) {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.policy = p
+	c.rng = rand.New(rand.NewSource(seed))
 }
 
 // URL returns the worker's base URL.
 func (c *HTTPShardClient) URL() string { return c.base }
 
+// Retries reports the cumulative retry count — the
+// engine.RetryReporter hook /v1/stats surfaces per worker.
+func (c *HTTPShardClient) Retries() uint64 { return c.retries.Load() }
+
 func (c *HTTPShardClient) fail(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %w: %s: %v", engine.ErrWorker, engine.ErrWorkerTimeout, c.base, err)
+	}
 	return fmt.Errorf("%w: %s: %v", engine.ErrWorker, c.base, err)
 }
 
@@ -50,10 +117,60 @@ type workerStatusError struct {
 
 func (e *workerStatusError) Error() string { return e.Msg }
 
-// call POSTs (or DELETEs) a JSON body and decodes the JSON response
-// into out (out nil discards it). Non-2xx responses surface the
-// worker's structured error message.
+// retryable reports whether err is worth retrying on an idempotent
+// call: any transport fault (including timeouts — the worker may just
+// be slow under load) and any 5xx reply (the worker is up but failing,
+// e.g. mid-recovery answering 503). Deliberate 4xx rejections are
+// final.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var wse *workerStatusError
+	if errors.As(err, &wse) {
+		return wse.Status >= 500
+	}
+	return true
+}
+
+// backoff returns the jittered delay before retry attempt (1-based).
+func (c *HTTPShardClient) backoff(attempt int) time.Duration {
+	d := c.policy.BaseBackoff << (attempt - 1)
+	if d > c.policy.MaxBackoff || d <= 0 {
+		d = c.policy.MaxBackoff
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(1))
+	}
+	return time.Duration(c.rng.Int63n(int64(d)) + 1)
+}
+
+// call runs callOnce; callRetry wraps it with the bounded-retry loop
+// for idempotent endpoints.
 func (c *HTTPShardClient) call(method, path string, body, out any) error {
+	return c.callOnce(method, path, body, out)
+}
+
+// callRetry is the idempotent-call path: bounded retries with jittered
+// exponential backoff on transport faults and 5xx replies.
+func (c *HTTPShardClient) callRetry(method, path string, body, out any) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.callOnce(method, path, body, out)
+		if err == nil || attempt >= c.policy.MaxAttempts || !retryable(err) {
+			return err
+		}
+		c.retries.Add(1)
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// callOnce POSTs (or DELETEs) a JSON body and decodes the JSON
+// response into out (out nil discards it). Non-2xx responses surface
+// the worker's structured error message.
+func (c *HTTPShardClient) callOnce(method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -82,8 +199,13 @@ func (c *HTTPShardClient) call(method, path string, body, out any) error {
 		}
 		// Keep the worker's status visible (workerStatusError) so the
 		// coordinator relays a deliberate 4xx — e.g. a repair conflict —
-		// instead of reporting the worker broken with 502.
-		return fmt.Errorf("%w: %s: %w", engine.ErrWorker, c.base, &workerStatusError{Status: resp.StatusCode, Msg: msg})
+		// instead of reporting the worker broken with 502; tag 5xx with
+		// the upstream-failure cause for stats.
+		wse := &workerStatusError{Status: resp.StatusCode, Msg: msg}
+		if resp.StatusCode >= 500 {
+			return fmt.Errorf("%w: %w: %s: %w", engine.ErrWorker, engine.ErrWorkerUpstream, c.base, wse)
+		}
+		return fmt.Errorf("%w: %s: %w", engine.ErrWorker, c.base, wse)
 	}
 	if out == nil {
 		return nil
@@ -94,9 +216,9 @@ func (c *HTTPShardClient) call(method, path string, body, out any) error {
 	return nil
 }
 
-// Health checks the worker's liveness probe.
+// Health checks the worker's liveness probe (idempotent: retried).
 func (c *HTTPShardClient) Health() error {
-	return c.call(http.MethodGet, "/healthz", nil, nil)
+	return c.callRetry(http.MethodGet, "/healthz", nil, nil)
 }
 
 // Register ships a TID-range slice as exact encoded tuples.
@@ -143,7 +265,7 @@ func (c *HTTPShardClient) ShardDetect(dataset, cfds string, set *cfd.Set) ([]cfd
 	var resp struct {
 		CFDs []shardCFDJSON `json:"cfds"`
 	}
-	if err := c.call(http.MethodPost, "/v1/shard/detect",
+	if err := c.callRetry(http.MethodPost, "/v1/shard/detect",
 		shardDetectRequest{Dataset: dataset, CFDs: cfds}, &resp); err != nil {
 		return nil, err
 	}
@@ -191,7 +313,7 @@ func (c *HTTPShardClient) ShardGroups(dataset string, partAttrs, valAttrs []int,
 	var resp struct {
 		Groups []shardMembersJSON `json:"groups"`
 	}
-	if err := c.call(http.MethodPost, "/v1/shard/groups", req, &resp); err != nil {
+	if err := c.callRetry(http.MethodPost, "/v1/shard/groups", req, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Groups) != len(keys) {
@@ -241,7 +363,7 @@ func (c *HTTPShardClient) ShardDCs(dataset string) (map[string]dc.ShardResult, e
 	var resp struct {
 		DCs []shardDCJSON `json:"dcs"`
 	}
-	if err := c.call(http.MethodPost, "/v1/shard/dc", shardDCRequest{Dataset: dataset}, &resp); err != nil {
+	if err := c.callRetry(http.MethodPost, "/v1/shard/dc", shardDCRequest{Dataset: dataset}, &resp); err != nil {
 		return nil, err
 	}
 	out := make(map[string]dc.ShardResult, len(resp.DCs))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"semandaq/internal/cfd"
@@ -23,7 +24,15 @@ type Coordinator struct {
 	coord *engine.Coordinator
 	mux   *http.ServeMux
 	stats *serverStats
+
+	// recovering gates the API while the coordinator replays its WAL
+	// and re-feeds the workers at startup; same contract as
+	// Server.SetRecovering.
+	recovering atomic.Bool
 }
+
+// SetRecovering flips the startup recovery gate.
+func (s *Coordinator) SetRecovering(v bool) { s.recovering.Store(v) }
 
 // NewCoordinator builds the coordinator handler over a worker fleet.
 func NewCoordinator(coord *engine.Coordinator) *Coordinator {
@@ -50,6 +59,10 @@ func NewCoordinator(coord *engine.Coordinator) *Coordinator {
 
 // ServeHTTP implements http.Handler.
 func (s *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		serveRecovering(s.stats, w, r)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	serveInstrumented(s.mux, s.stats, w, r)
 }
@@ -89,8 +102,9 @@ func (s *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Coordinator) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"endpoints": s.stats.snapshot(),
-		"workers":   s.coord.WorkerStats(),
+		"endpoints":        s.stats.snapshot(),
+		"recovery_rejects": s.stats.recoveryRejects(),
+		"workers":          s.coord.WorkerStats(),
 	})
 }
 
@@ -258,14 +272,22 @@ func (s *Coordinator) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if req.Limit > 0 && len(shown) > req.Limit {
 		shown = shown[:req.Limit]
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"count":      len(res.Violations),
 		"tids":       cfd.ViolatingTIDs(res.Violations),
 		"violations": violationsJSON(cd.Schema(), shown),
 		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
 		"residual":   residualInfo(res.Stats),
 		"workers":    res.Workers,
-	})
+	}
+	// A degraded merge is a sound partial answer over the surviving
+	// shards — flagged, never cached, never silently passed off as the
+	// global result.
+	if res.Degraded {
+		out["degraded"] = true
+		out["failed_workers"] = res.Failed
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Coordinator) handleViolations(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Fault-injection middleware for cluster tests and load experiments: a
+// handler wrapper that makes a worker flaky on demand — 5xx replies, a
+// stalled response (to trip the client's per-attempt timeout), or a
+// hard connection reset — under a seeded RNG so every run injects the
+// same fault sequence. The cluster fault tests wrap workers in this to
+// prove the coordinator's retry/backoff and degraded-detect paths
+// against real HTTP failures rather than hand-mocked errors.
+
+// FaultMode is one injectable failure kind.
+type FaultMode string
+
+const (
+	// Fault500 answers 500 with a JSON error body.
+	Fault500 FaultMode = "500"
+	// FaultReset hijacks the connection and closes it mid-request —
+	// the client sees an abrupt transport error (EOF / connection
+	// reset), not an HTTP status.
+	FaultReset FaultMode = "reset"
+	// FaultDelay stalls Delay before serving normally — long enough
+	// delays surface as client-side timeouts.
+	FaultDelay FaultMode = "delay"
+)
+
+// FaultOptions configures a FaultInjector.
+type FaultOptions struct {
+	// Seed drives the injection draws; the same seed injects the same
+	// fault sequence.
+	Seed int64
+	// Rate is the per-request injection probability in [0, 1]. 1
+	// injects on every matched request.
+	Rate float64
+	// Modes are drawn from uniformly per injection (default Fault500).
+	Modes []FaultMode
+	// Delay is FaultDelay's stall.
+	Delay time.Duration
+	// Match limits injection to matching requests (nil = all).
+	Match func(r *http.Request) bool
+	// MaxFaults stops injecting after this many faults (0 = unlimited)
+	// — "flaky then healthy", the shape retry tests need.
+	MaxFaults int
+}
+
+// FaultInjector wraps a handler with injected failures.
+type FaultInjector struct {
+	next http.Handler
+	opts FaultOptions
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	injected int
+}
+
+// InjectFaults wraps next with fault injection.
+func InjectFaults(next http.Handler, opts FaultOptions) *FaultInjector {
+	if len(opts.Modes) == 0 {
+		opts.Modes = []FaultMode{Fault500}
+	}
+	return &FaultInjector{
+		next: next,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Injected reports how many faults have fired.
+func (f *FaultInjector) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// draw decides, under the lock, whether this request faults and how.
+func (f *FaultInjector) draw() (FaultMode, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.opts.MaxFaults > 0 && f.injected >= f.opts.MaxFaults {
+		return "", false
+	}
+	if f.rng.Float64() >= f.opts.Rate {
+		return "", false
+	}
+	f.injected++
+	return f.opts.Modes[f.rng.Intn(len(f.opts.Modes))], true
+}
+
+// ServeHTTP implements http.Handler.
+func (f *FaultInjector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.opts.Match != nil && !f.opts.Match(r) {
+		f.next.ServeHTTP(w, r)
+		return
+	}
+	mode, fire := f.draw()
+	if !fire {
+		f.next.ServeHTTP(w, r)
+		return
+	}
+	switch mode {
+	case FaultReset:
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			// No hijack support (e.g. HTTP/2): degrade to a 500.
+			writeError(w, http.StatusInternalServerError, errInjected)
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, errInjected)
+			return
+		}
+		conn.Close()
+	case FaultDelay:
+		time.Sleep(f.opts.Delay)
+		f.next.ServeHTTP(w, r)
+	default:
+		writeError(w, http.StatusInternalServerError, errInjected)
+	}
+}
+
+// errInjected marks injected failures in response bodies.
+var errInjected = errInjectedType{}
+
+type errInjectedType struct{}
+
+func (errInjectedType) Error() string { return "injected fault" }

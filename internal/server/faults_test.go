@@ -1,0 +1,259 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"semandaq/internal/engine"
+)
+
+// startFaultyCluster boots an n-worker cluster where wrap (if non-nil)
+// can wrap each worker's handler — the hook the fault injector plugs
+// into — and every shard client runs the given retry policy. Returns
+// the coordinator's test server plus the shard clients for
+// retry-counter assertions.
+func startFaultyCluster(t *testing.T, n int, policy RetryPolicy, wrap func(i int, h http.Handler) http.Handler) (*httptest.Server, []*HTTPShardClient) {
+	t.Helper()
+	clients := make([]engine.ShardClient, n)
+	raw := make([]*HTTPShardClient, n)
+	for i := range clients {
+		eng := engine.New(engine.Options{})
+		var h http.Handler = New(eng)
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		ws := httptest.NewServer(h)
+		t.Cleanup(ws.Close)
+		t.Cleanup(eng.Close)
+		cl := NewShardClient(ws.URL, 10*time.Second)
+		cl.SetRetryPolicy(policy)
+		raw[i] = cl
+		clients[i] = cl
+	}
+	coord, err := engine.NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(NewCoordinator(coord))
+	t.Cleanup(cs.Close)
+	return cs, raw
+}
+
+func isShardRead(r *http.Request) bool {
+	return strings.HasPrefix(r.URL.Path, "/v1/shard/detect") ||
+		strings.HasPrefix(r.URL.Path, "/v1/shard/groups") ||
+		strings.HasPrefix(r.URL.Path, "/v1/shard/dc")
+}
+
+// TestClusterRetryRecoversFlakyWorker: a worker that fails its first
+// few shard-detect calls (5xx and connection resets) must not fail the
+// request — the client's bounded retries absorb the faults and the
+// merged result is byte-identical to a healthy cluster's.
+func TestClusterRetryRecoversFlakyWorker(t *testing.T) {
+	healthy, _ := startFaultyCluster(t, 2, RetryPolicy{MaxAttempts: 1}, nil)
+	registerCust(t, healthy, "cust", 300)
+	code, want := call(t, healthy, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK {
+		t.Fatalf("healthy detect: %d %v", code, want)
+	}
+
+	var inj *FaultInjector
+	policy := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 7}
+	flaky, raw := startFaultyCluster(t, 2, policy, func(i int, h http.Handler) http.Handler {
+		if i != 1 {
+			return h
+		}
+		inj = InjectFaults(h, FaultOptions{
+			Seed:      42,
+			Rate:      1,
+			Modes:     []FaultMode{Fault500, FaultReset},
+			Match:     isShardRead,
+			MaxFaults: 2,
+		})
+		return inj
+	})
+	registerCust(t, flaky, "cust", 300)
+	code, got := call(t, flaky, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK {
+		t.Fatalf("flaky detect: %d %v", code, got)
+	}
+	if got["degraded"] != nil {
+		t.Fatalf("retries should have absorbed the faults, got degraded result: %v", got)
+	}
+	if !reflect.DeepEqual(got["violations"], want["violations"]) {
+		t.Fatal("flaky-cluster detect diverges from healthy cluster")
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("no faults injected — test proved nothing")
+	}
+	if raw[1].Retries() == 0 {
+		t.Fatal("client recorded no retries")
+	}
+	// The per-worker stats label the absorbed failures by cause.
+	code, stats := call(t, flaky, "GET", "/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	ws := stats["workers"].(map[string]any)[raw[1].URL()].(map[string]any)
+	if ws["retries"].(float64) == 0 {
+		t.Fatalf("stats show no retries for the flaky worker: %v", ws)
+	}
+}
+
+// TestClusterDegradedDetect: a worker that dies outright mid-detect
+// must degrade the answer, not 502 it — the response carries the
+// surviving shards' violations plus an explicit degraded flag and the
+// dead worker's URL and cause. And the degraded answer must never be
+// cached as the dataset's violation list.
+func TestClusterDegradedDetect(t *testing.T) {
+	clients := make([]engine.ShardClient, 2)
+	raw := make([]*HTTPShardClient, 2)
+	servers := make([]*httptest.Server, 2)
+	for i := range clients {
+		eng := engine.New(engine.Options{})
+		servers[i] = httptest.NewServer(New(eng))
+		t.Cleanup(servers[i].Close)
+		t.Cleanup(eng.Close)
+		raw[i] = NewShardClient(servers[i].URL, 5*time.Second)
+		clients[i] = raw[i]
+	}
+	coord, err := engine.NewCoordinator(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(NewCoordinator(coord))
+	t.Cleanup(cs.Close)
+
+	registerCust(t, cs, "cust", 300)
+	code, full := call(t, cs, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK || full["degraded"] != nil {
+		t.Fatalf("healthy detect: %d %v", code, full)
+	}
+
+	servers[1].Close() // worker 1 dies
+	code, got := call(t, cs, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusOK {
+		t.Fatalf("degraded detect should answer 200, got %d %v", code, got)
+	}
+	if got["degraded"] != true {
+		t.Fatalf("missing degraded flag: %v", got)
+	}
+	failed := got["failed_workers"].([]any)
+	if len(failed) != 1 {
+		t.Fatalf("failed_workers = %v", failed)
+	}
+	fw := failed[0].(map[string]any)
+	if fw["url"] != raw[1].URL() || fw["cause"] != "transport" {
+		t.Fatalf("failure label = %v", fw)
+	}
+	// Partial ≤ full, and the surviving shard's answer is sound: every
+	// reported violation is also in the full answer.
+	if got["count"].(float64) > full["count"].(float64) {
+		t.Fatalf("degraded count %v exceeds full %v", got["count"], full["count"])
+	}
+
+	// The degraded answer must not serve from the violation cache: the
+	// cached entry is still the last full detect.
+	code, vio := call(t, cs, "GET", "/v1/datasets/cust/violations", nil)
+	if code != http.StatusOK {
+		t.Fatalf("violations after degradation: %d %v", code, vio)
+	}
+	if !reflect.DeepEqual(vio["violations"], full["violations"]) {
+		t.Fatal("degraded detect poisoned the violation cache")
+	}
+
+	// All workers dead is a plain error, never a silent empty answer.
+	servers[0].Close()
+	code, body := call(t, cs, "POST", "/v1/detect", map[string]any{"dataset": "cust"})
+	if code != http.StatusBadGateway {
+		t.Fatalf("all-dead detect = %d %v, want 502", code, body)
+	}
+}
+
+// TestClusterAppendNotRetried: appends are at-most-once — an injected
+// failure surfaces as an error (the client must NOT blind-retry a
+// non-idempotent call), and the retry counter stays at zero.
+func TestClusterAppendNotRetried(t *testing.T) {
+	policy := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 3}
+	var inj *FaultInjector
+	cs, raw := startFaultyCluster(t, 2, policy, func(i int, h http.Handler) http.Handler {
+		if i != 1 {
+			return h
+		}
+		inj = InjectFaults(h, FaultOptions{
+			Seed:      5,
+			Rate:      1,
+			Modes:     []FaultMode{Fault500},
+			Match:     func(r *http.Request) bool { return r.URL.Path == "/v1/repair/incremental" },
+			MaxFaults: 1,
+		})
+		return inj
+	})
+	registerCust(t, cs, "cust", 100)
+	row := [][]string{{"01", "908", "908-1111111", "amy", "Main Rd", "mh", "07974"}}
+	code, body := call(t, cs, "POST", "/v1/repair/incremental", map[string]any{
+		"dataset": "cust", "tuples": row,
+	})
+	if code != http.StatusBadGateway {
+		t.Fatalf("faulted append = %d %v, want 502", code, body)
+	}
+	if raw[1].Retries() != 0 {
+		t.Fatalf("append was retried %d times — must stay at-most-once", raw[1].Retries())
+	}
+	if inj.Injected() != 1 {
+		t.Fatalf("injected = %d", inj.Injected())
+	}
+	// The fault budget is spent; the next append goes through and the
+	// dataset stays consistent (no double-ingest from a hidden retry).
+	code, body = call(t, cs, "POST", "/v1/repair/incremental", map[string]any{
+		"dataset": "cust", "tuples": row,
+	})
+	if code != http.StatusOK || body["appended"].(float64) != 1 {
+		t.Fatalf("recovered append: %d %v", code, body)
+	}
+	if body["tuples"].(float64) != 101 {
+		t.Fatalf("tuples = %v, want 101 (exactly one ingest)", body["tuples"])
+	}
+}
+
+// TestRecoveryGate: while SetRecovering is up every route answers 503
+// — /healthz with a named "recovering" phase — and the rejects are
+// counted in /v1/stats once the gate drops.
+func TestRecoveryGate(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	t.Cleanup(eng.Close)
+	srv := New(eng)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	srv.SetRecovering(true)
+	code, body := call(t, ts, "GET", "/healthz", nil)
+	if code != http.StatusServiceUnavailable || body["status"] != "recovering" {
+		t.Fatalf("recovering healthz = %d %v", code, body)
+	}
+	code, body = call(t, ts, "POST", "/v1/detect", map[string]any{"dataset": "x"})
+	if code != http.StatusServiceUnavailable || body["error"] == "" {
+		t.Fatalf("gated detect = %d %v", code, body)
+	}
+
+	srv.SetRecovering(false)
+	code, body = call(t, ts, "GET", "/healthz", nil)
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("post-recovery healthz = %d %v", code, body)
+	}
+	code, stats := call(t, ts, "GET", "/v1/stats", nil)
+	if code != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	if stats["recovery_rejects"].(float64) != 2 {
+		t.Fatalf("recovery_rejects = %v, want 2", stats["recovery_rejects"])
+	}
+	rec := stats["endpoints"].(map[string]any)["(recovering)"].(map[string]any)
+	if rec["requests"].(float64) != 2 || rec["errors"].(float64) != 2 {
+		t.Fatalf("(recovering) route totals = %v", rec)
+	}
+}

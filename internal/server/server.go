@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"semandaq/internal/cfd"
@@ -55,7 +56,19 @@ type Server struct {
 	eng   *engine.Engine
 	mux   *http.ServeMux
 	stats *serverStats
+
+	// recovering gates the API while WAL replay runs at startup: every
+	// route answers 503 (counted in /v1/stats under "(recovering)")
+	// except /healthz, which answers 503 {"status":"recovering"} so
+	// orchestration can tell "replaying" from "dead".
+	recovering atomic.Bool
 }
+
+// SetRecovering flips the startup recovery gate.
+func (s *Server) SetRecovering(v bool) { s.recovering.Store(v) }
+
+// Recovering reports whether the gate is up.
+func (s *Server) Recovering() bool { return s.recovering.Load() }
 
 // New builds the handler around an engine.
 func New(eng *engine.Engine) *Server {
@@ -86,12 +99,19 @@ func New(eng *engine.Engine) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.recovering.Load() {
+		serveRecovering(s.stats, w, r)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	serveInstrumented(s.mux, s.stats, w, r)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"endpoints": s.stats.snapshot()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"endpoints":        s.stats.snapshot(),
+		"recovery_rejects": s.stats.recoveryRejects(),
+	})
 }
 
 // --- encoding helpers ---

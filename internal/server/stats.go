@@ -67,6 +67,35 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// recoveringRoute is the stats bucket requests rejected by the startup
+// recovery gate land in — they never reach the mux, so they'd
+// otherwise be invisible in /v1/stats.
+const recoveringRoute = "(recovering)"
+
+func (st *serverStats) recoveryRejects() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if t := st.routes[recoveringRoute]; t != nil {
+		return t.Requests
+	}
+	return 0
+}
+
+// serveRecovering answers every request 503 while WAL replay runs.
+// /healthz reports the phase by name so probes can distinguish a
+// recovering daemon from a dead one; everything else is a structured
+// error, and all of it is counted under "(recovering)".
+func serveRecovering(st *serverStats, w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.URL.Path == "/healthz" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering"})
+	} else {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "recovering: write-ahead log replay in progress"})
+	}
+	st.record(recoveringRoute, http.StatusServiceUnavailable, time.Since(start))
+}
+
 // serveInstrumented routes r through mux while recording the matched
 // pattern's count, error count and latency into st.
 func serveInstrumented(mux *http.ServeMux, st *serverStats, w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,493 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"semandaq/internal/relation"
+)
+
+// DatasetSnapshot is one dataset's durable checkpoint: everything
+// needed to reconstruct its session without replaying history — the
+// relation's columnar state, the installed constraint/DC sets in their
+// canonical parseable text form, the user-confirmed cells, and the WAL
+// sequence watermark the capture is consistent with (records with
+// seq <= Seq for this dataset are already reflected).
+type DatasetSnapshot struct {
+	Seq       uint64
+	Schema    *relation.Schema
+	Data      *relation.Relation
+	CFDText   string
+	DCText    string
+	Confirmed [][2]int
+}
+
+// Applier consumes recovered state: every snapshot first, then the WAL
+// tail records in sequence order. Implemented by engine.Engine (single
+// process) and engine.Coordinator (cluster registry; snapshot/cell
+// records never occur in its log). DatasetArity resolves the schema
+// arity row decoding needs.
+type Applier interface {
+	ApplySnapshot(name string, snap *DatasetSnapshot) error
+	ApplyRegister(name string, schema *relation.Schema, rows []relation.Tuple) error
+	ApplyAppend(name string, rows []relation.Tuple) error
+	ApplyCells(name string, cells []CellWrite, confirm bool) error
+	ApplyConfirm(name string, tid, attr int) error
+	ApplyConstraints(name, text string) error
+	ApplyDCs(name, text string) error
+	ApplyDrop(name string) error
+	ApplyAppendRaw(name string, rows [][]string) error
+	DatasetArity(name string) (int, bool)
+}
+
+// CheckpointSource yields coherent dataset captures for Checkpoint.
+// CaptureDataset must read the dataset state and the log watermark
+// (the seq callback) under the same exclusion that mutations log
+// under, and return false if the dataset vanished meanwhile.
+type CheckpointSource interface {
+	DatasetNames() []string
+	CaptureDataset(name string, seq func() uint64) (*DatasetSnapshot, bool)
+}
+
+// Manager owns a data directory: the WAL (wal.log), per-dataset
+// snapshot files (<hex(name)>.snap) and the cluster registry mirror
+// (registry.json). It is the engine's Journal implementation and the
+// recovery driver.
+type Manager struct {
+	dir string
+	log *Log
+
+	mu      sync.Mutex
+	snapSeq map[string]uint64 // last checkpointed watermark per dataset
+	dropped map[string]uint64 // seq of the latest Drop record per dataset
+	pending []Record          // scanned tail, consumed by Recover
+}
+
+// OpenManager opens (creating if needed) the data directory and its
+// WAL. Call Recover next to load snapshots and replay the tail, then
+// attach the manager as the engine's journal.
+func OpenManager(dir string, policy SyncPolicy) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	log, recs, err := Open(filepath.Join(dir, "wal.log"), policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		dir:     dir,
+		log:     log,
+		snapSeq: make(map[string]uint64),
+		dropped: make(map[string]uint64),
+		pending: recs,
+	}, nil
+}
+
+// Dir returns the manager's data directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// Close syncs and closes the WAL.
+func (m *Manager) Close() error { return m.log.Close() }
+
+// Seq returns the WAL's last sequence number.
+func (m *Manager) Seq() uint64 { return m.log.Seq() }
+
+// LogSize returns the WAL file size in bytes (tail length proxy).
+func (m *Manager) LogSize() int64 { return m.log.Size() }
+
+// Sync forces buffered WAL records to stable storage.
+func (m *Manager) Sync() error { return m.log.Sync() }
+
+// Journal methods — one per mutating operation. Each must be called
+// while holding the exclusion that serializes mutations of the named
+// dataset, AFTER the in-memory mutation succeeded and BEFORE the write
+// is acked; an error means the record is not in the log and the caller
+// must roll its state back.
+
+func (m *Manager) LogRegister(name string, schema *relation.Schema, rows []relation.Tuple) error {
+	_, err := m.log.Append(RecRegister, name, EncodeRegister(schema, rows))
+	return err
+}
+
+func (m *Manager) LogAppend(name string, rows []relation.Tuple) error {
+	_, err := m.log.Append(RecAppend, name, EncodeRows(rows))
+	return err
+}
+
+func (m *Manager) LogCells(name string, cells []CellWrite, confirm bool) error {
+	_, err := m.log.Append(RecCells, name, EncodeCells(cells, confirm))
+	return err
+}
+
+func (m *Manager) LogConfirm(name string, tid, attr int) error {
+	_, err := m.log.Append(RecConfirm, name, EncodeConfirm(tid, attr))
+	return err
+}
+
+func (m *Manager) LogConstraints(name, text string) error {
+	_, err := m.log.Append(RecConstraints, name, []byte(text))
+	return err
+}
+
+func (m *Manager) LogDCs(name, text string) error {
+	_, err := m.log.Append(RecDCs, name, []byte(text))
+	return err
+}
+
+func (m *Manager) LogDrop(name string) error {
+	seq, err := m.log.Append(RecDrop, name, nil)
+	if err == nil {
+		m.mu.Lock()
+		m.dropped[name] = seq
+		delete(m.snapSeq, name)
+		m.mu.Unlock()
+	}
+	return err
+}
+
+func (m *Manager) LogAppendRaw(name string, rows [][]string) error {
+	_, err := m.log.Append(RecAppendRaw, name, EncodeRawRows(rows))
+	return err
+}
+
+// Recover loads every snapshot file, replays the WAL tail records not
+// covered by a snapshot watermark, and advances the log's sequence
+// counter past every watermark so fresh records never collide with
+// checkpointed history. The applier must not journal during replay
+// (attach the journal after Recover returns). Returns the number of
+// snapshots loaded and records replayed.
+func (m *Manager) Recover(app Applier) (snaps, replayed int, err error) {
+	names, err := filepath.Glob(filepath.Join(m.dir, "*.snap"))
+	if err != nil {
+		return 0, 0, err
+	}
+	maxSeq := uint64(0)
+	for _, path := range names {
+		name, snap, err := readSnapshotFile(path)
+		if err != nil {
+			return snaps, replayed, fmt.Errorf("wal: snapshot %s: %v", filepath.Base(path), err)
+		}
+		if err := app.ApplySnapshot(name, snap); err != nil {
+			return snaps, replayed, fmt.Errorf("wal: applying snapshot %q: %v", name, err)
+		}
+		m.mu.Lock()
+		m.snapSeq[name] = snap.Seq
+		m.mu.Unlock()
+		if snap.Seq > maxSeq {
+			maxSeq = snap.Seq
+		}
+		snaps++
+	}
+	m.mu.Lock()
+	pending := m.pending
+	m.pending = nil
+	snapSeq := make(map[string]uint64, len(m.snapSeq))
+	for k, v := range m.snapSeq {
+		snapSeq[k] = v
+	}
+	m.mu.Unlock()
+	for _, rec := range pending {
+		if rec.Seq <= snapSeq[rec.Dataset] {
+			continue
+		}
+		if err := m.replay(app, rec); err != nil {
+			return snaps, replayed, fmt.Errorf("wal: replaying seq %d (%s %q): %v", rec.Seq, rec.Type, rec.Dataset, err)
+		}
+		if rec.Type == RecDrop {
+			m.mu.Lock()
+			m.dropped[rec.Dataset] = rec.Seq
+			m.mu.Unlock()
+		} else {
+			m.mu.Lock()
+			delete(m.dropped, rec.Dataset)
+			m.mu.Unlock()
+		}
+		replayed++
+	}
+	m.log.SetSeq(maxSeq)
+	return snaps, replayed, nil
+}
+
+func (m *Manager) replay(app Applier, rec Record) error {
+	switch rec.Type {
+	case RecRegister:
+		schema, rows, err := DecodeRegister(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return app.ApplyRegister(rec.Dataset, schema, rows)
+	case RecAppend:
+		arity, ok := app.DatasetArity(rec.Dataset)
+		if !ok {
+			return fmt.Errorf("append to unknown dataset")
+		}
+		rows, err := DecodeRows(rec.Payload, arity)
+		if err != nil {
+			return err
+		}
+		return app.ApplyAppend(rec.Dataset, rows)
+	case RecCells:
+		cells, confirm, err := DecodeCells(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return app.ApplyCells(rec.Dataset, cells, confirm)
+	case RecConfirm:
+		tid, attr, err := DecodeConfirm(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return app.ApplyConfirm(rec.Dataset, tid, attr)
+	case RecConstraints:
+		return app.ApplyConstraints(rec.Dataset, string(rec.Payload))
+	case RecDCs:
+		return app.ApplyDCs(rec.Dataset, string(rec.Payload))
+	case RecDrop:
+		return app.ApplyDrop(rec.Dataset)
+	case RecAppendRaw:
+		rows, err := DecodeRawRows(rec.Payload)
+		if err != nil {
+			return err
+		}
+		return app.ApplyAppendRaw(rec.Dataset, rows)
+	}
+	return fmt.Errorf("unknown record type %d", byte(rec.Type))
+}
+
+// Checkpoint captures every dataset through src, writes the snapshot
+// files (atomic temp + rename), removes snapshots of datasets that no
+// longer exist, and compacts the WAL down to the records newer than
+// each dataset's watermark. Safe to run concurrently with serving
+// traffic: captures take the per-dataset exclusion briefly, and only
+// the final compaction blocks appends.
+func (m *Manager) Checkpoint(src CheckpointSource) error {
+	live := make(map[string]bool)
+	for _, name := range src.DatasetNames() {
+		snap, ok := src.CaptureDataset(name, m.log.Seq)
+		if !ok {
+			continue
+		}
+		if err := m.writeSnapshotFile(name, snap); err != nil {
+			return err
+		}
+		live[name] = true
+		m.mu.Lock()
+		m.snapSeq[name] = snap.Seq
+		m.mu.Unlock()
+	}
+	// Drop snapshot files of datasets that no longer exist.
+	paths, err := filepath.Glob(filepath.Join(m.dir, "*.snap"))
+	if err != nil {
+		return err
+	}
+	for _, path := range paths {
+		name, err := datasetOfSnapPath(path)
+		if err != nil || !live[name] {
+			os.Remove(path)
+			if err == nil {
+				m.mu.Lock()
+				delete(m.snapSeq, name)
+				m.mu.Unlock()
+			}
+		}
+	}
+	m.mu.Lock()
+	snapSeq := make(map[string]uint64, len(m.snapSeq))
+	for k, v := range m.snapSeq {
+		snapSeq[k] = v
+	}
+	dropped := make(map[string]uint64, len(m.dropped))
+	for k, v := range m.dropped {
+		dropped[k] = v
+	}
+	m.mu.Unlock()
+	return m.log.Compact(func(rec Record) bool {
+		if ds, ok := dropped[rec.Dataset]; ok && rec.Seq <= ds {
+			return false // full history of a dropped dataset
+		}
+		return rec.Seq > snapSeq[rec.Dataset]
+	})
+}
+
+// Snapshot file layout:
+//
+//	[0:8)  magic "SMDQCKP1"
+//	[8:16) seq uint64 (WAL watermark)
+//	u16 nameLen + dataset name
+//	schema block (EncodeRegister's schema section)
+//	u32 cfdTextLen + text
+//	u32 dcTextLen + text
+//	u64 nConfirmed, then per cell uvarint tid, uvarint attr
+//	relation snapshot (relation.WriteSnapshot, to EOF)
+const snapFileMagic = "SMDQCKP1"
+
+func (m *Manager) snapPath(name string) string {
+	return filepath.Join(m.dir, hex.EncodeToString([]byte(name))+".snap")
+}
+
+func datasetOfSnapPath(path string) (string, error) {
+	base := strings.TrimSuffix(filepath.Base(path), ".snap")
+	b, err := hex.DecodeString(base)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (m *Manager) writeSnapshotFile(name string, snap *DatasetSnapshot) error {
+	path := m.snapPath(name)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, 256)
+	hdr = append(hdr, snapFileMagic...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, snap.Seq)
+	hdr = appendString16(hdr, name)
+	hdr = appendString16(hdr, snap.Schema.Name())
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(snap.Schema.Arity()))
+	for _, a := range snap.Schema.Attrs() {
+		hdr = appendString16(hdr, a.Name)
+		hdr = append(hdr, byte(a.Kind))
+	}
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(snap.CFDText)))
+	hdr = append(hdr, snap.CFDText...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(snap.DCText)))
+	hdr = append(hdr, snap.DCText...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(snap.Confirmed)))
+	for _, cell := range snap.Confirmed {
+		hdr = binary.AppendUvarint(hdr, uint64(cell[0]))
+		hdr = binary.AppendUvarint(hdr, uint64(cell[1]))
+	}
+	_, err = f.Write(hdr)
+	if err == nil {
+		err = snap.Data.WriteSnapshot(f)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readSnapshotFile(path string) (string, *DatasetSnapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(b) < 16 || string(b[:8]) != snapFileMagic {
+		return "", nil, fmt.Errorf("not a snapshot file")
+	}
+	snap := &DatasetSnapshot{Seq: binary.LittleEndian.Uint64(b[8:])}
+	rest := b[16:]
+	name, rest, err := readString16(rest)
+	if err != nil {
+		return "", nil, err
+	}
+	sname, rest, err := readString16(rest)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rest) < 2 {
+		return "", nil, fmt.Errorf("truncated schema")
+	}
+	arity := int(binary.LittleEndian.Uint16(rest))
+	rest = rest[2:]
+	attrs := make([]relation.Attribute, arity)
+	for i := range attrs {
+		var aname string
+		aname, rest, err = readString16(rest)
+		if err != nil {
+			return "", nil, err
+		}
+		if len(rest) < 1 {
+			return "", nil, fmt.Errorf("truncated attr kind")
+		}
+		kind := relation.Kind(rest[0])
+		if kind > relation.KindFloat {
+			return "", nil, fmt.Errorf("bad attr kind %d", rest[0])
+		}
+		rest = rest[1:]
+		attrs[i] = relation.Attribute{Name: aname, Kind: kind}
+	}
+	snap.Schema, err = relation.NewSchema(sname, attrs...)
+	if err != nil {
+		return "", nil, err
+	}
+	readText := func() (string, error) {
+		if len(rest) < 4 {
+			return "", fmt.Errorf("truncated text section")
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if len(rest) < n {
+			return "", fmt.Errorf("truncated text section")
+		}
+		s := string(rest[:n])
+		rest = rest[n:]
+		return s, nil
+	}
+	if snap.CFDText, err = readText(); err != nil {
+		return "", nil, err
+	}
+	if snap.DCText, err = readText(); err != nil {
+		return "", nil, err
+	}
+	if len(rest) < 8 {
+		return "", nil, fmt.Errorf("truncated confirmed section")
+	}
+	nConf := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	snap.Confirmed = make([][2]int, 0, nConf)
+	for i := uint64(0); i < nConf; i++ {
+		tid, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return "", nil, fmt.Errorf("truncated confirmed cell")
+		}
+		rest = rest[sz:]
+		attr, sz := binary.Uvarint(rest)
+		if sz <= 0 {
+			return "", nil, fmt.Errorf("truncated confirmed cell")
+		}
+		rest = rest[sz:]
+		snap.Confirmed = append(snap.Confirmed, [2]int{int(tid), int(attr)})
+	}
+	snap.Data, err = relation.ReadSnapshot(rest, snap.Schema)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, snap, nil
+}
+
+// WriteRegistry atomically writes the cluster coordinator's registry
+// mirror (an informational JSON snapshot of schemas, per-worker counts
+// and constraint text; the WAL is the authoritative recovery source).
+func (m *Manager) WriteRegistry(data []byte) error {
+	path := filepath.Join(m.dir, "registry.json")
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadRegistry returns the registry mirror, or nil if absent.
+func (m *Manager) ReadRegistry() []byte {
+	b, err := os.ReadFile(filepath.Join(m.dir, "registry.json"))
+	if err != nil {
+		return nil
+	}
+	return b
+}

@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"semandaq/internal/relation"
+)
+
+// RecType identifies a record's payload codec. The WAL logs EFFECTS,
+// not intents: an append record holds the post-repair final cell
+// values of the delta rows and a repair record holds the sorted cell
+// change list, so replay is raw insertion/cell writes — deterministic
+// and free of detection or repair work.
+type RecType byte
+
+const (
+	// RecRegister creates a dataset: schema + initial rows.
+	RecRegister RecType = 1
+	// RecAppend appends rows (exact post-repair values).
+	RecAppend RecType = 2
+	// RecCells overwrites a set of cells (repair commit / edit).
+	RecCells RecType = 3
+	// RecConfirm marks one cell user-confirmed.
+	RecConfirm RecType = 4
+	// RecConstraints installs a CFD set (canonical text).
+	RecConstraints RecType = 5
+	// RecDCs installs a denial-constraint set (canonical text).
+	RecDCs RecType = 6
+	// RecDrop deletes a dataset.
+	RecDrop RecType = 7
+	// RecAppendRaw appends unparsed string rows (coordinator log: the
+	// coordinator never parses values, it routes them to a worker).
+	RecAppendRaw RecType = 8
+)
+
+func (t RecType) String() string {
+	switch t {
+	case RecRegister:
+		return "register"
+	case RecAppend:
+		return "append"
+	case RecCells:
+		return "cells"
+	case RecConfirm:
+		return "confirm"
+	case RecConstraints:
+		return "constraints"
+	case RecDCs:
+		return "dcs"
+	case RecDrop:
+		return "drop"
+	case RecAppendRaw:
+		return "append-raw"
+	}
+	return fmt.Sprintf("RecType(%d)", byte(t))
+}
+
+// CellWrite is one cell assignment in a RecCells payload, in the
+// sorted (TID, Attr) order repair.Result.Changes already guarantees.
+type CellWrite struct {
+	TID, Attr int
+	Value     relation.Value
+}
+
+// EncodeRegister serializes a schema plus initial rows: the schema as
+// length-prefixed name/attribute strings with kind bytes, then the
+// rows as concatenated relation.EncodeTuple bytes.
+func EncodeRegister(schema *relation.Schema, rows []relation.Tuple) []byte {
+	b := appendString16(nil, schema.Name())
+	b = binary.LittleEndian.AppendUint16(b, uint16(schema.Arity()))
+	for _, a := range schema.Attrs() {
+		b = appendString16(b, a.Name)
+		b = append(b, byte(a.Kind))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(rows)))
+	for _, t := range rows {
+		b = relation.EncodeTuple(b, t)
+	}
+	return b
+}
+
+// DecodeRegister is the inverse of EncodeRegister.
+func DecodeRegister(b []byte) (*relation.Schema, []relation.Tuple, error) {
+	name, b, err := readString16(b)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: register schema name: %v", err)
+	}
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("wal: register payload truncated")
+	}
+	arity := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	attrs := make([]relation.Attribute, arity)
+	for i := range attrs {
+		var aname string
+		aname, b, err = readString16(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: register attr %d: %v", i, err)
+		}
+		if len(b) < 1 {
+			return nil, nil, fmt.Errorf("wal: register attr %d kind truncated", i)
+		}
+		kind := relation.Kind(b[0])
+		if kind > relation.KindFloat {
+			return nil, nil, fmt.Errorf("wal: register attr %d has bad kind %d", i, b[0])
+		}
+		b = b[1:]
+		attrs[i] = relation.Attribute{Name: aname, Kind: kind}
+	}
+	schema, err := relation.NewSchema(name, attrs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := decodeRows(b, arity)
+	if err != nil {
+		return nil, nil, err
+	}
+	return schema, rows, nil
+}
+
+// EncodeRows serializes an append batch (RecAppend payload).
+func EncodeRows(rows []relation.Tuple) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, uint64(len(rows)))
+	for _, t := range rows {
+		b = relation.EncodeTuple(b, t)
+	}
+	return b
+}
+
+// DecodeRows decodes a RecAppend payload; the arity comes from the
+// dataset's schema at replay time.
+func DecodeRows(b []byte, arity int) ([]relation.Tuple, error) {
+	return decodeRows(b, arity)
+}
+
+func decodeRows(b []byte, arity int) ([]relation.Tuple, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("wal: row section truncated")
+	}
+	n := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	rows := make([]relation.Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		t := make(relation.Tuple, arity)
+		for a := 0; a < arity; a++ {
+			v, sz, err := relation.DecodeValue(b)
+			if err != nil {
+				return nil, fmt.Errorf("wal: row %d attr %d: %v", i, a, err)
+			}
+			t[a] = v
+			b = b[sz:]
+		}
+		rows = append(rows, t)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wal: row section has %d trailing bytes", len(b))
+	}
+	return rows, nil
+}
+
+// EncodeCells serializes a cell-change list (RecCells payload): a
+// confirm flag (edits confirm the written cell, repair commits do
+// not), then per cell uvarint TID/attr and the exact Value.Encode
+// bytes.
+func EncodeCells(cells []CellWrite, confirm bool) []byte {
+	b := make([]byte, 0, 16*len(cells)+9)
+	if confirm {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(cells)))
+	for _, c := range cells {
+		b = binary.AppendUvarint(b, uint64(c.TID))
+		b = binary.AppendUvarint(b, uint64(c.Attr))
+		b = c.Value.Encode(b)
+	}
+	return b
+}
+
+// DecodeCells is the inverse of EncodeCells.
+func DecodeCells(b []byte) ([]CellWrite, bool, error) {
+	if len(b) < 9 {
+		return nil, false, fmt.Errorf("wal: cells payload truncated")
+	}
+	confirm := b[0] == 1
+	n := binary.LittleEndian.Uint64(b[1:])
+	b = b[9:]
+	cells := make([]CellWrite, 0, n)
+	for i := uint64(0); i < n; i++ {
+		tid, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, false, fmt.Errorf("wal: cell %d tid truncated", i)
+		}
+		b = b[sz:]
+		attr, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return nil, false, fmt.Errorf("wal: cell %d attr truncated", i)
+		}
+		b = b[sz:]
+		v, vsz, err := relation.DecodeValue(b)
+		if err != nil {
+			return nil, false, fmt.Errorf("wal: cell %d value: %v", i, err)
+		}
+		b = b[vsz:]
+		cells = append(cells, CellWrite{TID: int(tid), Attr: int(attr), Value: v})
+	}
+	if len(b) != 0 {
+		return nil, false, fmt.Errorf("wal: cells payload has %d trailing bytes", len(b))
+	}
+	return cells, confirm, nil
+}
+
+// EncodeConfirm serializes a cell-confirm record.
+func EncodeConfirm(tid, attr int) []byte {
+	b := binary.AppendUvarint(nil, uint64(tid))
+	return binary.AppendUvarint(b, uint64(attr))
+}
+
+// DecodeConfirm is the inverse of EncodeConfirm.
+func DecodeConfirm(b []byte) (tid, attr int, err error) {
+	t, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("wal: confirm tid truncated")
+	}
+	a, sz2 := binary.Uvarint(b[sz:])
+	if sz2 <= 0 || sz+sz2 != len(b) {
+		return 0, 0, fmt.Errorf("wal: confirm attr truncated")
+	}
+	return int(t), int(a), nil
+}
+
+// EncodeRawRows serializes unparsed string rows (RecAppendRaw).
+func EncodeRawRows(rows [][]string) []byte {
+	b := binary.LittleEndian.AppendUint64(nil, uint64(len(rows)))
+	for _, row := range rows {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(row)))
+		for _, f := range row {
+			b = binary.LittleEndian.AppendUint32(b, uint32(len(f)))
+			b = append(b, f...)
+		}
+	}
+	return b
+}
+
+// DecodeRawRows is the inverse of EncodeRawRows.
+func DecodeRawRows(b []byte) ([][]string, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("wal: raw rows truncated")
+	}
+	n := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	rows := make([][]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("wal: raw row %d truncated", i)
+		}
+		nf := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		row := make([]string, nf)
+		for j := range row {
+			if len(b) < 4 {
+				return nil, fmt.Errorf("wal: raw row %d field %d truncated", i, j)
+			}
+			fl := int(binary.LittleEndian.Uint32(b))
+			b = b[4:]
+			if len(b) < fl {
+				return nil, fmt.Errorf("wal: raw row %d field %d truncated", i, j)
+			}
+			row[j] = string(b[:fl])
+			b = b[fl:]
+		}
+		rows = append(rows, row)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wal: raw rows have %d trailing bytes", len(b))
+	}
+	return rows, nil
+}
+
+func appendString16(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func readString16(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, fmt.Errorf("truncated length")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+n {
+		return "", nil, fmt.Errorf("truncated string")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}

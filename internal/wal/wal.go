@@ -1,0 +1,387 @@
+// Package wal implements the daemon's durability layer: a
+// length-prefixed, CRC32-framed, monotonically-sequenced write-ahead
+// log of every state-mutating operation per dataset, plus periodic
+// per-dataset snapshots (relation.WriteSnapshot — dictionaries + int32
+// code columns, the segment-style compact form) so recovery is
+// snapshot-load + short-tail replay rather than full re-ingest.
+//
+// Record framing (all integers little-endian):
+//
+//	[0:4)   length  uint32  bytes after this field (crc..payload)
+//	[4:8)   crc     uint32  IEEE CRC32 of bytes [8:8+length-4)
+//	[8:16)  seq     uint64  monotone record sequence number
+//	[16:17) type    byte    record type (records.go)
+//	[17:19) dsLen   uint16  dataset-name length
+//	[19:..) dataset
+//	[..:..) payload type-specific (records.go); values are exact
+//	        relation.Value.Encode bytes
+//
+// A torn final record (crash mid-write) fails its length or CRC check
+// and is truncated away on Open. The scan treats the first invalid
+// frame as end-of-log (the standard WAL recovery rule: only the tail
+// can legitimately be torn), so mid-file corruption truncates the
+// suffix rather than serving records with a broken prefix.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when Append pushes records to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every record: an acked write is a
+	// fsynced write. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per syncEvery window; a crash
+	// can lose up to one window of acked writes.
+	SyncInterval
+	// SyncNever leaves syncing to the OS page cache.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always|interval|none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+const (
+	frameHeaderSize = 19 // length + crc + seq + type + dsLen
+	maxRecordSize   = 1 << 30
+	syncEvery       = 50 * time.Millisecond
+)
+
+// Record is one decoded WAL record.
+type Record struct {
+	Seq     uint64
+	Type    RecType
+	Dataset string
+	Payload []byte
+}
+
+// Log is the append-side handle on a WAL file. Appends are serialized
+// by an internal mutex; a failed append truncates the file back to the
+// record boundary, so the log never retains a half-acked record.
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	policy   SyncPolicy
+	seq      uint64 // last sequence number written (0 = none)
+	size     int64  // current file size (record boundary)
+	lastSync time.Time
+	dirty    bool
+}
+
+// Open opens (or creates) the log at path, scans it to recover the
+// sequence watermark, truncates a torn final record, and returns the
+// append handle positioned at the tail. The scanned records are
+// returned so recovery can replay them without a second pass.
+func Open(path string, policy SyncPolicy) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, tail, lastSeq, err := scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(tail); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(tail, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Log{f: f, path: path, policy: policy, seq: lastSeq, size: tail}, recs, nil
+}
+
+// scan reads every whole, checksummed record and returns them plus the
+// byte offset of the valid tail and the last sequence number. The
+// first invalid frame (truncated or CRC-mismatched) ends the scan;
+// everything from it on is reported as torn tail via tail < size.
+func scan(f *os.File) (recs []Record, tail int64, lastSeq uint64, err error) {
+	b, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	off := int64(0)
+	for int64(len(b))-off >= frameHeaderSize {
+		length := binary.LittleEndian.Uint32(b[off:])
+		if length < frameHeaderSize-8 || length > maxRecordSize || off+8+int64(length) > int64(len(b)) {
+			break // torn or nonsense length: treat as tail
+		}
+		body := b[off+8 : off+8+int64(length)]
+		crc := binary.LittleEndian.Uint32(b[off+4:])
+		if crc32.ChecksumIEEE(body) != crc {
+			break // torn write: payload incomplete
+		}
+		seq := binary.LittleEndian.Uint64(body)
+		typ := RecType(body[8])
+		dsLen := int(binary.LittleEndian.Uint16(body[9:]))
+		if 11+dsLen > len(body) {
+			return nil, 0, 0, fmt.Errorf("wal: record at offset %d: dataset length %d exceeds body", off, dsLen)
+		}
+		if seq <= lastSeq && lastSeq != 0 {
+			return nil, 0, 0, fmt.Errorf("wal: sequence regression %d -> %d at offset %d", lastSeq, seq, off)
+		}
+		recs = append(recs, Record{
+			Seq:     seq,
+			Type:    typ,
+			Dataset: string(body[11 : 11+dsLen]),
+			Payload: append([]byte(nil), body[11+dsLen:]...),
+		})
+		lastSeq = seq
+		off += 8 + int64(length)
+	}
+	// Anything between off and EOF is a torn tail, dropped by the
+	// caller's truncate. A clean file has off == len(b).
+	return recs, off, lastSeq, nil
+}
+
+// Append frames and writes one record, returning its sequence number.
+// Under SyncAlways the record is on stable storage when Append
+// returns. On a write error the file is truncated back to the previous
+// record boundary and the sequence watermark restored, so the caller
+// can roll back its in-memory state symmetrically and the log stays
+// consistent with it.
+func (l *Log) Append(typ RecType, dataset string, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if len(dataset) > 0xffff {
+		return 0, fmt.Errorf("wal: dataset name too long (%d bytes)", len(dataset))
+	}
+	seq := l.seq + 1
+	body := make([]byte, 11+len(dataset)+len(payload))
+	binary.LittleEndian.PutUint64(body, seq)
+	body[8] = byte(typ)
+	binary.LittleEndian.PutUint16(body[9:], uint16(len(dataset)))
+	copy(body[11:], dataset)
+	copy(body[11+len(dataset):], payload)
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		// Roll the partial frame back so the next append starts at a
+		// clean boundary. If even the truncate fails, the CRC scan at
+		// next Open drops the torn bytes.
+		l.f.Truncate(l.size)
+		return 0, err
+	}
+	l.size += int64(len(frame))
+	l.seq = seq
+	l.dirty = true
+	if err := l.maybeSync(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+func (l *Log) maybeSync() error {
+	switch l.policy {
+	case SyncAlways:
+	case SyncInterval:
+		if time.Since(l.lastSync) < syncEvery {
+			return nil
+		}
+	case SyncNever:
+		return nil
+	}
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces buffered records to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil || !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Seq returns the last sequence number written (0 if none). Reading it
+// while holding whatever exclusion prevents mutations of a dataset
+// yields a correct replay watermark for that dataset: every record a
+// checkpoint capture can observe was appended (seq assigned) before the
+// capture's lock was acquired.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// SetSeq raises the sequence watermark to at least seq. Recovery calls
+// it with the max snapshot watermark: after a checkpoint compacted the
+// log, the file alone may understate the last sequence ever issued,
+// and fresh appends must never collide with checkpointed history.
+func (l *Log) SetSeq(seq uint64) {
+	l.mu.Lock()
+	if seq > l.seq {
+		l.seq = seq
+	}
+	l.mu.Unlock()
+}
+
+// Size returns the current file size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Compact rewrites the log keeping only records for which keep returns
+// true — called after a checkpoint with keep = "seq > snapshot
+// watermark for the record's dataset". The rewrite goes through a temp
+// file + rename, so a crash mid-compact leaves either the old or the
+// new log intact. Appends are blocked for the duration.
+func (l *Log) Compact(keep func(Record) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: log closed")
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	recs, tail, _, err := scan(l.f)
+	if err != nil {
+		return err
+	}
+	_ = tail
+	tmp := l.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	nl := &Log{f: nf, path: tmp, policy: SyncNever}
+	kept := 0
+	for _, rec := range recs {
+		if !keep(rec) {
+			continue
+		}
+		// Re-framed with the original sequence number: compaction must
+		// not renumber history.
+		if err := nl.appendRaw(rec); err != nil {
+			nf.Close()
+			os.Remove(tmp)
+			return err
+		}
+		kept++
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	old := l.f
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	old.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.size = size
+	l.dirty = false
+	return nil
+}
+
+// appendRaw writes a record preserving its sequence number (compaction
+// path; l.mu is not used — the log is private to the caller).
+func (l *Log) appendRaw(rec Record) error {
+	body := make([]byte, 11+len(rec.Dataset)+len(rec.Payload))
+	binary.LittleEndian.PutUint64(body, rec.Seq)
+	body[8] = byte(rec.Type)
+	binary.LittleEndian.PutUint16(body[9:], uint16(len(rec.Dataset)))
+	copy(body[11:], rec.Dataset)
+	copy(body[11+len(rec.Dataset):], rec.Payload)
+	frame := make([]byte, 8+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(body))
+	copy(frame[8:], body)
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		return err
+	}
+	l.size += int64(len(frame))
+	if rec.Seq > l.seq {
+		l.seq = rec.Seq
+	}
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.dirty {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
