@@ -119,6 +119,13 @@ type ClusterDataset struct {
 	// in-memory fields.
 	wm sync.Mutex
 
+	// dropped, guarded by wm, marks the dataset removed. Drop journals
+	// its record under wm and sets this before unpublishing, so a
+	// mutation racing the drop either journals wholly before the drop
+	// record or sees the flag and refuses — the WAL never orders a
+	// mutation record after its dataset's drop record.
+	dropped bool
+
 	violations []cfd.Violation
 	stats      cfd.MergeStats
 	vioValid   bool
@@ -417,21 +424,32 @@ func (c *Coordinator) List() []string {
 // existed. Journal-first, like Engine.Drop: a drop that isn't durable
 // must not be acked, or recovery would resurrect the dataset.
 func (c *Coordinator) Drop(name string) bool {
-	if _, ok := c.Get(name); !ok {
+	cd, ok := c.Get(name)
+	if !ok {
+		return false
+	}
+	// Journal under wm — the exclusion every mutation journals under —
+	// so a racing append/install either lands wholly before the drop
+	// record or sees cd.dropped and refuses; the WAL never carries a
+	// record for this dataset after its drop record.
+	cd.wm.Lock()
+	if cd.dropped {
+		cd.wm.Unlock()
 		return false
 	}
 	if j := c.getJournal(); j != nil {
 		if err := j.LogDrop(name); err != nil {
+			cd.wm.Unlock()
 			return false
 		}
 	}
+	cd.dropped = true
+	cd.wm.Unlock()
 	c.mu.Lock()
-	cd, ok := c.datasets[name]
-	delete(c.datasets, name)
-	c.mu.Unlock()
-	if !ok || cd == nil {
-		return false
+	if cur, ok := c.datasets[name]; ok && cur == cd {
+		delete(c.datasets, name)
 	}
+	c.mu.Unlock()
 	_, _ = c.fanOut(func(_ int, cl ShardClient) error { return cl.Drop(name) })
 	c.mirrorRegistry()
 	return true
@@ -450,6 +468,9 @@ func (c *Coordinator) InstallConstraints(name, text string) (*cfd.Set, error) {
 	}
 	cd.wm.Lock()
 	defer cd.wm.Unlock()
+	if cd.dropped {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
 	if _, err := c.fanOut(func(_ int, cl ShardClient) error {
 		return cl.InstallConstraints(name, text)
 	}); err != nil {
@@ -488,6 +509,9 @@ func (c *Coordinator) InstallDCs(name, text string) (*dc.Set, error) {
 	}
 	cd.wm.Lock()
 	defer cd.wm.Unlock()
+	if cd.dropped {
+		return nil, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
 	if _, err := c.fanOut(func(_ int, cl ShardClient) error {
 		return cl.InstallDCs(name, text)
 	}); err != nil {
@@ -697,6 +721,9 @@ func (c *Coordinator) Append(name string, tuples [][]string) (int, error) {
 	last := len(c.clients) - 1
 	cd.wm.Lock()
 	defer cd.wm.Unlock()
+	if cd.dropped {
+		return 0, fmt.Errorf("engine: %w: %q", ErrUnknownDataset, name)
+	}
 	start := time.Now()
 	n, err := c.clients[last].Append(name, tuples)
 	c.recordWorker(c.clients[last].URL(), time.Since(start), err)

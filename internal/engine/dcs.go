@@ -31,6 +31,9 @@ func (s *Session) SetDCs(set *dc.Set) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if !s.data.Schema().Equal(set.Schema()) {
 		return fmt.Errorf("engine: data schema %s does not match DC schema %s",
 			s.data.Schema().Name(), set.Schema().Name())

@@ -276,6 +276,168 @@ func TestEngineRecoveryTornTail(t *testing.T) {
 	}
 }
 
+// TestDropRefusesStaleHandleMutations pins the drop/append WAL
+// ordering: a session handle obtained before Drop must refuse every
+// mutation afterwards, so no record for the dataset can follow its
+// drop record in the log — replay applies records in order and a
+// post-drop append would hit an unknown dataset and fail recovery.
+func TestDropRefusesStaleHandleMutations(t *testing.T) {
+	dir := t.TempDir()
+	e1, m1, _, _ := openDurable(t, dir)
+	if _, err := e1.Register("ds", datagen.Cust(30, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := e1.Get("ds")
+	if !e1.Drop("ds") {
+		t.Fatal("drop failed")
+	}
+	delta := datagen.Cust(5, 7)
+	tuples := make([]relation.Tuple, delta.Len())
+	for i := range tuples {
+		tuples[i] = delta.Tuple(i).Clone()
+	}
+	if _, err := s.Append(tuples); err == nil {
+		t.Fatal("Append through a stale handle succeeded after Drop")
+	}
+	if err := s.Edit(0, 0, relation.String("x")); err == nil {
+		t.Fatal("Edit through a stale handle succeeded after Drop")
+	}
+	if err := s.Confirm(0, 0); err == nil {
+		t.Fatal("Confirm through a stale handle succeeded after Drop")
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The log must replay cleanly: nothing after the drop record.
+	e2, m2, _, _ := openDurable(t, dir)
+	defer m2.Close()
+	if _, ok := e2.Get("ds"); ok {
+		t.Fatal("dropped dataset resurrected")
+	}
+}
+
+// dropDuringCheckpoint simulates a Drop landing between a checkpoint's
+// dataset capture and its compaction — the window where the snapshot
+// file is freshly written but the drop record is already in the log.
+// Compaction must NOT sweep the drop record while the snapshot file
+// exists, or recovery would load the snapshot and resurrect a dataset
+// whose drop was acked.
+type dropDuringCheckpoint struct {
+	*Engine
+	target string
+}
+
+func (d *dropDuringCheckpoint) CaptureDataset(name string, seq func() uint64) (*wal.DatasetSnapshot, bool) {
+	snap, ok := d.Engine.CaptureDataset(name, seq)
+	if ok && name == d.target {
+		d.target = ""
+		if !d.Engine.Drop(name) {
+			return snap, ok // journal failure surfaces as resurrection below
+		}
+	}
+	return snap, ok
+}
+
+func TestDropDuringCheckpointNotResurrected(t *testing.T) {
+	dir := t.TempDir()
+	e1, m1, _, _ := openDurable(t, dir)
+	if _, err := e1.Register("ds", datagen.Cust(30, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Checkpoint(&dropDuringCheckpoint{Engine: e1, target: "ds"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, m2, _, _ := openDurable(t, dir)
+	defer m2.Close()
+	if _, ok := e2.Get("ds"); ok {
+		t.Fatal("dataset dropped mid-checkpoint resurrected by recovery")
+	}
+}
+
+// TestCheckpointAfterDropConverges drives the full drop-sweep sequence
+// across checkpoints: snapshot, drop, then repeated checkpoints. Each
+// intermediate on-disk state must recover to "dataset absent", and the
+// sweep must eventually remove both the snapshot file and the drop
+// record.
+func TestCheckpointAfterDropConverges(t *testing.T) {
+	dir := t.TempDir()
+	e1, m1, _, _ := openDurable(t, dir)
+	if _, err := e1.Register("ds", datagen.Cust(30, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Checkpoint(e1); err != nil {
+		t.Fatal(err)
+	}
+	if !e1.Drop("ds") {
+		t.Fatal("drop failed")
+	}
+	for i := 0; i < 3; i++ {
+		if err := m1.Checkpoint(e1); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	if size := m1.LogSize(); size != 0 {
+		t.Fatalf("drop record not swept: log size %d", size)
+	}
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap")); len(snaps) != 0 {
+		t.Fatalf("snapshot files not swept: %v", snaps)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, m2, _, _ := openDurable(t, dir)
+	defer m2.Close()
+	if _, ok := e2.Get("ds"); ok {
+		t.Fatal("dropped dataset resurrected")
+	}
+}
+
+// TestRecoverSkipsOrphanRecords pins checkpoint-crash tolerance: tail
+// records whose dataset has neither a snapshot nor a register record
+// (its history was partially compacted around a drop before a crash)
+// are skipped, not fatal — a daemon must never be unable to start
+// because of dead records for a dropped dataset.
+func TestRecoverSkipsOrphanRecords(t *testing.T) {
+	dir := t.TempDir()
+	m, err := wal.OpenManager(dir, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An orphan append, cell-write and lone drop, as a crashed
+	// checkpoint can leave behind; then a legitimate dataset.
+	if err := m.LogAppend("ghost", []relation.Tuple{{relation.String("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LogCells("ghost", []wal.CellWrite{{TID: 0, Attr: 0, Value: relation.String("y")}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LogDrop("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 1})
+	if _, _, err := m.Recover(e); err != nil {
+		t.Fatalf("recover with orphan records: %v", err)
+	}
+	e.SetJournal(m)
+	if _, err := e.Register("live", datagen.Cust(10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, m2, _, _ := openDurable(t, dir)
+	defer m2.Close()
+	if _, ok := e2.Get("ghost"); ok {
+		t.Fatal("orphan records materialized a dataset")
+	}
+	if _, ok := e2.Get("live"); !ok {
+		t.Fatal("legitimate dataset lost")
+	}
+}
+
 // TestDropNotResurrected pins the journal-first drop ordering end to
 // end: drop, crash, recover — gone; and the registered-then-dropped
 // name is reusable after recovery.

@@ -168,26 +168,44 @@ func (e *Engine) Get(name string) (*Session, bool) {
 func (e *Engine) Drop(name string) bool {
 	e.mu.RLock()
 	journal := e.journal
-	_, exists := e.sessions[name]
+	s, exists := e.sessions[name]
 	e.mu.RUnlock()
-	if exists && journal != nil {
+	if !exists {
+		return false
+	}
+	// Journal under the session's write lock — the same exclusion every
+	// other mutation journals under — so no append/edit/constraint record
+	// for this dataset can land after its drop record in the WAL (replay
+	// applies records in log order and would hit an unknown dataset). The
+	// dropped flag makes stale handles acquired before the drop refuse
+	// further mutations instead of journaling them post-drop.
+	s.mu.Lock()
+	if s.dropped {
+		s.mu.Unlock()
+		return false
+	}
+	if journal != nil {
 		// Journal-first: a drop that isn't durable must not be acked, or
 		// recovery would resurrect the dataset. A journal failure leaves
 		// the dataset in place and reports "not dropped".
 		if err := journal.LogDrop(name); err != nil {
+			s.mu.Unlock()
 			return false
 		}
 	}
+	s.dropped = true
+	s.mu.Unlock()
 	e.mu.Lock()
-	s, ok := e.sessions[name]
-	delete(e.sessions, name)
-	e.mu.Unlock()
-	if ok {
-		if dir := s.SpillDir(); dir != "" {
-			os.RemoveAll(dir)
-		}
+	// Only unpublish OUR session: a not-dropped session can't have been
+	// replaced (names are freed only by Drop), but guard anyway.
+	if cur, ok := e.sessions[name]; ok && cur == s {
+		delete(e.sessions, name)
 	}
-	return ok
+	e.mu.Unlock()
+	if dir := s.SpillDir(); dir != "" {
+		os.RemoveAll(dir)
+	}
+	return true
 }
 
 // List returns the registered dataset names, sorted.

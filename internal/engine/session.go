@@ -67,6 +67,13 @@ type Session struct {
 	// read and written under mu.
 	journal Journal
 
+	// dropped marks a session removed from the registry (Engine.Drop).
+	// Set under mu BEFORE the drop is acked, it makes stale handles
+	// acquired before the drop refuse further mutations: once the drop
+	// record is in the WAL, no later record for this dataset may follow
+	// it, or replay would apply it to an unknown dataset.
+	dropped bool
+
 	// version counts mutations of data/set; caches tagged with an older
 	// version are discarded instead of stored.
 	version    uint64
@@ -162,6 +169,9 @@ func (s *Session) Constraints() *cfd.Set {
 func (s *Session) SetConstraints(set *cfd.Set) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if err := checkConstraints(s.data.Schema(), set); err != nil {
 		return err
 	}
@@ -175,6 +185,17 @@ func (s *Session) SetConstraints(set *cfd.Set) error {
 	}
 	s.set = set
 	s.mutated()
+	return nil
+}
+
+// checkOpen must be called with the write lock held before mutating
+// (and in particular before journaling): a dropped session's WAL
+// history ends at its drop record, so admitting a late mutation through
+// a stale handle would journal a record replay cannot apply.
+func (s *Session) checkOpen() error {
+	if s.dropped {
+		return fmt.Errorf("engine: %w: %q", ErrUnknownDataset, s.name)
+	}
 	return nil
 }
 
@@ -338,6 +359,9 @@ func (s *Session) Repair() (*repair.Result, error) {
 func (s *Session) RepairAccept() (*repair.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	res, err := repair.Batch(s.data, s.set, repair.Options{Weights: s.weights()})
 	if err != nil {
 		return nil, err
@@ -375,6 +399,9 @@ func (s *Session) Candidate() *repair.Result {
 func (s *Session) Accept() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if s.candidate == nil {
 		return fmt.Errorf("engine: no candidate repair; call Repair first")
 	}
@@ -393,6 +420,9 @@ func (s *Session) Accept() error {
 func (s *Session) Edit(tid, attr int, v relation.Value) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if err := s.checkCell(tid, attr); err != nil {
 		return err
 	}
@@ -415,6 +445,9 @@ func (s *Session) Edit(tid, attr int, v relation.Value) error {
 func (s *Session) Confirm(tid, attr int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
 	if err := s.checkCell(tid, attr); err != nil {
 		return err
 	}
@@ -474,6 +507,9 @@ func (s *Session) ConfirmedCells() [][2]int {
 func (s *Session) Append(tuples []relation.Tuple) (*repair.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
 	// A validly cached violation list — empty OR non-empty — survives
 	// the append. Empty: the base is known clean, and IncInPlace's
 	// contract is that a delta repaired onto a clean base leaves the

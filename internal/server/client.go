@@ -57,8 +57,10 @@ type HTTPShardClient struct {
 	base string
 	hc   *http.Client
 
-	policy  RetryPolicy
+	// rngMu guards policy and rng: SetRetryPolicy may race request
+	// goroutines reading them in callRetry/backoff.
 	rngMu   sync.Mutex
+	policy  RetryPolicy
 	rng     *rand.Rand
 	retries atomic.Uint64
 }
@@ -89,8 +91,18 @@ func (c *HTTPShardClient) SetRetryPolicy(p RetryPolicy) {
 	if seed == 0 {
 		seed = 1
 	}
+	c.rngMu.Lock()
 	c.policy = p
 	c.rng = rand.New(rand.NewSource(seed))
+	c.rngMu.Unlock()
+}
+
+// getPolicy snapshots the retry policy under the same lock
+// SetRetryPolicy writes it, so a policy change mid-traffic is safe.
+func (c *HTTPShardClient) getPolicy() RetryPolicy {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.policy
 }
 
 // URL returns the worker's base URL.
@@ -133,11 +145,12 @@ func retryable(err error) bool {
 	return true
 }
 
-// backoff returns the jittered delay before retry attempt (1-based).
-func (c *HTTPShardClient) backoff(attempt int) time.Duration {
-	d := c.policy.BaseBackoff << (attempt - 1)
-	if d > c.policy.MaxBackoff || d <= 0 {
-		d = c.policy.MaxBackoff
+// backoff returns the jittered delay before retry attempt (1-based)
+// under the caller's policy snapshot.
+func (c *HTTPShardClient) backoff(p RetryPolicy, attempt int) time.Duration {
+	d := p.BaseBackoff << (attempt - 1)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
 	}
 	c.rngMu.Lock()
 	defer c.rngMu.Unlock()
@@ -156,14 +169,15 @@ func (c *HTTPShardClient) call(method, path string, body, out any) error {
 // callRetry is the idempotent-call path: bounded retries with jittered
 // exponential backoff on transport faults and 5xx replies.
 func (c *HTTPShardClient) callRetry(method, path string, body, out any) error {
+	p := c.getPolicy()
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = c.callOnce(method, path, body, out)
-		if err == nil || attempt >= c.policy.MaxAttempts || !retryable(err) {
+		if err == nil || attempt >= p.MaxAttempts || !retryable(err) {
 			return err
 		}
 		c.retries.Add(1)
-		time.Sleep(c.backoff(attempt))
+		time.Sleep(c.backoff(p, attempt))
 	}
 }
 

@@ -111,6 +111,14 @@ func (m *Manager) Sync() error { return m.log.Sync() }
 
 func (m *Manager) LogRegister(name string, schema *relation.Schema, rows []relation.Tuple) error {
 	_, err := m.log.Append(RecRegister, name, EncodeRegister(schema, rows))
+	if err == nil {
+		// A re-registration supersedes any pending drop: compaction must
+		// treat the name's history by snapshot watermark again, not sweep
+		// it as a dropped dataset's.
+		m.mu.Lock()
+		delete(m.dropped, name)
+		m.mu.Unlock()
+	}
 	return err
 }
 
@@ -195,12 +203,27 @@ func (m *Manager) Recover(app Applier) (snaps, replayed int, err error) {
 		if rec.Seq <= snapSeq[rec.Dataset] {
 			continue
 		}
+		// Tolerate orphan records: a crash inside a checkpoint can leave
+		// tail records (or a lone drop record) for a dataset whose
+		// register record and snapshot are already gone — that history
+		// belongs to a dataset dropped before the crash, so it is dead
+		// weight, not data loss. Register records create their dataset
+		// and drop replay is tolerant of a missing one; everything else
+		// needs the dataset to exist to be applicable.
+		switch rec.Type {
+		case RecRegister, RecDrop:
+		default:
+			if _, ok := app.DatasetArity(rec.Dataset); !ok {
+				continue
+			}
+		}
 		if err := m.replay(app, rec); err != nil {
 			return snaps, replayed, fmt.Errorf("wal: replaying seq %d (%s %q): %v", rec.Seq, rec.Type, rec.Dataset, err)
 		}
 		if rec.Type == RecDrop {
 			m.mu.Lock()
 			m.dropped[rec.Dataset] = rec.Seq
+			delete(m.snapSeq, rec.Dataset)
 			m.mu.Unlock()
 		} else {
 			m.mu.Lock()
@@ -280,7 +303,41 @@ func (m *Manager) Checkpoint(src CheckpointSource) error {
 		m.snapSeq[name] = snap.Seq
 		m.mu.Unlock()
 	}
-	// Drop snapshot files of datasets that no longer exist.
+	m.mu.Lock()
+	snapSeq := make(map[string]uint64, len(m.snapSeq))
+	for k, v := range m.snapSeq {
+		snapSeq[k] = v
+	}
+	dropped := make(map[string]uint64, len(m.dropped))
+	for k, v := range m.dropped {
+		dropped[k] = v
+	}
+	m.mu.Unlock()
+	// Compact FIRST, then remove stale snapshot files — and keep a
+	// dropped dataset's drop record for as long as its snapshot file
+	// exists. Both orderings of "remove .snap" and "compact" have a
+	// crash window otherwise: removing the snapshot first can orphan
+	// tail records whose register record a previous checkpoint compacted
+	// away, while compacting the drop record away first would let a
+	// surviving snapshot resurrect a dataset whose drop was already
+	// acked. With the drop record pinned to the snapshot's lifetime, a
+	// crash anywhere in this sequence recovers to "snapshot loads, drop
+	// replays" (file still there) or "no snapshot, drop record tolerated"
+	// (file gone); the remaining record is swept at the next checkpoint.
+	if err := m.log.Compact(func(rec Record) bool {
+		if ds, ok := dropped[rec.Dataset]; ok && rec.Seq <= ds {
+			if rec.Seq == ds && rec.Type == RecDrop {
+				if _, err := os.Stat(m.snapPath(rec.Dataset)); err == nil {
+					return true
+				}
+			}
+			return false // full pre-drop history of a dropped dataset
+		}
+		return rec.Seq > snapSeq[rec.Dataset]
+	}); err != nil {
+		return err
+	}
+	// Now drop snapshot files of datasets that no longer exist.
 	paths, err := filepath.Glob(filepath.Join(m.dir, "*.snap"))
 	if err != nil {
 		return err
@@ -296,22 +353,7 @@ func (m *Manager) Checkpoint(src CheckpointSource) error {
 			}
 		}
 	}
-	m.mu.Lock()
-	snapSeq := make(map[string]uint64, len(m.snapSeq))
-	for k, v := range m.snapSeq {
-		snapSeq[k] = v
-	}
-	dropped := make(map[string]uint64, len(m.dropped))
-	for k, v := range m.dropped {
-		dropped[k] = v
-	}
-	m.mu.Unlock()
-	return m.log.Compact(func(rec Record) bool {
-		if ds, ok := dropped[rec.Dataset]; ok && rec.Seq <= ds {
-			return false // full history of a dropped dataset
-		}
-		return rec.Seq > snapSeq[rec.Dataset]
-	})
+	return nil
 }
 
 // Snapshot file layout:

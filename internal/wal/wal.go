@@ -98,6 +98,11 @@ type Log struct {
 	size     int64  // current file size (record boundary)
 	lastSync time.Time
 	dirty    bool
+	// failed poisons the handle after an fsync failure whose rollback
+	// truncate also failed: the file then holds a fully-framed record
+	// the caller was told is NOT durable, and no further append can be
+	// allowed to build on that divergence.
+	failed error
 }
 
 // Open opens (or creates) the log at path, scans it to recover the
@@ -180,6 +185,9 @@ func (l *Log) Append(typ RecType, dataset string, payload []byte) (uint64, error
 	if l.f == nil {
 		return 0, fmt.Errorf("wal: log closed")
 	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
 	if len(dataset) > 0xffff {
 		return 0, fmt.Errorf("wal: dataset name too long (%d bytes)", len(dataset))
 	}
@@ -205,6 +213,18 @@ func (l *Log) Append(typ RecType, dataset string, payload []byte) (uint64, error
 	l.seq = seq
 	l.dirty = true
 	if err := l.maybeSync(); err != nil {
+		// The record is fully framed in the file but its durability is
+		// unknown, and the caller will refuse the ack and roll back its
+		// in-memory state — so the record must not survive to be
+		// replayed. Truncate back to the pre-append boundary and restore
+		// the watermark, mirroring the write-failure path. If even the
+		// truncate fails, poison the handle: the un-acked record would
+		// otherwise resurrect at the next recovery.
+		l.size -= int64(len(frame))
+		l.seq = seq - 1
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.failed = fmt.Errorf("wal: log poisoned: fsync failed (%v), rollback truncate failed (%v)", err, terr)
+		}
 		return 0, err
 	}
 	return seq, nil
